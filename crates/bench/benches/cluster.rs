@@ -1,0 +1,91 @@
+//! Real-CPU cost of cluster replication (the machinery behind Figure 6),
+//! head-to-head with per-object incremental replication at the same step
+//! size, plus the cluster write-back path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use obiwan_bench::workload::payload_list;
+use obiwan_core::{ObiValue, ObjRef, ReplicationMode};
+
+const LIST: usize = 200;
+const SIZE: usize = 64;
+
+fn walk_all(w: &obiwan_bench::ListWorkload, mode: ReplicationMode) {
+    let site = w.world.site(w.consumer);
+    let mut cur: ObjRef = site.get(&w.head, mode).unwrap();
+    loop {
+        let out = site.invoke(cur, "touch", ObiValue::Null).unwrap();
+        match out.as_ref_id() {
+            Some(id) => cur = id.into(),
+            None => break,
+        }
+    }
+}
+
+fn bench_cluster_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_walk_200");
+    group.sample_size(10);
+    for step in [10usize, 100, LIST] {
+        group.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, &step| {
+            b.iter_batched(
+                || payload_list(LIST, SIZE),
+                |w| walk_all(&w, ReplicationMode::cluster(step)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_vs_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_200_step_50");
+    group.sample_size(10);
+    group.bench_function("incremental", |b| {
+        b.iter_batched(
+            || payload_list(LIST, SIZE),
+            |w| walk_all(&w, ReplicationMode::incremental(50)),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("cluster", |b| {
+        b.iter_batched(
+            || payload_list(LIST, SIZE),
+            |w| walk_all(&w, ReplicationMode::cluster(50)),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_cluster_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_put_50");
+    group.sample_size(10);
+    group.bench_function("put_cluster", |b| {
+        b.iter_batched(
+            || {
+                let w = payload_list(50, SIZE);
+                let root = w
+                    .world
+                    .site(w.consumer)
+                    .get(&w.head, ReplicationMode::cluster(50))
+                    .unwrap();
+                w.world
+                    .site(w.consumer)
+                    .invoke(root, "set_index", ObiValue::I64(9))
+                    .unwrap();
+                let cluster = w.world.site(w.consumer).meta_of(root).unwrap().cluster.unwrap();
+                (w, cluster)
+            },
+            |(w, cluster)| w.world.site(w.consumer).put_cluster(cluster).unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_steps,
+    bench_cluster_vs_incremental,
+    bench_cluster_put
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Real-CPU cost of incremental replication (the machinery behind
+//! Figure 5): replicate-and-walk a list at various step sizes, measuring
+//! the implementation cost of faulting, batch materialization and
+//! swizzling (network physics excluded — the virtual clock does not slow
+//! real time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use obiwan_bench::workload::payload_list;
+use obiwan_core::{ObiValue, ObjRef, ReplicationMode};
+
+const LIST: usize = 200;
+const SIZE: usize = 64;
+
+fn walk_all(w: &obiwan_bench::ListWorkload, mode: ReplicationMode) {
+    let site = w.world.site(w.consumer);
+    let mut cur: ObjRef = site.get(&w.head, mode).unwrap();
+    loop {
+        let out = site.invoke(cur, "touch", ObiValue::Null).unwrap();
+        match out.as_ref_id() {
+            Some(id) => cur = id.into(),
+            None => break,
+        }
+    }
+}
+
+fn bench_incremental_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_walk_200");
+    group.sample_size(10);
+    for step in [1usize, 10, 100, LIST] {
+        group.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, &step| {
+            b.iter_batched(
+                || payload_list(LIST, SIZE),
+                |w| walk_all(&w, ReplicationMode::incremental(step)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transitive_walk_200");
+    group.sample_size(10);
+    group.bench_function("transitive", |b| {
+        b.iter_batched(
+            || payload_list(LIST, SIZE),
+            |w| walk_all(&w, ReplicationMode::transitive()),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_single_fault(c: &mut Criterion) {
+    // The isolated cost of one object fault: demand, materialize one
+    // replica, swizzle.
+    let mut group = c.benchmark_group("object_fault");
+    group.sample_size(20);
+    group.bench_function("one_object", |b| {
+        b.iter_batched(
+            || {
+                let w = payload_list(2, SIZE);
+                let root = w
+                    .world
+                    .site(w.consumer)
+                    .get(&w.head, ReplicationMode::incremental(1))
+                    .unwrap();
+                (w, root)
+            },
+            |(w, root)| {
+                // next_value faults node 2 in and invokes it.
+                w.world
+                    .site(w.consumer)
+                    .invoke(root, "touch", ObiValue::Null)
+                    .unwrap();
+                w.world
+                    .site(w.consumer)
+                    .invoke(ObjRef::new(w.nodes[1].id()), "index", ObiValue::Null)
+                    .unwrap()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_steps,
+    bench_transitive_closure,
+    bench_single_fault
+);
+criterion_main!(benches);

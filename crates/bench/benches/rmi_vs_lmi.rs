@@ -1,0 +1,80 @@
+//! Real-CPU microbenchmarks behind Figure 4: one invocation via RMI
+//! (marshal, transport, dispatch, unmarshal) vs one invocation via LMI on
+//! an existing replica.
+//!
+//! Criterion measures real wall time, i.e. the implementation cost of each
+//! path on this machine; the virtual-time `figures` binary layers the
+//! paper's network physics on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obiwan_bench::workload::single_object;
+use obiwan_core::{ObiValue, ReplicationMode};
+
+fn bench_invocation_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invoke");
+    group.sample_size(30);
+
+    // RMI: full marshal -> transport -> dispatch -> reply path.
+    let w = single_object(64);
+    group.bench_function("rmi_single_object", |b| {
+        b.iter(|| {
+            w.world
+                .site(w.consumer)
+                .invoke_rmi(&w.object, "index", ObiValue::Null)
+                .unwrap()
+        })
+    });
+
+    // LMI: table lookup + dynamic dispatch on a local replica.
+    let w = single_object(64);
+    let replica = w
+        .world
+        .site(w.consumer)
+        .get(&w.object, ReplicationMode::incremental(1))
+        .unwrap();
+    group.bench_function("lmi_replica", |b| {
+        b.iter(|| {
+            w.world
+                .site(w.consumer)
+                .invoke(replica, "index", ObiValue::Null)
+                .unwrap()
+        })
+    });
+
+    // LMI on the master itself (no replication involved at all).
+    let w = single_object(64);
+    group.bench_function("lmi_master", |b| {
+        b.iter(|| {
+            w.world
+                .site(w.provider)
+                .invoke(w.master, "index", ObiValue::Null)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_rmi_payload_sizes(c: &mut Criterion) {
+    // RMI cost vs *argument* size: the wire does carry the args, so this
+    // shows the marshalling component that Figure 4's flat RMI curve hides
+    // (its method had no payload arguments).
+    let mut group = c.benchmark_group("rmi_arg_size");
+    group.sample_size(20);
+    for size in [16usize, 1024, 16384] {
+        let w = single_object(16);
+        let payload = ObiValue::Bytes(bytes::Bytes::from(vec![0u8; size]));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                // `touch` ignores args; we only exercise marshalling.
+                w.world
+                    .site(w.consumer)
+                    .invoke_rmi(&w.object, "touch", payload.clone())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invocation_paths, bench_rmi_payload_sizes);
+criterion_main!(benches);

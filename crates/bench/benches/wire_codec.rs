@@ -1,0 +1,71 @@
+//! Throughput of the wire layer — our stand-in for Java serialization,
+//! which the paper identifies as "the most significant performance cost"
+//! of cluster replication.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use obiwan_util::{ObjId, RequestId, SiteId};
+use obiwan_wire::{Decoder, Encoder, Message, ObiValue, ReplicaState};
+
+fn payload_value(size: usize) -> ObiValue {
+    ObiValue::Map(vec![
+        ("index".into(), ObiValue::I64(7)),
+        ("payload".into(), ObiValue::Bytes(Bytes::from(vec![42u8; size]))),
+        (
+            "next".into(),
+            ObiValue::Ref(ObjId::new(SiteId::new(2), 9)),
+        ),
+    ])
+}
+
+fn bench_value_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_codec");
+    for size in [64usize, 1024, 16384] {
+        let v = payload_value(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode", size), &v, |b, v| {
+            b.iter(|| {
+                let mut enc = Encoder::new();
+                enc.put_value(v);
+                enc.finish()
+            })
+        });
+        let mut enc = Encoder::new();
+        enc.put_value(&v);
+        let bytes = enc.finish();
+        group.bench_with_input(BenchmarkId::new("decode", size), &bytes, |b, bytes| {
+            b.iter(|| Decoder::new(bytes).take_value().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_message_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_codec");
+    let state = {
+        let mut enc = Encoder::new();
+        enc.put_value(&payload_value(1024));
+        enc.finish()
+    };
+    let msg = Message::PutRequest {
+        request: RequestId::new(SiteId::new(1), 3),
+        entries: (0..10)
+            .map(|i| ReplicaState {
+                id: ObjId::new(SiteId::new(2), i),
+                class: "PayloadNode".into(),
+                version: i,
+                state: state.clone(),
+            })
+            .collect(),
+    };
+    let frame = msg.encode();
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode_put_10x1k", |b| b.iter(|| msg.encode()));
+    group.bench_function("decode_put_10x1k", |b| {
+        b.iter(|| Message::decode(&frame).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_value_roundtrip, bench_message_roundtrip);
+criterion_main!(benches);

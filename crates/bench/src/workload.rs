@@ -1,0 +1,173 @@
+//! Workload builders matching the paper's evaluation setup.
+//!
+//! §4.2: "We use a list with 1000 objects (all with the same size) that is
+//! created in site S2. This list is then replicated into another site S1."
+//! These builders create exactly that world: a consumer site S1, a provider
+//! site S2, and a payload list exported under a well-known name.
+
+use obiwan_core::demo::PayloadNode;
+use obiwan_core::{ObiWorld, ObjRef};
+use obiwan_rmi::RemoteRef;
+use obiwan_util::SiteId;
+
+/// Name the list head is exported under.
+pub const LIST_NAME: &str = "list";
+
+/// A consumer/provider pair with an exported payload list.
+pub struct ListWorkload {
+    /// The world (paper-testbed conditions).
+    pub world: ObiWorld,
+    /// The replicating site (the paper's S1).
+    pub consumer: SiteId,
+    /// The providing site (the paper's S2).
+    pub provider: SiteId,
+    /// Remote reference to the list head.
+    pub head: RemoteRef,
+    /// Local (provider-side) references to every node, head first.
+    pub nodes: Vec<ObjRef>,
+    /// List length.
+    pub n: usize,
+    /// Payload bytes per object.
+    pub size: usize,
+}
+
+/// Builds the paper's list workload: `n` [`PayloadNode`]s of `size` bytes
+/// each, created at the provider and exported under [`LIST_NAME`].
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn payload_list(n: usize, size: usize) -> ListWorkload {
+    assert!(n > 0, "list must have at least one node");
+    let mut world = ObiWorld::paper_testbed();
+    let consumer = world.add_site("S1");
+    let provider = world.add_site("S2");
+
+    let mut nodes: Vec<ObjRef> = Vec::with_capacity(n);
+    let mut next: Option<ObjRef> = None;
+    for i in (0..n).rev() {
+        let mut node = PayloadNode::sized(i as i64, size);
+        node.set_next(next);
+        let r = world.site(provider).create(node);
+        next = Some(r);
+        nodes.push(r);
+    }
+    nodes.reverse();
+    world
+        .site(provider)
+        .export(nodes[0], LIST_NAME)
+        .expect("export list head");
+    let head = world
+        .site(consumer)
+        .lookup(LIST_NAME)
+        .expect("lookup list head");
+    // Setup traffic (binds, lookups) must not pollute measurements.
+    world.clock().reset();
+    ListWorkload {
+        world,
+        consumer,
+        provider,
+        head,
+        nodes,
+        n,
+        size,
+    }
+}
+
+/// A consumer/provider pair with a single exported payload object.
+pub struct SingleWorkload {
+    /// The world (paper-testbed conditions).
+    pub world: ObiWorld,
+    /// The invoking site.
+    pub consumer: SiteId,
+    /// The object's home site.
+    pub provider: SiteId,
+    /// Remote reference to the object.
+    pub object: RemoteRef,
+    /// Provider-side reference.
+    pub master: ObjRef,
+}
+
+/// Builds the single-object workload of §4.1: one [`PayloadNode`] of
+/// `size` bytes exported from the provider.
+pub fn single_object(size: usize) -> SingleWorkload {
+    let mut world = ObiWorld::paper_testbed();
+    let consumer = world.add_site("S1");
+    let provider = world.add_site("S2");
+    let master = world.site(provider).create(PayloadNode::sized(0, size));
+    world
+        .site(provider)
+        .export(master, "object")
+        .expect("export object");
+    let object = world
+        .site(consumer)
+        .lookup("object")
+        .expect("lookup object");
+    world.clock().reset();
+    SingleWorkload {
+        world,
+        consumer,
+        provider,
+        object,
+        master,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obiwan_core::{ObiValue, ReplicationMode};
+
+    #[test]
+    fn list_workload_links_all_nodes() {
+        let w = payload_list(5, 64);
+        assert_eq!(w.nodes.len(), 5);
+        assert_eq!(w.head.id(), w.nodes[0].id());
+        // Walk the list at the provider.
+        let mut cur = w.nodes[0];
+        let mut seen = 0;
+        loop {
+            let out = w
+                .world
+                .site(w.provider)
+                .invoke(cur, "touch", ObiValue::Null)
+                .unwrap();
+            seen += 1;
+            match out.as_ref_id() {
+                Some(id) => cur = id.into(),
+                None => break,
+            }
+        }
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn workload_clock_starts_at_zero() {
+        let w = payload_list(3, 64);
+        assert_eq!(w.world.clock().virtual_nanos(), 0);
+        let s = single_object(64);
+        assert_eq!(s.world.clock().virtual_nanos(), 0);
+    }
+
+    #[test]
+    fn single_workload_round_trips() {
+        let s = single_object(1024);
+        let replica = s
+            .world
+            .site(s.consumer)
+            .get(&s.object, ReplicationMode::incremental(1))
+            .unwrap();
+        let len = s
+            .world
+            .site(s.consumer)
+            .invoke(replica, "payload_len", ObiValue::Null)
+            .unwrap();
+        assert_eq!(len, ObiValue::I64(1024));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_list_is_rejected() {
+        let _ = payload_list(0, 64);
+    }
+}

@@ -1,0 +1,329 @@
+//! Relaxed (optimistic) transactions over replicas.
+//!
+//! The paper's introduction promises "hooks for the application programmer
+//! to implement a set of application specific properties such as relaxed
+//! transactional support". [`RelaxedTransaction`] is that support, built
+//! entirely on the public platform API:
+//!
+//! 1. operations run locally on replicas (working disconnected is fine);
+//! 2. the write set is tracked;
+//! 3. `commit` writes every touched replica back in one `put` per provider
+//!    batch, validated by the master's [`ConsistencyHook`](obiwan_core::ConsistencyHook);
+//! 4. on rejection the transaction rolls back by refreshing the write set,
+//!    and the application may retry.
+//!
+//! Pair with [`OptimisticDetect`](crate::OptimisticDetect) on the master
+//! for first-writer-wins semantics; with
+//! [`AcceptAll`](obiwan_core::AcceptAll) commits always succeed (blind
+//! last-writer-wins).
+
+use obiwan_core::{ObiProcess, ObiValue, ObjRef};
+use obiwan_util::{ObiError, ObjId, Result};
+use std::collections::BTreeSet;
+
+/// How a commit ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// All write-backs were accepted.
+    Committed {
+        /// Objects written, with their new master versions.
+        written: Vec<(ObjId, u64)>,
+    },
+    /// At least one write-back was rejected; the write set was rolled back
+    /// (refreshed from the masters where reachable).
+    Conflict {
+        /// The error that aborted the commit.
+        error: ObiError,
+        /// Objects whose replicas were rolled back to master state.
+        rolled_back: Vec<ObjId>,
+    },
+}
+
+impl TxnOutcome {
+    /// True for [`TxnOutcome::Committed`].
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed { .. })
+    }
+}
+
+/// An optimistic transaction over one process's replicas.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_consistency::{OptimisticDetect, RelaxedTransaction};
+/// use obiwan_core::{ObiWorld, ObiValue, ReplicationMode};
+/// use obiwan_core::demo::Counter;
+///
+/// # fn main() -> obiwan_util::Result<()> {
+/// let mut world = ObiWorld::loopback();
+/// let s1 = world.add_site("S1");
+/// let s2 = world.add_site("S2");
+/// let master = world.site(s2).create(Counter::new(0));
+/// world.site(s2).export(master, "c")?;
+/// world.site(s2).set_policy(Box::new(OptimisticDetect::new()));
+///
+/// let remote = world.site(s1).lookup("c")?;
+/// let replica = world.site(s1).get(&remote, ReplicationMode::incremental(1))?;
+///
+/// let mut txn = RelaxedTransaction::new();
+/// txn.invoke(world.site(s1), replica, "incr", ObiValue::Null)?;
+/// assert!(txn.commit(world.site(s1)).is_committed());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct RelaxedTransaction {
+    write_set: BTreeSet<ObjId>,
+    read_set: BTreeSet<ObjId>,
+    finished: bool,
+}
+
+impl RelaxedTransaction {
+    /// Starts an empty transaction.
+    pub fn new() -> Self {
+        RelaxedTransaction::default()
+    }
+
+    /// Invokes a method inside the transaction. Mutations are detected via
+    /// the replica's dirty flag and recorded in the write set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the invocation's error; a finished transaction refuses
+    /// further work with [`ObiError::BadArguments`].
+    pub fn invoke(
+        &mut self,
+        process: &ObiProcess,
+        target: ObjRef,
+        method: &str,
+        args: ObiValue,
+    ) -> Result<ObiValue> {
+        if self.finished {
+            return Err(ObiError::BadArguments(
+                "transaction already committed or aborted".into(),
+            ));
+        }
+        let was_dirty = process.meta_of(target).map(|m| m.dirty).unwrap_or(false);
+        let result = process.invoke(target, method, args)?;
+        self.read_set.insert(target.id());
+        let now_dirty = process.meta_of(target).map(|m| m.dirty).unwrap_or(false);
+        if now_dirty && !was_dirty {
+            self.write_set.insert(target.id());
+        } else if now_dirty {
+            // Was dirty before us too; we still co-own the write.
+            self.write_set.insert(target.id());
+        }
+        Ok(result)
+    }
+
+    /// Objects read so far.
+    pub fn read_set(&self) -> Vec<ObjId> {
+        self.read_set.iter().copied().collect()
+    }
+
+    /// Objects written so far.
+    pub fn write_set(&self) -> Vec<ObjId> {
+        self.write_set.iter().copied().collect()
+    }
+
+    /// True once committed or aborted.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Attempts to commit: every written replica is `put` back; the
+    /// master-side policy validates each write.
+    ///
+    /// On the first rejection the whole write set is rolled back by
+    /// refreshing from the masters (where reachable) and the outcome is
+    /// [`TxnOutcome::Conflict`]. Connectivity failures also surface as
+    /// conflicts (nothing was lost: replicas stay dirty only until the
+    /// rollback refresh, which then requires connectivity too — offline
+    /// commits should simply be retried when reconnected, see
+    /// [`RelaxedTransaction::commit_or_keep`]).
+    pub fn commit(mut self, process: &ObiProcess) -> TxnOutcome {
+        self.finished = true;
+        let mut written = Vec::new();
+        for &id in &self.write_set {
+            match process.put(ObjRef::new(id)) {
+                Ok(version) => written.push((id, version)),
+                Err(error) => {
+                    let mut rolled_back = Vec::new();
+                    for &wid in &self.write_set {
+                        if process.refresh(ObjRef::new(wid)).is_ok() {
+                            rolled_back.push(wid);
+                        }
+                    }
+                    return TxnOutcome::Conflict { error, rolled_back };
+                }
+            }
+        }
+        TxnOutcome::Committed { written }
+    }
+
+    /// Like [`RelaxedTransaction::commit`], but on a *connectivity* failure
+    /// the transaction is handed back intact (replicas stay dirty, nothing
+    /// rolled back) so it can be retried after reconnection. Policy
+    /// rejections still roll back and consume the transaction.
+    pub fn commit_or_keep(self, process: &ObiProcess) -> std::result::Result<TxnOutcome, Self> {
+        // Probe the first write's provider cheaply by checking dirtiness and
+        // attempting the commit; a connectivity error aborts early.
+        let write_set = self.write_set.clone();
+        let read_set = self.read_set.clone();
+        let mut written = Vec::new();
+        for &id in &write_set {
+            match process.put(ObjRef::new(id)) {
+                Ok(version) => written.push((id, version)),
+                Err(e) if e.is_connectivity() => {
+                    return Err(RelaxedTransaction {
+                        write_set,
+                        read_set,
+                        finished: false,
+                    });
+                }
+                Err(error) => {
+                    let mut rolled_back = Vec::new();
+                    for &wid in &write_set {
+                        if process.refresh(ObjRef::new(wid)).is_ok() {
+                            rolled_back.push(wid);
+                        }
+                    }
+                    return Ok(TxnOutcome::Conflict { error, rolled_back });
+                }
+            }
+        }
+        Ok(TxnOutcome::Committed { written })
+    }
+
+    /// Abandons the transaction, rolling written replicas back to master
+    /// state (best effort; unreachable masters leave replicas dirty).
+    pub fn abort(mut self, process: &ObiProcess) -> Vec<ObjId> {
+        self.finished = true;
+        let mut rolled_back = Vec::new();
+        for &id in &self.write_set {
+            if process.refresh(ObjRef::new(id)).is_ok() {
+                rolled_back.push(id);
+            }
+        }
+        rolled_back
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::OptimisticDetect;
+    use obiwan_core::demo::Counter;
+    use obiwan_core::{ObiWorld, ReplicationMode};
+    use obiwan_util::SiteId;
+
+    fn rig(policy: bool) -> (ObiWorld, SiteId, SiteId, ObjRef, ObjRef) {
+        let mut world = ObiWorld::loopback();
+        let s1 = world.add_site("S1");
+        let s2 = world.add_site("S2");
+        let master = world.site(s2).create(Counter::new(0));
+        world.site(s2).export(master, "c").unwrap();
+        if policy {
+            world.site(s2).set_policy(Box::new(OptimisticDetect::new()));
+        }
+        let remote = world.site(s1).lookup("c").unwrap();
+        let replica = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        (world, s1, s2, master, replica)
+    }
+
+    #[test]
+    fn commit_applies_writes() {
+        let (world, s1, s2, master, replica) = rig(true);
+        let mut txn = RelaxedTransaction::new();
+        txn.invoke(world.site(s1), replica, "incr", ObiValue::Null)
+            .unwrap();
+        txn.invoke(world.site(s1), replica, "add", ObiValue::I64(4))
+            .unwrap();
+        assert_eq!(txn.write_set(), vec![replica.id()]);
+        let outcome = txn.commit(world.site(s1));
+        assert!(outcome.is_committed());
+        let v = world.site(s2).invoke(master, "read", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(5));
+    }
+
+    #[test]
+    fn reads_do_not_enter_write_set() {
+        let (world, s1, _s2, _master, replica) = rig(true);
+        let mut txn = RelaxedTransaction::new();
+        txn.invoke(world.site(s1), replica, "read", ObiValue::Null)
+            .unwrap();
+        assert!(txn.write_set().is_empty());
+        assert_eq!(txn.read_set(), vec![replica.id()]);
+        assert!(txn.commit(world.site(s1)).is_committed());
+    }
+
+    #[test]
+    fn conflicting_commit_rolls_back() {
+        let (world, s1, s2, master, replica) = rig(true);
+        let mut txn = RelaxedTransaction::new();
+        txn.invoke(world.site(s1), replica, "add", ObiValue::I64(10))
+            .unwrap();
+        // Master moves concurrently.
+        world.site(s2).invoke(master, "incr", ObiValue::Null).unwrap();
+        let outcome = txn.commit(world.site(s1));
+        match outcome {
+            TxnOutcome::Conflict { error, rolled_back } => {
+                assert!(matches!(error, ObiError::UpdateRejected { .. }));
+                assert_eq!(rolled_back, vec![replica.id()]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Rollback refreshed to the master's value.
+        let v = world.site(s1).invoke(replica, "read", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(1));
+        assert!(!world.site(s1).meta_of(replica).unwrap().dirty);
+    }
+
+    #[test]
+    fn commit_or_keep_survives_disconnection() {
+        let (world, s1, s2, master, replica) = rig(true);
+        let mut txn = RelaxedTransaction::new();
+        txn.invoke(world.site(s1), replica, "add", ObiValue::I64(3))
+            .unwrap();
+        world.disconnect(s1);
+        let txn = match txn.commit_or_keep(world.site(s1)) {
+            Err(kept) => kept,
+            Ok(o) => panic!("expected kept transaction, got {o:?}"),
+        };
+        // Work survived the failed commit.
+        assert!(world.site(s1).meta_of(replica).unwrap().dirty);
+        world.reconnect(s1);
+        let outcome = txn.commit_or_keep(world.site(s1)).unwrap();
+        assert!(outcome.is_committed());
+        let v = world.site(s2).invoke(master, "read", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(3));
+    }
+
+    #[test]
+    fn finished_transaction_refuses_work() {
+        let (world, s1, _s2, _master, replica) = rig(false);
+        let txn = RelaxedTransaction::new();
+        let _ = txn.commit(world.site(s1));
+        let mut txn2 = RelaxedTransaction::new();
+        txn2.invoke(world.site(s1), replica, "incr", ObiValue::Null)
+            .unwrap();
+        let outcome = txn2.commit(world.site(s1));
+        assert!(outcome.is_committed());
+    }
+
+    #[test]
+    fn abort_restores_master_state() {
+        let (world, s1, _s2, _master, replica) = rig(false);
+        let mut txn = RelaxedTransaction::new();
+        txn.invoke(world.site(s1), replica, "add", ObiValue::I64(9))
+            .unwrap();
+        let rolled = txn.abort(world.site(s1));
+        assert_eq!(rolled, vec![replica.id()]);
+        let v = world.site(s1).invoke(replica, "read", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(0));
+    }
+}

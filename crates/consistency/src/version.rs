@@ -1,0 +1,365 @@
+//! Version vectors and logical clocks.
+
+use obiwan_util::SiteId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The causal relation between two version vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Causality {
+    /// Identical histories.
+    Equal,
+    /// `self` strictly dominates the other (the other is an ancestor).
+    Dominates,
+    /// `self` is strictly dominated (it is an ancestor of the other).
+    DominatedBy,
+    /// Neither dominates: the histories diverged.
+    Concurrent,
+}
+
+/// A per-site version vector.
+///
+/// Missing entries are implicitly zero, so vectors over disjoint site sets
+/// compare correctly.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_consistency::{VersionVector, Causality};
+/// use obiwan_util::SiteId;
+///
+/// let mut a = VersionVector::new();
+/// let mut b = VersionVector::new();
+/// a.bump(SiteId::new(1));
+/// b.bump(SiteId::new(2));
+/// assert_eq!(a.compare(&b), Causality::Concurrent);
+/// a.merge(&b);
+/// assert_eq!(a.compare(&b), Causality::Dominates);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionVector {
+    entries: BTreeMap<SiteId, u64>,
+}
+
+impl VersionVector {
+    /// The zero vector.
+    pub fn new() -> Self {
+        VersionVector::default()
+    }
+
+    /// The counter for `site` (zero when absent).
+    pub fn get(&self, site: SiteId) -> u64 {
+        self.entries.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Sets the counter for `site` (zero removes the entry).
+    pub fn set(&mut self, site: SiteId, value: u64) {
+        if value == 0 {
+            self.entries.remove(&site);
+        } else {
+            self.entries.insert(site, value);
+        }
+    }
+
+    /// Increments `site`'s counter and returns the new value.
+    pub fn bump(&mut self, site: SiteId) -> u64 {
+        let v = self.entries.entry(site).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of sites with a non-zero counter.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no site has a non-zero counter.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn merge(&mut self, other: &VersionVector) {
+        for (&site, &v) in &other.entries {
+            let e = self.entries.entry(site).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+
+    /// The causal relation of `self` to `other`.
+    pub fn compare(&self, other: &VersionVector) -> Causality {
+        let mut greater = false;
+        let mut less = false;
+        let sites: std::collections::BTreeSet<SiteId> = self
+            .entries
+            .keys()
+            .chain(other.entries.keys())
+            .copied()
+            .collect();
+        for site in sites {
+            let a = self.get(site);
+            let b = other.get(site);
+            if a > b {
+                greater = true;
+            }
+            if a < b {
+                less = true;
+            }
+        }
+        match (greater, less) {
+            (false, false) => Causality::Equal,
+            (true, false) => Causality::Dominates,
+            (false, true) => Causality::DominatedBy,
+            (true, true) => Causality::Concurrent,
+        }
+    }
+
+    /// True when `self` is `other` or a descendant of it (safe overwrite).
+    pub fn descends_from(&self, other: &VersionVector) -> bool {
+        matches!(
+            self.compare(other),
+            Causality::Equal | Causality::Dominates
+        )
+    }
+
+    /// Iterates over `(site, counter)` pairs in site order.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, u64)> + '_ {
+        self.entries.iter().map(|(&s, &v)| (s, v))
+    }
+}
+
+impl fmt::Display for VersionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (site, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{site}:{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(SiteId, u64)> for VersionVector {
+    fn from_iter<I: IntoIterator<Item = (SiteId, u64)>>(iter: I) -> Self {
+        let mut vv = VersionVector::new();
+        for (site, v) in iter {
+            vv.set(site, v);
+        }
+        vv
+    }
+}
+
+/// A Lamport logical clock: timestamps totally ordered by `(time, site)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LamportClock {
+    site: SiteId,
+    time: u64,
+}
+
+impl LamportClock {
+    /// A clock for `site` starting at zero.
+    pub fn new(site: SiteId) -> Self {
+        LamportClock { site, time: 0 }
+    }
+
+    /// The owning site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Current logical time.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Advances for a local event; returns the new timestamp.
+    pub fn tick(&mut self) -> (u64, SiteId) {
+        self.time += 1;
+        (self.time, self.site)
+    }
+
+    /// Merges an observed remote timestamp, then ticks.
+    pub fn observe(&mut self, remote_time: u64) -> (u64, SiteId) {
+        self.time = self.time.max(remote_time);
+        self.tick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u32) -> SiteId {
+        SiteId::new(n)
+    }
+
+    #[test]
+    fn zero_vectors_are_equal() {
+        let a = VersionVector::new();
+        let b = VersionVector::new();
+        assert_eq!(a.compare(&b), Causality::Equal);
+        assert!(a.is_zero());
+        assert!(a.descends_from(&b));
+    }
+
+    #[test]
+    fn bump_creates_dominance() {
+        let mut a = VersionVector::new();
+        let b = a.clone();
+        a.bump(s(1));
+        assert_eq!(a.compare(&b), Causality::Dominates);
+        assert_eq!(b.compare(&a), Causality::DominatedBy);
+        assert!(a.descends_from(&b));
+        assert!(!b.descends_from(&a));
+    }
+
+    #[test]
+    fn divergence_is_concurrent() {
+        let base: VersionVector = [(s(1), 3u64)].into_iter().collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.bump(s(1));
+        b.bump(s(2));
+        assert_eq!(a.compare(&b), Causality::Concurrent);
+        assert_eq!(b.compare(&a), Causality::Concurrent);
+        assert!(!a.descends_from(&b));
+    }
+
+    #[test]
+    fn merge_is_pointwise_max_and_resolves_concurrency() {
+        let a: VersionVector = [(s(1), 5u64), (s(2), 1)].into_iter().collect();
+        let b: VersionVector = [(s(1), 2u64), (s(3), 7)].into_iter().collect();
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.get(s(1)), 5);
+        assert_eq!(m.get(s(2)), 1);
+        assert_eq!(m.get(s(3)), 7);
+        assert!(m.descends_from(&a));
+        assert!(m.descends_from(&b));
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent() {
+        let a: VersionVector = [(s(1), 2u64), (s(2), 9)].into_iter().collect();
+        let b: VersionVector = [(s(2), 4u64), (s(3), 1)].into_iter().collect();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut twice = ab.clone();
+        twice.merge(&b);
+        assert_eq!(twice, ab);
+    }
+
+    #[test]
+    fn setting_zero_removes_entries() {
+        let mut v = VersionVector::new();
+        v.set(s(1), 4);
+        assert_eq!(v.len(), 1);
+        v.set(s(1), 0);
+        assert!(v.is_empty());
+        assert_eq!(v.get(s(1)), 0);
+    }
+
+    #[test]
+    fn display_renders_entries() {
+        let v: VersionVector = [(s(1), 2u64), (s(3), 4)].into_iter().collect();
+        assert_eq!(v.to_string(), "{S1:2, S3:4}");
+        assert_eq!(VersionVector::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn lamport_clock_orders_events() {
+        let mut a = LamportClock::new(s(1));
+        let mut b = LamportClock::new(s(2));
+        let (t1, _) = a.tick();
+        let (t2, _) = b.observe(t1);
+        assert!(t2 > t1);
+        let (t3, _) = a.observe(t2);
+        assert!(t3 > t2);
+        assert_eq!(a.site(), s(1));
+        assert_eq!(a.time(), t3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_vv() -> impl Strategy<Value = VersionVector> {
+        proptest::collection::vec((0u32..6, 1u64..50), 0..6).prop_map(|entries| {
+            entries
+                .into_iter()
+                .map(|(s, v)| (SiteId::new(s), v))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_associative_commutative_idempotent(
+            a in arb_vv(), b in arb_vv(), c in arb_vv()
+        ) {
+            let mut ab_c = a.clone();
+            ab_c.merge(&b);
+            ab_c.merge(&c);
+            let mut a_bc = {
+                let mut bc = b.clone();
+                bc.merge(&c);
+                let mut x = a.clone();
+                x.merge(&bc);
+                x
+            };
+            prop_assert_eq!(&ab_c, &a_bc);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            let mut ab = a.clone();
+            ab.merge(&b);
+            prop_assert_eq!(&ab, &ba);
+            a_bc.merge(&c);
+            prop_assert_eq!(&a_bc, &ab_c);
+        }
+
+        #[test]
+        fn merge_dominates_both_inputs(a in arb_vv(), b in arb_vv()) {
+            let mut m = a.clone();
+            m.merge(&b);
+            prop_assert!(m.descends_from(&a));
+            prop_assert!(m.descends_from(&b));
+        }
+
+        #[test]
+        fn compare_is_antisymmetric(a in arb_vv(), b in arb_vv()) {
+            let ab = a.compare(&b);
+            let ba = b.compare(&a);
+            let expected = match ab {
+                Causality::Equal => Causality::Equal,
+                Causality::Dominates => Causality::DominatedBy,
+                Causality::DominatedBy => Causality::Dominates,
+                Causality::Concurrent => Causality::Concurrent,
+            };
+            prop_assert_eq!(ba, expected);
+        }
+
+        #[test]
+        fn equal_iff_identical(a in arb_vv(), b in arb_vv()) {
+            prop_assert_eq!(a.compare(&b) == Causality::Equal, a == b);
+        }
+
+        #[test]
+        fn bump_strictly_dominates(a in arb_vv(), site in 0u32..6) {
+            let mut bumped = a.clone();
+            bumped.bump(SiteId::new(site));
+            prop_assert_eq!(bumped.compare(&a), Causality::Dominates);
+        }
+    }
+}

@@ -1,0 +1,2206 @@
+//! The per-site OBIWAN runtime: [`ObiProcess`] and its service endpoint.
+//!
+//! An `ObiProcess` ties together one [`ObjectSpace`], one
+//! [`RmiClient`], the proxy-in table for objects it
+//! provides, and a [`ConsistencyHook`]. Its public API is the programmer's
+//! view of OBIWAN:
+//!
+//! * [`create`](ObiProcess::create) / [`export`](ObiProcess::export) /
+//!   [`lookup`](ObiProcess::lookup) — publish and find objects;
+//! * [`get`](ObiProcess::get) — replicate (incrementally, by cluster, or
+//!   transitively) from a remote provider;
+//! * [`invoke`](ObiProcess::invoke) — LMI with transparent object-fault
+//!   resolution; [`invoke_rmi`](ObiProcess::invoke_rmi) — classic RMI;
+//! * [`put`](ObiProcess::put) / [`refresh`](ObiProcess::refresh) — replica
+//!   write-back and re-fetch;
+//! * [`subscribe`](ObiProcess::subscribe) — opt in to invalidations or
+//!   pushed updates.
+
+use crate::hooks::{AcceptAll, ConsistencyHook};
+use crate::object::{ClassRegistry, ObiObject};
+use crate::objref::ObjRef;
+use crate::proxy::{ProxyIn, ProxyOut};
+use crate::replication::{build_batch, ReplicationMode};
+use crate::space::{GcStats, ObjectEntry, ObjectMeta, ObjectSpace, ReplicaKind, Resolution};
+use obiwan_net::Transport;
+use obiwan_rmi::{RemoteRef, RmiClient, RmiServer, RmiService};
+use obiwan_util::{
+    Clock, ClusterId, CostModel, Metrics, ObiError, ObjId, Result, SiteId,
+};
+use obiwan_wire::{Decoder, Encoder, Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maximum nested invocation depth, bounding distributed recursion.
+const MAX_INVOKE_DEPTH: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Re-entrancy-aware process lock
+// ---------------------------------------------------------------------------
+
+fn thread_token() -> u64 {
+    use std::cell::Cell;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TOKEN: Cell<u64> = const { Cell::new(0) };
+    }
+    TOKEN.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+struct ProcessLock {
+    inner: Mutex<ProcessInner>,
+    owner: AtomicU64,
+}
+
+struct LockGuard<'a> {
+    guard: MutexGuard<'a, ProcessInner>,
+    owner: &'a AtomicU64,
+}
+
+impl std::ops::Deref for LockGuard<'_> {
+    type Target = ProcessInner;
+    fn deref(&self) -> &ProcessInner {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for LockGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ProcessInner {
+        &mut self.guard
+    }
+}
+
+impl Drop for LockGuard<'_> {
+    fn drop(&mut self) {
+        self.owner.store(0, Ordering::Release);
+    }
+}
+
+impl ProcessLock {
+    fn new(inner: ProcessInner) -> Self {
+        ProcessLock {
+            inner: Mutex::new(inner),
+            owner: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the process state. Detects same-thread re-entrancy (a cycle of
+    /// synchronous calls arriving back at this process) and reports it as an
+    /// error instead of deadlocking; cross-thread contention blocks
+    /// normally.
+    fn enter(&self, site: SiteId) -> Result<LockGuard<'_>> {
+        let me = thread_token();
+        if self.owner.load(Ordering::Acquire) == me {
+            return Err(ObiError::ReentrantInvocation(ObjId::new(site, 0)));
+        }
+        let guard = self.inner.lock();
+        self.owner.store(me, Ordering::Release);
+        Ok(LockGuard {
+            guard,
+            owner: &self.owner,
+        })
+    }
+
+    /// True when the calling thread currently holds the lock.
+    fn held_by_me(&self) -> bool {
+        self.owner.load(Ordering::Acquire) == thread_token()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process state
+// ---------------------------------------------------------------------------
+
+struct ProcessInner {
+    space: ObjectSpace,
+    exports: HashMap<ObjId, ProxyIn>,
+    policy: Box<dyn ConsistencyHook>,
+    outbox: Vec<(SiteId, Message)>,
+    cluster_seq: u64,
+    replica_budget: Option<usize>,
+    /// Root object of each cluster this process has materialized, for
+    /// cluster-wise refresh.
+    cluster_roots: HashMap<ClusterId, ObjId>,
+}
+
+struct ProcessShared {
+    site: SiteId,
+    ns_site: SiteId,
+    lock: ProcessLock,
+    inbox: Mutex<Vec<(SiteId, Message)>>,
+    client: RmiClient,
+    clock: Clock,
+    costs: CostModel,
+    metrics: Metrics,
+    registry: ClassRegistry,
+}
+
+/// One OBIWAN process: the runtime services a site's application links
+/// against.
+///
+/// Cheap to clone (shared state inside); all methods take `&self`.
+#[derive(Clone)]
+pub struct ObiProcess {
+    shared: Arc<ProcessShared>,
+}
+
+impl std::fmt::Debug for ObiProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObiProcess")
+            .field("site", &self.shared.site)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invocation context
+// ---------------------------------------------------------------------------
+
+/// The execution context handed to every method body.
+///
+/// Through it a method reaches the rest of the platform: nested invocations
+/// (with transparent fault resolution), object creation, and mutation
+/// marking.
+pub struct InvokeCtx<'a> {
+    inner: &'a mut ProcessInner,
+    shared: &'a ProcessShared,
+    current: ObjId,
+    modified: &'a mut Vec<ObjId>,
+    depth: usize,
+}
+
+impl InvokeCtx<'_> {
+    /// The site this invocation runs on.
+    pub fn site(&self) -> SiteId {
+        self.shared.site
+    }
+
+    /// The id of the object currently executing.
+    pub fn self_id(&self) -> ObjId {
+        self.current
+    }
+
+    /// A reference to the object currently executing.
+    pub fn self_ref(&self) -> ObjRef {
+        ObjRef::new(self.current)
+    }
+
+    /// Records that the current object mutated its state. Mutating methods
+    /// declared in `obi_class!`'s `mutating` block call this automatically.
+    pub fn mark_modified(&mut self) {
+        self.modified.push(self.current);
+    }
+
+    /// Invokes a method on another object, resolving object faults
+    /// transparently (the `BProxyOut.demand` path of §2.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the callee's error; re-entrant cycles yield
+    /// [`ObiError::ReentrantInvocation`].
+    pub fn invoke(&mut self, target: ObjRef, method: &str, args: &ObiValue) -> Result<ObiValue> {
+        if self.depth >= MAX_INVOKE_DEPTH {
+            return Err(ObiError::Internal(format!(
+                "invocation depth exceeded {MAX_INVOKE_DEPTH}"
+            )));
+        }
+        invoke_inner(
+            self.inner,
+            self.shared,
+            target.id(),
+            method,
+            args,
+            self.modified,
+            self.depth + 1,
+        )
+    }
+
+    /// Creates a new master object in the local space.
+    pub fn create(&mut self, object: Box<dyn ObiObject>) -> ObjRef {
+        self.inner.space.create(object)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core invocation / fault machinery (free functions over ProcessInner)
+// ---------------------------------------------------------------------------
+
+fn invoke_inner(
+    inner: &mut ProcessInner,
+    shared: &ProcessShared,
+    target: ObjId,
+    method: &str,
+    args: &ObiValue,
+    modified: &mut Vec<ObjId>,
+    depth: usize,
+) -> Result<ObiValue> {
+    // Fault loop: at most one fault resolution is needed before the slot is
+    // live, but a failed materialization surfaces as an error. Bounded so
+    // that pathological interactions (e.g. a budget evicting the freshly
+    // faulted object) degrade to an error instead of a livelock.
+    let mut attempts = 0;
+    loop {
+        match inner.space.resolve(target) {
+            Resolution::Object(_) => break,
+            Resolution::Proxy(proxy) => {
+                attempts += 1;
+                if attempts > 3 {
+                    return Err(ObiError::Internal(format!(
+                        "object {target} evaporates after every fault (budget too small?)"
+                    )));
+                }
+                shared.metrics.incr_object_faults();
+                resolve_fault(inner, shared, &proxy)?;
+            }
+            Resolution::Busy => return Err(ObiError::ReentrantInvocation(target)),
+            Resolution::Absent => return Err(ObiError::NoSuchObject(target)),
+        }
+    }
+
+    let mut entry = inner.space.take_object(target)?;
+    shared.clock.charge_cpu(shared.costs.lmi);
+    shared.metrics.incr_lmi();
+    let result = {
+        let mut ctx = InvokeCtx {
+            inner,
+            shared,
+            current: target,
+            modified,
+            depth,
+        };
+        entry.object.invoke(&mut ctx, method, args)
+    };
+    inner.space.restore_object(entry);
+    result
+}
+
+/// Resolves one object fault: demand the next batch from the proxy's
+/// provider and materialize it (paper §2.2 steps 1–6).
+fn resolve_fault(inner: &mut ProcessInner, shared: &ProcessShared, proxy: &ProxyOut) -> Result<()> {
+    let remote = RemoteRef::new(proxy.target, proxy.provider);
+    let batch = shared.client.get(&remote, proxy.mode)?;
+    materialize_batch(inner, shared, &batch, proxy.provider, proxy.mode)?;
+    // The proxy slot was overwritten by the replica: the swizzle. The old
+    // proxy-out is no longer reachable and has effectively been reclaimed.
+    shared.clock.charge_cpu(shared.costs.swizzle);
+    shared.metrics.incr_proxies_reclaimed();
+    Ok(())
+}
+
+/// Installs a replica batch into the local space: replicas become live
+/// slots, frontier edges become proxy-outs, costs and metrics are charged.
+fn materialize_batch(
+    inner: &mut ProcessInner,
+    shared: &ProcessShared,
+    batch: &ReplicaBatch,
+    provider: SiteId,
+    mode: WireMode,
+) -> Result<()> {
+    for state in &batch.replicas {
+        // Never clobber our own masters with replicas of themselves.
+        if let Resolution::Object(meta) = inner.space.resolve(state.id) {
+            if meta.kind.is_master() {
+                continue;
+            }
+        }
+        shared.clock.charge_cpu(shared.costs.serialize(state.state.len()));
+        let mut dec = Decoder::new(&state.state);
+        let value = dec.take_value()?;
+        let object = shared.registry.decode(&state.class, &value)?;
+        let mut meta = ObjectMeta::replica(state.id, provider, state.version);
+        meta.cluster = batch.cluster;
+        shared.clock.charge_cpu(shared.costs.replica_create);
+        shared.metrics.incr_replicas_created();
+        inner.space.insert_object(ObjectEntry { object, meta });
+    }
+
+    if let Some(cluster) = batch.cluster {
+        inner.cluster_roots.insert(cluster, batch.root);
+    }
+
+    // Proxy-pair accounting (paper §4.2 vs §4.3): one pair per object in
+    // incremental mode, a single shared pair per cluster batch. Pair cost
+    // grows mildly with batch size (CostModel::pair_batch_penalty).
+    let n = batch.replicas.len();
+    match mode {
+        WireMode::Cluster { .. } => {
+            shared.clock.charge_cpu(shared.costs.proxy_pairs(1, n));
+            shared.metrics.incr_proxy_pairs_created();
+        }
+        _ => {
+            shared.clock.charge_cpu(shared.costs.proxy_pairs(n, n));
+            shared.metrics.add_proxy_pairs_created(n as u64);
+        }
+    }
+
+    for edge in &batch.frontier {
+        let mut proxy = ProxyOut::new(edge.target, edge.class.clone(), provider, mode);
+        if let Some(cluster) = batch.cluster {
+            proxy = proxy.in_cluster(cluster);
+        }
+        inner.space.insert_proxy(proxy);
+    }
+
+    // Opt-in memory budget for info-appliances (§2.1): shed cold, clean
+    // replicas back to proxy-outs when the batch pushed us over. The batch
+    // root is freshened and protected — it is the object the caller is
+    // about to invoke, and evicting it would re-raise the same fault.
+    if let Some(budget) = inner.replica_budget {
+        inner.space.touch(batch.root);
+        let (evicted, _freed) = inner.space.evict_replicas_to(budget, &[batch.root]);
+        shared.metrics.add_replicas_evicted(evicted as u64);
+    }
+    Ok(())
+}
+
+/// Applies post-invocation bookkeeping: bump master versions, mark replicas
+/// dirty, and queue notifications to subscribers.
+fn finish_invocation(inner: &mut ProcessInner, shared: &ProcessShared, modified: &[ObjId]) {
+    let mut seen = std::collections::HashSet::new();
+    for &id in modified {
+        if !seen.insert(id) {
+            continue;
+        }
+        let Some(meta) = inner.space.meta_mut(id) else {
+            continue;
+        };
+        match meta.kind {
+            ReplicaKind::Master => {
+                meta.version += 1;
+                let version = meta.version;
+                inner.policy.on_master_updated(id, version);
+                queue_notifications(inner, shared, id, shared.site);
+            }
+            ReplicaKind::Replica { .. } => {
+                meta.dirty = true;
+            }
+        }
+    }
+}
+
+/// Queues invalidations/pushes for every subscriber of `id` except
+/// `originator`.
+fn queue_notifications(
+    inner: &mut ProcessInner,
+    shared: &ProcessShared,
+    id: ObjId,
+    originator: SiteId,
+) {
+    let Some(entry) = inner.exports.get(&id) else {
+        return;
+    };
+    let subscribers: Vec<_> = entry.subscribers_except(originator).collect();
+    if subscribers.is_empty() {
+        return;
+    }
+    let push_state = if subscribers.iter().any(|s| s.push) {
+        inner
+            .space
+            .with_object(id, |o, m| ReplicaState {
+                id,
+                class: o.class_name().to_owned(),
+                version: m.version,
+                state: {
+                    let mut enc = Encoder::new();
+                    enc.put_value(&o.state());
+                    enc.finish()
+                },
+            })
+            .ok()
+    } else {
+        None
+    };
+    for sub in subscribers {
+        let msg = if sub.push {
+            match &push_state {
+                Some(state) => Message::UpdatePush {
+                    entries: vec![state.clone()],
+                },
+                None => Message::Invalidate { objects: vec![id] },
+            }
+        } else {
+            Message::Invalidate { objects: vec![id] }
+        };
+        inner.outbox.push((sub.site, msg));
+    }
+    let _ = shared;
+}
+
+// ---------------------------------------------------------------------------
+// ObiProcess public API
+// ---------------------------------------------------------------------------
+
+impl ObiProcess {
+    /// Creates a process for `site`, wired to `transport`, using `ns_site`
+    /// as its name server.
+    ///
+    /// The caller is responsible for registering the process's
+    /// [`message_handler`](ObiProcess::message_handler) with the transport
+    /// (the [`ObiWorld`](crate::world::ObiWorld) convenience does this).
+    pub fn new(
+        site: SiteId,
+        transport: Arc<dyn Transport>,
+        clock: Clock,
+        costs: CostModel,
+        registry: ClassRegistry,
+        ns_site: SiteId,
+    ) -> Self {
+        let metrics = Metrics::new();
+        let client = RmiClient::with_metrics(
+            site,
+            transport,
+            clock.clone(),
+            costs.clone(),
+            metrics.clone(),
+        );
+        ObiProcess {
+            shared: Arc::new(ProcessShared {
+                site,
+                ns_site,
+                lock: ProcessLock::new(ProcessInner {
+                    space: ObjectSpace::new(site),
+                    exports: HashMap::new(),
+                    policy: Box::new(AcceptAll),
+                    outbox: Vec::new(),
+                    cluster_seq: 1,
+                    replica_budget: None,
+                    cluster_roots: HashMap::new(),
+                }),
+                inbox: Mutex::new(Vec::new()),
+                client,
+                clock,
+                costs,
+                metrics,
+                registry,
+            }),
+        }
+    }
+
+    /// The site this process runs at.
+    pub fn site(&self) -> SiteId {
+        self.shared.site
+    }
+
+    /// Platform metrics for this process (LMI/RMI counts, faults, replicas,
+    /// proxy pairs, …).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The class registry this process decodes replicas with.
+    pub fn registry(&self) -> &ClassRegistry {
+        &self.shared.registry
+    }
+
+    /// The message handler to register with the transport for this site.
+    pub fn message_handler(&self) -> Arc<dyn obiwan_net::MessageHandler> {
+        Arc::new(RmiServer::new(Arc::new(ProcessService {
+            shared: self.shared.clone(),
+        })))
+    }
+
+    /// Replaces the consistency policy hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from inside a method invocation.
+    pub fn set_policy(&self, policy: Box<dyn ConsistencyHook>) {
+        let mut g = self.enter().expect("set_policy called re-entrantly");
+        g.policy = policy;
+    }
+
+    fn enter(&self) -> Result<LockGuard<'_>> {
+        self.shared.lock.enter(self.shared.site)
+    }
+
+    /// Runs `f` under the process lock, then flushes queued notifications
+    /// and drains deferred one-way messages.
+    fn with_inner<R>(&self, f: impl FnOnce(&mut ProcessInner) -> Result<R>) -> Result<R> {
+        let (result, flush) = {
+            let mut g = self.enter()?;
+            let result = f(&mut g);
+            let flush = std::mem::take(&mut g.outbox);
+            (result, flush)
+        };
+        self.flush_outbox(flush);
+        self.drain_inbox();
+        result
+    }
+
+    fn flush_outbox(&self, msgs: Vec<(SiteId, Message)>) {
+        for (to, msg) in msgs {
+            // Best-effort one-way traffic; connectivity failures are the
+            // subscriber's problem (their replica simply stays stale).
+            let _ = match msg {
+                Message::Invalidate { objects } => {
+                    self.shared.client.send_invalidate(to, objects)
+                }
+                Message::UpdatePush { entries } => {
+                    self.shared.client.send_update_push(to, entries)
+                }
+                other => {
+                    debug_assert!(false, "unexpected outbox message {other:?}");
+                    Ok(())
+                }
+            };
+        }
+    }
+
+    /// Applies one-way messages that arrived while this process was busy.
+    pub fn drain_inbox(&self) {
+        loop {
+            let Some((from, msg)) = self.shared.inbox.lock().pop() else {
+                return;
+            };
+            if self.shared.lock.held_by_me() {
+                // Still inside one of our own frames; put it back and let
+                // the outermost caller drain.
+                self.shared.inbox.lock().push((from, msg));
+                return;
+            }
+            let flush = match self.enter() {
+                Ok(mut g) => {
+                    apply_one_way(&mut g, &self.shared, from, msg);
+                    std::mem::take(&mut g.outbox)
+                }
+                Err(_) => {
+                    self.shared.inbox.lock().push((from, msg));
+                    return;
+                }
+            };
+            self.flush_outbox(flush);
+        }
+    }
+
+    // -- object lifecycle ---------------------------------------------------
+
+    /// Creates a new master object and returns its reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from inside a method invocation — use
+    /// [`InvokeCtx::create`] there instead.
+    pub fn create<T: ObiObject + 'static>(&self, object: T) -> ObjRef {
+        self.with_inner(|inner| Ok(inner.space.create(Box::new(object))))
+            .expect("create called re-entrantly; use InvokeCtx::create inside methods")
+    }
+
+    /// Exports an object (creates its proxy-in) and binds it under `name`
+    /// in the world's name server — the paper's "only `AProxyIn` is
+    /// registered in a name server".
+    ///
+    /// # Errors
+    ///
+    /// Fails when the object does not exist locally, the name is taken, or
+    /// the name server is unreachable.
+    pub fn export(&self, object: ObjRef, name: &str) -> Result<()> {
+        self.with_inner(|inner| {
+            if !matches!(inner.space.resolve(object.id()), Resolution::Object(_)) {
+                return Err(ObiError::NoSuchObject(object.id()));
+            }
+            inner.exports.entry(object.id()).or_default();
+            inner.space.add_root(object.id());
+            Ok(())
+        })?;
+        self.shared
+            .client
+            .bind(self.shared.ns_site, name, object.id())
+    }
+
+    /// Exports an object without binding a name (callers distribute the
+    /// [`RemoteRef`] themselves).
+    pub fn export_anonymous(&self, object: ObjRef) -> Result<RemoteRef> {
+        self.with_inner(|inner| {
+            if !matches!(inner.space.resolve(object.id()), Resolution::Object(_)) {
+                return Err(ObiError::NoSuchObject(object.id()));
+            }
+            inner.exports.entry(object.id()).or_default();
+            inner.space.add_root(object.id());
+            Ok(RemoteRef::new(object.id(), self.shared.site))
+        })
+    }
+
+    /// Looks up a name in the world's name server.
+    pub fn lookup(&self, name: &str) -> Result<RemoteRef> {
+        self.shared.client.lookup(self.shared.ns_site, name)
+    }
+
+    /// Lists every name bound in the world's name server, sorted.
+    pub fn list_names(&self) -> Result<Vec<String>> {
+        self.shared.client.list_names(self.shared.ns_site)
+    }
+
+    /// Removes a binding from the world's name server (the object itself
+    /// stays exported; existing remote refs keep working).
+    pub fn unbind(&self, name: &str) -> Result<()> {
+        self.shared.client.unbind(self.shared.ns_site, name)
+    }
+
+    // -- replication ----------------------------------------------------------
+
+    /// Replicates the graph rooted at `remote` into this process using
+    /// `mode`, returning a local reference to the root replica.
+    ///
+    /// Subsequent invocations through the returned reference are LMI;
+    /// references leaving the replicated portion resolve through proxy-outs
+    /// and fault in more of the graph on demand.
+    ///
+    /// # Errors
+    ///
+    /// Connectivity errors surface unchanged so the caller can fall back to
+    /// an existing (possibly stale) replica.
+    pub fn get(&self, remote: &RemoteRef, mode: ReplicationMode) -> Result<ObjRef> {
+        if remote.host() == self.shared.site {
+            return Ok(ObjRef::new(remote.id()));
+        }
+        let batch = self.shared.client.get(remote, mode.to_wire())?;
+        self.with_inner(|inner| {
+            materialize_batch(inner, &self.shared, &batch, remote.host(), mode.to_wire())?;
+            Ok(ObjRef::new(batch.root))
+        })
+    }
+
+    /// Caps the bytes of replica state this process keeps. When a batch
+    /// pushes past the budget, least-recently-used clean replicas revert to
+    /// proxy-outs and fault back in on next use (see
+    /// [`ObjectSpace::evict_replicas_to`]). `None` disables the budget.
+    ///
+    /// This serves the paper's "info-appliances with limited memory"
+    /// scenario (§2.1): small devices can walk graphs far larger than their
+    /// memory.
+    pub fn set_replica_budget(&self, budget: Option<usize>) {
+        let _ = self.with_inner(|inner| {
+            inner.replica_budget = budget;
+            if let Some(b) = budget {
+                let (evicted, _) = inner.space.evict_replicas_to(b, &[]);
+                self.shared.metrics.add_replicas_evicted(evicted as u64);
+            }
+            Ok(())
+        });
+    }
+
+    /// Approximate bytes of replica state currently held.
+    pub fn replica_bytes(&self) -> usize {
+        self.with_inner(|inner| Ok(inner.space.replica_bytes()))
+            .unwrap_or(0)
+    }
+
+    /// Resolves up to `objects` future object faults ahead of use, by
+    /// walking the local frontier reachable from `root` and demanding
+    /// batches for its proxy-outs.
+    ///
+    /// This is the paper's footnote to §2.1: "a perfect mechanism of
+    /// pre-fetching in the background can completely eliminate the
+    /// latency". In this synchronous runtime the prefetch happens on the
+    /// caller's thread (e.g. during application think time); afterwards,
+    /// invocations over the prefetched region are pure LMI with no faults.
+    ///
+    /// Returns the number of objects actually fetched (less than `objects`
+    /// when the reachable graph is exhausted).
+    ///
+    /// # Errors
+    ///
+    /// Connectivity failures abort the prefetch; everything fetched before
+    /// the failure stays.
+    pub fn prefetch(&self, root: ObjRef, objects: usize) -> Result<usize> {
+        self.with_inner(|inner| {
+            let mut fetched = 0usize;
+            while fetched < objects {
+                // Find the first frontier proxy reachable from root.
+                let Some(proxy) = find_reachable_proxy(&inner.space, root.id()) else {
+                    break;
+                };
+                let before = inner.space.object_ids().len();
+                resolve_fault(inner, &self.shared, &proxy)?;
+                let after = inner.space.object_ids().len();
+                fetched += after.saturating_sub(before).max(1);
+            }
+            Ok(fetched)
+        })
+    }
+
+    /// Invokes `method` locally (LMI), transparently resolving object
+    /// faults if `target` is not yet replicated.
+    pub fn invoke(&self, target: ObjRef, method: &str, args: ObiValue) -> Result<ObiValue> {
+        self.with_inner(|inner| {
+            let mut modified = Vec::new();
+            let result = invoke_inner(
+                inner,
+                &self.shared,
+                target.id(),
+                method,
+                &args,
+                &mut modified,
+                0,
+            );
+            finish_invocation(inner, &self.shared, &modified);
+            result
+        })
+    }
+
+    /// Invokes `method` remotely (RMI) on the master via its proxy-in —
+    /// "at any time, both replicas, the master and the local, can be freely
+    /// invoked" (§2.1).
+    pub fn invoke_rmi(&self, target: &RemoteRef, method: &str, args: ObiValue) -> Result<ObiValue> {
+        self.shared.client.invoke(target, method, args)
+    }
+
+    // -- update traffic -------------------------------------------------------
+
+    /// Sends this replica's state back to its master (`IProvide::put`),
+    /// returning the master version that accepted it.
+    ///
+    /// # Errors
+    ///
+    /// * [`ObiError::ClusterMember`] — cluster members cannot be
+    ///   individually updated (§4.3); use [`ObiProcess::put_cluster`].
+    /// * [`ObiError::UpdateRejected`] — the master's consistency policy
+    ///   refused the write-back.
+    /// * [`ObiError::NotReplicated`] / [`ObiError::BadArguments`] — no such
+    ///   local replica / target is a master.
+    pub fn put(&self, target: ObjRef) -> Result<u64> {
+        let (provider, entry) = self.with_inner(|inner| {
+            let meta = inner
+                .space
+                .meta(target.id())
+                .cloned()
+                .ok_or(ObiError::NotReplicated(target.id()))?;
+            let ReplicaKind::Replica { provider } = meta.kind else {
+                return Err(ObiError::BadArguments(
+                    "put applies to replicas, not masters".into(),
+                ));
+            };
+            if meta.cluster.is_some() {
+                return Err(ObiError::ClusterMember(target.id()));
+            }
+            let entry = replica_state_of(inner, target.id())?;
+            Ok((provider, entry))
+        })?;
+        self.shared
+            .clock
+            .charge_cpu(self.shared.costs.serialize(entry.state.len()));
+        let versions = self.shared.client.put(provider, vec![entry])?;
+        let &(_, version) = versions
+            .first()
+            .ok_or_else(|| ObiError::Internal("empty put reply".into()))?;
+        self.with_inner(|inner| {
+            if let Some(meta) = inner.space.meta_mut(target.id()) {
+                meta.version = version;
+                meta.dirty = false;
+                meta.stale = false;
+            }
+            Ok(())
+        })?;
+        Ok(version)
+    }
+
+    /// Writes a whole cluster back to its provider in one `put` (the only
+    /// way to update cluster members).
+    pub fn put_cluster(&self, cluster: ClusterId) -> Result<Vec<(ObjId, u64)>> {
+        let (provider, entries) = self.with_inner(|inner| {
+            let members: Vec<ObjId> = inner
+                .space
+                .object_ids()
+                .into_iter()
+                .filter(|id| {
+                    inner
+                        .space
+                        .meta(*id)
+                        .is_some_and(|m| m.cluster == Some(cluster))
+                })
+                .collect();
+            if members.is_empty() {
+                return Err(ObiError::BadArguments(format!(
+                    "no local members of {cluster}"
+                )));
+            }
+            let provider = match inner.space.meta(members[0]).map(|m| m.kind) {
+                Some(ReplicaKind::Replica { provider }) => provider,
+                _ => {
+                    return Err(ObiError::BadArguments(
+                        "cluster members are not replicas".into(),
+                    ))
+                }
+            };
+            let mut entries = Vec::with_capacity(members.len());
+            for id in members {
+                entries.push(replica_state_of(inner, id)?);
+            }
+            Ok((provider, entries))
+        })?;
+        let total: usize = entries.iter().map(|e| e.state.len()).sum();
+        self.shared.clock.charge_cpu(self.shared.costs.serialize(total));
+        let versions = self.shared.client.put(provider, entries)?;
+        self.with_inner(|inner| {
+            for &(id, version) in &versions {
+                if let Some(meta) = inner.space.meta_mut(id) {
+                    meta.version = version;
+                    meta.dirty = false;
+                    meta.stale = false;
+                }
+            }
+            Ok(())
+        })?;
+        Ok(versions)
+    }
+
+    /// Writes every dirty replica back to its master; returns how many
+    /// objects were pushed. Dirty cluster members are pushed cluster-wise.
+    pub fn put_all_dirty(&self) -> Result<usize> {
+        let (dirty_plain, dirty_clusters) = self.with_inner(|inner| {
+            let mut plain = Vec::new();
+            let mut clusters = std::collections::BTreeSet::new();
+            for id in inner.space.object_ids() {
+                let Some(meta) = inner.space.meta(id) else {
+                    continue;
+                };
+                if !meta.dirty || meta.kind.is_master() {
+                    continue;
+                }
+                match meta.cluster {
+                    Some(c) => {
+                        clusters.insert(c);
+                    }
+                    None => plain.push(ObjRef::new(id)),
+                }
+            }
+            Ok((plain, clusters))
+        })?;
+        let mut pushed = 0;
+        for r in dirty_plain {
+            self.put(r)?;
+            pushed += 1;
+        }
+        for c in dirty_clusters {
+            pushed += self.put_cluster(c)?.len();
+        }
+        Ok(pushed)
+    }
+
+    /// Re-fetches a replica's state from its master, discarding local
+    /// modifications (`IProvide::get` on an existing replica).
+    pub fn refresh(&self, target: ObjRef) -> Result<()> {
+        let provider = self.with_inner(|inner| {
+            let meta = inner
+                .space
+                .meta(target.id())
+                .ok_or(ObiError::NotReplicated(target.id()))?;
+            match meta.kind {
+                ReplicaKind::Replica { provider } => Ok(provider),
+                ReplicaKind::Master => Err(ObiError::BadArguments(
+                    "refresh applies to replicas, not masters".into(),
+                )),
+            }
+        })?;
+        let remote = RemoteRef::new(target.id(), provider);
+        let batch = self
+            .shared
+            .client
+            .get(&remote, WireMode::Incremental { batch: 1 })?;
+        self.shared.metrics.incr_refreshes();
+        self.with_inner(|inner| {
+            materialize_batch(
+                inner,
+                &self.shared,
+                &batch,
+                provider,
+                WireMode::Incremental { batch: 1 },
+            )
+        })
+    }
+
+    /// Re-fetches a whole cluster from its provider in one `get`,
+    /// discarding local modifications of every member (the cluster-wise
+    /// counterpart of [`ObiProcess::refresh`]).
+    ///
+    /// The provider mints a fresh [`ClusterId`] for the refreshed batch (a
+    /// new cluster generation); the old id stops resolving. Returns the new
+    /// id and the number of members refreshed.
+    pub fn refresh_cluster(&self, cluster: ClusterId) -> Result<(ClusterId, usize)> {
+        let (provider, root, size) = self.with_inner(|inner| {
+            let members = inner
+                .space
+                .object_ids()
+                .into_iter()
+                .filter(|id| {
+                    inner
+                        .space
+                        .meta(*id)
+                        .is_some_and(|m| m.cluster == Some(cluster))
+                })
+                .count();
+            let Some(&root) = inner.cluster_roots.get(&cluster) else {
+                return Err(ObiError::BadArguments(format!(
+                    "unknown cluster {cluster}"
+                )));
+            };
+            if members == 0 {
+                return Err(ObiError::BadArguments(format!(
+                    "no local members of {cluster}"
+                )));
+            }
+            match inner.space.meta(root).map(|m| m.kind) {
+                Some(ReplicaKind::Replica { provider }) => Ok((provider, root, members)),
+                _ => Err(ObiError::BadArguments(
+                    "cluster root is not a replica".into(),
+                )),
+            }
+        })?;
+        let remote = RemoteRef::new(root, provider);
+        let mode = WireMode::Cluster { size: size.max(1) as u32 };
+        let batch = self.shared.client.get(&remote, mode)?;
+        self.shared.metrics.incr_refreshes();
+        let fetched = batch.replicas.len();
+        let new_cluster = batch.cluster.ok_or_else(|| {
+            ObiError::Internal("cluster get returned a non-cluster batch".into())
+        })?;
+        self.with_inner(|inner| {
+            inner.cluster_roots.remove(&cluster);
+            materialize_batch(inner, &self.shared, &batch, provider, mode)
+        })?;
+        Ok((new_cluster, fetched))
+    }
+
+    /// Subscribes this process to consistency traffic for a replica it
+    /// holds: `push = false` for invalidations, `true` for full updates.
+    pub fn subscribe(&self, target: ObjRef, push: bool) -> Result<()> {
+        let provider = self.with_inner(|inner| {
+            let meta = inner
+                .space
+                .meta(target.id())
+                .ok_or(ObiError::NotReplicated(target.id()))?;
+            match meta.kind {
+                ReplicaKind::Replica { provider } => Ok(provider),
+                ReplicaKind::Master => Err(ObiError::BadArguments(
+                    "masters do not subscribe to themselves".into(),
+                )),
+            }
+        })?;
+        self.shared.client.subscribe(provider, target.id(), push)
+    }
+
+    // -- connectivity ---------------------------------------------------------
+
+    /// Round-trip connectivity probe to `site`.
+    pub fn ping(&self, site: SiteId) -> Result<()> {
+        self.shared.client.ping(site)
+    }
+
+    /// The clock this process charges time to (shared with the transport).
+    pub fn clock(&self) -> &Clock {
+        &self.shared.clock
+    }
+
+    /// True when the transport currently routes to `site`.
+    pub fn can_reach(&self, site: SiteId) -> bool {
+        self.shared.client.is_reachable(site)
+    }
+
+    // -- inspection -----------------------------------------------------------
+
+    /// What `target` currently resolves to in this process.
+    pub fn resolution(&self, target: ObjRef) -> Resolution {
+        self.with_inner(|inner| Ok(inner.space.resolve(target.id())))
+            .unwrap_or(Resolution::Busy)
+    }
+
+    /// Metadata of a live local object, if any.
+    pub fn meta_of(&self, target: ObjRef) -> Option<ObjectMeta> {
+        self.with_inner(|inner| Ok(inner.space.meta(target.id()).cloned()))
+            .ok()
+            .flatten()
+    }
+
+    /// True when `target` resolves to a live local object.
+    pub fn is_replicated(&self, target: ObjRef) -> bool {
+        matches!(self.resolution(target), Resolution::Object(_))
+    }
+
+    /// A snapshot of a live object's serialized state (reads do not count
+    /// as invocations).
+    pub fn state_of(&self, target: ObjRef) -> Result<ObiValue> {
+        self.with_inner(|inner| inner.space.with_object(target.id(), |o, _| o.state()))
+    }
+
+    /// Number of live objects (masters + replicas).
+    pub fn object_count(&self) -> usize {
+        self.with_inner(|inner| Ok(inner.space.object_ids().len()))
+            .unwrap_or(0)
+    }
+
+    /// Number of outstanding proxy-out slots.
+    pub fn proxy_count(&self) -> usize {
+        self.with_inner(|inner| Ok(inner.space.proxy_count()))
+            .unwrap_or(0)
+    }
+
+    /// Marks an application-held reference as a GC root.
+    pub fn add_root(&self, target: ObjRef) {
+        let _ = self.with_inner(|inner| {
+            inner.space.add_root(target.id());
+            Ok(())
+        });
+    }
+
+    /// Unmarks a GC root.
+    pub fn remove_root(&self, target: ObjRef) {
+        let _ = self.with_inner(|inner| {
+            inner.space.remove_root(target.id());
+            Ok(())
+        });
+    }
+
+    /// Runs the space's mark-and-sweep (see
+    /// [`ObjectSpace::collect_garbage`]); reclaimed proxies are counted in
+    /// this process's metrics.
+    pub fn collect_garbage(&self, collect_replicas: bool) -> GcStats {
+        self.with_inner(|inner| {
+            let stats = inner.space.collect_garbage(collect_replicas);
+            self.shared
+                .metrics
+                .add_proxies_reclaimed(stats.proxies_reclaimed as u64);
+            Ok(stats)
+        })
+        .unwrap_or_default()
+    }
+}
+
+/// Breadth-first search from `root` over live objects for the first
+/// reachable proxy-out (the next object a forward walk would fault on).
+fn find_reachable_proxy(space: &ObjectSpace, root: ObjId) -> Option<ProxyOut> {
+    let mut queue = std::collections::VecDeque::new();
+    let mut seen = std::collections::HashSet::new();
+    queue.push_back(root);
+    seen.insert(root);
+    while let Some(id) = queue.pop_front() {
+        match space.resolve(id) {
+            Resolution::Proxy(p) => return Some(p),
+            Resolution::Object(_) => {
+                if let Ok(refs) = space.with_object(id, |o, _| o.refs()) {
+                    for r in refs {
+                        if seen.insert(r.id()) {
+                            queue.push_back(r.id());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn replica_state_of(inner: &ProcessInner, id: ObjId) -> Result<ReplicaState> {
+    inner.space.with_object(id, |o, m| ReplicaState {
+        id,
+        class: o.class_name().to_owned(),
+        version: m.version,
+        state: {
+            let mut enc = Encoder::new();
+            enc.put_value(&o.state());
+            enc.finish()
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The service endpoint (skeleton side)
+// ---------------------------------------------------------------------------
+
+struct ProcessService {
+    shared: Arc<ProcessShared>,
+}
+
+impl ProcessService {
+    fn enter(&self) -> Result<LockGuard<'_>> {
+        self.shared.lock.enter(self.shared.site)
+    }
+
+    fn with_inner<R>(&self, f: impl FnOnce(&mut ProcessInner) -> Result<R>) -> Result<R> {
+        let (result, flush) = {
+            let mut g = self.enter()?;
+            let result = f(&mut g);
+            let flush = std::mem::take(&mut g.outbox);
+            (result, flush)
+        };
+        for (to, msg) in flush {
+            let _ = match msg {
+                Message::Invalidate { objects } => {
+                    self.shared.client.send_invalidate(to, objects)
+                }
+                Message::UpdatePush { entries } => {
+                    self.shared.client.send_update_push(to, entries)
+                }
+                _ => Ok(()),
+            };
+        }
+        result
+    }
+}
+
+fn apply_one_way(inner: &mut ProcessInner, shared: &ProcessShared, _from: SiteId, msg: Message) {
+    match msg {
+        Message::Invalidate { objects } => {
+            for id in objects {
+                if let Some(meta) = inner.space.meta_mut(id) {
+                    if !meta.kind.is_master() {
+                        meta.stale = true;
+                    }
+                }
+            }
+        }
+        Message::UpdatePush { entries } => {
+            for state in entries {
+                let Some(meta) = inner.space.meta(state.id).cloned() else {
+                    continue;
+                };
+                if meta.kind.is_master() {
+                    continue;
+                }
+                if meta.dirty {
+                    // Local un-pushed edits win locally; remember staleness.
+                    if let Some(m) = inner.space.meta_mut(state.id) {
+                        m.stale = true;
+                    }
+                    continue;
+                }
+                let ReplicaKind::Replica { provider } = meta.kind else {
+                    continue;
+                };
+                let Ok(value) = Decoder::new(&state.state).take_value() else {
+                    continue;
+                };
+                let Ok(object) = shared.registry.decode(&state.class, &value) else {
+                    continue;
+                };
+                let mut new_meta = ObjectMeta::replica(state.id, provider, state.version);
+                new_meta.cluster = meta.cluster;
+                inner.space.insert_object(ObjectEntry {
+                    object,
+                    meta: new_meta,
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+impl RmiService for ProcessService {
+    fn invoke(
+        &self,
+        _from: SiteId,
+        target: ObjId,
+        method: &str,
+        args: ObiValue,
+    ) -> Result<ObiValue> {
+        self.with_inner(|inner| {
+            let mut modified = Vec::new();
+            let result = invoke_inner(inner, &self.shared, target, method, &args, &mut modified, 0);
+            finish_invocation(inner, &self.shared, &modified);
+            result
+        })
+    }
+
+    fn get(&self, _from: SiteId, target: ObjId, mode: WireMode) -> Result<ReplicaBatch> {
+        self.with_inner(|inner| {
+            let site = self.shared.site;
+            let next_cluster = {
+                let seq = &mut inner.cluster_seq;
+                let current = *seq;
+                *seq += 1;
+                move || ClusterId::new(site, current)
+            };
+            let batch = build_batch(&inner.space, target, mode, next_cluster)?;
+            // Provider-side marshalling cost.
+            self.shared
+                .clock
+                .charge_cpu(self.shared.costs.serialize(batch.state_bytes()));
+            // Register proxy-ins so replicas can be individually updated
+            // (one per object) or cluster-updated (root only).
+            match batch.cluster {
+                Some(_) => {
+                    inner.exports.entry(batch.root).or_default();
+                }
+                None => {
+                    for r in &batch.replicas {
+                        inner.exports.entry(r.id).or_default();
+                    }
+                }
+            }
+            Ok(batch)
+        })
+    }
+
+    fn put(&self, from: SiteId, entries: Vec<ReplicaState>) -> Result<Vec<(ObjId, u64)>> {
+        self.with_inner(|inner| {
+            // Phase 1: validate every entry against the policy, atomically.
+            for entry in &entries {
+                let meta = inner
+                    .space
+                    .meta(entry.id)
+                    .ok_or(ObiError::NoSuchObject(entry.id))?;
+                if !meta.kind.is_master() {
+                    return Err(ObiError::UpdateRejected {
+                        object: entry.id,
+                        reason: "target is not the master replica".into(),
+                    });
+                }
+                let master_version = meta.version;
+                if let Err(e) = inner
+                    .policy
+                    .decide_put(entry.id, master_version, entry.version)
+                {
+                    self.shared.metrics.incr_conflicts_detected();
+                    return Err(e);
+                }
+            }
+            // Phase 2: apply.
+            let mut versions = Vec::with_capacity(entries.len());
+            for entry in &entries {
+                let value = Decoder::new(&entry.state).take_value()?;
+                let object = self.shared.registry.decode(&entry.class, &value)?;
+                let new_version = {
+                    let meta = inner
+                        .space
+                        .meta(entry.id)
+                        .ok_or(ObiError::NoSuchObject(entry.id))?;
+                    meta.version + 1
+                };
+                let mut meta = ObjectMeta::master(entry.id);
+                meta.version = new_version;
+                inner.space.insert_object(ObjectEntry { object, meta });
+                inner.policy.on_master_updated(entry.id, new_version);
+                self.shared.metrics.incr_puts();
+                versions.push((entry.id, new_version));
+                queue_notifications(inner, &self.shared, entry.id, from);
+            }
+            Ok(versions)
+        })
+    }
+
+    fn name_op(&self, _from: SiteId, op: NameOp) -> Result<ObiValue> {
+        // Object-space hosts do not serve names; the world's dedicated name
+        // server site does. Reject with the proper error.
+        let name = match op {
+            NameOp::Bind { name, .. } | NameOp::Lookup { name } | NameOp::Unbind { name } => name,
+            NameOp::List => "*".to_owned(),
+        };
+        Err(ObiError::NameNotBound(name))
+    }
+
+    fn subscribe(&self, from: SiteId, object: ObjId, push: bool) -> Result<ObiValue> {
+        self.with_inner(|inner| {
+            if !matches!(inner.space.resolve(object), Resolution::Object(_)) {
+                return Err(ObiError::NoSuchObject(object));
+            }
+            inner.exports.entry(object).or_default().subscribe(from, push);
+            Ok(ObiValue::Null)
+        })
+    }
+
+    fn invalidate(&self, from: SiteId, objects: Vec<ObjId>) {
+        let msg = Message::Invalidate { objects };
+        match self.enter() {
+            Ok(mut g) => apply_one_way(&mut g, &self.shared, from, msg),
+            Err(_) => self.shared.inbox.lock().push((from, msg)),
+        }
+    }
+
+    fn update_push(&self, from: SiteId, entries: Vec<ReplicaState>) {
+        let msg = Message::UpdatePush { entries };
+        match self.enter() {
+            Ok(mut g) => apply_one_way(&mut g, &self.shared, from, msg),
+            Err(_) => self.shared.inbox.lock().push((from, msg)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{Counter, LinkedItem, PayloadNode, TreeNode};
+    use crate::world::ObiWorld;
+
+    /// Builds a world with two sites and a list of `n` LinkedItems exported
+    /// from the second site under "head". Returns (world, s1, s2, node refs).
+    fn list_world(n: usize) -> (ObiWorld, SiteId, SiteId, Vec<ObjRef>) {
+        let mut world = ObiWorld::loopback();
+        let s1 = world.add_site("S1");
+        let s2 = world.add_site("S2");
+        let mut refs: Vec<ObjRef> = Vec::new();
+        let mut next: Option<ObjRef> = None;
+        for i in (0..n).rev() {
+            let mut item = LinkedItem::new(i as i64, format!("n{i}"));
+            item.set_next(next);
+            let r = world.site(s2).create(item);
+            next = Some(r);
+            refs.push(r);
+        }
+        refs.reverse();
+        world.site(s2).export(refs[0], "head").unwrap();
+        (world, s1, s2, refs)
+    }
+
+    #[test]
+    fn incremental_get_replicates_only_the_batch() {
+        let (world, s1, _s2, refs) = list_world(10);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(3))
+            .unwrap();
+        assert_eq!(root, refs[0]);
+        for r in &refs[..3] {
+            assert!(world.site(s1).is_replicated(*r));
+        }
+        assert!(matches!(
+            world.site(s1).resolution(refs[3]),
+            Resolution::Proxy(_)
+        ));
+        for r in &refs[4..] {
+            assert!(matches!(world.site(s1).resolution(*r), Resolution::Absent));
+        }
+        assert_eq!(world.site(s1).metrics().snapshot().replicas_created, 3);
+    }
+
+    #[test]
+    fn walking_the_list_faults_in_batches() {
+        let (world, s1, _s2, refs) = list_world(10);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let mut cur = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(2))
+            .unwrap();
+        // Walk the whole list via `touch`, which returns the next ref.
+        let mut visited = 0;
+        loop {
+            let out = world.site(s1).invoke(cur, "touch", ObiValue::Null).unwrap();
+            visited += 1;
+            match out.as_ref_id() {
+                Some(next) => cur = ObjRef::new(next),
+                None => break,
+            }
+        }
+        assert_eq!(visited, 10);
+        let snap = world.site(s1).metrics().snapshot();
+        // 10 objects in batches of 2, first 2 from the initial get: 4 faults.
+        assert_eq!(snap.object_faults, 4);
+        assert_eq!(snap.replicas_created, 10);
+        assert_eq!(snap.lmi_count, 10);
+        for r in &refs {
+            assert!(world.site(s1).is_replicated(*r));
+        }
+        // Tail has no frontier; no proxies remain.
+        assert_eq!(world.site(s1).proxy_count(), 0);
+    }
+
+    #[test]
+    fn nested_invocation_faults_transparently() {
+        let (world, s1, _s2, refs) = list_world(3);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        // sum_rest recurses through two faults.
+        let v = world
+            .site(s1)
+            .invoke(root, "sum_rest", ObiValue::Null)
+            .unwrap();
+        assert_eq!(v, ObiValue::I64(3)); // 0 + 1 + 2
+        assert_eq!(world.site(s1).metrics().snapshot().object_faults, 2);
+        assert!(world.site(s1).is_replicated(refs[2]));
+    }
+
+    #[test]
+    fn transitive_closure_replicates_everything_upfront() {
+        let (world, s1, _s2, refs) = list_world(20);
+        let remote = world.site(s1).lookup("head").unwrap();
+        world
+            .site(s1)
+            .get(&remote, ReplicationMode::transitive())
+            .unwrap();
+        for r in &refs {
+            assert!(world.site(s1).is_replicated(*r));
+        }
+        assert_eq!(world.site(s1).metrics().snapshot().object_faults, 0);
+        assert_eq!(world.site(s1).proxy_count(), 0);
+    }
+
+    #[test]
+    fn cluster_get_creates_one_proxy_pair_per_batch() {
+        let (world, s1, _s2, _refs) = list_world(10);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let mut cur = world
+            .site(s1)
+            .get(&remote, ReplicationMode::cluster(5))
+            .unwrap();
+        loop {
+            let out = world.site(s1).invoke(cur, "touch", ObiValue::Null).unwrap();
+            match out.as_ref_id() {
+                Some(next) => cur = ObjRef::new(next),
+                None => break,
+            }
+        }
+        let snap = world.site(s1).metrics().snapshot();
+        assert_eq!(snap.replicas_created, 10);
+        // 2 cluster batches -> 2 proxy pairs (vs 10 in incremental mode).
+        assert_eq!(snap.proxy_pairs_created, 2);
+    }
+
+    #[test]
+    fn cluster_members_cannot_be_put_individually() {
+        let (world, s1, _s2, refs) = list_world(4);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::cluster(4))
+            .unwrap();
+        world
+            .site(s1)
+            .invoke(root, "set_value", ObiValue::I64(99))
+            .unwrap();
+        let err = world.site(s1).put(refs[0]).unwrap_err();
+        assert!(matches!(err, ObiError::ClusterMember(_)));
+    }
+
+    #[test]
+    fn put_cluster_writes_all_members_back() {
+        let (world, s1, s2, refs) = list_world(3);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::cluster(3))
+            .unwrap();
+        world
+            .site(s1)
+            .invoke(root, "set_value", ObiValue::I64(42))
+            .unwrap();
+        let cluster = world.site(s1).meta_of(root).unwrap().cluster.unwrap();
+        let versions = world.site(s1).put_cluster(cluster).unwrap();
+        assert_eq!(versions.len(), 3);
+        // Master sees the new value.
+        let v = world.site(s2).invoke(refs[0], "value", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(42));
+        // Replica is clean again.
+        assert!(!world.site(s1).meta_of(root).unwrap().dirty);
+    }
+
+    #[test]
+    fn put_writes_replica_back_and_bumps_version() {
+        let (world, s1, s2, refs) = list_world(2);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        world
+            .site(s1)
+            .invoke(root, "set_value", ObiValue::I64(7))
+            .unwrap();
+        assert!(world.site(s1).meta_of(root).unwrap().dirty);
+        let version = world.site(s1).put(root).unwrap();
+        assert_eq!(version, 2);
+        let meta = world.site(s1).meta_of(root).unwrap();
+        assert!(!meta.dirty);
+        assert_eq!(meta.version, 2);
+        let v = world.site(s2).invoke(refs[0], "value", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(7));
+    }
+
+    #[test]
+    fn put_on_master_is_rejected() {
+        let (world, _s1, s2, refs) = list_world(1);
+        assert!(matches!(
+            world.site(s2).put(refs[0]),
+            Err(ObiError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn refresh_discards_local_changes() {
+        let (world, s1, s2, refs) = list_world(1);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        // Diverge: replica says 5, master says 9.
+        world
+            .site(s1)
+            .invoke(root, "set_value", ObiValue::I64(5))
+            .unwrap();
+        world
+            .site(s2)
+            .invoke(refs[0], "set_value", ObiValue::I64(9))
+            .unwrap();
+        world.site(s1).refresh(root).unwrap();
+        let v = world.site(s1).invoke(root, "value", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(9));
+        let meta = world.site(s1).meta_of(root).unwrap();
+        assert!(!meta.dirty);
+        assert_eq!(world.site(s1).metrics().snapshot().refreshes, 1);
+    }
+
+    #[test]
+    fn rmi_and_lmi_agree_on_results() {
+        let (world, s1, _s2, _refs) = list_world(1);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let via_rmi = world
+            .site(s1)
+            .invoke_rmi(&remote, "value", ObiValue::Null)
+            .unwrap();
+        let local = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        let via_lmi = world.site(s1).invoke(local, "value", ObiValue::Null).unwrap();
+        assert_eq!(via_rmi, via_lmi);
+        assert_eq!(world.site(s1).metrics().snapshot().lmi_count, 1);
+    }
+
+    #[test]
+    fn master_can_still_be_invoked_via_rmi_after_replication() {
+        // Paper §2.1: "at any time, both replicas, the master and the
+        // local, can be freely invoked".
+        let (world, s1, _s2, _refs) = list_world(1);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let local = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        world
+            .site(s1)
+            .invoke(local, "set_value", ObiValue::I64(123))
+            .unwrap();
+        // The master is untouched until a put.
+        let master_v = world
+            .site(s1)
+            .invoke_rmi(&remote, "value", ObiValue::Null)
+            .unwrap();
+        assert_eq!(master_v, ObiValue::I64(0));
+    }
+
+    #[test]
+    fn invalidation_subscription_marks_replicas_stale() {
+        let (world, s1, s2, refs) = list_world(1);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        world.site(s1).subscribe(root, false).unwrap();
+        assert!(!world.site(s1).meta_of(root).unwrap().stale);
+        // Master mutates -> invalidation flows to S1.
+        world
+            .site(s2)
+            .invoke(refs[0], "set_value", ObiValue::I64(3))
+            .unwrap();
+        world.pump();
+        assert!(world.site(s1).meta_of(root).unwrap().stale);
+        // Refresh clears staleness.
+        world.site(s1).refresh(root).unwrap();
+        assert!(!world.site(s1).meta_of(root).unwrap().stale);
+    }
+
+    #[test]
+    fn push_subscription_updates_replica_state() {
+        let (world, s1, s2, refs) = list_world(1);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        world.site(s1).subscribe(root, true).unwrap();
+        world
+            .site(s2)
+            .invoke(refs[0], "set_value", ObiValue::I64(77))
+            .unwrap();
+        world.pump();
+        let v = world.site(s1).invoke(root, "value", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(77));
+        assert!(!world.site(s1).meta_of(root).unwrap().stale);
+    }
+
+    #[test]
+    fn pushed_updates_do_not_clobber_dirty_replicas() {
+        let (world, s1, s2, refs) = list_world(1);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        world.site(s1).subscribe(root, true).unwrap();
+        // Local edit first.
+        world
+            .site(s1)
+            .invoke(root, "set_value", ObiValue::I64(1))
+            .unwrap();
+        // Remote edit pushes.
+        world
+            .site(s2)
+            .invoke(refs[0], "set_value", ObiValue::I64(2))
+            .unwrap();
+        world.pump();
+        // Local edit survives; staleness is recorded.
+        let v = world.site(s1).invoke(root, "value", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(1));
+        let meta = world.site(s1).meta_of(root).unwrap();
+        assert!(meta.dirty);
+        assert!(meta.stale);
+    }
+
+    #[test]
+    fn put_all_dirty_pushes_everything() {
+        let (world, s1, s2, refs) = list_world(3);
+        let remote = world.site(s1).lookup("head").unwrap();
+        world
+            .site(s1)
+            .get(&remote, ReplicationMode::transitive())
+            .unwrap();
+        for (i, r) in refs.iter().enumerate() {
+            world
+                .site(s1)
+                .invoke(*r, "set_value", ObiValue::I64(100 + i as i64))
+                .unwrap();
+        }
+        let pushed = world.site(s1).put_all_dirty().unwrap();
+        assert_eq!(pushed, 3);
+        for (i, r) in refs.iter().enumerate() {
+            let v = world.site(s2).invoke(*r, "value", ObiValue::Null).unwrap();
+            assert_eq!(v, ObiValue::I64(100 + i as i64));
+        }
+        // Second call has nothing to do.
+        assert_eq!(world.site(s1).put_all_dirty().unwrap(), 0);
+    }
+
+    #[test]
+    fn disconnected_work_on_colocated_objects() {
+        // The paper's headline scenario: replicate, disconnect, keep
+        // working, reconnect, reintegrate.
+        let (world, s1, s2, refs) = list_world(5);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::transitive())
+            .unwrap();
+        world.disconnect(s1);
+        // LMI still works offline.
+        for _ in 0..10 {
+            world.site(s1).invoke(root, "touch", ObiValue::Null).unwrap();
+        }
+        world
+            .site(s1)
+            .invoke(root, "set_value", ObiValue::I64(5))
+            .unwrap();
+        // RMI fails with a connectivity error, as does put.
+        assert!(world
+            .site(s1)
+            .invoke_rmi(&remote, "value", ObiValue::Null)
+            .unwrap_err()
+            .is_connectivity());
+        assert!(world.site(s1).put(root).unwrap_err().is_connectivity());
+        // Replica is still dirty, nothing was lost.
+        assert!(world.site(s1).meta_of(root).unwrap().dirty);
+        world.reconnect(s1);
+        world.site(s1).put(root).unwrap();
+        let v = world.site(s2).invoke(refs[0], "value", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(5));
+    }
+
+    #[test]
+    fn faulting_while_disconnected_fails_but_replicated_prefix_works() {
+        let (world, s1, _s2, refs) = list_world(4);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(2))
+            .unwrap();
+        world.disconnect(s1);
+        // First two objects are local.
+        world.site(s1).invoke(root, "touch", ObiValue::Null).unwrap();
+        world.site(s1).invoke(refs[1], "touch", ObiValue::Null).unwrap();
+        // The third faults, and the fault cannot be resolved.
+        let err = world
+            .site(s1)
+            .invoke(refs[2], "touch", ObiValue::Null)
+            .unwrap_err();
+        assert!(err.is_connectivity());
+    }
+
+    #[test]
+    fn rejecting_policy_blocks_puts() {
+        struct RejectAll;
+        impl ConsistencyHook for RejectAll {
+            fn name(&self) -> &'static str {
+                "reject-all"
+            }
+            fn decide_put(&mut self, object: ObjId, _mv: u64, _bv: u64) -> Result<()> {
+                Err(ObiError::UpdateRejected {
+                    object,
+                    reason: "policy says no".into(),
+                })
+            }
+        }
+        let (world, s1, s2, _refs) = list_world(1);
+        world.site(s2).set_policy(Box::new(RejectAll));
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        world
+            .site(s1)
+            .invoke(root, "set_value", ObiValue::I64(9))
+            .unwrap();
+        let err = world.site(s1).put(root).unwrap_err();
+        assert!(matches!(err, ObiError::UpdateRejected { .. }));
+        // Replica stays dirty for a later retry.
+        assert!(world.site(s1).meta_of(root).unwrap().dirty);
+        assert_eq!(world.site(s2).metrics().snapshot().conflicts_detected, 1);
+    }
+
+    #[test]
+    fn tree_replication_faults_branches_independently() {
+        let mut world = ObiWorld::loopback();
+        let s1 = world.add_site("S1");
+        let s2 = world.add_site("S2");
+        let leaf1 = world.site(s2).create(TreeNode::new("l1"));
+        let leaf2 = world.site(s2).create(TreeNode::new("l2"));
+        let mid = world
+            .site(s2)
+            .create(TreeNode::with_children("mid", vec![leaf1, leaf2]));
+        let root = world
+            .site(s2)
+            .create(TreeNode::with_children("root", vec![mid]));
+        world.site(s2).export(root, "tree").unwrap();
+
+        let remote = world.site(s1).lookup("tree").unwrap();
+        let local = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        let count = world
+            .site(s1)
+            .invoke(local, "deep_count", ObiValue::Null)
+            .unwrap();
+        assert_eq!(count, ObiValue::I64(4));
+        assert!(world.site(s1).is_replicated(leaf2));
+    }
+
+    #[test]
+    fn gc_reclaims_proxies_after_walk() {
+        let (world, s1, _s2, _refs) = list_world(6);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(2))
+            .unwrap();
+        world.site(s1).add_root(root);
+        assert_eq!(world.site(s1).proxy_count(), 1);
+        // The outstanding frontier proxy is *reachable* (node 1 references
+        // node 2), so GC keeps it.
+        let stats = world.site(s1).collect_garbage(false);
+        assert_eq!(stats.proxies_reclaimed, 0);
+        assert_eq!(world.site(s1).proxy_count(), 1);
+    }
+
+    #[test]
+    fn payload_nodes_report_their_size() {
+        let mut world = ObiWorld::loopback();
+        let s1 = world.add_site("S1");
+        let s2 = world.add_site("S2");
+        let node = world.site(s2).create(PayloadNode::sized(0, 1024));
+        world.site(s2).export(node, "pn").unwrap();
+        let remote = world.site(s1).lookup("pn").unwrap();
+        let local = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        let len = world
+            .site(s1)
+            .invoke(local, "payload_len", ObiValue::Null)
+            .unwrap();
+        assert_eq!(len, ObiValue::I64(1024));
+    }
+
+    #[test]
+    fn unknown_method_is_reported_with_object_identity() {
+        let (world, _s1, s2, refs) = list_world(1);
+        let err = world
+            .site(s2)
+            .invoke(refs[0], "no_such", ObiValue::Null)
+            .unwrap_err();
+        match err {
+            ObiError::NoSuchMethod { object, method } => {
+                assert_eq!(object, refs[0].id());
+                assert_eq!(method, "no_such");
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_via_rmi_from_many_sites() {
+        let mut world = ObiWorld::loopback();
+        let server = world.add_site("server");
+        let clients: Vec<SiteId> = (0..4).map(|i| world.add_site(&format!("c{i}"))).collect();
+        let counter = world.site(server).create(Counter::new(0));
+        world.site(server).export(counter, "hits").unwrap();
+        for c in &clients {
+            let remote = world.site(*c).lookup("hits").unwrap();
+            for _ in 0..5 {
+                world
+                    .site(*c)
+                    .invoke_rmi(&remote, "incr", ObiValue::Null)
+                    .unwrap();
+            }
+        }
+        let v = world
+            .site(server)
+            .invoke(counter, "read", ObiValue::Null)
+            .unwrap();
+        assert_eq!(v, ObiValue::I64(20));
+        // Master version bumped once per mutation.
+        assert_eq!(world.site(server).meta_of(counter).unwrap().version, 21);
+    }
+
+    #[test]
+    fn get_from_own_site_is_identity() {
+        let (world, _s1, s2, refs) = list_world(1);
+        let remote = RemoteRef::new(refs[0].id(), s2);
+        let r = world
+            .site(s2)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        assert_eq!(r, refs[0]);
+        assert!(world.site(s2).meta_of(r).unwrap().kind.is_master());
+    }
+
+    #[test]
+    fn version_conflict_survives_round_trip_with_stock_policy() {
+        // The default AcceptAll policy: last writer wins by arrival.
+        let (world, s1, s2, refs) = list_world(1);
+        let remote = world.site(s1).lookup("head").unwrap();
+        let r1 = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        // Two writers diverge.
+        world.site(s1).invoke(r1, "set_value", ObiValue::I64(10)).unwrap();
+        world
+            .site(s2)
+            .invoke(refs[0], "set_value", ObiValue::I64(20))
+            .unwrap();
+        // S1's put overwrites the master's concurrent change.
+        world.site(s1).put(r1).unwrap();
+        let v = world.site(s2).invoke(refs[0], "value", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(10));
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::demo::PayloadNode;
+    use crate::world::ObiWorld;
+
+    fn payload_world(n: usize, size: usize) -> (ObiWorld, SiteId, SiteId, Vec<ObjRef>) {
+        let mut world = ObiWorld::loopback();
+        let s1 = world.add_site("S1");
+        let s2 = world.add_site("S2");
+        let mut refs = Vec::new();
+        let mut next = None;
+        for i in (0..n).rev() {
+            let mut node = PayloadNode::sized(i as i64, size);
+            node.set_next(next);
+            let r = world.site(s2).create(node);
+            next = Some(r);
+            refs.push(r);
+        }
+        refs.reverse();
+        world.site(s2).export(refs[0], "list").unwrap();
+        (world, s1, s2, refs)
+    }
+
+    fn walk(world: &ObiWorld, site: SiteId, mut cur: ObjRef) -> usize {
+        let mut n = 0;
+        loop {
+            let out = world.site(site).invoke(cur, "touch", ObiValue::Null).unwrap();
+            n += 1;
+            match out.as_ref_id() {
+                Some(id) => cur = id.into(),
+                None => break,
+            }
+        }
+        n
+    }
+
+    // -- prefetch (paper §2.1 footnote) -------------------------------------
+
+    #[test]
+    fn prefetch_eliminates_faults_entirely() {
+        let (world, s1, _s2, refs) = payload_world(10, 32);
+        let remote = world.site(s1).lookup("list").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(2))
+            .unwrap();
+        // Prefetch the rest of the list during "think time".
+        let fetched = world.site(s1).prefetch(root, 100).unwrap();
+        assert_eq!(fetched, 8);
+        let before = world.site(s1).metrics().snapshot();
+        assert_eq!(walk(&world, s1, root), 10);
+        let after = world.site(s1).metrics().snapshot().since(&before);
+        assert_eq!(after.object_faults, 0, "prefetch must remove all faults");
+        let _ = refs;
+    }
+
+    #[test]
+    fn prefetch_respects_the_object_limit() {
+        let (world, s1, _s2, refs) = payload_world(20, 32);
+        let remote = world.site(s1).lookup("list").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        let fetched = world.site(s1).prefetch(root, 5).unwrap();
+        assert_eq!(fetched, 5);
+        assert!(world.site(s1).is_replicated(refs[5]));
+        assert!(!world.site(s1).is_replicated(refs[7]));
+    }
+
+    #[test]
+    fn prefetch_on_fully_local_graph_is_a_noop() {
+        let (world, s1, _s2, _refs) = payload_world(3, 32);
+        let remote = world.site(s1).lookup("list").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::transitive())
+            .unwrap();
+        assert_eq!(world.site(s1).prefetch(root, 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn prefetch_stops_cleanly_on_disconnection() {
+        let (world, s1, _s2, _refs) = payload_world(10, 32);
+        let remote = world.site(s1).lookup("list").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        world.disconnect(s1);
+        assert!(world.site(s1).prefetch(root, 5).unwrap_err().is_connectivity());
+        // Already-replicated prefix still usable.
+        world.site(s1).invoke(root, "index", ObiValue::Null).unwrap();
+    }
+
+    // -- replica memory budget (paper §2.1, info-appliances) -----------------
+
+    #[test]
+    fn budget_caps_replica_bytes_during_a_long_walk() {
+        let (world, s1, _s2, _refs) = payload_world(50, 1024);
+        world.site(s1).set_replica_budget(Some(8 * 1024));
+        let remote = world.site(s1).lookup("list").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(5))
+            .unwrap();
+        assert_eq!(walk(&world, s1, root), 50);
+        // The device never held more than ~budget of replica state…
+        assert!(
+            world.site(s1).replica_bytes() <= 10 * 1024,
+            "held {} bytes",
+            world.site(s1).replica_bytes()
+        );
+        // …which required evicting most of the list.
+        let m = world.site(s1).metrics().snapshot();
+        assert!(m.replicas_evicted >= 40, "evicted {}", m.replicas_evicted);
+        assert_eq!(m.replicas_created, 50);
+    }
+
+    #[test]
+    fn evicted_replicas_fault_back_in_transparently() {
+        let (world, s1, _s2, refs) = payload_world(10, 1024);
+        world.site(s1).set_replica_budget(Some(3 * 1024));
+        let remote = world.site(s1).lookup("list").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(2))
+            .unwrap();
+        walk(&world, s1, root);
+        // The head was evicted long ago; using it again just re-faults.
+        assert!(matches!(
+            world.site(s1).resolution(refs[0]),
+            Resolution::Proxy(_)
+        ));
+        let v = world.site(s1).invoke(refs[0], "index", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(0));
+    }
+
+    #[test]
+    fn dirty_replicas_survive_eviction_pressure() {
+        let (world, s1, _s2, refs) = payload_world(10, 1024);
+        let remote = world.site(s1).lookup("list").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        // Dirty the head, then squeeze hard while walking.
+        world
+            .site(s1)
+            .invoke(root, "set_index", ObiValue::I64(-1))
+            .unwrap();
+        world.site(s1).set_replica_budget(Some(2 * 1024));
+        walk(&world, s1, refs[1]);
+        // The dirty head is still a live replica with its edit intact.
+        let meta = world.site(s1).meta_of(root).unwrap();
+        assert!(meta.dirty);
+        let v = world.site(s1).invoke(root, "index", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(-1));
+    }
+
+    #[test]
+    fn roots_survive_eviction_pressure() {
+        let (world, s1, _s2, refs) = payload_world(10, 1024);
+        let remote = world.site(s1).lookup("list").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        world.site(s1).add_root(root);
+        world.site(s1).set_replica_budget(Some(2 * 1024));
+        walk(&world, s1, refs[0]);
+        assert!(world.site(s1).is_replicated(root));
+    }
+
+    #[test]
+    fn disabling_the_budget_stops_eviction() {
+        let (world, s1, _s2, _refs) = payload_world(20, 1024);
+        world.site(s1).set_replica_budget(Some(1024));
+        world.site(s1).set_replica_budget(None);
+        let remote = world.site(s1).lookup("list").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::transitive())
+            .unwrap();
+        walk(&world, s1, root);
+        assert_eq!(world.site(s1).metrics().snapshot().replicas_evicted, 0);
+        assert!(world.site(s1).replica_bytes() >= 20 * 1024);
+    }
+
+    #[test]
+    fn eviction_prefers_least_recently_used() {
+        let (world, s1, _s2, refs) = payload_world(4, 1024);
+        let remote = world.site(s1).lookup("list").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::transitive())
+            .unwrap();
+        // Touch everything, then re-touch the head to make it hottest.
+        walk(&world, s1, root);
+        world.site(s1).invoke(root, "index", ObiValue::Null).unwrap();
+        // Budget for roughly two nodes: cold middle nodes go first.
+        world.site(s1).set_replica_budget(Some(2 * 1024 + 512));
+        assert!(world.site(s1).is_replicated(refs[0]), "hot head kept");
+        assert!(
+            matches!(world.site(s1).resolution(refs[1]), Resolution::Proxy(_)),
+            "cold node evicted"
+        );
+    }
+}
+
+#[cfg(test)]
+mod cluster_refresh_tests {
+    use super::*;
+    use crate::demo::LinkedItem;
+    use crate::world::ObiWorld;
+
+    fn rig() -> (ObiWorld, SiteId, SiteId, Vec<ObjRef>) {
+        let mut world = ObiWorld::loopback();
+        let s1 = world.add_site("S1");
+        let s2 = world.add_site("S2");
+        let mut refs = Vec::new();
+        let mut next = None;
+        for i in (0..4).rev() {
+            let mut item = LinkedItem::new(i as i64, format!("n{i}"));
+            item.set_next(next);
+            let r = world.site(s2).create(item);
+            next = Some(r);
+            refs.push(r);
+        }
+        refs.reverse();
+        world.site(s2).export(refs[0], "head").unwrap();
+        (world, s1, s2, refs)
+    }
+
+    #[test]
+    fn refresh_cluster_reloads_every_member() {
+        let (world, s1, s2, refs) = rig();
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::cluster(4))
+            .unwrap();
+        let cluster = world.site(s1).meta_of(root).unwrap().cluster.unwrap();
+        // Diverge every member locally; masters move too.
+        for r in &refs {
+            world
+                .site(s1)
+                .invoke(*r, "set_value", ObiValue::I64(-1))
+                .unwrap();
+            world
+                .site(s2)
+                .invoke(*r, "set_value", ObiValue::I64(100))
+                .unwrap();
+        }
+        let (new_cluster, refreshed) = world.site(s1).refresh_cluster(cluster).unwrap();
+        assert_eq!(refreshed, 4);
+        assert_ne!(new_cluster, cluster, "refresh mints a new generation");
+        for r in &refs {
+            let v = world.site(s1).invoke(*r, "value", ObiValue::Null).unwrap();
+            assert_eq!(v, ObiValue::I64(100));
+            let meta = world.site(s1).meta_of(*r).unwrap();
+            assert!(!meta.dirty);
+            assert_eq!(meta.cluster, Some(new_cluster));
+        }
+        // The retired generation no longer resolves.
+        assert!(world.site(s1).refresh_cluster(cluster).is_err());
+        // The new one does.
+        assert!(world.site(s1).refresh_cluster(new_cluster).is_ok());
+    }
+
+    #[test]
+    fn refresh_unknown_cluster_is_rejected() {
+        let (world, s1, _s2, _refs) = rig();
+        let bogus = ClusterId::new(SiteId::new(2), 999);
+        assert!(matches!(
+            world.site(s1).refresh_cluster(bogus),
+            Err(ObiError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn refresh_cluster_fails_cleanly_when_disconnected() {
+        let (world, s1, _s2, _refs) = rig();
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::cluster(2))
+            .unwrap();
+        let cluster = world.site(s1).meta_of(root).unwrap().cluster.unwrap();
+        world.disconnect(s1);
+        assert!(world
+            .site(s1)
+            .refresh_cluster(cluster)
+            .unwrap_err()
+            .is_connectivity());
+    }
+}

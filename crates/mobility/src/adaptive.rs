@@ -1,0 +1,280 @@
+//! Run-time RMI/LMI selection.
+//!
+//! The paper's headline: OBIWAN "allows the application to decide, in
+//! run-time, the mechanism by which objects should be invoked, remote
+//! method invocation or invocation on a local replica … given the
+//! significant and rapid changes in the quality of service of the
+//! underlying network". [`AdaptiveInvoker`] packages that decision: it
+//! probes the link, prefers local replicas, replicates on demand when the
+//! link degrades, and refreshes stale replicas when the master is cheap to
+//! reach.
+
+use crate::connectivity::{ConnectivityMonitor, LinkHealth};
+use obiwan_core::{ObiProcess, ObiValue, ObjRef, ReplicationMode};
+use obiwan_rmi::RemoteRef;
+use obiwan_util::{ObiError, Result};
+use std::time::Duration;
+
+/// Which mechanism a call ended up using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvocationPath {
+    /// Remote method invocation on the master.
+    Rmi,
+    /// Local invocation on a fresh replica.
+    Lmi,
+    /// Local invocation on a replica known to be stale (the link did not
+    /// allow a refresh) — the paper's "alternative access to such data …
+    /// even if such data is not up to date".
+    LmiStale,
+}
+
+/// Counters describing the invoker's decisions so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdaptiveStats {
+    /// Calls routed over RMI.
+    pub rmi: u64,
+    /// Calls served by a local replica.
+    pub lmi: u64,
+    /// Of those, calls served by a stale replica.
+    pub stale_reads: u64,
+    /// Replications triggered by degraded/disconnected links.
+    pub replications: u64,
+    /// Stale replicas refreshed before serving.
+    pub refreshes: u64,
+}
+
+/// A policy-driven invoker choosing between RMI and LMI per call.
+///
+/// Decision procedure for `invoke(remote, …)`:
+///
+/// 1. **Local replica exists** → LMI. If it is stale and the link is
+///    usable, refresh first; if stale and the link is down, serve it
+///    anyway and report [`InvocationPath::LmiStale`].
+/// 2. **No replica, link healthy** → RMI.
+/// 3. **No replica, link degraded** → replicate (`auto_replicate` mode),
+///    then LMI — paying one transfer to escape a slow link.
+/// 4. **No replica, link down** → [`ObiError::NotReplicated`]: the
+///    application should have hoarded.
+///
+/// # Examples
+///
+/// See the `mobile_agent` example and the module tests.
+#[derive(Debug)]
+pub struct AdaptiveInvoker {
+    monitor: ConnectivityMonitor,
+    auto_replicate: ReplicationMode,
+    stats: AdaptiveStats,
+}
+
+impl AdaptiveInvoker {
+    /// An invoker that classifies links slower than `degraded_threshold`
+    /// round trip as degraded, and replicates with `auto_replicate` when it
+    /// decides to switch a degraded link to local invocations.
+    pub fn new(degraded_threshold: Duration, auto_replicate: ReplicationMode) -> Self {
+        AdaptiveInvoker {
+            monitor: ConnectivityMonitor::new(degraded_threshold),
+            auto_replicate,
+            stats: AdaptiveStats::default(),
+        }
+    }
+
+    /// Decision counters so far.
+    pub fn stats(&self) -> AdaptiveStats {
+        self.stats
+    }
+
+    /// The underlying monitor (probe history).
+    pub fn monitor(&self) -> &ConnectivityMonitor {
+        &self.monitor
+    }
+
+    /// Invokes `method`, choosing the mechanism at run time. Returns the
+    /// result together with the path taken.
+    pub fn invoke(
+        &mut self,
+        process: &ObiProcess,
+        remote: &RemoteRef,
+        method: &str,
+        args: ObiValue,
+    ) -> Result<(ObiValue, InvocationPath)> {
+        let local = ObjRef::new(remote.id());
+        if let Some(meta) = process.meta_of(local) {
+            // A local copy exists (replica, or we *are* the master site).
+            if meta.stale {
+                let health = self.monitor.probe(process, remote.host());
+                if health.is_usable() && process.refresh(local).is_ok() {
+                    self.stats.refreshes += 1;
+                } else {
+                    self.stats.lmi += 1;
+                    self.stats.stale_reads += 1;
+                    let v = process.invoke(local, method, args)?;
+                    return Ok((v, InvocationPath::LmiStale));
+                }
+            }
+            self.stats.lmi += 1;
+            let v = process.invoke(local, method, args)?;
+            return Ok((v, InvocationPath::Lmi));
+        }
+
+        match self.monitor.probe(process, remote.host()) {
+            LinkHealth::Connected => {
+                self.stats.rmi += 1;
+                let v = process.invoke_rmi(remote, method, args)?;
+                Ok((v, InvocationPath::Rmi))
+            }
+            LinkHealth::Degraded => {
+                // One transfer now buys local invocations from here on.
+                let root = process.get(remote, self.auto_replicate)?;
+                self.stats.replications += 1;
+                self.stats.lmi += 1;
+                let v = process.invoke(root, method, args)?;
+                Ok((v, InvocationPath::Lmi))
+            }
+            LinkHealth::Disconnected => Err(ObiError::NotReplicated(remote.id())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obiwan_core::demo::Counter;
+    use obiwan_core::ObiWorld;
+    use obiwan_net::conditions;
+    use obiwan_util::SiteId;
+
+    fn rig() -> (ObiWorld, SiteId, SiteId, ObjRef, RemoteRef) {
+        let mut world = ObiWorld::paper_testbed();
+        let server = world.add_site("server");
+        let device = world.add_site("device");
+        let master = world.site(server).create(Counter::new(3));
+        world.site(server).export(master, "c").unwrap();
+        let remote = world.site(device).lookup("c").unwrap();
+        (world, server, device, master, remote)
+    }
+
+    #[test]
+    fn healthy_link_without_replica_uses_rmi() {
+        let (world, _server, device, _master, remote) = rig();
+        let mut inv = AdaptiveInvoker::new(
+            Duration::from_millis(100),
+            ReplicationMode::incremental(1),
+        );
+        let (v, path) = inv
+            .invoke(world.site(device), &remote, "read", ObiValue::Null)
+            .unwrap();
+        assert_eq!(v, ObiValue::I64(3));
+        assert_eq!(path, InvocationPath::Rmi);
+        assert_eq!(inv.stats().rmi, 1);
+        // Still no replica: the invoker did not silently replicate.
+        assert!(!world.site(device).is_replicated(ObjRef::new(remote.id())));
+    }
+
+    #[test]
+    fn degraded_link_triggers_replication_then_lmi() {
+        let (world, server, device, _master, remote) = rig();
+        world.transport().with_topology_mut(|t| {
+            t.set_link_symmetric(server, device, conditions::gprs());
+        });
+        let mut inv = AdaptiveInvoker::new(
+            Duration::from_millis(100),
+            ReplicationMode::incremental(1),
+        );
+        let (v, path) = inv
+            .invoke(world.site(device), &remote, "read", ObiValue::Null)
+            .unwrap();
+        assert_eq!(v, ObiValue::I64(3));
+        assert_eq!(path, InvocationPath::Lmi);
+        assert_eq!(inv.stats().replications, 1);
+        // Subsequent calls stay local.
+        let (_, path) = inv
+            .invoke(world.site(device), &remote, "read", ObiValue::Null)
+            .unwrap();
+        assert_eq!(path, InvocationPath::Lmi);
+        assert_eq!(inv.stats().rmi, 0);
+    }
+
+    #[test]
+    fn disconnected_without_replica_tells_the_app_to_hoard() {
+        let (world, _server, device, _master, remote) = rig();
+        world.disconnect(device);
+        let mut inv = AdaptiveInvoker::new(
+            Duration::from_millis(100),
+            ReplicationMode::incremental(1),
+        );
+        let err = inv
+            .invoke(world.site(device), &remote, "read", ObiValue::Null)
+            .unwrap_err();
+        assert!(matches!(err, ObiError::NotReplicated(_)));
+    }
+
+    #[test]
+    fn stale_replica_refreshes_when_link_allows() {
+        let (world, server, device, master, remote) = rig();
+        let replica = world
+            .site(device)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        world.site(device).subscribe(replica, false).unwrap();
+        world
+            .site(server)
+            .invoke(master, "incr", ObiValue::Null)
+            .unwrap();
+        world.pump();
+        assert!(world.site(device).meta_of(replica).unwrap().stale);
+
+        let mut inv = AdaptiveInvoker::new(
+            Duration::from_millis(100),
+            ReplicationMode::incremental(1),
+        );
+        let (v, path) = inv
+            .invoke(world.site(device), &remote, "read", ObiValue::Null)
+            .unwrap();
+        assert_eq!(v, ObiValue::I64(4)); // fresh value
+        assert_eq!(path, InvocationPath::Lmi);
+        assert_eq!(inv.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn stale_replica_is_served_as_is_when_disconnected() {
+        let (world, server, device, master, remote) = rig();
+        let replica = world
+            .site(device)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        world.site(device).subscribe(replica, false).unwrap();
+        world
+            .site(server)
+            .invoke(master, "incr", ObiValue::Null)
+            .unwrap();
+        world.pump();
+        world.disconnect(device);
+
+        let mut inv = AdaptiveInvoker::new(
+            Duration::from_millis(100),
+            ReplicationMode::incremental(1),
+        );
+        let (v, path) = inv
+            .invoke(world.site(device), &remote, "read", ObiValue::Null)
+            .unwrap();
+        // The paper: "propose the user an alternative access to such data
+        // … even if such data is not up to date."
+        assert_eq!(v, ObiValue::I64(3)); // stale value
+        assert_eq!(path, InvocationPath::LmiStale);
+        assert_eq!(inv.stats().stale_reads, 1);
+    }
+
+    #[test]
+    fn master_site_always_goes_local() {
+        let (world, server, _device, _master, remote) = rig();
+        let mut inv = AdaptiveInvoker::new(
+            Duration::from_millis(100),
+            ReplicationMode::incremental(1),
+        );
+        let (v, path) = inv
+            .invoke(world.site(server), &remote, "read", ObiValue::Null)
+            .unwrap();
+        assert_eq!(v, ObiValue::I64(3));
+        assert_eq!(path, InvocationPath::Lmi);
+    }
+}

@@ -1,0 +1,191 @@
+//! Mobile agents.
+//!
+//! The paper repeatedly pairs "an application (or an agent)": an agent is a
+//! task that moves between sites, and as long as the objects it needs are
+//! co-located with it, it runs without the network. [`MobileAgent`] models
+//! that: at each stop it hoards its luggage (named object graphs) into the
+//! local process, runs its task on the replicas, and writes results back
+//! before (or after) moving on.
+
+use crate::hoard::{HoardProfile, HoardReport, Hoarder};
+use obiwan_core::ObiProcess;
+use obiwan_util::{Result, SiteId};
+
+/// The record of one completed stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentStop {
+    /// Where the agent ran.
+    pub site: SiteId,
+    /// Luggage items successfully hoarded there.
+    pub hoarded: usize,
+    /// Luggage items that failed to hoard.
+    pub hoard_failures: usize,
+    /// Dirty replicas written back at departure.
+    pub pushed: usize,
+}
+
+/// An itinerant task carrying a hoard profile as luggage.
+///
+/// # Examples
+///
+/// See the `mobile_agent` example binary and the module tests.
+#[derive(Debug)]
+pub struct MobileAgent {
+    name: String,
+    hoarder: Hoarder,
+    trail: Vec<AgentStop>,
+}
+
+impl MobileAgent {
+    /// An agent named `name` carrying `luggage`.
+    pub fn new(name: impl Into<String>, luggage: HoardProfile) -> Self {
+        MobileAgent {
+            name: name.into(),
+            hoarder: Hoarder::new(luggage),
+            trail: Vec::new(),
+        }
+    }
+
+    /// The agent's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stops completed so far, in order.
+    pub fn trail(&self) -> &[AgentStop] {
+        &self.trail
+    }
+
+    /// Executes one stop at `process`: hoard luggage, run `task` on the
+    /// local replicas, write dirty state back.
+    ///
+    /// The task receives the hoard report so it can address its luggage by
+    /// name ([`HoardReport::root_of`]). A task error aborts the stop after
+    /// the write-back attempt (work done before the error is not lost).
+    ///
+    /// # Errors
+    ///
+    /// Returns the task's error, if any; hoard and push failures are
+    /// recorded in the [`AgentStop`] rather than raised, because an agent
+    /// on a flaky network is expected to carry on with partial luggage.
+    pub fn visit<F>(&mut self, process: &ObiProcess, task: F) -> Result<AgentStop>
+    where
+        F: FnOnce(&ObiProcess, &HoardReport) -> Result<()>,
+    {
+        let report = self.hoarder.hoard(process);
+        let task_result = task(process, &report);
+        let pushed = process.put_all_dirty().unwrap_or(0);
+        let stop = AgentStop {
+            site: process.site(),
+            hoarded: report.hoarded.len(),
+            hoard_failures: report.failed.len(),
+            pushed,
+        };
+        self.trail.push(stop.clone());
+        task_result.map(|()| stop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obiwan_core::demo::Counter;
+    use obiwan_core::{ObiValue, ObiWorld, ReplicationMode};
+
+    #[test]
+    fn agent_hops_and_accumulates_work() {
+        let mut world = ObiWorld::loopback();
+        let home = world.add_site("home");
+        let laptop = world.add_site("laptop");
+        let pda = world.add_site("pda");
+        let counter = world.site(home).create(Counter::new(0));
+        world.site(home).export(counter, "visits").unwrap();
+
+        let mut agent = MobileAgent::new(
+            "inspector",
+            HoardProfile::new().with("visits", ReplicationMode::transitive()),
+        );
+        for site in [laptop, pda] {
+            let stop = agent
+                .visit(world.site(site), |process, report| {
+                    let c = report.root_of("visits").expect("luggage present");
+                    process.invoke(c, "incr", ObiValue::Null)?;
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(stop.hoarded, 1);
+            assert_eq!(stop.pushed, 1);
+        }
+        assert_eq!(agent.trail().len(), 2);
+        assert_eq!(agent.name(), "inspector");
+        let v = world
+            .site(home)
+            .invoke(counter, "read", ObiValue::Null)
+            .unwrap();
+        assert_eq!(v, ObiValue::I64(2));
+    }
+
+    #[test]
+    fn agent_works_through_a_disconnection_at_a_stop() {
+        let mut world = ObiWorld::loopback();
+        let home = world.add_site("home");
+        let taxi = world.add_site("taxi-pda");
+        let counter = world.site(home).create(Counter::new(0));
+        world.site(home).export(counter, "log").unwrap();
+
+        let mut agent = MobileAgent::new(
+            "roamer",
+            HoardProfile::new().with("log", ReplicationMode::transitive()),
+        );
+        // Hoard while connected, then lose the network mid-visit.
+        let stop = agent
+            .visit(world.site(taxi), |process, report| {
+                let c = report.root_of("log").unwrap();
+                world.disconnect(taxi);
+                // Local work proceeds offline.
+                process.invoke(c, "add", ObiValue::I64(7))?;
+                Ok(())
+            })
+            .unwrap();
+        // The departing push failed silently (disconnected): nothing pushed.
+        assert_eq!(stop.pushed, 0);
+        // Reconnect and flush manually.
+        world.reconnect(taxi);
+        assert_eq!(world.site(taxi).put_all_dirty().unwrap(), 1);
+        let v = world
+            .site(home)
+            .invoke(counter, "read", ObiValue::Null)
+            .unwrap();
+        assert_eq!(v, ObiValue::I64(7));
+    }
+
+    #[test]
+    fn hoard_failures_are_recorded_not_fatal() {
+        let mut world = ObiWorld::loopback();
+        let site = world.add_site("s");
+        let mut agent = MobileAgent::new(
+            "optimist",
+            HoardProfile::new().with("does-not-exist", ReplicationMode::transitive()),
+        );
+        let stop = agent
+            .visit(world.site(site), |_p, report| {
+                assert!(!report.is_complete());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(stop.hoarded, 0);
+        assert_eq!(stop.hoard_failures, 1);
+    }
+
+    #[test]
+    fn task_errors_propagate_but_trail_is_kept() {
+        let mut world = ObiWorld::loopback();
+        let site = world.add_site("s");
+        let mut agent = MobileAgent::new("grump", HoardProfile::new());
+        let err = agent.visit(world.site(site), |_p, _r| {
+            Err(obiwan_util::ObiError::Application("task failed".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(agent.trail().len(), 1);
+    }
+}

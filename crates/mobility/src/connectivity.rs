@@ -1,0 +1,182 @@
+//! Connectivity monitoring.
+//!
+//! Mobile applications must "handle disconnections gracefully and as
+//! transparently as possible". Step one is knowing the link state:
+//! [`ConnectivityMonitor`] actively probes peer sites and classifies each
+//! link, so applications can choose between RMI and LMI *before* a call
+//! fails.
+
+use obiwan_core::ObiProcess;
+use obiwan_util::SiteId;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Observed health of a link to one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkHealth {
+    /// Probes succeed promptly.
+    Connected,
+    /// Probes succeed but round trips exceed the degradation threshold —
+    /// prefer replicas over RMI.
+    Degraded,
+    /// Probes fail: work on local replicas only.
+    Disconnected,
+}
+
+impl LinkHealth {
+    /// True when some traffic gets through.
+    pub fn is_usable(self) -> bool {
+        !matches!(self, LinkHealth::Disconnected)
+    }
+}
+
+/// Probes peers and remembers what it saw.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_core::ObiWorld;
+/// use obiwan_mobility::{ConnectivityMonitor, LinkHealth};
+///
+/// let mut world = ObiWorld::paper_testbed();
+/// let s1 = world.add_site("S1");
+/// let s2 = world.add_site("S2");
+/// let mut monitor = ConnectivityMonitor::new(std::time::Duration::from_millis(50));
+/// assert_eq!(monitor.probe(world.site(s1), s2), LinkHealth::Connected);
+/// world.disconnect(s2);
+/// assert_eq!(monitor.probe(world.site(s1), s2), LinkHealth::Disconnected);
+/// ```
+#[derive(Debug)]
+pub struct ConnectivityMonitor {
+    degraded_threshold: Duration,
+    last_seen: HashMap<SiteId, LinkHealth>,
+    probes: u64,
+    failures: u64,
+}
+
+impl ConnectivityMonitor {
+    /// A monitor that classifies round trips above `degraded_threshold` as
+    /// [`LinkHealth::Degraded`].
+    pub fn new(degraded_threshold: Duration) -> Self {
+        ConnectivityMonitor {
+            degraded_threshold,
+            last_seen: HashMap::new(),
+            probes: 0,
+            failures: 0,
+        }
+    }
+
+    /// Probes `peer` from `process` and records the result.
+    ///
+    /// Round-trip time is measured against the process's shared clock, so
+    /// in virtual-time worlds the classification follows the link model
+    /// rather than wall time.
+    pub fn probe(&mut self, process: &ObiProcess, peer: SiteId) -> LinkHealth {
+        self.probes += 1;
+        let before = process.clock().elapsed();
+        let health = match process.ping(peer) {
+            Ok(()) => {
+                let rtt = process.clock().elapsed().saturating_sub(before);
+                if rtt > self.degraded_threshold {
+                    LinkHealth::Degraded
+                } else {
+                    LinkHealth::Connected
+                }
+            }
+            Err(_) => {
+                self.failures += 1;
+                LinkHealth::Disconnected
+            }
+        };
+        self.last_seen.insert(peer, health);
+        health
+    }
+
+    /// The last classification for `peer`, if it was ever probed.
+    pub fn last_health(&self, peer: SiteId) -> Option<LinkHealth> {
+        self.last_seen.get(&peer).copied()
+    }
+
+    /// Total probes issued.
+    pub fn probe_count(&self) -> u64 {
+        self.probes
+    }
+
+    /// Probes that failed.
+    pub fn failure_count(&self) -> u64 {
+        self.failures
+    }
+
+    /// Peers last seen as unusable.
+    pub fn disconnected_peers(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self
+            .last_seen
+            .iter()
+            .filter(|(_, h)| !h.is_usable())
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obiwan_core::ObiWorld;
+
+    #[test]
+    fn connected_and_disconnected_classification() {
+        let mut world = ObiWorld::loopback();
+        let s1 = world.add_site("S1");
+        let s2 = world.add_site("S2");
+        let mut m = ConnectivityMonitor::new(Duration::from_secs(1));
+        assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Connected);
+        assert_eq!(m.last_health(s2), Some(LinkHealth::Connected));
+        world.disconnect(s2);
+        assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Disconnected);
+        assert_eq!(m.disconnected_peers(), vec![s2]);
+        world.reconnect(s2);
+        assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Connected);
+        assert!(m.disconnected_peers().is_empty());
+        assert_eq!(m.probe_count(), 3);
+        assert_eq!(m.failure_count(), 1);
+    }
+
+    #[test]
+    fn unknown_peer_counts_as_disconnected() {
+        let mut world = ObiWorld::loopback();
+        let s1 = world.add_site("S1");
+        let mut m = ConnectivityMonitor::new(Duration::from_secs(1));
+        assert_eq!(
+            m.probe(world.site(s1), SiteId::new(99)),
+            LinkHealth::Disconnected
+        );
+    }
+
+    #[test]
+    fn never_probed_peers_have_no_history() {
+        let m = ConnectivityMonitor::new(Duration::from_secs(1));
+        assert_eq!(m.last_health(SiteId::new(5)), None);
+        assert_eq!(m.probe_count(), 0);
+    }
+
+    #[test]
+    fn slow_links_classify_as_degraded() {
+        // Paper-testbed RTT is ≈ 2.8 ms; a 1 µs threshold flags it.
+        let mut world = ObiWorld::paper_testbed();
+        let s1 = world.add_site("S1");
+        let s2 = world.add_site("S2");
+        let mut strict = ConnectivityMonitor::new(Duration::from_micros(1));
+        assert_eq!(strict.probe(world.site(s1), s2), LinkHealth::Degraded);
+        let mut lax = ConnectivityMonitor::new(Duration::from_secs(1));
+        assert_eq!(lax.probe(world.site(s1), s2), LinkHealth::Connected);
+    }
+
+    #[test]
+    fn health_usability() {
+        assert!(LinkHealth::Connected.is_usable());
+        assert!(LinkHealth::Degraded.is_usable());
+        assert!(!LinkHealth::Disconnected.is_usable());
+    }
+}

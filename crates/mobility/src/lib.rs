@@ -1,0 +1,32 @@
+//! Mobility support on top of the OBIWAN core.
+//!
+//! The paper's motivation is a user moving between a PC, a laptop and a PDA
+//! through "frequent, lengthy network disconnections", some involuntary
+//! (coverage) and some voluntary (cost). This crate packages the idioms
+//! that scenario needs:
+//!
+//! * [`connectivity`] — [`ConnectivityMonitor`]: active probing and link
+//!   state classification (connected / degraded / disconnected).
+//! * [`hoard`] — [`HoardProfile`] + [`Hoarder`]: replicate everything a
+//!   disconnection-bound application will need, in one sweep ("as long as
+//!   objects needed by an application are colocated, there is no need to be
+//!   connected to the network").
+//! * [`session`] — [`DisconnectedSession`]: journal local work done while
+//!   offline and reintegrate it on reconnection, with per-object conflict
+//!   outcomes.
+//! * [`agent`] — [`MobileAgent`]: an itinerant task that hops across sites,
+//!   hoarding its luggage at each stop and writing results back.
+//! * [`adaptive`] — [`AdaptiveInvoker`]: the paper's headline run-time
+//!   RMI-vs-LMI decision, packaged as a policy object.
+
+pub mod adaptive;
+pub mod agent;
+pub mod connectivity;
+pub mod hoard;
+pub mod session;
+
+pub use adaptive::{AdaptiveInvoker, AdaptiveStats, InvocationPath};
+pub use agent::{AgentStop, MobileAgent};
+pub use connectivity::{ConnectivityMonitor, LinkHealth};
+pub use hoard::{HoardProfile, HoardReport, Hoarder};
+pub use session::{DisconnectedSession, ReintegrationOutcome, ReintegrationReport};

@@ -1,0 +1,300 @@
+//! Disconnected sessions and reintegration.
+//!
+//! "Users should be able, as far as possible, to continue working as if
+//! the network was still available. In particular, users should be able to
+//! modify local replicas of global data." [`DisconnectedSession`] journals
+//! that offline work and drives the write-back when connectivity returns,
+//! reporting a per-object [`ReintegrationOutcome`].
+
+use obiwan_core::{ObiProcess, ObiValue, ObjRef};
+use obiwan_util::{ObiError, ObjId, Result};
+use std::collections::BTreeSet;
+
+/// One journaled offline operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedOp {
+    /// Invoked object.
+    pub target: ObjId,
+    /// Method name.
+    pub method: String,
+    /// Arguments.
+    pub args: ObiValue,
+    /// Whether the invocation succeeded locally.
+    pub succeeded: bool,
+}
+
+/// Per-object result of a reintegration pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReintegrationOutcome {
+    /// Write-back accepted at the given master version.
+    Pushed(u64),
+    /// The master's policy rejected the write-back; the replica keeps the
+    /// local state and stays dirty.
+    Conflict(String),
+    /// The master is unreachable; retry later.
+    Unreachable,
+}
+
+/// What a reintegration pass achieved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReintegrationReport {
+    /// Outcome per dirty object, in id order.
+    pub outcomes: Vec<(ObjId, ReintegrationOutcome)>,
+}
+
+impl ReintegrationReport {
+    /// Count of accepted write-backs.
+    pub fn pushed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, ReintegrationOutcome::Pushed(_)))
+            .count()
+    }
+
+    /// Ids that conflicted.
+    pub fn conflicts(&self) -> Vec<ObjId> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, ReintegrationOutcome::Conflict(_)))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// True when nothing conflicted and nothing was unreachable.
+    pub fn is_clean(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|(_, o)| matches!(o, ReintegrationOutcome::Pushed(_)))
+    }
+}
+
+/// A journal of offline work over one process's replicas.
+///
+/// The session does not block online use — it simply records which replicas
+/// were touched so reintegration can be driven and reported precisely,
+/// which a bare
+/// [`put_all_dirty`](obiwan_core::ObiProcess::put_all_dirty) cannot do.
+#[derive(Debug, Default)]
+pub struct DisconnectedSession {
+    log: Vec<LoggedOp>,
+    touched: BTreeSet<ObjId>,
+}
+
+impl DisconnectedSession {
+    /// Starts an empty session.
+    pub fn new() -> Self {
+        DisconnectedSession::default()
+    }
+
+    /// Invokes a method through the session, journaling it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the invocation error (e.g. an unresolvable object fault
+    /// while disconnected); failed operations are journaled too.
+    pub fn invoke(
+        &mut self,
+        process: &ObiProcess,
+        target: ObjRef,
+        method: &str,
+        args: ObiValue,
+    ) -> Result<ObiValue> {
+        let result = process.invoke(target, method, args.clone());
+        self.log.push(LoggedOp {
+            target: target.id(),
+            method: method.to_owned(),
+            args,
+            succeeded: result.is_ok(),
+        });
+        if result.is_ok() {
+            self.touched.insert(target.id());
+        }
+        result
+    }
+
+    /// The full journal.
+    pub fn log(&self) -> &[LoggedOp] {
+        &self.log
+    }
+
+    /// Objects touched by successful operations.
+    pub fn touched(&self) -> Vec<ObjId> {
+        self.touched.iter().copied().collect()
+    }
+
+    /// Number of journaled operations.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True when nothing was journaled.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Pushes every dirty touched replica back to its master, one by one,
+    /// classifying each outcome. Conflicted and unreachable replicas stay
+    /// dirty; the session can reintegrate again later (successful pushes
+    /// drop out of the dirty set by themselves).
+    pub fn reintegrate(&self, process: &ObiProcess) -> ReintegrationReport {
+        let mut report = ReintegrationReport::default();
+        for &id in &self.touched {
+            let r = ObjRef::new(id);
+            let Some(meta) = process.meta_of(r) else {
+                continue;
+            };
+            if !meta.dirty {
+                continue;
+            }
+            let outcome = match process.put(r) {
+                Ok(version) => ReintegrationOutcome::Pushed(version),
+                Err(e) if e.is_connectivity() => ReintegrationOutcome::Unreachable,
+                Err(ObiError::UpdateRejected { reason, .. }) => {
+                    ReintegrationOutcome::Conflict(reason)
+                }
+                Err(e) => ReintegrationOutcome::Conflict(e.to_string()),
+            };
+            report.outcomes.push((id, outcome));
+        }
+        report
+    }
+
+    /// Resolves a conflicted object by discarding the local state (refresh
+    /// from the master).
+    pub fn resolve_take_remote(&self, process: &ObiProcess, id: ObjId) -> Result<()> {
+        process.refresh(ObjRef::new(id))
+    }
+
+    /// Resolves a conflicted object by forcing the local state onto the
+    /// master: refresh the base version, re-apply the journaled operations
+    /// for that object, then put.
+    ///
+    /// This is the classic "replay the log" reintegration; it only makes
+    /// sense for operations that are meaningful against the refreshed state
+    /// (e.g. commutative increments).
+    pub fn resolve_replay_local(&self, process: &ObiProcess, id: ObjId) -> Result<u64> {
+        process.refresh(ObjRef::new(id))?;
+        for op in &self.log {
+            if op.target == id && op.succeeded {
+                process.invoke(ObjRef::new(id), &op.method, op.args.clone())?;
+            }
+        }
+        process.put(ObjRef::new(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obiwan_consistency::OptimisticDetect;
+    use obiwan_core::demo::Counter;
+    use obiwan_core::{ObiWorld, ReplicationMode};
+    use obiwan_util::SiteId;
+
+    fn rig() -> (ObiWorld, SiteId, SiteId, ObjRef, ObjRef) {
+        let mut world = ObiWorld::loopback();
+        let s1 = world.add_site("pda");
+        let s2 = world.add_site("server");
+        let master = world.site(s2).create(Counter::new(0));
+        world.site(s2).export(master, "c").unwrap();
+        let remote = world.site(s1).lookup("c").unwrap();
+        let replica = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        (world, s1, s2, master, replica)
+    }
+
+    #[test]
+    fn offline_work_reintegrates_cleanly() {
+        let (world, s1, s2, master, replica) = rig();
+        world.disconnect(s1);
+        let mut session = DisconnectedSession::new();
+        for _ in 0..3 {
+            session
+                .invoke(world.site(s1), replica, "incr", ObiValue::Null)
+                .unwrap();
+        }
+        assert_eq!(session.len(), 3);
+        assert_eq!(session.touched(), vec![replica.id()]);
+        // Reintegration while offline: unreachable, still dirty.
+        let report = session.reintegrate(world.site(s1));
+        assert_eq!(
+            report.outcomes,
+            vec![(replica.id(), ReintegrationOutcome::Unreachable)]
+        );
+        world.reconnect(s1);
+        let report = session.reintegrate(world.site(s1));
+        assert!(report.is_clean());
+        assert_eq!(report.pushed(), 1);
+        let v = world.site(s2).invoke(master, "read", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(3));
+    }
+
+    #[test]
+    fn conflicts_are_classified_and_replay_resolves_them() {
+        let (world, s1, s2, master, replica) = rig();
+        world.site(s2).set_policy(Box::new(OptimisticDetect::new()));
+        world.disconnect(s1);
+        let mut session = DisconnectedSession::new();
+        session
+            .invoke(world.site(s1), replica, "add", ObiValue::I64(10))
+            .unwrap();
+        // Someone else updates the master meanwhile.
+        world.site(s2).invoke(master, "incr", ObiValue::Null).unwrap();
+        world.reconnect(s1);
+        let report = session.reintegrate(world.site(s1));
+        assert_eq!(report.conflicts(), vec![replica.id()]);
+        assert!(!report.is_clean());
+        // Replay the log over the fresh state.
+        let version = session
+            .resolve_replay_local(world.site(s1), replica.id())
+            .unwrap();
+        assert!(version > 2);
+        let v = world.site(s2).invoke(master, "read", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(11)); // 1 (master incr) + 10 (replayed)
+    }
+
+    #[test]
+    fn take_remote_discards_local_edits() {
+        let (world, s1, s2, master, replica) = rig();
+        world.site(s2).set_policy(Box::new(OptimisticDetect::new()));
+        let mut session = DisconnectedSession::new();
+        session
+            .invoke(world.site(s1), replica, "add", ObiValue::I64(5))
+            .unwrap();
+        world.site(s2).invoke(master, "add", ObiValue::I64(100)).unwrap();
+        let report = session.reintegrate(world.site(s1));
+        assert_eq!(report.conflicts(), vec![replica.id()]);
+        session
+            .resolve_take_remote(world.site(s1), replica.id())
+            .unwrap();
+        let v = world.site(s1).invoke(replica, "read", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(100));
+        assert!(!world.site(s1).meta_of(replica).unwrap().dirty);
+    }
+
+    #[test]
+    fn failed_operations_are_journaled_but_not_touched() {
+        let (world, s1, _s2, _master, replica) = rig();
+        let mut session = DisconnectedSession::new();
+        assert!(session
+            .invoke(world.site(s1), replica, "no_such_method", ObiValue::Null)
+            .is_err());
+        assert_eq!(session.len(), 1);
+        assert!(!session.log()[0].succeeded);
+        assert!(session.touched().is_empty());
+        assert!(session.reintegrate(world.site(s1)).outcomes.is_empty());
+    }
+
+    #[test]
+    fn reads_do_not_dirty_or_push() {
+        let (world, s1, _s2, _master, replica) = rig();
+        let mut session = DisconnectedSession::new();
+        session
+            .invoke(world.site(s1), replica, "read", ObiValue::Null)
+            .unwrap();
+        let report = session.reintegrate(world.site(s1));
+        assert!(report.outcomes.is_empty());
+    }
+}

@@ -1,0 +1,427 @@
+//! Threaded in-memory transport.
+//!
+//! [`MemTransport`] gives each registered site its own receiver thread fed
+//! by a crossbeam channel, so multiple sites run under real concurrency —
+//! the closest in-process equivalent of the paper's LAN of separate
+//! machines. Link latency can optionally be *slept* (scaled), which is
+//! useful in examples; by default frames move as fast as the threads do.
+
+use crate::link::Topology;
+use crate::trace::{NetEvent, NetEventKind, NetTrace};
+use crate::transport::{MessageHandler, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use obiwan_util::{DetRng, Metrics, ObiError, Result, SiteId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+enum Envelope {
+    Request {
+        from: SiteId,
+        frame: Bytes,
+        reply: Sender<Option<Bytes>>,
+    },
+    OneWay {
+        from: SiteId,
+        frame: Bytes,
+    },
+}
+
+struct SiteHandle {
+    tx: Sender<Envelope>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A transport whose sites are live threads exchanging frames over
+/// channels.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_net::{MemTransport, Transport, MessageHandler};
+/// use obiwan_util::SiteId;
+/// use bytes::Bytes;
+/// use std::sync::Arc;
+///
+/// # fn main() -> obiwan_util::Result<()> {
+/// let net = MemTransport::new();
+/// net.register(
+///     SiteId::new(2),
+///     Arc::new(|_from: SiteId, f: Bytes| -> Option<Bytes> { Some(f) }),
+/// );
+/// let reply = net.call(SiteId::new(1), SiteId::new(2), Bytes::from_static(b"hi"))?;
+/// assert_eq!(&reply[..], b"hi");
+/// net.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct MemTransport {
+    inner: Arc<MemInner>,
+}
+
+struct MemInner {
+    topology: RwLock<Topology>,
+    sites: RwLock<HashMap<SiteId, SiteHandle>>,
+    rng: Mutex<DetRng>,
+    trace: NetTrace,
+    metrics: Metrics,
+    /// Fraction of modeled link delay to actually sleep (0.0 = none).
+    delay_scale: f64,
+    call_timeout: Duration,
+}
+
+impl Default for MemTransport {
+    fn default() -> Self {
+        MemTransport::new()
+    }
+}
+
+impl std::fmt::Debug for MemTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemTransport")
+            .field("sites", &self.inner.sites.read().len())
+            .finish()
+    }
+}
+
+impl MemTransport {
+    /// Creates a transport with an ideal (instant) topology, no sleeping,
+    /// and a 5-second call timeout.
+    pub fn new() -> Self {
+        Self::with_options(Topology::default(), 0.0, Duration::from_secs(5))
+    }
+
+    /// Creates a transport with a topology, a real-sleep scale factor for
+    /// modeled link delays (`0.0` disables sleeping, `1.0` sleeps the full
+    /// modeled delay), and a request timeout.
+    pub fn with_options(topology: Topology, delay_scale: f64, call_timeout: Duration) -> Self {
+        MemTransport {
+            inner: Arc::new(MemInner {
+                topology: RwLock::new(topology),
+                sites: RwLock::new(HashMap::new()),
+                rng: Mutex::new(DetRng::new(0xD15C_0CAF_E000_0001)),
+                trace: NetTrace::new(),
+                metrics: Metrics::new(),
+                delay_scale: delay_scale.max(0.0),
+                call_timeout,
+            }),
+        }
+    }
+
+    /// The event trace (disabled until `set_enabled(true)`).
+    pub fn trace(&self) -> &NetTrace {
+        &self.inner.trace
+    }
+
+    /// Transport-level metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Runs `f` with mutable access to the topology.
+    pub fn with_topology_mut<R>(&self, f: impl FnOnce(&mut Topology) -> R) -> R {
+        f(&mut self.inner.topology.write())
+    }
+
+    /// Convenience: disconnect `site` from everyone.
+    pub fn disconnect(&self, site: SiteId) {
+        self.with_topology_mut(|t| t.disconnect(site));
+    }
+
+    /// Convenience: reconnect `site`.
+    pub fn reconnect(&self, site: SiteId) {
+        self.with_topology_mut(|t| t.reconnect(site));
+    }
+
+    /// Stops every receiver thread and waits for them to finish.
+    ///
+    /// Dropping the last clone also stops the threads (their channels
+    /// disconnect) but does not wait for them; call `shutdown` for a clean
+    /// teardown in tests.
+    pub fn shutdown(&self) {
+        let mut sites = self.inner.sites.write();
+        let handles: Vec<SiteHandle> = sites.drain().map(|(_, h)| h).collect();
+        drop(sites);
+        for mut h in handles {
+            drop(h.tx);
+            if let Some(t) = h.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    /// Computes one leg's modeled delay, samples loss, sleeps if configured.
+    fn traverse(&self, from: SiteId, to: SiteId, bytes: usize, is_reply: bool) -> Result<()> {
+        let (delay, lost) = {
+            let topology = self.inner.topology.read();
+            if !topology.is_up(from, to) {
+                self.inner.trace.record(NetEvent {
+                    at_nanos: 0,
+                    from,
+                    to,
+                    bytes,
+                    kind: NetEventKind::Refused,
+                    is_reply,
+                });
+                return Err(ObiError::Disconnected { from, to });
+            }
+            let link = topology.link(from, to);
+            let mut rng = self.inner.rng.lock();
+            (link.transfer_time(bytes, &mut rng), link.drops(&mut rng))
+        };
+        if self.inner.delay_scale > 0.0 {
+            std::thread::sleep(delay.mul_f64(self.inner.delay_scale));
+        }
+        self.inner.metrics.incr_messages_sent();
+        self.inner.metrics.add_bytes_sent(bytes as u64);
+        if lost {
+            self.inner.trace.record(NetEvent {
+                at_nanos: 0,
+                from,
+                to,
+                bytes,
+                kind: NetEventKind::Dropped,
+                is_reply,
+            });
+            return Err(ObiError::MessageLost { from, to });
+        }
+        self.inner.metrics.incr_messages_received();
+        self.inner.metrics.add_bytes_received(bytes as u64);
+        self.inner.trace.record(NetEvent {
+            at_nanos: 0,
+            from,
+            to,
+            bytes,
+            kind: NetEventKind::Delivered,
+            is_reply,
+        });
+        Ok(())
+    }
+
+    fn sender_for(&self, site: SiteId) -> Result<Sender<Envelope>> {
+        self.inner
+            .sites
+            .read()
+            .get(&site)
+            .map(|h| h.tx.clone())
+            .ok_or(ObiError::SiteUnreachable(site))
+    }
+}
+
+impl Transport for MemTransport {
+    fn register(&self, site: SiteId, handler: Arc<dyn MessageHandler>) {
+        let (tx, rx) = unbounded::<Envelope>();
+        let thread = std::thread::Builder::new()
+            .name(format!("obiwan-site-{}", site.as_u32()))
+            .spawn(move || {
+                while let Ok(envelope) = rx.recv() {
+                    match envelope {
+                        Envelope::Request { from, frame, reply } => {
+                            let out = handler.handle(from, frame);
+                            // Caller may have timed out; ignore send failure.
+                            let _ = reply.send(out);
+                        }
+                        Envelope::OneWay { from, frame } => {
+                            handler.handle(from, frame);
+                        }
+                    }
+                }
+            })
+            .expect("spawn site receiver thread");
+        let old = self.inner.sites.write().insert(
+            site,
+            SiteHandle {
+                tx,
+                thread: Some(thread),
+            },
+        );
+        if let Some(mut old) = old {
+            drop(old.tx);
+            if let Some(t) = old.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    fn deregister(&self, site: SiteId) {
+        if let Some(mut h) = self.inner.sites.write().remove(&site) {
+            drop(h.tx);
+            if let Some(t) = h.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    fn call(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<Bytes> {
+        let tx = self.sender_for(to)?;
+        self.traverse(from, to, frame.len(), false)?;
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(Envelope::Request {
+            from,
+            frame,
+            reply: reply_tx,
+        })
+        .map_err(|_| ObiError::SiteUnreachable(to))?;
+        let reply = reply_rx
+            .recv_timeout(self.inner.call_timeout)
+            .map_err(|_| ObiError::SiteUnreachable(to))?
+            .ok_or_else(|| {
+                ObiError::Internal(format!("site {to} produced no reply to a request"))
+            })?;
+        self.traverse(to, from, reply.len(), true)?;
+        Ok(reply)
+    }
+
+    fn cast(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<()> {
+        let tx = self.sender_for(to)?;
+        match self.traverse(from, to, frame.len(), false) {
+            Ok(()) => {
+                tx.send(Envelope::OneWay { from, frame })
+                    .map_err(|_| ObiError::SiteUnreachable(to))?;
+                Ok(())
+            }
+            Err(ObiError::MessageLost { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn is_reachable(&self, from: SiteId, to: SiteId) -> bool {
+        self.inner.sites.read().contains_key(&to) && self.inner.topology.read().is_up(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn s(n: u32) -> SiteId {
+        SiteId::new(n)
+    }
+
+    struct Echo;
+    impl MessageHandler for Echo {
+        fn handle(&self, _from: SiteId, frame: Bytes) -> Option<Bytes> {
+            Some(frame)
+        }
+    }
+
+    #[test]
+    fn call_round_trips_across_threads() {
+        let net = MemTransport::new();
+        net.register(s(2), Arc::new(Echo));
+        let reply = net.call(s(1), s(2), Bytes::from_static(b"x")).unwrap();
+        assert_eq!(&reply[..], b"x");
+        net.shutdown();
+    }
+
+    #[test]
+    fn concurrent_callers_are_serviced() {
+        let net = MemTransport::new();
+        net.register(s(9), Arc::new(Echo));
+        let mut joins = Vec::new();
+        for i in 0..8u32 {
+            let net = net.clone();
+            joins.push(std::thread::spawn(move || {
+                for j in 0..50u32 {
+                    let payload = Bytes::from(format!("{i}:{j}"));
+                    let reply = net.call(s(i), s(9), payload.clone()).unwrap();
+                    assert_eq!(reply, payload);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn cast_is_fire_and_forget() {
+        let net = MemTransport::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        net.register(
+            s(2),
+            Arc::new(move |_f: SiteId, _b: Bytes| -> Option<Bytes> {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                None
+            }),
+        );
+        for _ in 0..10 {
+            net.cast(s(1), s(2), Bytes::new()).unwrap();
+        }
+        // Drain: a call after the casts guarantees they were processed
+        // because the receiver handles envelopes in order.
+        net.register(s(3), Arc::new(Echo));
+        let _ = net.call(s(1), s(2), Bytes::new());
+        assert_eq!(hits.load(Ordering::SeqCst), 11);
+        net.shutdown();
+    }
+
+    #[test]
+    fn disconnect_refuses_and_reconnect_heals() {
+        let net = MemTransport::new();
+        net.register(s(2), Arc::new(Echo));
+        net.disconnect(s(2));
+        assert!(net.call(s(1), s(2), Bytes::new()).unwrap_err().is_connectivity());
+        net.reconnect(s(2));
+        assert!(net.call(s(1), s(2), Bytes::new()).is_ok());
+        net.shutdown();
+    }
+
+    #[test]
+    fn deregister_stops_service() {
+        let net = MemTransport::new();
+        net.register(s(2), Arc::new(Echo));
+        net.deregister(s(2));
+        assert_eq!(
+            net.call(s(1), s(2), Bytes::new()).unwrap_err(),
+            ObiError::SiteUnreachable(s(2))
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn reregistering_replaces_handler() {
+        let net = MemTransport::new();
+        net.register(s(2), Arc::new(Echo));
+        net.register(
+            s(2),
+            Arc::new(|_f: SiteId, _b: Bytes| -> Option<Bytes> {
+                Some(Bytes::from_static(b"new"))
+            }),
+        );
+        let reply = net.call(s(1), s(2), Bytes::from_static(b"old")).unwrap();
+        assert_eq!(&reply[..], b"new");
+        net.shutdown();
+    }
+
+    #[test]
+    fn delay_scale_actually_sleeps() {
+        use crate::link::LinkModel;
+        use std::time::{Duration, Instant};
+        let mut topology = Topology::uniform(LinkModel::new(Duration::from_millis(20), 0));
+        let _ = &mut topology;
+        let net = MemTransport::with_options(topology, 1.0, Duration::from_secs(5));
+        net.register(s(2), Arc::new(Echo));
+        let started = Instant::now();
+        net.call(s(1), s(2), Bytes::new()).unwrap();
+        // Two legs × 20 ms modeled latency, slept for real.
+        assert!(started.elapsed() >= Duration::from_millis(35));
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let net = MemTransport::new();
+        net.register(s(2), Arc::new(Echo));
+        net.shutdown();
+        net.shutdown();
+        assert!(!net.is_reachable(s(1), s(2)));
+    }
+}

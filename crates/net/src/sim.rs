@@ -1,0 +1,502 @@
+//! Deterministic simulated transport.
+//!
+//! [`SimTransport`] moves frames between handlers in the current process and
+//! charges network physics (latency, bandwidth, jitter) to a shared virtual
+//! [`Clock`]. With [`ClockMode::VirtualOnly`](obiwan_util::ClockMode) and a
+//! fixed seed, runs are fully deterministic — which is what the figure
+//! harness and the property tests rely on.
+
+use crate::link::Topology;
+use crate::trace::{NetEvent, NetEventKind, NetTrace};
+use crate::transport::{MessageHandler, Transport};
+use bytes::Bytes;
+use obiwan_util::{Clock, DetRng, Metrics, ObiError, Result, SiteId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A synchronous, single-process, virtual-time transport.
+///
+/// Handlers run on the caller's stack: a `call` computes the request leg's
+/// delay, charges it to the clock, invokes the destination handler, then
+/// charges the reply leg. Nested calls (a handler calling out to a third
+/// site) compose naturally because no locks are held across handler
+/// invocations.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Clone)]
+pub struct SimTransport {
+    inner: Arc<SimInner>,
+}
+
+struct SimInner {
+    clock: Clock,
+    topology: RwLock<Topology>,
+    handlers: RwLock<HashMap<SiteId, Arc<dyn MessageHandler>>>,
+    rng: Mutex<DetRng>,
+    trace: NetTrace,
+    metrics: Metrics,
+    /// Scheduled connectivity changes, kept sorted by due time.
+    schedule: Mutex<Vec<(u64, ScheduledChange)>>,
+}
+
+/// A connectivity change that fires at a virtual time (mobility scripts:
+/// "the user enters the tunnel at t=3 s, exits at t=9 s").
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduledChange {
+    /// Disconnect a site from everyone.
+    Disconnect(SiteId),
+    /// Reconnect a previously disconnected site.
+    Reconnect(SiteId),
+    /// Replace the link model for a pair, both directions.
+    SetLink(SiteId, SiteId, crate::link::LinkModel),
+}
+
+impl std::fmt::Debug for SimTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimTransport")
+            .field("sites", &self.inner.handlers.read().len())
+            .field("virtual_nanos", &self.inner.clock.virtual_nanos())
+            .finish()
+    }
+}
+
+impl SimTransport {
+    /// Creates a transport over a uniform topology built from `default_link`.
+    pub fn new(clock: Clock, default_link: crate::link::LinkModel) -> Self {
+        Self::with_topology(clock, Topology::uniform(default_link))
+    }
+
+    /// Creates a transport over an explicit topology.
+    pub fn with_topology(clock: Clock, topology: Topology) -> Self {
+        SimTransport {
+            inner: Arc::new(SimInner {
+                clock,
+                topology: RwLock::new(topology),
+                handlers: RwLock::new(HashMap::new()),
+                rng: Mutex::new(DetRng::new(DEFAULT_SEED)),
+                trace: NetTrace::new(),
+                metrics: Metrics::new(),
+                schedule: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Replaces the deterministic seed used for jitter and loss sampling.
+    pub fn reseed(&self, seed: u64) {
+        *self.inner.rng.lock() = DetRng::new(seed);
+    }
+
+    /// The shared clock network time is charged to.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// The event trace (disabled until `set_enabled(true)`).
+    pub fn trace(&self) -> &NetTrace {
+        &self.inner.trace
+    }
+
+    /// Transport-level metrics (messages/bytes sent and received).
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Runs `f` with mutable access to the topology (set links, disconnect
+    /// sites, create partitions).
+    pub fn with_topology_mut<R>(&self, f: impl FnOnce(&mut Topology) -> R) -> R {
+        f(&mut self.inner.topology.write())
+    }
+
+    /// Convenience: disconnect `site` from everyone.
+    pub fn disconnect(&self, site: SiteId) {
+        self.with_topology_mut(|t| t.disconnect(site));
+    }
+
+    /// Convenience: reconnect `site`.
+    pub fn reconnect(&self, site: SiteId) {
+        self.with_topology_mut(|t| t.reconnect(site));
+    }
+
+    /// Schedules a connectivity change at virtual time `at_nanos`.
+    ///
+    /// Changes apply lazily: the schedule is consulted whenever a frame
+    /// traverses the network or reachability is queried, which is the only
+    /// way time advances observably in this transport.
+    pub fn schedule_change(&self, at_nanos: u64, change: ScheduledChange) {
+        let mut schedule = self.inner.schedule.lock();
+        schedule.push((at_nanos, change));
+        schedule.sort_by_key(|(at, _)| *at);
+    }
+
+    /// Applies every scheduled change whose time has come.
+    fn apply_due_changes(&self) {
+        let now = self.inner.clock.virtual_nanos();
+        loop {
+            let change = {
+                let mut schedule = self.inner.schedule.lock();
+                match schedule.first() {
+                    Some((at, _)) if *at <= now => Some(schedule.remove(0).1),
+                    _ => None,
+                }
+            };
+            let Some(change) = change else { return };
+            let mut topology = self.inner.topology.write();
+            match change {
+                ScheduledChange::Disconnect(site) => topology.disconnect(site),
+                ScheduledChange::Reconnect(site) => topology.reconnect(site),
+                ScheduledChange::SetLink(a, b, link) => {
+                    topology.set_link_symmetric(a, b, link)
+                }
+            }
+        }
+    }
+
+    /// Charges one leg's transfer time and loss lottery; returns the error
+    /// to surface if the frame is lost.
+    fn traverse(&self, from: SiteId, to: SiteId, bytes: usize, is_reply: bool) -> Result<()> {
+        self.apply_due_changes();
+        let (delay, lost) = {
+            let topology = self.inner.topology.read();
+            if !topology.is_up(from, to) {
+                self.inner.trace.record(NetEvent {
+                    at_nanos: self.inner.clock.virtual_nanos(),
+                    from,
+                    to,
+                    bytes,
+                    kind: NetEventKind::Refused,
+                    is_reply,
+                });
+                return Err(ObiError::Disconnected { from, to });
+            }
+            let link = topology.link(from, to);
+            let mut rng = self.inner.rng.lock();
+            (link.transfer_time(bytes, &mut rng), link.drops(&mut rng))
+        };
+        self.inner.clock.charge(delay);
+        self.inner.metrics.incr_messages_sent();
+        self.inner.metrics.add_bytes_sent(bytes as u64);
+        if lost {
+            self.inner.trace.record(NetEvent {
+                at_nanos: self.inner.clock.virtual_nanos(),
+                from,
+                to,
+                bytes,
+                kind: NetEventKind::Dropped,
+                is_reply,
+            });
+            return Err(ObiError::MessageLost { from, to });
+        }
+        self.inner.metrics.incr_messages_received();
+        self.inner.metrics.add_bytes_received(bytes as u64);
+        self.inner.trace.record(NetEvent {
+            at_nanos: self.inner.clock.virtual_nanos(),
+            from,
+            to,
+            bytes,
+            kind: NetEventKind::Delivered,
+            is_reply,
+        });
+        Ok(())
+    }
+
+    fn handler_for(&self, site: SiteId) -> Result<Arc<dyn MessageHandler>> {
+        self.inner
+            .handlers
+            .read()
+            .get(&site)
+            .cloned()
+            .ok_or(ObiError::SiteUnreachable(site))
+    }
+}
+
+impl Transport for SimTransport {
+    fn register(&self, site: SiteId, handler: Arc<dyn MessageHandler>) {
+        self.inner.handlers.write().insert(site, handler);
+    }
+
+    fn deregister(&self, site: SiteId) {
+        self.inner.handlers.write().remove(&site);
+    }
+
+    fn call(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<Bytes> {
+        let handler = self.handler_for(to)?;
+        self.traverse(from, to, frame.len(), false)?;
+        let reply = handler.handle(from, frame).ok_or_else(|| {
+            ObiError::Internal(format!("site {to} produced no reply to a request"))
+        })?;
+        self.traverse(to, from, reply.len(), true)?;
+        Ok(reply)
+    }
+
+    fn cast(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<()> {
+        let handler = self.handler_for(to)?;
+        match self.traverse(from, to, frame.len(), false) {
+            Ok(()) => {
+                handler.handle(from, frame);
+                Ok(())
+            }
+            // Loss on a one-way frame is silent, as on a real network.
+            Err(ObiError::MessageLost { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn is_reachable(&self, from: SiteId, to: SiteId) -> bool {
+        self.apply_due_changes();
+        self.inner.handlers.read().contains_key(&to) && self.inner.topology.read().is_up(from, to)
+    }
+}
+
+/// Default jitter/loss sampling seed; override with [`SimTransport::reseed`].
+const DEFAULT_SEED: u64 = 0x0B1A_57ED_0000_CAFE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditions;
+    use obiwan_util::{ClockMode, ObjId};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn s(n: u32) -> SiteId {
+        SiteId::new(n)
+    }
+
+    struct Echo;
+    impl MessageHandler for Echo {
+        fn handle(&self, _from: SiteId, frame: Bytes) -> Option<Bytes> {
+            Some(frame)
+        }
+    }
+
+    fn transport() -> SimTransport {
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        SimTransport::new(clock, conditions::paper_lan())
+    }
+
+    #[test]
+    fn call_round_trips_and_charges_time() {
+        let net = transport();
+        net.register(s(2), Arc::new(Echo));
+        let reply = net.call(s(1), s(2), Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(&reply[..], b"hello");
+        // Two legs of >= 1 ms latency each.
+        assert!(net.clock().elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn unregistered_destination_is_unreachable() {
+        let net = transport();
+        let err = net.call(s(1), s(9), Bytes::new()).unwrap_err();
+        assert_eq!(err, ObiError::SiteUnreachable(s(9)));
+        assert!(!net.is_reachable(s(1), s(9)));
+    }
+
+    #[test]
+    fn disconnection_refuses_traffic_and_reconnection_heals() {
+        let net = transport();
+        net.register(s(2), Arc::new(Echo));
+        net.disconnect(s(2));
+        let err = net.call(s(1), s(2), Bytes::new()).unwrap_err();
+        assert!(err.is_connectivity());
+        assert!(!net.is_reachable(s(1), s(2)));
+        net.reconnect(s(2));
+        assert!(net.call(s(1), s(2), Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn larger_frames_take_longer() {
+        let net = transport();
+        net.register(s(2), Arc::new(Echo));
+        let t0 = net.clock().virtual_nanos();
+        net.call(s(1), s(2), Bytes::from(vec![0u8; 100])).unwrap();
+        let small = net.clock().virtual_nanos() - t0;
+        let t1 = net.clock().virtual_nanos();
+        net.call(s(1), s(2), Bytes::from(vec![0u8; 100_000])).unwrap();
+        let large = net.clock().virtual_nanos() - t1;
+        assert!(large > small * 10, "large={large} small={small}");
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let run = || {
+            let net = transport();
+            net.reseed(7);
+            net.register(s(2), Arc::new(Echo));
+            net.with_topology_mut(|t| {
+                t.set_link_symmetric(s(1), s(2), conditions::wifi());
+            });
+            for i in 0..50 {
+                let _ = net.call(s(1), s(2), Bytes::from(vec![0u8; i * 10]));
+            }
+            net.clock().virtual_nanos()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lossy_link_eventually_loses_calls() {
+        let net = transport();
+        net.register(s(2), Arc::new(Echo));
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(
+                s(1),
+                s(2),
+                crate::link::LinkModel::ideal().with_loss(0.5),
+            );
+        });
+        let mut losses = 0;
+        for _ in 0..100 {
+            if let Err(ObiError::MessageLost { .. }) = net.call(s(1), s(2), Bytes::new()) {
+                losses += 1;
+            }
+        }
+        assert!(losses > 10, "losses = {losses}");
+    }
+
+    #[test]
+    fn cast_swallows_losses_but_not_disconnection() {
+        let net = transport();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        net.register(
+            s(2),
+            Arc::new(move |_from: SiteId, _frame: Bytes| -> Option<Bytes> {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                None
+            }),
+        );
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(
+                s(1),
+                s(2),
+                crate::link::LinkModel::ideal().with_loss(1.0),
+            );
+        });
+        // Total loss: cast succeeds but nothing arrives.
+        net.cast(s(1), s(2), Bytes::new()).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        net.disconnect(s(2));
+        assert!(net.cast(s(1), s(2), Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn nested_calls_from_handlers_work() {
+        // Site 2's handler forwards to site 3 — exercising re-entrancy.
+        let net = transport();
+        let net2 = net.clone();
+        net.register(s(3), Arc::new(Echo));
+        net.register(
+            s(2),
+            Arc::new(move |_from: SiteId, frame: Bytes| -> Option<Bytes> {
+                net2.call(s(2), s(3), frame).ok()
+            }),
+        );
+        let reply = net.call(s(1), s(2), Bytes::from_static(b"fwd")).unwrap();
+        assert_eq!(&reply[..], b"fwd");
+        // Four legs were charged.
+        assert!(net.clock().elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn trace_records_request_and_reply_legs() {
+        let net = transport();
+        net.trace().set_enabled(true);
+        net.register(s(2), Arc::new(Echo));
+        net.call(s(1), s(2), Bytes::from_static(b"abc")).unwrap();
+        let events = net.trace().events();
+        assert_eq!(events.len(), 2);
+        assert!(!events[0].is_reply);
+        assert!(events[1].is_reply);
+        assert_eq!(events[0].bytes, 3);
+        assert_eq!(events[0].kind, NetEventKind::Delivered);
+    }
+
+    #[test]
+    fn metrics_count_messages_and_bytes() {
+        let net = transport();
+        net.register(s(2), Arc::new(Echo));
+        net.call(s(1), s(2), Bytes::from(vec![0u8; 10])).unwrap();
+        let snap = net.metrics().snapshot();
+        assert_eq!(snap.messages_sent, 2); // request + reply legs
+        assert_eq!(snap.bytes_sent, 20);
+    }
+
+    #[test]
+    fn deregister_makes_site_unreachable() {
+        let net = transport();
+        net.register(s(2), Arc::new(Echo));
+        assert!(net.call(s(1), s(2), Bytes::new()).is_ok());
+        net.deregister(s(2));
+        assert_eq!(
+            net.call(s(1), s(2), Bytes::new()).unwrap_err(),
+            ObiError::SiteUnreachable(s(2))
+        );
+    }
+
+    #[test]
+    fn scheduled_disconnect_fires_at_virtual_time() {
+        let net = transport();
+        net.register(s(2), Arc::new(Echo));
+        // Disconnect S2 at t = 5 ms, reconnect at t = 20 ms.
+        net.schedule_change(5_000_000, ScheduledChange::Disconnect(s(2)));
+        net.schedule_change(20_000_000, ScheduledChange::Reconnect(s(2)));
+        // Each call costs ~2.2 ms; the first two land before the cut.
+        assert!(net.call(s(1), s(2), Bytes::new()).is_ok());
+        assert!(net.call(s(1), s(2), Bytes::new()).is_ok());
+        // Past 5 ms of virtual time: refused.
+        let mut refused = 0;
+        let mut restored = false;
+        for _ in 0..40 {
+            match net.call(s(1), s(2), Bytes::new()) {
+                Err(ObiError::Disconnected { .. }) => {
+                    refused += 1;
+                    // Refusals charge no time; nudge the clock like an
+                    // application doing other work would.
+                    net.clock().charge_nanos(1_000_000);
+                }
+                Ok(_) => {
+                    restored = true;
+                    break;
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(refused > 0, "the scheduled disconnect never fired");
+        assert!(restored, "the scheduled reconnect never fired");
+    }
+
+    #[test]
+    fn scheduled_link_change_degrades_transfer_time() {
+        let net = transport();
+        net.register(s(2), Arc::new(Echo));
+        net.schedule_change(
+            1,
+            ScheduledChange::SetLink(s(1), s(2), crate::conditions::gprs()),
+        );
+        net.clock().charge_nanos(10);
+        let t0 = net.clock().virtual_nanos();
+        let _ = net.call(s(1), s(2), Bytes::from(vec![0u8; 100]));
+        // GPRS round trip is at least 600 ms.
+        assert!(net.clock().virtual_nanos() - t0 > 500_000_000);
+    }
+
+    #[test]
+    fn schedule_applies_in_time_order() {
+        let net = transport();
+        net.register(s(2), Arc::new(Echo));
+        // Deliberately inserted out of order.
+        net.schedule_change(2, ScheduledChange::Reconnect(s(2)));
+        net.schedule_change(1, ScheduledChange::Disconnect(s(2)));
+        net.clock().charge_nanos(10);
+        // Both fired (disconnect then reconnect): traffic flows.
+        assert!(net.call(s(1), s(2), Bytes::new()).is_ok());
+    }
+
+    // ObjId referenced to keep the import graph honest in doc examples.
+    #[allow(dead_code)]
+    fn _uses(_: ObjId) {}
+}

@@ -1,0 +1,298 @@
+//! In-memory network event trace.
+//!
+//! When enabled, the transports record every frame delivery, drop and
+//! refusal with its virtual timestamp. Tests use the trace to assert
+//! protocol behaviour ("exactly one GetRequest crossed the wire"); the
+//! benchmark harness uses it to report message counts per experiment.
+
+use obiwan_util::SiteId;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// What happened to a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEventKind {
+    /// Delivered to the destination handler.
+    Delivered,
+    /// Dropped by a lossy link.
+    Dropped,
+    /// Refused because the link or a site was down.
+    Refused,
+}
+
+impl fmt::Display for NetEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetEventKind::Delivered => "delivered",
+            NetEventKind::Dropped => "dropped",
+            NetEventKind::Refused => "refused",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced network event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetEvent {
+    /// Virtual time at which the event completed, in nanoseconds.
+    pub at_nanos: u64,
+    /// Sender.
+    pub from: SiteId,
+    /// Destination.
+    pub to: SiteId,
+    /// Frame size in bytes.
+    pub bytes: usize,
+    /// Outcome.
+    pub kind: NetEventKind,
+    /// True for the reply leg of a `call`.
+    pub is_reply: bool,
+}
+
+/// A shared, optionally enabled event recorder.
+///
+/// Disabled by default; recording costs one branch per frame when off.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_net::{NetTrace, NetEvent, NetEventKind};
+/// use obiwan_util::SiteId;
+///
+/// let trace = NetTrace::new();
+/// trace.set_enabled(true);
+/// trace.record(NetEvent {
+///     at_nanos: 5,
+///     from: SiteId::new(1),
+///     to: SiteId::new(2),
+///     bytes: 64,
+///     kind: NetEventKind::Delivered,
+///     is_reply: false,
+/// });
+/// assert_eq!(trace.events().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetTrace {
+    inner: Arc<TraceInner>,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    enabled: AtomicBool,
+    events: Mutex<Vec<NetEvent>>,
+}
+
+impl NetTrace {
+    /// Creates a disabled trace.
+    pub fn new() -> Self {
+        NetTrace::default()
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records an event (no-op while disabled).
+    pub fn record(&self, event: NetEvent) {
+        if self.is_enabled() {
+            self.inner.events.lock().push(event);
+        }
+    }
+
+    /// Snapshot of all recorded events, in order.
+    pub fn events(&self) -> Vec<NetEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears all recorded events.
+    pub fn clear(&self) {
+        self.inner.events.lock().clear();
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count_where(&self, pred: impl Fn(&NetEvent) -> bool) -> usize {
+        self.inner.events.lock().iter().filter(|e| pred(e)).count()
+    }
+
+    /// Aggregates the recorded events per directed site pair.
+    pub fn summary(&self) -> TraceSummary {
+        let mut pairs: std::collections::BTreeMap<(SiteId, SiteId), PairStats> =
+            std::collections::BTreeMap::new();
+        for e in self.inner.events.lock().iter() {
+            let stats = pairs.entry((e.from, e.to)).or_default();
+            match e.kind {
+                NetEventKind::Delivered => {
+                    stats.delivered += 1;
+                    stats.bytes += e.bytes as u64;
+                }
+                NetEventKind::Dropped => stats.dropped += 1,
+                NetEventKind::Refused => stats.refused += 1,
+            }
+        }
+        TraceSummary { pairs }
+    }
+}
+
+/// Aggregate traffic between one ordered site pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairStats {
+    /// Frames delivered.
+    pub delivered: u64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// Frames dropped by lossy links.
+    pub dropped: u64,
+    /// Frames refused by disconnections.
+    pub refused: u64,
+}
+
+/// Per-pair aggregation of a [`NetTrace`], for experiment reports and
+/// protocol assertions ("exactly one GetRequest crossed S1→S2").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Stats per `(from, to)` pair, ordered.
+    pub pairs: std::collections::BTreeMap<(SiteId, SiteId), PairStats>,
+}
+
+impl TraceSummary {
+    /// Stats for one directed pair (zeroes when no traffic was recorded).
+    pub fn pair(&self, from: SiteId, to: SiteId) -> PairStats {
+        self.pairs.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Total delivered frames across all pairs.
+    pub fn total_delivered(&self) -> u64 {
+        self.pairs.values().map(|p| p.delivered).sum()
+    }
+
+    /// Total delivered payload bytes across all pairs.
+    pub fn total_bytes(&self) -> u64 {
+        self.pairs.values().map(|p| p.bytes).sum()
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ((from, to), s) in &self.pairs {
+            writeln!(
+                f,
+                "{from} -> {to}: {} frames, {} bytes, {} dropped, {} refused",
+                s.delivered, s.bytes, s.dropped, s.refused
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: NetEventKind) -> NetEvent {
+        NetEvent {
+            at_nanos: 1,
+            from: SiteId::new(1),
+            to: SiteId::new(2),
+            bytes: 10,
+            kind,
+            is_reply: false,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = NetTrace::new();
+        t.record(ev(NetEventKind::Delivered));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let t = NetTrace::new();
+        t.set_enabled(true);
+        t.record(ev(NetEventKind::Delivered));
+        t.record(ev(NetEventKind::Dropped));
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, NetEventKind::Delivered);
+        assert_eq!(events[1].kind, NetEventKind::Dropped);
+    }
+
+    #[test]
+    fn count_where_filters() {
+        let t = NetTrace::new();
+        t.set_enabled(true);
+        for _ in 0..3 {
+            t.record(ev(NetEventKind::Delivered));
+        }
+        t.record(ev(NetEventKind::Refused));
+        assert_eq!(t.count_where(|e| e.kind == NetEventKind::Delivered), 3);
+        assert_eq!(t.count_where(|e| e.kind == NetEventKind::Refused), 1);
+    }
+
+    #[test]
+    fn clear_resets_and_clones_share() {
+        let t = NetTrace::new();
+        t.set_enabled(true);
+        let t2 = t.clone();
+        t2.record(ev(NetEventKind::Delivered));
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn summary_aggregates_per_pair() {
+        let t = NetTrace::new();
+        t.set_enabled(true);
+        let mk = |from: u32, to: u32, bytes: usize, kind| NetEvent {
+            at_nanos: 0,
+            from: SiteId::new(from),
+            to: SiteId::new(to),
+            bytes,
+            kind,
+            is_reply: false,
+        };
+        t.record(mk(1, 2, 10, NetEventKind::Delivered));
+        t.record(mk(1, 2, 20, NetEventKind::Delivered));
+        t.record(mk(2, 1, 5, NetEventKind::Delivered));
+        t.record(mk(1, 2, 99, NetEventKind::Dropped));
+        t.record(mk(1, 3, 0, NetEventKind::Refused));
+        let s = t.summary();
+        let p12 = s.pair(SiteId::new(1), SiteId::new(2));
+        assert_eq!(p12.delivered, 2);
+        assert_eq!(p12.bytes, 30);
+        assert_eq!(p12.dropped, 1);
+        assert_eq!(s.pair(SiteId::new(1), SiteId::new(3)).refused, 1);
+        assert_eq!(s.total_delivered(), 3);
+        assert_eq!(s.total_bytes(), 35);
+        // Unknown pair is all zeroes.
+        assert_eq!(s.pair(SiteId::new(9), SiteId::new(9)), PairStats::default());
+        // Display renders one line per pair.
+        assert_eq!(s.to_string().lines().count(), 3);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(NetEventKind::Delivered.to_string(), "delivered");
+        assert_eq!(NetEventKind::Dropped.to_string(), "dropped");
+        assert_eq!(NetEventKind::Refused.to_string(), "refused");
+    }
+}

@@ -1,0 +1,83 @@
+//! The transport abstraction.
+
+use bytes::Bytes;
+use obiwan_util::{Result, SiteId};
+use std::sync::Arc;
+
+/// A per-site message handler: the upper layer's dispatch entry point.
+///
+/// For request frames the handler returns `Some(reply)`; for one-way frames
+/// it returns `None`. Handlers must be `Send + Sync` because the threaded
+/// transport invokes them from receiver threads.
+pub trait MessageHandler: Send + Sync {
+    /// Handles a frame arriving from `from`, optionally producing a reply.
+    fn handle(&self, from: SiteId, frame: Bytes) -> Option<Bytes>;
+}
+
+impl<F> MessageHandler for F
+where
+    F: Fn(SiteId, Bytes) -> Option<Bytes> + Send + Sync,
+{
+    fn handle(&self, from: SiteId, frame: Bytes) -> Option<Bytes> {
+        self(from, frame)
+    }
+}
+
+/// A bidirectional message transport between sites.
+///
+/// The two implementations are [`SimTransport`](crate::SimTransport)
+/// (deterministic virtual time) and [`MemTransport`](crate::MemTransport)
+/// (real threads). Upper layers are written against this trait so every
+/// protocol runs identically on both.
+pub trait Transport: Send + Sync {
+    /// Registers the handler receiving frames addressed to `site`.
+    ///
+    /// Re-registering a site replaces its handler.
+    fn register(&self, site: SiteId, handler: Arc<dyn MessageHandler>);
+
+    /// Removes a site's handler; subsequent frames to it fail with
+    /// [`ObiError::SiteUnreachable`](obiwan_util::ObiError::SiteUnreachable).
+    fn deregister(&self, site: SiteId);
+
+    /// Synchronous request/response: sends `frame` from `from` to `to` and
+    /// waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Connectivity failures ([`ObiError::Disconnected`],
+    /// [`ObiError::SiteUnreachable`], [`ObiError::MessageLost`]) surface so
+    /// callers can fall back to local replicas; see
+    /// [`ObiError::is_connectivity`](obiwan_util::ObiError::is_connectivity).
+    ///
+    /// [`ObiError::Disconnected`]: obiwan_util::ObiError::Disconnected
+    /// [`ObiError::SiteUnreachable`]: obiwan_util::ObiError::SiteUnreachable
+    /// [`ObiError::MessageLost`]: obiwan_util::ObiError::MessageLost
+    fn call(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<Bytes>;
+
+    /// One-way send (invalidations, update pushes). Delivery is best-effort
+    /// on lossy links; an `Ok` return means the frame was accepted for
+    /// delivery, not that it arrived.
+    fn cast(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<()>;
+
+    /// True when `from` can currently reach `to`.
+    fn is_reachable(&self, from: SiteId, to: SiteId) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_handlers() {
+        let h: Arc<dyn MessageHandler> =
+            Arc::new(|_from: SiteId, frame: Bytes| -> Option<Bytes> { Some(frame) });
+        let out = h.handle(SiteId::new(1), Bytes::from_static(b"x"));
+        assert_eq!(out.unwrap(), Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn handler_trait_is_object_safe() {
+        fn _takes(_: &dyn MessageHandler) {}
+        fn _takes_transport(_: &dyn Transport) {}
+    }
+}

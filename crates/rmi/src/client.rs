@@ -1,0 +1,462 @@
+//! The stub-side client API.
+
+use crate::remote_ref::RemoteRef;
+use obiwan_net::Transport;
+use obiwan_util::{Clock, CostModel, Metrics, ObiError, ObjId, RequestId, Result, SiteId};
+use obiwan_wire::{Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Issues OBIWAN requests from one site and correlates their replies.
+///
+/// One client exists per site; it plays the role of every generated RMI stub
+/// in the original system. CPU dispatch and marshalling costs are charged to
+/// the shared [`Clock`] through the [`CostModel`] (a no-op under
+/// [`ClockMode::Hybrid`](obiwan_util::ClockMode), where real CPU time flows
+/// instead).
+pub struct RmiClient {
+    site: SiteId,
+    transport: Arc<dyn Transport>,
+    clock: Clock,
+    costs: CostModel,
+    metrics: Metrics,
+    seq: AtomicU64,
+    /// Extra attempts for *idempotent* requests on message loss.
+    retries: AtomicU64,
+}
+
+impl std::fmt::Debug for RmiClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmiClient").field("site", &self.site).finish()
+    }
+}
+
+impl RmiClient {
+    /// Creates a client for `site` over `transport`.
+    pub fn new(
+        site: SiteId,
+        transport: Arc<dyn Transport>,
+        clock: Clock,
+        costs: CostModel,
+    ) -> Self {
+        Self::with_metrics(site, transport, clock, costs, Metrics::new())
+    }
+
+    /// Like [`RmiClient::new`], but recording into an externally owned
+    /// counter set (so a process and its client share one metrics view).
+    pub fn with_metrics(
+        site: SiteId,
+        transport: Arc<dyn Transport>,
+        clock: Clock,
+        costs: CostModel,
+        metrics: Metrics,
+    ) -> Self {
+        RmiClient {
+            site,
+            transport,
+            clock,
+            costs,
+            metrics,
+            seq: AtomicU64::new(1),
+            retries: AtomicU64::new(2),
+        }
+    }
+
+    /// Sets how many times *idempotent* requests (`get`, name operations,
+    /// `subscribe`, `ping`) are retried after a lost message. Non-idempotent
+    /// requests (`invoke`, `put`) are never retried: they keep at-most-once
+    /// semantics, and the caller decides whether re-issuing is safe.
+    pub fn set_retries(&self, retries: u64) {
+        self.retries.store(retries, Ordering::Relaxed);
+    }
+
+    /// The site this client issues requests from.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Client-side metrics (RMI counts, bytes marshalled).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The cost model used to charge modeled CPU time.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// True when this site can currently reach `to`.
+    pub fn is_reachable(&self, to: SiteId) -> bool {
+        self.transport.is_reachable(self.site, to)
+    }
+
+    fn next_request(&self) -> RequestId {
+        RequestId::new(self.site, self.seq.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn round_trip(&self, to: SiteId, msg: &Message) -> Result<Message> {
+        self.round_trip_inner(to, msg, 0)
+    }
+
+    /// Round trip retrying lost messages up to the configured budget —
+    /// only safe for idempotent requests.
+    fn round_trip_idempotent(&self, to: SiteId, msg: &Message) -> Result<Message> {
+        self.round_trip_inner(to, msg, self.retries.load(Ordering::Relaxed))
+    }
+
+    fn round_trip_inner(&self, to: SiteId, msg: &Message, retries: u64) -> Result<Message> {
+        let frame = msg.encode();
+        self.clock.charge_cpu(self.costs.rmi_dispatch);
+        self.clock.charge_cpu(self.costs.serialize(frame.len()));
+        let mut attempt = 0;
+        let reply = loop {
+            self.metrics.add_bytes_sent(frame.len() as u64);
+            match self.transport.call(self.site, to, frame.clone()) {
+                Ok(reply) => break reply,
+                Err(e @ ObiError::MessageLost { .. }) if attempt < retries => {
+                    attempt += 1;
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        self.clock.charge_cpu(self.costs.serialize(reply.len()));
+        self.metrics.add_bytes_received(reply.len() as u64);
+        Message::decode(&reply)
+    }
+
+    fn check_correlation(&self, sent: RequestId, got: Option<RequestId>) -> Result<()> {
+        match got {
+            Some(id) if id == sent => Ok(()),
+            other => Err(ObiError::Internal(format!(
+                "reply correlation mismatch: sent {sent}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Remote method invocation: the paper's RMI path through a proxy-in.
+    pub fn invoke(
+        &self,
+        target: &RemoteRef,
+        method: &str,
+        args: ObiValue,
+    ) -> Result<ObiValue> {
+        let request = self.next_request();
+        self.metrics.incr_rmi();
+        let reply = self.round_trip(
+            target.host(),
+            &Message::InvokeRequest {
+                request,
+                target: target.id(),
+                method: method.to_owned(),
+                args,
+            },
+        )?;
+        match reply {
+            Message::InvokeReply { request: id, result } => {
+                self.check_correlation(request, Some(id))?;
+                result
+            }
+            other => Err(unexpected("InvokeReply", &other)),
+        }
+    }
+
+    /// `get(mode)`: demand a replica batch rooted at the referenced object.
+    pub fn get(&self, target: &RemoteRef, mode: WireMode) -> Result<ReplicaBatch> {
+        let request = self.next_request();
+        let reply = self.round_trip_idempotent(
+            target.host(),
+            &Message::GetRequest {
+                request,
+                target: target.id(),
+                mode,
+            },
+        )?;
+        match reply {
+            Message::GetReply { request: id, result } => {
+                self.check_correlation(request, Some(id))?;
+                result
+            }
+            other => Err(unexpected("GetReply", &other)),
+        }
+    }
+
+    /// `put`: send replica state back to the master site.
+    pub fn put(&self, host: SiteId, entries: Vec<ReplicaState>) -> Result<Vec<(ObjId, u64)>> {
+        let request = self.next_request();
+        self.metrics.incr_puts();
+        let reply = self.round_trip(host, &Message::PutRequest { request, entries })?;
+        match reply {
+            Message::PutReply { request: id, result } => {
+                self.check_correlation(request, Some(id))?;
+                result
+            }
+            other => Err(unexpected("PutReply", &other)),
+        }
+    }
+
+    fn name_request(&self, ns: SiteId, op: NameOp) -> Result<ObiValue> {
+        let request = self.next_request();
+        let reply = self.round_trip_idempotent(ns, &Message::NameRequest { request, op })?;
+        match reply {
+            Message::NameReply { request: id, result } => {
+                self.check_correlation(request, Some(id))?;
+                result
+            }
+            other => Err(unexpected("NameReply", &other)),
+        }
+    }
+
+    /// Binds `name` to an exported object at the name server on `ns`.
+    pub fn bind(&self, ns: SiteId, name: &str, target: ObjId) -> Result<()> {
+        self.name_request(
+            ns,
+            NameOp::Bind {
+                name: name.to_owned(),
+                target,
+            },
+        )
+        .map(|_| ())
+    }
+
+    /// Looks `name` up at the name server on `ns`.
+    pub fn lookup(&self, ns: SiteId, name: &str) -> Result<RemoteRef> {
+        let v = self.name_request(ns, NameOp::Lookup { name: name.to_owned() })?;
+        v.as_ref_id()
+            .map(RemoteRef::to_master)
+            .ok_or_else(|| ObiError::Internal(format!("lookup returned {}", v.kind())))
+    }
+
+    /// Removes a binding at the name server on `ns`.
+    pub fn unbind(&self, ns: SiteId, name: &str) -> Result<()> {
+        self.name_request(ns, NameOp::Unbind { name: name.to_owned() })
+            .map(|_| ())
+    }
+
+    /// Lists all names bound at the name server on `ns`.
+    pub fn list_names(&self, ns: SiteId) -> Result<Vec<String>> {
+        let v = self.name_request(ns, NameOp::List)?;
+        match v {
+            ObiValue::List(items) => items
+                .into_iter()
+                .map(|i| match i {
+                    ObiValue::Str(s) => Ok(s),
+                    other => Err(ObiError::Internal(format!(
+                        "name list contained {}",
+                        other.kind()
+                    ))),
+                })
+                .collect(),
+            other => Err(ObiError::Internal(format!("list returned {}", other.kind()))),
+        }
+    }
+
+    /// Subscribes this site to consistency traffic for `object` at its host.
+    pub fn subscribe(&self, host: SiteId, object: ObjId, push: bool) -> Result<()> {
+        let request = self.next_request();
+        let reply = self.round_trip_idempotent(
+            host,
+            &Message::Subscribe {
+                request,
+                object,
+                push,
+            },
+        )?;
+        match reply {
+            Message::Ack { request: id, result } => {
+                self.check_correlation(request, Some(id))?;
+                result.map(|_| ())
+            }
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// One-way: notify `to` that its replicas of `objects` are stale.
+    pub fn send_invalidate(&self, to: SiteId, objects: Vec<ObjId>) -> Result<()> {
+        let frame = Message::Invalidate { objects }.encode();
+        self.clock.charge_cpu(self.costs.serialize(frame.len()));
+        self.transport.cast(self.site, to, frame)
+    }
+
+    /// One-way: push replica updates to `to`.
+    pub fn send_update_push(&self, to: SiteId, entries: Vec<ReplicaState>) -> Result<()> {
+        let frame = Message::UpdatePush { entries }.encode();
+        self.clock.charge_cpu(self.costs.serialize(frame.len()));
+        self.transport.cast(self.site, to, frame)
+    }
+
+    /// Round-trip connectivity probe.
+    pub fn ping(&self, to: SiteId) -> Result<()> {
+        let request = self.next_request();
+        let reply = self.round_trip_idempotent(to, &Message::Ping { request })?;
+        match reply {
+            Message::Pong { request: id } => self.check_correlation(request, Some(id)),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Message) -> ObiError {
+    // Decode-failure Acks from the server carry the real error; surface it.
+    if let Message::Ack { result: Err(e), .. } = got {
+        return e.clone();
+    }
+    ObiError::Internal(format!("expected {wanted}, got {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{EchoService, RmiServer};
+    use obiwan_net::{conditions, SimTransport};
+    use obiwan_util::ClockMode;
+    use std::time::Duration;
+
+    fn rig() -> (RmiClient, Arc<SimTransport>, Clock) {
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        let net = Arc::new(SimTransport::new(clock.clone(), conditions::paper_lan()));
+        net.register(
+            SiteId::new(2),
+            Arc::new(RmiServer::new(Arc::new(EchoService))),
+        );
+        let client = RmiClient::new(
+            SiteId::new(1),
+            net.clone(),
+            clock.clone(),
+            CostModel::paper_testbed(),
+        );
+        (client, net, clock)
+    }
+
+    #[test]
+    fn invoke_round_trips_through_echo() {
+        let (client, _net, _clock) = rig();
+        let target = RemoteRef::to_master(ObjId::new(SiteId::new(2), 1));
+        let out = client
+            .invoke(&target, "anything", ObiValue::Str("v".into()))
+            .unwrap();
+        assert_eq!(out, ObiValue::Str("v".into()));
+        assert_eq!(client.metrics().snapshot().rmi_count, 1);
+    }
+
+    #[test]
+    fn rmi_cost_is_in_the_paper_ballpark() {
+        let (client, _net, clock) = rig();
+        let target = RemoteRef::to_master(ObjId::new(SiteId::new(2), 1));
+        client.invoke(&target, "m", ObiValue::I64(0)).unwrap();
+        let elapsed = clock.elapsed();
+        // Paper §4.1: one RMI ≈ 2.8 ms. Accept 2–4 ms.
+        assert!(elapsed >= Duration::from_millis(2), "{elapsed:?}");
+        assert!(elapsed <= Duration::from_millis(4), "{elapsed:?}");
+    }
+
+    #[test]
+    fn ping_pong() {
+        let (client, _net, _clock) = rig();
+        client.ping(SiteId::new(2)).unwrap();
+        assert!(client.ping(SiteId::new(9)).is_err());
+    }
+
+    #[test]
+    fn connectivity_failure_surfaces_as_connectivity_error() {
+        let (client, net, _clock) = rig();
+        net.disconnect(SiteId::new(2));
+        let target = RemoteRef::to_master(ObjId::new(SiteId::new(2), 1));
+        let err = client.invoke(&target, "m", ObiValue::Null).unwrap_err();
+        assert!(err.is_connectivity());
+        assert!(!client.is_reachable(SiteId::new(2)));
+    }
+
+    #[test]
+    fn unsupported_get_surfaces_server_error() {
+        let (client, _net, _clock) = rig();
+        let target = RemoteRef::to_master(ObjId::new(SiteId::new(2), 1));
+        let err = client.get(&target, WireMode::Transitive).unwrap_err();
+        assert!(matches!(err, ObiError::NoSuchObject(_)));
+    }
+
+    #[test]
+    fn request_ids_are_unique_per_client() {
+        let (client, _net, _clock) = rig();
+        let a = client.next_request();
+        let b = client.next_request();
+        assert_ne!(a, b);
+        assert_eq!(a.origin(), SiteId::new(1));
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+    use crate::server::{EchoService, RmiServer};
+    use obiwan_net::{conditions, LinkModel, SimTransport};
+    use obiwan_util::ClockMode;
+
+    fn lossy_rig(loss: f64) -> (RmiClient, Arc<SimTransport>) {
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        let net = Arc::new(SimTransport::new(clock.clone(), conditions::paper_lan()));
+        net.reseed(99);
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(
+                SiteId::new(1),
+                SiteId::new(2),
+                LinkModel::ideal().with_loss(loss),
+            );
+        });
+        net.register(
+            SiteId::new(2),
+            Arc::new(RmiServer::new(Arc::new(EchoService))),
+        );
+        let client = RmiClient::new(
+            SiteId::new(1),
+            net.clone(),
+            clock,
+            CostModel::free(),
+        );
+        (client, net)
+    }
+
+    #[test]
+    fn idempotent_requests_retry_through_moderate_loss() {
+        let (client, _net) = lossy_rig(0.3);
+        client.set_retries(10);
+        // 50 pings through a 30%-lossy link: with 10 retries each, failure
+        // odds are ~1e-13 per ping.
+        for _ in 0..50 {
+            client.ping(SiteId::new(2)).expect("ping should retry through loss");
+        }
+    }
+
+    #[test]
+    fn invoke_is_never_retried() {
+        let (client, net) = lossy_rig(1.0);
+        client.set_retries(10);
+        let target = RemoteRef::to_master(ObjId::new(SiteId::new(2), 1));
+        // Total loss: the sole attempt fails, and exactly one frame crossed
+        // the transport.
+        let before = net.metrics().snapshot().messages_sent;
+        let err = client.invoke(&target, "m", ObiValue::Null).unwrap_err();
+        assert!(matches!(err, ObiError::MessageLost { .. }));
+        let sent = net.metrics().snapshot().messages_sent - before;
+        assert_eq!(sent, 1, "invoke must be attempted exactly once");
+    }
+
+    #[test]
+    fn zero_retries_fail_fast_on_total_loss() {
+        let (client, _net) = lossy_rig(1.0);
+        client.set_retries(0);
+        assert!(matches!(
+            client.ping(SiteId::new(2)),
+            Err(ObiError::MessageLost { .. })
+        ));
+    }
+
+    #[test]
+    fn retries_do_not_mask_disconnection() {
+        let (client, net) = lossy_rig(0.0);
+        client.set_retries(10);
+        net.disconnect(SiteId::new(2));
+        let err = client.ping(SiteId::new(2)).unwrap_err();
+        assert!(matches!(err, ObiError::Disconnected { .. }));
+    }
+}

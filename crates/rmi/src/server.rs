@@ -1,0 +1,236 @@
+//! The message pump: frames in, [`RmiService`] calls out, replies back.
+
+use crate::service::RmiService;
+use bytes::Bytes;
+use obiwan_net::MessageHandler;
+use obiwan_util::SiteId;
+use obiwan_wire::{Message, ObiValue};
+use std::sync::Arc;
+
+/// Decodes incoming frames, dispatches them to an [`RmiService`], and
+/// encodes the reply — the skeleton side of every OBIWAN interaction.
+///
+/// Malformed frames and application failures never poison the pump: they
+/// turn into error replies (for requests) or are dropped (for one-way
+/// frames), matching how an RMI skeleton surfaces exceptions to the caller
+/// rather than crashing the server.
+pub struct RmiServer {
+    service: Arc<dyn RmiService>,
+}
+
+impl std::fmt::Debug for RmiServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmiServer").finish_non_exhaustive()
+    }
+}
+
+impl RmiServer {
+    /// Wraps a service in a message pump.
+    pub fn new(service: Arc<dyn RmiService>) -> Self {
+        RmiServer { service }
+    }
+
+    fn dispatch(&self, from: SiteId, msg: Message) -> Option<Message> {
+        match msg {
+            Message::InvokeRequest {
+                request,
+                target,
+                method,
+                args,
+            } => Some(Message::InvokeReply {
+                request,
+                result: self.service.invoke(from, target, &method, args),
+            }),
+            Message::GetRequest {
+                request,
+                target,
+                mode,
+            } => Some(Message::GetReply {
+                request,
+                result: self.service.get(from, target, mode),
+            }),
+            Message::PutRequest { request, entries } => Some(Message::PutReply {
+                request,
+                result: self.service.put(from, entries),
+            }),
+            Message::NameRequest { request, op } => Some(Message::NameReply {
+                request,
+                result: self.service.name_op(from, op),
+            }),
+            Message::Subscribe {
+                request,
+                object,
+                push,
+            } => Some(Message::Ack {
+                request,
+                result: self.service.subscribe(from, object, push),
+            }),
+            Message::Ping { request } => Some(Message::Pong { request }),
+            Message::Invalidate { objects } => {
+                self.service.invalidate(from, objects);
+                None
+            }
+            Message::UpdatePush { entries } => {
+                self.service.update_push(from, entries);
+                None
+            }
+            // Replies arriving here are protocol violations; the synchronous
+            // transports never produce them, so drop silently.
+            Message::InvokeReply { .. }
+            | Message::GetReply { .. }
+            | Message::PutReply { .. }
+            | Message::NameReply { .. }
+            | Message::Ack { .. }
+            | Message::Pong { .. } => None,
+        }
+    }
+}
+
+impl MessageHandler for RmiServer {
+    fn handle(&self, from: SiteId, frame: Bytes) -> Option<Bytes> {
+        match Message::decode(&frame) {
+            Ok(msg) => {
+                let is_request = msg.is_request();
+                let request = msg.request_id();
+                match self.dispatch(from, msg) {
+                    Some(reply) => Some(reply.encode()),
+                    // A request must always be answered; if dispatch produced
+                    // nothing (cannot happen for well-formed requests), send
+                    // a generic error rather than stalling the caller.
+                    None if is_request => request.map(|request| {
+                        Message::Ack {
+                            request,
+                            result: Err(obiwan_util::ObiError::Internal(
+                                "request produced no reply".into(),
+                            )),
+                        }
+                        .encode()
+                    }),
+                    None => None,
+                }
+            }
+            Err(e) => {
+                // Can't correlate a reply without a request id; answer with
+                // a null-correlated Ack so callers at least unblock. The
+                // decode error is preserved in the payload.
+                let request =
+                    obiwan_util::RequestId::new(SiteId::new(u32::MAX), 0);
+                Some(
+                    Message::Ack {
+                        request,
+                        result: Err(e),
+                    }
+                    .encode(),
+                )
+            }
+        }
+    }
+}
+
+/// Convenience: a server answering only `Ping` and echoing `Invoke` args,
+/// used by connectivity probes and transport tests.
+#[derive(Debug, Default)]
+pub struct EchoService;
+
+impl RmiService for EchoService {
+    fn invoke(
+        &self,
+        _from: SiteId,
+        _target: obiwan_util::ObjId,
+        _method: &str,
+        args: ObiValue,
+    ) -> obiwan_util::Result<ObiValue> {
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obiwan_util::{ObjId, RequestId};
+
+    fn server() -> RmiServer {
+        RmiServer::new(Arc::new(EchoService))
+    }
+
+    fn rid() -> RequestId {
+        RequestId::new(SiteId::new(1), 1)
+    }
+
+    fn oid() -> ObjId {
+        ObjId::new(SiteId::new(2), 1)
+    }
+
+    #[test]
+    fn ping_yields_pong() {
+        let s = server();
+        let frame = Message::Ping { request: rid() }.encode();
+        let reply = s.handle(SiteId::new(1), frame).unwrap();
+        assert_eq!(
+            Message::decode(&reply).unwrap(),
+            Message::Pong { request: rid() }
+        );
+    }
+
+    #[test]
+    fn invoke_routes_to_service() {
+        let s = server();
+        let frame = Message::InvokeRequest {
+            request: rid(),
+            target: oid(),
+            method: "echo".into(),
+            args: ObiValue::I64(5),
+        }
+        .encode();
+        let reply = Message::decode(&s.handle(SiteId::new(1), frame).unwrap()).unwrap();
+        match reply {
+            Message::InvokeReply { request, result } => {
+                assert_eq!(request, rid());
+                assert_eq!(result.unwrap(), ObiValue::I64(5));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_request_yields_error_reply_not_silence() {
+        let s = server();
+        let frame = Message::GetRequest {
+            request: rid(),
+            target: oid(),
+            mode: obiwan_wire::WireMode::Transitive,
+        }
+        .encode();
+        let reply = Message::decode(&s.handle(SiteId::new(1), frame).unwrap()).unwrap();
+        match reply {
+            Message::GetReply { result, .. } => assert!(result.is_err()),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_way_frames_yield_no_reply() {
+        let s = server();
+        let frame = Message::Invalidate { objects: vec![oid()] }.encode();
+        assert!(s.handle(SiteId::new(1), frame).is_none());
+    }
+
+    #[test]
+    fn garbage_yields_decode_error_reply() {
+        let s = server();
+        let reply = s.handle(SiteId::new(1), Bytes::from_static(b"\xff\xff")).unwrap();
+        match Message::decode(&reply).unwrap() {
+            Message::Ack { result, .. } => {
+                assert!(matches!(result, Err(obiwan_util::ObiError::Decode(_))));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stray_replies_are_dropped() {
+        let s = server();
+        let frame = Message::Pong { request: rid() }.encode();
+        assert!(s.handle(SiteId::new(1), frame).is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! The skeleton-side dispatch interface.
+
+use obiwan_util::{ObiError, ObjId, Result, SiteId};
+use obiwan_wire::{NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
+
+/// What a site must implement to receive OBIWAN traffic.
+///
+/// [`RmiServer`](crate::RmiServer) decodes each incoming frame and routes it
+/// to one of these methods; the object space in `obiwan-core` is the primary
+/// implementor. Every method has a default that rejects the operation, so
+/// special-purpose services (like a pure [`NameServer`](crate::NameServer)
+/// host) only override what they support.
+pub trait RmiService: Send + Sync {
+    /// Remote method invocation on an exported object (the RMI path).
+    fn invoke(&self, from: SiteId, target: ObjId, method: &str, args: ObiValue)
+        -> Result<ObiValue> {
+        let _ = (from, method, args);
+        Err(ObiError::NoSuchObject(target))
+    }
+
+    /// `IProvideRemote::get(mode)` — produce a replica batch rooted at
+    /// `target`.
+    fn get(&self, from: SiteId, target: ObjId, mode: WireMode) -> Result<ReplicaBatch> {
+        let _ = (from, mode);
+        Err(ObiError::NoSuchObject(target))
+    }
+
+    /// `IProvideRemote::put` — apply replica state back onto masters,
+    /// returning the accepted `(object, new_version)` pairs.
+    fn put(&self, from: SiteId, entries: Vec<ReplicaState>) -> Result<Vec<(ObjId, u64)>> {
+        let _ = from;
+        match entries.first() {
+            Some(e) => Err(ObiError::NoSuchObject(e.id)),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Name-server operation.
+    fn name_op(&self, from: SiteId, op: NameOp) -> Result<ObiValue> {
+        let _ = from;
+        let name = match op {
+            NameOp::Bind { name, .. } | NameOp::Lookup { name } | NameOp::Unbind { name } => name,
+            NameOp::List => String::from("*"),
+        };
+        Err(ObiError::NameNotBound(name))
+    }
+
+    /// Subscribe `from` to consistency traffic for `object`.
+    fn subscribe(&self, from: SiteId, object: ObjId, push: bool) -> Result<ObiValue> {
+        let _ = (from, push);
+        Err(ObiError::NoSuchObject(object))
+    }
+
+    /// One-way invalidation notice (replicas of `objects` are stale).
+    fn invalidate(&self, from: SiteId, objects: Vec<ObjId>) {
+        let _ = (from, objects);
+    }
+
+    /// One-way pushed updates.
+    fn update_push(&self, from: SiteId, entries: Vec<ReplicaState>) {
+        let _ = (from, entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obiwan_util::SiteId;
+
+    struct Nothing;
+    impl RmiService for Nothing {}
+
+    #[test]
+    fn defaults_reject_everything_politely() {
+        let s = Nothing;
+        let from = SiteId::new(1);
+        let obj = ObjId::new(SiteId::new(2), 3);
+        assert!(matches!(
+            s.invoke(from, obj, "m", ObiValue::Null),
+            Err(ObiError::NoSuchObject(_))
+        ));
+        assert!(matches!(
+            s.get(from, obj, WireMode::Transitive),
+            Err(ObiError::NoSuchObject(_))
+        ));
+        assert_eq!(s.put(from, vec![]).unwrap(), vec![]);
+        assert!(matches!(
+            s.name_op(from, NameOp::List),
+            Err(ObiError::NameNotBound(_))
+        ));
+        assert!(matches!(
+            s.subscribe(from, obj, true),
+            Err(ObiError::NoSuchObject(_))
+        ));
+        // One-way defaults are no-ops.
+        s.invalidate(from, vec![obj]);
+        s.update_push(from, vec![]);
+    }
+
+    #[test]
+    fn service_is_object_safe() {
+        fn _takes(_: &dyn RmiService) {}
+    }
+}

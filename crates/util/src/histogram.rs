@@ -1,0 +1,231 @@
+//! A small log-bucketed latency histogram.
+//!
+//! Used by the benchmark harness to report invocation-latency
+//! distributions (medians, tails) without storing every sample. Buckets
+//! grow geometrically (~7% per bucket), giving ≤ 4% quantile error across
+//! nanoseconds to minutes — plenty for figure-grade reporting.
+
+use std::time::Duration;
+
+const BUCKETS: usize = 512;
+// Each bucket spans ×2^(1/10) ≈ ×1.072; 512 buckets cover ~10^15 ns.
+const BUCKETS_PER_DOUBLING: f64 = 10.0;
+
+/// A fixed-size, log-bucketed histogram of [`Duration`] samples.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_util::Histogram;
+/// use std::time::Duration;
+///
+/// let mut h = Histogram::new();
+/// for ms in [1u64, 2, 3, 100] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.len(), 4);
+/// assert!(h.quantile(0.5) >= Duration::from_millis(1));
+/// assert!(h.max() >= Duration::from_millis(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: Duration,
+    max: Duration,
+    sum: Duration,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+            sum: Duration::ZERO,
+        }
+    }
+
+    fn bucket_of(d: Duration) -> usize {
+        let nanos = d.as_nanos().max(1) as f64;
+        let idx = (nanos.log2() * BUCKETS_PER_DOUBLING).floor() as isize;
+        idx.clamp(0, BUCKETS as isize - 1) as usize
+    }
+
+    fn bucket_upper(idx: usize) -> Duration {
+        let nanos = 2f64.powf((idx as f64 + 1.0) / BUCKETS_PER_DOUBLING);
+        Duration::from_nanos(nanos as u64)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.counts[Self::bucket_of(d)] += 1;
+        self.total += 1;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+        self.sum += d;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest sample (zero when empty).
+    pub fn min(&self) -> Duration {
+        if self.is_empty() {
+            Duration::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// Arithmetic mean (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.is_empty() {
+            Duration::ZERO
+        } else {
+            self.sum / self.total as u32
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), as an upper bound of the bucket
+    /// holding it. `quantile(0.5)` is the median, `quantile(0.99)` the p99.
+    ///
+    /// Exact extremes are returned for `q = 0` and `q = 1`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.is_empty() {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        if !other.is_empty() {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+            self.sum += other.sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_dominates_all_stats() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(7));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.min(), Duration::from_micros(7));
+        assert_eq!(h.max(), Duration::from_micros(7));
+        assert_eq!(h.mean(), Duration::from_micros(7));
+        assert_eq!(h.quantile(0.5), Duration::from_micros(7));
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i));
+        }
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90);
+        assert!(p90 <= p99);
+        assert!(p99 <= h.max());
+        // ~7% bucket resolution around the true median of 500 µs.
+        let med_us = p50.as_micros() as f64;
+        assert!((450.0..=560.0).contains(&med_us), "median {med_us} µs");
+    }
+
+    #[test]
+    fn bimodal_distribution_shows_the_tail() {
+        // 99 fast (2 µs) + 1 slow (25 ms): the paper's incremental-walk
+        // latency profile.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(2));
+        }
+        h.record(Duration::from_millis(25));
+        assert!(h.quantile(0.5) < Duration::from_micros(3));
+        assert!(h.quantile(1.0) >= Duration::from_millis(25));
+        assert!(h.mean() > Duration::from_micros(200));
+    }
+
+    #[test]
+    fn merge_combines_totals_and_extremes() {
+        let mut a = Histogram::new();
+        a.record(Duration::from_micros(1));
+        let mut b = Histogram::new();
+        b.record(Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.min(), Duration::from_micros(1));
+        assert_eq!(a.max(), Duration::from_millis(1));
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.len(), before.len());
+        assert_eq!(a.max(), before.max());
+    }
+
+    #[test]
+    fn extreme_durations_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(86_400));
+        assert_eq!(h.len(), 2);
+        assert!(h.quantile(0.9) <= h.max());
+    }
+}

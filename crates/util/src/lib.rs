@@ -1,0 +1,43 @@
+//! Shared foundation types for the OBIWAN platform.
+//!
+//! This crate contains the small, dependency-free vocabulary used by every
+//! other OBIWAN crate:
+//!
+//! * [`ids`] — strongly typed identifiers for sites, objects, replicas and
+//!   in-flight requests ([`SiteId`], [`ObjId`], …).
+//! * [`error`] — the platform-wide [`ObiError`] type.
+//! * [`clock`] — virtual/hybrid clocks used by the simulated network and the
+//!   benchmark harness ([`Clock`], [`CostModel`]).
+//! * [`metrics`] — lightweight counters recording messages, bytes, faults and
+//!   replicas ([`Metrics`]).
+//! * [`histogram`] — a log-bucketed latency [`Histogram`] for
+//!   distribution-grade reporting.
+//! * [`rng`] — a tiny deterministic PRNG for reproducible workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use obiwan_util::{SiteId, ObjId, Clock, ClockMode};
+//!
+//! let site = SiteId::new(1);
+//! let obj = ObjId::new(site, 42);
+//! assert_eq!(obj.site(), site);
+//!
+//! let clock = Clock::new(ClockMode::VirtualOnly);
+//! clock.charge_nanos(1_500);
+//! assert_eq!(clock.virtual_nanos(), 1_500);
+//! ```
+
+pub mod clock;
+pub mod error;
+pub mod histogram;
+pub mod ids;
+pub mod metrics;
+pub mod rng;
+
+pub use clock::{Clock, ClockMode, CostModel};
+pub use error::{ObiError, Result};
+pub use histogram::Histogram;
+pub use ids::{ClusterId, ObjId, ReplicaId, RequestId, SiteId};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use rng::DetRng;

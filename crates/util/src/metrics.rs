@@ -1,0 +1,244 @@
+//! Lightweight platform metrics.
+//!
+//! Every site records what the evaluation section of the paper measures:
+//! messages and bytes on the wire, replicas created, proxy pairs created,
+//! object faults taken, and invocations by kind (local vs remote).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, cheaply cloneable counter set.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_util::Metrics;
+/// let m = Metrics::new();
+/// m.incr_lmi();
+/// m.add_bytes_sent(128);
+/// let snap = m.snapshot();
+/// assert_eq!(snap.lmi_count, 1);
+/// assert_eq!(snap.bytes_sent, 128);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    messages_sent: AtomicU64,
+    messages_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    rmi_count: AtomicU64,
+    lmi_count: AtomicU64,
+    object_faults: AtomicU64,
+    replicas_created: AtomicU64,
+    replicas_evicted: AtomicU64,
+    proxy_pairs_created: AtomicU64,
+    proxies_reclaimed: AtomicU64,
+    puts: AtomicU64,
+    refreshes: AtomicU64,
+    conflicts_detected: AtomicU64,
+}
+
+/// A point-in-time copy of all counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub messages_sent: u64,
+    pub messages_received: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub rmi_count: u64,
+    pub lmi_count: u64,
+    pub object_faults: u64,
+    pub replicas_created: u64,
+    pub replicas_evicted: u64,
+    pub proxy_pairs_created: u64,
+    pub proxies_reclaimed: u64,
+    pub puts: u64,
+    pub refreshes: u64,
+    pub conflicts_detected: u64,
+}
+
+macro_rules! counter_methods {
+    ($($incr:ident, $add:ident, $field:ident;)*) => {
+        $(
+            #[doc = concat!("Increments `", stringify!($field), "` by one.")]
+            pub fn $incr(&self) {
+                self.inner.$field.fetch_add(1, Ordering::Relaxed);
+            }
+
+            #[doc = concat!("Adds `n` to `", stringify!($field), "`.")]
+            pub fn $add(&self, n: u64) {
+                self.inner.$field.fetch_add(n, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl Metrics {
+    /// Creates a fresh, zeroed counter set.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    counter_methods! {
+        incr_messages_sent, add_messages_sent, messages_sent;
+        incr_messages_received, add_messages_received, messages_received;
+        incr_bytes_sent, add_bytes_sent, bytes_sent;
+        incr_bytes_received, add_bytes_received, bytes_received;
+        incr_rmi, add_rmi, rmi_count;
+        incr_lmi, add_lmi, lmi_count;
+        incr_object_faults, add_object_faults, object_faults;
+        incr_replicas_created, add_replicas_created, replicas_created;
+        incr_replicas_evicted, add_replicas_evicted, replicas_evicted;
+        incr_proxy_pairs_created, add_proxy_pairs_created, proxy_pairs_created;
+        incr_proxies_reclaimed, add_proxies_reclaimed, proxies_reclaimed;
+        incr_puts, add_puts, puts;
+        incr_refreshes, add_refreshes, refreshes;
+        incr_conflicts_detected, add_conflicts_detected, conflicts_detected;
+    }
+
+    /// Takes a consistent-enough snapshot of all counters (each counter is
+    /// read atomically; the set is not read under a global lock).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let c = &self.inner;
+        MetricsSnapshot {
+            messages_sent: c.messages_sent.load(Ordering::Relaxed),
+            messages_received: c.messages_received.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: c.bytes_received.load(Ordering::Relaxed),
+            rmi_count: c.rmi_count.load(Ordering::Relaxed),
+            lmi_count: c.lmi_count.load(Ordering::Relaxed),
+            object_faults: c.object_faults.load(Ordering::Relaxed),
+            replicas_created: c.replicas_created.load(Ordering::Relaxed),
+            replicas_evicted: c.replicas_evicted.load(Ordering::Relaxed),
+            proxy_pairs_created: c.proxy_pairs_created.load(Ordering::Relaxed),
+            proxies_reclaimed: c.proxies_reclaimed.load(Ordering::Relaxed),
+            puts: c.puts.load(Ordering::Relaxed),
+            refreshes: c.refreshes.load(Ordering::Relaxed),
+            conflicts_detected: c.conflicts_detected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        let c = &self.inner;
+        for a in [
+            &c.messages_sent,
+            &c.messages_received,
+            &c.bytes_sent,
+            &c.bytes_received,
+            &c.rmi_count,
+            &c.lmi_count,
+            &c.object_faults,
+            &c.replicas_created,
+            &c.replicas_evicted,
+            &c.proxy_pairs_created,
+            &c.proxies_reclaimed,
+            &c.puts,
+            &c.refreshes,
+            &c.conflicts_detected,
+        ] {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Difference between `self` and an earlier snapshot, per counter.
+    ///
+    /// Saturates at zero so a reset between snapshots does not wrap.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            messages_received: self
+                .messages_received
+                .saturating_sub(earlier.messages_received),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            rmi_count: self.rmi_count.saturating_sub(earlier.rmi_count),
+            lmi_count: self.lmi_count.saturating_sub(earlier.lmi_count),
+            object_faults: self.object_faults.saturating_sub(earlier.object_faults),
+            replicas_created: self
+                .replicas_created
+                .saturating_sub(earlier.replicas_created),
+            replicas_evicted: self
+                .replicas_evicted
+                .saturating_sub(earlier.replicas_evicted),
+            proxy_pairs_created: self
+                .proxy_pairs_created
+                .saturating_sub(earlier.proxy_pairs_created),
+            proxies_reclaimed: self
+                .proxies_reclaimed
+                .saturating_sub(earlier.proxies_reclaimed),
+            puts: self.puts.saturating_sub(earlier.puts),
+            refreshes: self.refreshes.saturating_sub(earlier.refreshes),
+            conflicts_detected: self
+                .conflicts_detected
+                .saturating_sub(earlier.conflicts_detected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let snap = Metrics::new().snapshot();
+        assert_eq!(snap, MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn increments_and_adds_are_visible_in_snapshots() {
+        let m = Metrics::new();
+        m.incr_rmi();
+        m.incr_rmi();
+        m.add_bytes_sent(100);
+        m.incr_object_faults();
+        let s = m.snapshot();
+        assert_eq!(s.rmi_count, 2);
+        assert_eq!(s.bytes_sent, 100);
+        assert_eq!(s.object_faults, 1);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.incr_lmi();
+        assert_eq!(m.snapshot().lmi_count, 1);
+    }
+
+    #[test]
+    fn since_computes_deltas_and_saturates() {
+        let m = Metrics::new();
+        m.add_puts(3);
+        let a = m.snapshot();
+        m.add_puts(2);
+        let b = m.snapshot();
+        assert_eq!(b.since(&a).puts, 2);
+        // Saturation: earlier snapshot "larger" than later.
+        assert_eq!(a.since(&b).puts, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = Metrics::new();
+        m.incr_messages_sent();
+        m.add_bytes_received(7);
+        m.incr_conflicts_detected();
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn metrics_are_send_and_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<Metrics>();
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic pseudo-randomness for reproducible workloads.
+//!
+//! The network simulator (jitter, loss) and the workload generators need
+//! randomness that is stable across runs and platforms. [`DetRng`] is a
+//! small, fast SplitMix64 generator; it is *not* cryptographically secure
+//! and is not meant to be.
+
+/// A deterministic SplitMix64 pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_util::DetRng;
+/// let mut a = DetRng::new(7);
+/// let mut b = DetRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl Default for DetRng {
+    fn default() -> Self {
+        DetRng::new(0x0BEE_5EED)
+    }
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire-style bounded sampling without bias for our purposes
+        // (the simulator tolerates the negligible modulo bias for small
+        // bounds, but widening multiply keeps it cheap and near-uniform).
+        let x = self.next_u64();
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "lo must not exceed hi");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fills `buf` with deterministic bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::new(123);
+        let mut b = DetRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn bounded_values_stay_in_range() {
+        let mut r = DetRng::new(9);
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+            let v = r.next_range(5, 7);
+            assert!((5..=7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_chance_extremes() {
+        let mut r = DetRng::new(4);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_covers_buffer() {
+        let mut a = DetRng::new(77);
+        let mut b = DetRng::new(77);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+        assert!(ba.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        DetRng::new(0).next_below(0);
+    }
+}

@@ -1,0 +1,626 @@
+//! Compact binary encoder/decoder.
+//!
+//! Layout rules:
+//!
+//! * scalars are little-endian, lengths and unsigned integers are LEB128
+//!   varints, signed integers are zig-zag varints;
+//! * every [`ObiValue`] is prefixed by a one-byte tag, making the stream
+//!   self-describing;
+//! * decoding is total: malformed input yields [`ObiError::Decode`], never a
+//!   panic.
+
+use crate::value::ObiValue;
+use bytes::{Bytes, BytesMut};
+use obiwan_util::{ClusterId, ObiError, ObjId, RequestId, Result, SiteId};
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BYTES: u8 = 6;
+const TAG_LIST: u8 = 7;
+const TAG_MAP: u8 = 8;
+const TAG_REF: u8 = 9;
+
+/// Maximum collection length accepted by the decoder; guards against
+/// adversarial or corrupt length prefixes allocating unbounded memory.
+const MAX_LEN: u64 = 1 << 28;
+
+/// A growable buffer that serializes OBIWAN primitives.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_wire::{Encoder, Decoder};
+///
+/// # fn main() -> obiwan_util::Result<()> {
+/// let mut enc = Encoder::new();
+/// enc.put_varint(300);
+/// enc.put_str("abc");
+/// let bytes = enc.finish();
+/// let mut dec = Decoder::new(&bytes);
+/// assert_eq!(dec.take_varint()?, 300);
+/// assert_eq!(dec.take_str()?, "abc");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: BytesMut::new() }
+    }
+
+    /// Creates an encoder with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Writes a raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.extend_from_slice(&[v]);
+    }
+
+    /// Writes an unsigned LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.put_u8(byte);
+                return;
+            }
+            self.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Writes a zig-zag-encoded signed varint.
+    pub fn put_i64(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Writes an IEEE-754 double, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a site identifier.
+    pub fn put_site(&mut self, s: SiteId) {
+        self.put_varint(s.as_u32() as u64);
+    }
+
+    /// Writes an object identifier.
+    pub fn put_obj_id(&mut self, id: ObjId) {
+        self.put_site(id.site());
+        self.put_varint(id.local());
+    }
+
+    /// Writes a request identifier.
+    pub fn put_request_id(&mut self, id: RequestId) {
+        self.put_site(id.origin());
+        self.put_varint(id.seq());
+    }
+
+    /// Writes a cluster identifier.
+    pub fn put_cluster_id(&mut self, id: ClusterId) {
+        self.put_site(id.provider());
+        self.put_varint(id.seq());
+    }
+
+    /// Writes a tagged [`ObiValue`], recursively.
+    pub fn put_value(&mut self, v: &ObiValue) {
+        match v {
+            ObiValue::Null => self.put_u8(TAG_NULL),
+            ObiValue::Bool(false) => self.put_u8(TAG_BOOL_FALSE),
+            ObiValue::Bool(true) => self.put_u8(TAG_BOOL_TRUE),
+            ObiValue::I64(x) => {
+                self.put_u8(TAG_I64);
+                self.put_i64(*x);
+            }
+            ObiValue::F64(x) => {
+                self.put_u8(TAG_F64);
+                self.put_f64(*x);
+            }
+            ObiValue::Str(s) => {
+                self.put_u8(TAG_STR);
+                self.put_str(s);
+            }
+            ObiValue::Bytes(b) => {
+                self.put_u8(TAG_BYTES);
+                self.put_bytes(b);
+            }
+            ObiValue::List(items) => {
+                self.put_u8(TAG_LIST);
+                self.put_varint(items.len() as u64);
+                for item in items {
+                    self.put_value(item);
+                }
+            }
+            ObiValue::Map(entries) => {
+                self.put_u8(TAG_MAP);
+                self.put_varint(entries.len() as u64);
+                for (k, item) in entries {
+                    self.put_str(k);
+                    self.put_value(item);
+                }
+            }
+            ObiValue::Ref(id) => {
+                self.put_u8(TAG_REF);
+                self.put_obj_id(*id);
+            }
+        }
+    }
+
+    /// Writes a platform error (see [`Decoder::take_error`]).
+    pub fn put_error(&mut self, e: &ObiError) {
+        match e {
+            ObiError::SiteUnreachable(s) => {
+                self.put_u8(0);
+                self.put_site(*s);
+            }
+            ObiError::Disconnected { from, to } => {
+                self.put_u8(1);
+                self.put_site(*from);
+                self.put_site(*to);
+            }
+            ObiError::MessageLost { from, to } => {
+                self.put_u8(2);
+                self.put_site(*from);
+                self.put_site(*to);
+            }
+            ObiError::NoSuchObject(o) => {
+                self.put_u8(3);
+                self.put_obj_id(*o);
+            }
+            ObiError::NoSuchMethod { object, method } => {
+                self.put_u8(4);
+                self.put_obj_id(*object);
+                self.put_str(method);
+            }
+            ObiError::NameNotBound(n) => {
+                self.put_u8(5);
+                self.put_str(n);
+            }
+            ObiError::NameAlreadyBound(n) => {
+                self.put_u8(6);
+                self.put_str(n);
+            }
+            ObiError::ReentrantInvocation(o) => {
+                self.put_u8(7);
+                self.put_obj_id(*o);
+            }
+            ObiError::Decode(m) => {
+                self.put_u8(8);
+                self.put_str(m);
+            }
+            ObiError::BadArguments(m) => {
+                self.put_u8(9);
+                self.put_str(m);
+            }
+            ObiError::UpdateRejected { object, reason } => {
+                self.put_u8(10);
+                self.put_obj_id(*object);
+                self.put_str(reason);
+            }
+            ObiError::ClusterMember(o) => {
+                self.put_u8(11);
+                self.put_obj_id(*o);
+            }
+            ObiError::NotReplicated(o) => {
+                self.put_u8(12);
+                self.put_obj_id(*o);
+            }
+            ObiError::StaleProvider(o) => {
+                self.put_u8(13);
+                self.put_obj_id(*o);
+            }
+            ObiError::Application(m) => {
+                self.put_u8(14);
+                self.put_str(m);
+            }
+            ObiError::Internal(m) => {
+                self.put_u8(15);
+                self.put_str(m);
+            }
+            other => {
+                // `ObiError` is non_exhaustive; future variants degrade to an
+                // internal error carrying their rendering.
+                self.put_u8(15);
+                self.put_str(&other.to_string());
+            }
+        }
+    }
+}
+
+/// A cursor that deserializes OBIWAN primitives.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when all input has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn err(msg: impl Into<String>) -> ObiError {
+        ObiError::Decode(msg.into())
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| Self::err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn take_varint(&mut self) -> Result<u64> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take_u8()?;
+            if shift >= 64 {
+                return Err(Self::err("varint overflows u64"));
+            }
+            result |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zig-zag-encoded signed varint.
+    pub fn take_i64(&mut self) -> Result<i64> {
+        let v = self.take_varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Reads an IEEE-754 double.
+    pub fn take_f64(&mut self) -> Result<f64> {
+        let slice = self.take_slice(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(slice);
+        Ok(f64::from_le_bytes(arr))
+    }
+
+    fn take_slice(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Self::err(format!(
+                "need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_len(&mut self) -> Result<usize> {
+        let len = self.take_varint()?;
+        if len > MAX_LEN {
+            return Err(Self::err(format!("length {len} exceeds limit")));
+        }
+        Ok(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String> {
+        let len = self.take_len()?;
+        let slice = self.take_slice(len)?;
+        String::from_utf8(slice.to_vec()).map_err(|e| Self::err(format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn take_bytes(&mut self) -> Result<Bytes> {
+        let len = self.take_len()?;
+        Ok(Bytes::copy_from_slice(self.take_slice(len)?))
+    }
+
+    /// Reads a site identifier.
+    pub fn take_site(&mut self) -> Result<SiteId> {
+        let raw = self.take_varint()?;
+        u32::try_from(raw)
+            .map(SiteId::new)
+            .map_err(|_| Self::err("site id out of range"))
+    }
+
+    /// Reads an object identifier.
+    pub fn take_obj_id(&mut self) -> Result<ObjId> {
+        let site = self.take_site()?;
+        let local = self.take_varint()?;
+        Ok(ObjId::new(site, local))
+    }
+
+    /// Reads a request identifier.
+    pub fn take_request_id(&mut self) -> Result<RequestId> {
+        let origin = self.take_site()?;
+        let seq = self.take_varint()?;
+        Ok(RequestId::new(origin, seq))
+    }
+
+    /// Reads a cluster identifier.
+    pub fn take_cluster_id(&mut self) -> Result<ClusterId> {
+        let provider = self.take_site()?;
+        let seq = self.take_varint()?;
+        Ok(ClusterId::new(provider, seq))
+    }
+
+    /// Reads a tagged [`ObiValue`], recursively.
+    pub fn take_value(&mut self) -> Result<ObiValue> {
+        match self.take_u8()? {
+            TAG_NULL => Ok(ObiValue::Null),
+            TAG_BOOL_FALSE => Ok(ObiValue::Bool(false)),
+            TAG_BOOL_TRUE => Ok(ObiValue::Bool(true)),
+            TAG_I64 => Ok(ObiValue::I64(self.take_i64()?)),
+            TAG_F64 => Ok(ObiValue::F64(self.take_f64()?)),
+            TAG_STR => Ok(ObiValue::Str(self.take_str()?)),
+            TAG_BYTES => Ok(ObiValue::Bytes(self.take_bytes()?)),
+            TAG_LIST => {
+                let len = self.take_len()?;
+                let mut items = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    items.push(self.take_value()?);
+                }
+                Ok(ObiValue::List(items))
+            }
+            TAG_MAP => {
+                let len = self.take_len()?;
+                let mut entries = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    let k = self.take_str()?;
+                    let v = self.take_value()?;
+                    entries.push((k, v));
+                }
+                Ok(ObiValue::Map(entries))
+            }
+            TAG_REF => Ok(ObiValue::Ref(self.take_obj_id()?)),
+            tag => Err(Self::err(format!("unknown value tag {tag}"))),
+        }
+    }
+
+    /// Reads a platform error written by [`Encoder::put_error`].
+    pub fn take_error(&mut self) -> Result<ObiError> {
+        Ok(match self.take_u8()? {
+            0 => ObiError::SiteUnreachable(self.take_site()?),
+            1 => ObiError::Disconnected {
+                from: self.take_site()?,
+                to: self.take_site()?,
+            },
+            2 => ObiError::MessageLost {
+                from: self.take_site()?,
+                to: self.take_site()?,
+            },
+            3 => ObiError::NoSuchObject(self.take_obj_id()?),
+            4 => ObiError::NoSuchMethod {
+                object: self.take_obj_id()?,
+                method: self.take_str()?,
+            },
+            5 => ObiError::NameNotBound(self.take_str()?),
+            6 => ObiError::NameAlreadyBound(self.take_str()?),
+            7 => ObiError::ReentrantInvocation(self.take_obj_id()?),
+            8 => ObiError::Decode(self.take_str()?),
+            9 => ObiError::BadArguments(self.take_str()?),
+            10 => ObiError::UpdateRejected {
+                object: self.take_obj_id()?,
+                reason: self.take_str()?,
+            },
+            11 => ObiError::ClusterMember(self.take_obj_id()?),
+            12 => ObiError::NotReplicated(self.take_obj_id()?),
+            13 => ObiError::StaleProvider(self.take_obj_id()?),
+            14 => ObiError::Application(self.take_str()?),
+            15 => ObiError::Internal(self.take_str()?),
+            tag => return Err(Self::err(format!("unknown error tag {tag}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: &ObiValue) -> ObiValue {
+        let mut enc = Encoder::new();
+        enc.put_value(v);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        let out = dec.take_value().expect("decode");
+        assert!(dec.is_exhausted(), "trailing bytes after {v:?}");
+        out
+    }
+
+    #[test]
+    fn varint_edge_values_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut enc = Encoder::new();
+            enc.put_varint(v);
+            let b = enc.finish();
+            assert_eq!(Decoder::new(&b).take_varint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn signed_varint_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut enc = Encoder::new();
+            enc.put_i64(v);
+            let b = enc.finish();
+            assert_eq!(Decoder::new(&b).take_i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_varints_are_one_byte() {
+        let mut enc = Encoder::new();
+        enc.put_varint(5);
+        assert_eq!(enc.len(), 1);
+    }
+
+    #[test]
+    fn scalar_values_roundtrip() {
+        for v in [
+            ObiValue::Null,
+            ObiValue::Bool(true),
+            ObiValue::Bool(false),
+            ObiValue::I64(-123456789),
+            ObiValue::F64(3.5),
+            ObiValue::F64(f64::NEG_INFINITY),
+            ObiValue::Str("héllo".into()),
+            ObiValue::Bytes(Bytes::from_static(b"\x00\x01\x02")),
+        ] {
+            assert_eq!(roundtrip_value(&v), v);
+        }
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let id = ObjId::new(SiteId::new(3), 14);
+        let v = ObiValue::Map(vec![
+            ("list".into(), ObiValue::List(vec![1i64.into(), "x".into()])),
+            ("ref".into(), ObiValue::Ref(id)),
+            ("empty".into(), ObiValue::List(vec![])),
+        ]);
+        assert_eq!(roundtrip_value(&v), v);
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        let mut enc = Encoder::new();
+        let oid = ObjId::new(SiteId::new(7), 99);
+        let rid = RequestId::new(SiteId::new(1), 5);
+        let cid = ClusterId::new(SiteId::new(2), 8);
+        enc.put_obj_id(oid);
+        enc.put_request_id(rid);
+        enc.put_cluster_id(cid);
+        let b = enc.finish();
+        let mut dec = Decoder::new(&b);
+        assert_eq!(dec.take_obj_id().unwrap(), oid);
+        assert_eq!(dec.take_request_id().unwrap(), rid);
+        assert_eq!(dec.take_cluster_id().unwrap(), cid);
+    }
+
+    #[test]
+    fn all_errors_roundtrip() {
+        let s1 = SiteId::new(1);
+        let s2 = SiteId::new(2);
+        let o = ObjId::new(s2, 4);
+        let errors = vec![
+            ObiError::SiteUnreachable(s1),
+            ObiError::Disconnected { from: s1, to: s2 },
+            ObiError::MessageLost { from: s1, to: s2 },
+            ObiError::NoSuchObject(o),
+            ObiError::NoSuchMethod { object: o, method: "m".into() },
+            ObiError::NameNotBound("n".into()),
+            ObiError::NameAlreadyBound("n".into()),
+            ObiError::ReentrantInvocation(o),
+            ObiError::Decode("d".into()),
+            ObiError::BadArguments("b".into()),
+            ObiError::UpdateRejected { object: o, reason: "r".into() },
+            ObiError::ClusterMember(o),
+            ObiError::NotReplicated(o),
+            ObiError::StaleProvider(o),
+            ObiError::Application("a".into()),
+            ObiError::Internal("i".into()),
+        ];
+        for e in errors {
+            let mut enc = Encoder::new();
+            enc.put_error(&e);
+            let b = enc.finish();
+            assert_eq!(Decoder::new(&b).take_error().unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut enc = Encoder::new();
+        enc.put_value(&ObiValue::Str("hello world".into()));
+        let b = enc.finish();
+        for cut in 0..b.len() {
+            let mut dec = Decoder::new(&b[..cut]);
+            assert!(dec.take_value().is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut dec = Decoder::new(&[200]);
+        assert!(matches!(dec.take_value(), Err(ObiError::Decode(_))));
+        let mut dec = Decoder::new(&[200]);
+        assert!(matches!(dec.take_error(), Err(ObiError::Decode(_))));
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected() {
+        // Claim a list of 2^40 elements with no payload.
+        let mut enc = Encoder::new();
+        enc.put_u8(7); // TAG_LIST
+        enc.put_varint(1 << 40);
+        let b = enc.finish();
+        assert!(Decoder::new(&b).take_value().is_err());
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let b = [0xFFu8; 11];
+        assert!(Decoder::new(&b).take_varint().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_varint(2);
+        enc.put_u8(0xFF);
+        enc.put_u8(0xFE);
+        let b = enc.finish();
+        assert!(Decoder::new(&b).take_str().is_err());
+    }
+}

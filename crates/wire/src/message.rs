@@ -1,0 +1,802 @@
+//! Protocol messages exchanged between OBIWAN sites.
+//!
+//! Every cross-site interaction in the platform is one of these messages:
+//! remote method invocation (the RMI path), incremental/cluster replication
+//! (`get`), replica write-back (`put`), name-server operations, and the
+//! one-way consistency traffic (invalidations and update pushes).
+//!
+//! Messages encode to a tagged binary frame via [`Message::encode`] and are
+//! restored with [`Message::decode`]; the pair is the identity on all valid
+//! messages.
+
+use crate::codec::{Decoder, Encoder};
+use crate::value::ObiValue;
+use bytes::Bytes;
+use obiwan_util::{ClusterId, ObiError, ObjId, RequestId, Result};
+
+/// The replication mode requested by a `get`, as it crosses the wire.
+///
+/// This mirrors the `mode` argument of the paper's
+/// `IProvideRemote::get(mode)`: the application chooses, at run time, between
+/// incremental replication, run-time-sized clusters, and full transitive
+/// closure (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireMode {
+    /// Replicate `batch` objects per fault, each with its own proxy pair.
+    Incremental {
+        /// Objects materialized per object fault (≥ 1).
+        batch: u32,
+    },
+    /// Replicate clusters of `size` objects sharing a single proxy pair.
+    Cluster {
+        /// Objects per cluster (≥ 1).
+        size: u32,
+    },
+    /// Replicate the whole reachability graph in one step.
+    Transitive,
+}
+
+impl WireMode {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            WireMode::Incremental { batch } => {
+                enc.put_u8(0);
+                enc.put_varint(u64::from(*batch));
+            }
+            WireMode::Cluster { size } => {
+                enc.put_u8(1);
+                enc.put_varint(u64::from(*size));
+            }
+            WireMode::Transitive => enc.put_u8(2),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.take_u8()? {
+            0 => WireMode::Incremental {
+                batch: dec.take_varint()? as u32,
+            },
+            1 => WireMode::Cluster {
+                size: dec.take_varint()? as u32,
+            },
+            2 => WireMode::Transitive,
+            tag => return Err(ObiError::Decode(format!("unknown mode tag {tag}"))),
+        })
+    }
+}
+
+/// The serialized state of one object replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaState {
+    /// The master object's identity.
+    pub id: ObjId,
+    /// Class name, resolved against the receiving site's class registry.
+    pub class: String,
+    /// Master version at serialization time (monotonic per object).
+    pub version: u64,
+    /// Field state as produced by the object's own `encode`.
+    pub state: Bytes,
+}
+
+impl ReplicaState {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_obj_id(self.id);
+        enc.put_str(&self.class);
+        enc.put_varint(self.version);
+        enc.put_bytes(&self.state);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(ReplicaState {
+            id: dec.take_obj_id()?,
+            class: dec.take_str()?,
+            version: dec.take_varint()?,
+            state: dec.take_bytes()?,
+        })
+    }
+}
+
+/// An out-edge of a replica batch pointing at an object that was *not*
+/// included: the receiver must create a proxy-out for it (paper §2.2 step 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierEdge {
+    /// The not-yet-replicated object the proxy-out will stand in for.
+    pub target: ObjId,
+    /// Its class name (so faulting can be validated early).
+    pub class: String,
+}
+
+impl FrontierEdge {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_obj_id(self.target);
+        enc.put_str(&self.class);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(FrontierEdge {
+            target: dec.take_obj_id()?,
+            class: dec.take_str()?,
+        })
+    }
+}
+
+/// The payload of a successful `get`: replicas plus the frontier of
+/// references left as proxy-outs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaBatch {
+    /// The object the `get` was addressed to.
+    pub root: ObjId,
+    /// Materialized replicas, in traversal order (root first).
+    pub replicas: Vec<ReplicaState>,
+    /// Out-edges to objects not in the batch.
+    pub frontier: Vec<FrontierEdge>,
+    /// When set, the whole batch is one cluster sharing a single proxy pair;
+    /// members cannot be individually updated (paper §4.3).
+    pub cluster: Option<ClusterId>,
+}
+
+impl ReplicaBatch {
+    /// Total serialized object-state bytes in the batch (excluding framing).
+    pub fn state_bytes(&self) -> usize {
+        self.replicas.iter().map(|r| r.state.len()).sum()
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_obj_id(self.root);
+        enc.put_varint(self.replicas.len() as u64);
+        for r in &self.replicas {
+            r.encode(enc);
+        }
+        enc.put_varint(self.frontier.len() as u64);
+        for f in &self.frontier {
+            f.encode(enc);
+        }
+        match self.cluster {
+            None => enc.put_u8(0),
+            Some(c) => {
+                enc.put_u8(1);
+                enc.put_cluster_id(c);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let root = dec.take_obj_id()?;
+        let n = dec.take_varint()? as usize;
+        let mut replicas = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            replicas.push(ReplicaState::decode(dec)?);
+        }
+        let m = dec.take_varint()? as usize;
+        let mut frontier = Vec::with_capacity(m.min(4096));
+        for _ in 0..m {
+            frontier.push(FrontierEdge::decode(dec)?);
+        }
+        let cluster = match dec.take_u8()? {
+            0 => None,
+            1 => Some(dec.take_cluster_id()?),
+            tag => return Err(ObiError::Decode(format!("bad cluster flag {tag}"))),
+        };
+        Ok(ReplicaBatch {
+            root,
+            replicas,
+            frontier,
+            cluster,
+        })
+    }
+}
+
+/// A name-server operation (the paper's registration of `AProxyIn` in a name
+/// server, §2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameOp {
+    /// Bind `name` to an exported object.
+    Bind { name: String, target: ObjId },
+    /// Resolve `name` to an object id.
+    Lookup { name: String },
+    /// Remove a binding.
+    Unbind { name: String },
+    /// Enumerate all bound names.
+    List,
+}
+
+impl NameOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            NameOp::Bind { name, target } => {
+                enc.put_u8(0);
+                enc.put_str(name);
+                enc.put_obj_id(*target);
+            }
+            NameOp::Lookup { name } => {
+                enc.put_u8(1);
+                enc.put_str(name);
+            }
+            NameOp::Unbind { name } => {
+                enc.put_u8(2);
+                enc.put_str(name);
+            }
+            NameOp::List => enc.put_u8(3),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.take_u8()? {
+            0 => NameOp::Bind {
+                name: dec.take_str()?,
+                target: dec.take_obj_id()?,
+            },
+            1 => NameOp::Lookup {
+                name: dec.take_str()?,
+            },
+            2 => NameOp::Unbind {
+                name: dec.take_str()?,
+            },
+            3 => NameOp::List,
+            tag => return Err(ObiError::Decode(format!("unknown name op {tag}"))),
+        })
+    }
+}
+
+fn encode_result_value(enc: &mut Encoder, r: &std::result::Result<ObiValue, ObiError>) {
+    match r {
+        Ok(v) => {
+            enc.put_u8(0);
+            enc.put_value(v);
+        }
+        Err(e) => {
+            enc.put_u8(1);
+            enc.put_error(e);
+        }
+    }
+}
+
+fn decode_result_value(dec: &mut Decoder<'_>) -> Result<std::result::Result<ObiValue, ObiError>> {
+    Ok(match dec.take_u8()? {
+        0 => Ok(dec.take_value()?),
+        1 => Err(dec.take_error()?),
+        tag => return Err(ObiError::Decode(format!("bad result flag {tag}"))),
+    })
+}
+
+/// A protocol message.
+///
+/// Request/reply pairs correlate through their [`RequestId`];
+/// [`Message::Invalidate`] and [`Message::UpdatePush`] are one-way.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Remote method invocation (the RMI path through a proxy-in).
+    InvokeRequest {
+        request: RequestId,
+        target: ObjId,
+        method: String,
+        args: ObiValue,
+    },
+    /// Result of a remote invocation.
+    InvokeReply {
+        request: RequestId,
+        result: std::result::Result<ObiValue, ObiError>,
+    },
+    /// `IProvideRemote::get(mode)` — demand a replica batch.
+    GetRequest {
+        request: RequestId,
+        target: ObjId,
+        mode: WireMode,
+    },
+    /// Replica batch (or failure) answering a [`Message::GetRequest`].
+    GetReply {
+        request: RequestId,
+        result: std::result::Result<ReplicaBatch, ObiError>,
+    },
+    /// `IProvideRemote::put` — write replica state back to the master site.
+    PutRequest {
+        request: RequestId,
+        entries: Vec<ReplicaState>,
+    },
+    /// Per-object accepted versions (or a failure) answering a put.
+    PutReply {
+        request: RequestId,
+        result: std::result::Result<Vec<(ObjId, u64)>, ObiError>,
+    },
+    /// Name-server operation.
+    NameRequest { request: RequestId, op: NameOp },
+    /// Name-server response (`Lookup` yields `Ref`, `List` yields a list of
+    /// strings, `Bind`/`Unbind` yield `Null`).
+    NameReply {
+        request: RequestId,
+        result: std::result::Result<ObiValue, ObiError>,
+    },
+    /// Subscribe to consistency traffic for an object (`push = false` means
+    /// invalidations only, `true` means full update pushes).
+    Subscribe {
+        request: RequestId,
+        object: ObjId,
+        push: bool,
+    },
+    /// Generic acknowledgement for fire-and-confirm requests.
+    Ack {
+        request: RequestId,
+        result: std::result::Result<ObiValue, ObiError>,
+    },
+    /// One-way: the listed master objects changed; local replicas are stale.
+    Invalidate { objects: Vec<ObjId> },
+    /// One-way: pushed replica updates (update dissemination hook).
+    UpdatePush { entries: Vec<ReplicaState> },
+    /// Connectivity probe.
+    Ping { request: RequestId },
+    /// Probe response.
+    Pong { request: RequestId },
+}
+
+const MSG_INVOKE_REQ: u8 = 1;
+const MSG_INVOKE_REP: u8 = 2;
+const MSG_GET_REQ: u8 = 3;
+const MSG_GET_REP: u8 = 4;
+const MSG_PUT_REQ: u8 = 5;
+const MSG_PUT_REP: u8 = 6;
+const MSG_NAME_REQ: u8 = 7;
+const MSG_NAME_REP: u8 = 8;
+const MSG_SUBSCRIBE: u8 = 9;
+const MSG_ACK: u8 = 10;
+const MSG_INVALIDATE: u8 = 11;
+const MSG_UPDATE_PUSH: u8 = 12;
+const MSG_PING: u8 = 13;
+const MSG_PONG: u8 = 14;
+
+impl Message {
+    /// Serializes the message to a self-contained frame.
+    pub fn encode(&self) -> Bytes {
+        let mut enc = Encoder::with_capacity(64);
+        match self {
+            Message::InvokeRequest {
+                request,
+                target,
+                method,
+                args,
+            } => {
+                enc.put_u8(MSG_INVOKE_REQ);
+                enc.put_request_id(*request);
+                enc.put_obj_id(*target);
+                enc.put_str(method);
+                enc.put_value(args);
+            }
+            Message::InvokeReply { request, result } => {
+                enc.put_u8(MSG_INVOKE_REP);
+                enc.put_request_id(*request);
+                encode_result_value(&mut enc, result);
+            }
+            Message::GetRequest {
+                request,
+                target,
+                mode,
+            } => {
+                enc.put_u8(MSG_GET_REQ);
+                enc.put_request_id(*request);
+                enc.put_obj_id(*target);
+                mode.encode(&mut enc);
+            }
+            Message::GetReply { request, result } => {
+                enc.put_u8(MSG_GET_REP);
+                enc.put_request_id(*request);
+                match result {
+                    Ok(batch) => {
+                        enc.put_u8(0);
+                        batch.encode(&mut enc);
+                    }
+                    Err(e) => {
+                        enc.put_u8(1);
+                        enc.put_error(e);
+                    }
+                }
+            }
+            Message::PutRequest { request, entries } => {
+                enc.put_u8(MSG_PUT_REQ);
+                enc.put_request_id(*request);
+                enc.put_varint(entries.len() as u64);
+                for e in entries {
+                    e.encode(&mut enc);
+                }
+            }
+            Message::PutReply { request, result } => {
+                enc.put_u8(MSG_PUT_REP);
+                enc.put_request_id(*request);
+                match result {
+                    Ok(versions) => {
+                        enc.put_u8(0);
+                        enc.put_varint(versions.len() as u64);
+                        for (id, v) in versions {
+                            enc.put_obj_id(*id);
+                            enc.put_varint(*v);
+                        }
+                    }
+                    Err(e) => {
+                        enc.put_u8(1);
+                        enc.put_error(e);
+                    }
+                }
+            }
+            Message::NameRequest { request, op } => {
+                enc.put_u8(MSG_NAME_REQ);
+                enc.put_request_id(*request);
+                op.encode(&mut enc);
+            }
+            Message::NameReply { request, result } => {
+                enc.put_u8(MSG_NAME_REP);
+                enc.put_request_id(*request);
+                encode_result_value(&mut enc, result);
+            }
+            Message::Subscribe {
+                request,
+                object,
+                push,
+            } => {
+                enc.put_u8(MSG_SUBSCRIBE);
+                enc.put_request_id(*request);
+                enc.put_obj_id(*object);
+                enc.put_u8(u8::from(*push));
+            }
+            Message::Ack { request, result } => {
+                enc.put_u8(MSG_ACK);
+                enc.put_request_id(*request);
+                encode_result_value(&mut enc, result);
+            }
+            Message::Invalidate { objects } => {
+                enc.put_u8(MSG_INVALIDATE);
+                enc.put_varint(objects.len() as u64);
+                for o in objects {
+                    enc.put_obj_id(*o);
+                }
+            }
+            Message::UpdatePush { entries } => {
+                enc.put_u8(MSG_UPDATE_PUSH);
+                enc.put_varint(entries.len() as u64);
+                for e in entries {
+                    e.encode(&mut enc);
+                }
+            }
+            Message::Ping { request } => {
+                enc.put_u8(MSG_PING);
+                enc.put_request_id(*request);
+            }
+            Message::Pong { request } => {
+                enc.put_u8(MSG_PONG);
+                enc.put_request_id(*request);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Deserializes a frame produced by [`Message::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObiError::Decode`] on any malformed input, including
+    /// trailing garbage after a valid message.
+    pub fn decode(frame: &[u8]) -> Result<Message> {
+        let mut dec = Decoder::new(frame);
+        let msg = Self::decode_inner(&mut dec)?;
+        if !dec.is_exhausted() {
+            return Err(ObiError::Decode(format!(
+                "{} trailing bytes after message",
+                dec.remaining()
+            )));
+        }
+        Ok(msg)
+    }
+
+    fn decode_inner(dec: &mut Decoder<'_>) -> Result<Message> {
+        Ok(match dec.take_u8()? {
+            MSG_INVOKE_REQ => Message::InvokeRequest {
+                request: dec.take_request_id()?,
+                target: dec.take_obj_id()?,
+                method: dec.take_str()?,
+                args: dec.take_value()?,
+            },
+            MSG_INVOKE_REP => Message::InvokeReply {
+                request: dec.take_request_id()?,
+                result: decode_result_value(dec)?,
+            },
+            MSG_GET_REQ => Message::GetRequest {
+                request: dec.take_request_id()?,
+                target: dec.take_obj_id()?,
+                mode: WireMode::decode(dec)?,
+            },
+            MSG_GET_REP => {
+                let request = dec.take_request_id()?;
+                let result = match dec.take_u8()? {
+                    0 => Ok(ReplicaBatch::decode(dec)?),
+                    1 => Err(dec.take_error()?),
+                    tag => return Err(ObiError::Decode(format!("bad result flag {tag}"))),
+                };
+                Message::GetReply { request, result }
+            }
+            MSG_PUT_REQ => {
+                let request = dec.take_request_id()?;
+                let n = dec.take_varint()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push(ReplicaState::decode(dec)?);
+                }
+                Message::PutRequest { request, entries }
+            }
+            MSG_PUT_REP => {
+                let request = dec.take_request_id()?;
+                let result = match dec.take_u8()? {
+                    0 => {
+                        let n = dec.take_varint()? as usize;
+                        let mut versions = Vec::with_capacity(n.min(4096));
+                        for _ in 0..n {
+                            let id = dec.take_obj_id()?;
+                            let v = dec.take_varint()?;
+                            versions.push((id, v));
+                        }
+                        Ok(versions)
+                    }
+                    1 => Err(dec.take_error()?),
+                    tag => return Err(ObiError::Decode(format!("bad result flag {tag}"))),
+                };
+                Message::PutReply { request, result }
+            }
+            MSG_NAME_REQ => Message::NameRequest {
+                request: dec.take_request_id()?,
+                op: NameOp::decode(dec)?,
+            },
+            MSG_NAME_REP => Message::NameReply {
+                request: dec.take_request_id()?,
+                result: decode_result_value(dec)?,
+            },
+            MSG_SUBSCRIBE => Message::Subscribe {
+                request: dec.take_request_id()?,
+                object: dec.take_obj_id()?,
+                push: dec.take_u8()? != 0,
+            },
+            MSG_ACK => Message::Ack {
+                request: dec.take_request_id()?,
+                result: decode_result_value(dec)?,
+            },
+            MSG_INVALIDATE => {
+                let n = dec.take_varint()? as usize;
+                let mut objects = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    objects.push(dec.take_obj_id()?);
+                }
+                Message::Invalidate { objects }
+            }
+            MSG_UPDATE_PUSH => {
+                let n = dec.take_varint()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push(ReplicaState::decode(dec)?);
+                }
+                Message::UpdatePush { entries }
+            }
+            MSG_PING => Message::Ping {
+                request: dec.take_request_id()?,
+            },
+            MSG_PONG => Message::Pong {
+                request: dec.take_request_id()?,
+            },
+            tag => return Err(ObiError::Decode(format!("unknown message tag {tag}"))),
+        })
+    }
+
+    /// The request id carried by this message, if it has one.
+    pub fn request_id(&self) -> Option<RequestId> {
+        match self {
+            Message::InvokeRequest { request, .. }
+            | Message::InvokeReply { request, .. }
+            | Message::GetRequest { request, .. }
+            | Message::GetReply { request, .. }
+            | Message::PutRequest { request, .. }
+            | Message::PutReply { request, .. }
+            | Message::NameRequest { request, .. }
+            | Message::NameReply { request, .. }
+            | Message::Subscribe { request, .. }
+            | Message::Ack { request, .. }
+            | Message::Ping { request }
+            | Message::Pong { request } => Some(*request),
+            Message::Invalidate { .. } | Message::UpdatePush { .. } => None,
+        }
+    }
+
+    /// True for messages that expect a reply.
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Message::InvokeRequest { .. }
+                | Message::GetRequest { .. }
+                | Message::PutRequest { .. }
+                | Message::NameRequest { .. }
+                | Message::Subscribe { .. }
+                | Message::Ping { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obiwan_util::SiteId;
+
+    fn rid(seq: u64) -> RequestId {
+        RequestId::new(SiteId::new(1), seq)
+    }
+
+    fn oid(l: u64) -> ObjId {
+        ObjId::new(SiteId::new(2), l)
+    }
+
+    fn sample_state(l: u64) -> ReplicaState {
+        ReplicaState {
+            id: oid(l),
+            class: "Item".into(),
+            version: l * 3,
+            state: Bytes::from(vec![l as u8; 16]),
+        }
+    }
+
+    fn sample_batch() -> ReplicaBatch {
+        ReplicaBatch {
+            root: oid(1),
+            replicas: vec![sample_state(1), sample_state(2)],
+            frontier: vec![FrontierEdge {
+                target: oid(3),
+                class: "Item".into(),
+            }],
+            cluster: Some(ClusterId::new(SiteId::new(2), 4)),
+        }
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::InvokeRequest {
+                request: rid(1),
+                target: oid(1),
+                method: "touch".into(),
+                args: ObiValue::List(vec![1i64.into(), "x".into()]),
+            },
+            Message::InvokeReply {
+                request: rid(1),
+                result: Ok(ObiValue::I64(7)),
+            },
+            Message::InvokeReply {
+                request: rid(2),
+                result: Err(ObiError::NoSuchObject(oid(9))),
+            },
+            Message::GetRequest {
+                request: rid(3),
+                target: oid(1),
+                mode: WireMode::Incremental { batch: 10 },
+            },
+            Message::GetRequest {
+                request: rid(3),
+                target: oid(1),
+                mode: WireMode::Cluster { size: 100 },
+            },
+            Message::GetRequest {
+                request: rid(3),
+                target: oid(1),
+                mode: WireMode::Transitive,
+            },
+            Message::GetReply {
+                request: rid(3),
+                result: Ok(sample_batch()),
+            },
+            Message::GetReply {
+                request: rid(3),
+                result: Err(ObiError::Disconnected {
+                    from: SiteId::new(1),
+                    to: SiteId::new(2),
+                }),
+            },
+            Message::PutRequest {
+                request: rid(4),
+                entries: vec![sample_state(5)],
+            },
+            Message::PutReply {
+                request: rid(4),
+                result: Ok(vec![(oid(5), 16)]),
+            },
+            Message::PutReply {
+                request: rid(4),
+                result: Err(ObiError::UpdateRejected {
+                    object: oid(5),
+                    reason: "conflict".into(),
+                }),
+            },
+            Message::NameRequest {
+                request: rid(5),
+                op: NameOp::Bind {
+                    name: "root".into(),
+                    target: oid(1),
+                },
+            },
+            Message::NameRequest {
+                request: rid(5),
+                op: NameOp::Lookup { name: "root".into() },
+            },
+            Message::NameRequest {
+                request: rid(5),
+                op: NameOp::Unbind { name: "root".into() },
+            },
+            Message::NameRequest {
+                request: rid(5),
+                op: NameOp::List,
+            },
+            Message::NameReply {
+                request: rid(5),
+                result: Ok(ObiValue::Ref(oid(1))),
+            },
+            Message::Subscribe {
+                request: rid(6),
+                object: oid(1),
+                push: true,
+            },
+            Message::Ack {
+                request: rid(6),
+                result: Ok(ObiValue::Null),
+            },
+            Message::Invalidate {
+                objects: vec![oid(1), oid(2)],
+            },
+            Message::UpdatePush {
+                entries: vec![sample_state(1)],
+            },
+            Message::Ping { request: rid(7) },
+            Message::Pong { request: rid(7) },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in all_messages() {
+            let frame = msg.encode();
+            let back = Message::decode(&frame).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_fails_cleanly() {
+        for msg in all_messages() {
+            let frame = msg.encode();
+            for cut in 0..frame.len() {
+                assert!(
+                    Message::decode(&frame[..cut]).is_err(),
+                    "{msg:?} decoded from truncated frame of {cut} bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut frame = Message::Ping { request: rid(1) }.encode().to_vec();
+        frame.push(0xAB);
+        assert!(Message::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn request_classification() {
+        assert!(Message::Ping { request: rid(1) }.is_request());
+        assert!(!Message::Pong { request: rid(1) }.is_request());
+        assert!(!Message::Invalidate { objects: vec![] }.is_request());
+        assert_eq!(
+            Message::Invalidate { objects: vec![] }.request_id(),
+            None
+        );
+        assert_eq!(Message::Ping { request: rid(3) }.request_id(), Some(rid(3)));
+    }
+
+    #[test]
+    fn batch_state_bytes_sums_replica_payloads() {
+        let batch = sample_batch();
+        assert_eq!(batch.state_bytes(), 32);
+    }
+
+    #[test]
+    fn unknown_message_tag_is_rejected() {
+        assert!(Message::decode(&[0xF0]).is_err());
+        assert!(Message::decode(&[]).is_err());
+    }
+}

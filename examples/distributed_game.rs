@@ -1,0 +1,131 @@
+//! A distributed game — the introduction's "distributed game involving
+//! people anywhere in the world".
+//!
+//! A game server hosts the shared score board; players on WAN links hold
+//! replicas kept fresh by push subscriptions (update dissemination). One
+//! player rides a train: a *scheduled* connectivity script cuts their link
+//! mid-game, they keep reading their (stale) replica, and their buffered
+//! moves reintegrate on reconnection.
+//!
+//! ```text
+//! cargo run --example distributed_game
+//! ```
+
+use obiwan::core::demo::Counter;
+use obiwan::core::{ObiValue, ObiWorld, ReplicationMode};
+use obiwan::mobility::{AdaptiveInvoker, DisconnectedSession, InvocationPath};
+use obiwan::net::{conditions, ScheduledChange};
+use std::time::Duration;
+
+fn main() -> obiwan::util::Result<()> {
+    let mut world = ObiWorld::paper_testbed();
+    let server = world.add_site("game-server");
+    let alice = world.add_site("alice");
+    let bob = world.add_site("bob-on-a-train");
+    world.transport().with_topology_mut(|t| {
+        t.set_link_symmetric(server, alice, conditions::wan());
+        t.set_link_symmetric(server, bob, conditions::wifi());
+    });
+
+    // The shared board: one score counter per player.
+    let alice_score = world.site(server).create(Counter::new(0));
+    let bob_score = world.site(server).create(Counter::new(0));
+    world.site(server).export(alice_score, "score/alice")?;
+    world.site(server).export(bob_score, "score/bob")?;
+    println!("server published the score board");
+
+    // Players replicate both scores and subscribe to pushed updates,
+    // so they always see each other's progress without polling.
+    let mut replicas = Vec::new();
+    for (site, name) in [(alice, "alice"), (bob, "bob")] {
+        for score in ["score/alice", "score/bob"] {
+            let remote = world.site(site).lookup(score)?;
+            let r = world.site(site).get(&remote, ReplicationMode::incremental(1))?;
+            world.site(site).subscribe(r, true)?;
+            replicas.push((site, score, r));
+        }
+        println!("{name} replicated the board and subscribed to pushes");
+    }
+    let bob_view_of_alice = replicas
+        .iter()
+        .find(|(s, n, _)| *s == bob && *n == "score/alice")
+        .unwrap()
+        .2;
+    let bob_own_score = replicas
+        .iter()
+        .find(|(s, n, _)| *s == bob && *n == "score/bob")
+        .unwrap()
+        .2;
+
+    // Alice scores twice; pushes propagate to Bob.
+    let alice_remote = world.site(alice).lookup("score/alice")?;
+    world.site(alice).invoke_rmi(&alice_remote, "incr", ObiValue::Null)?;
+    world.site(alice).invoke_rmi(&alice_remote, "incr", ObiValue::Null)?;
+    world.pump();
+    let seen = world.site(bob).invoke(bob_view_of_alice, "read", ObiValue::Null)?;
+    println!("bob's pushed view of alice's score: {seen}");
+    assert_eq!(seen, ObiValue::I64(2));
+
+    // Bob's train enters a tunnel at +50 ms of virtual time.
+    let now = world.clock().virtual_nanos();
+    world
+        .transport()
+        .schedule_change(now + 50_000_000, ScheduledChange::Disconnect(bob));
+    println!("tunnel ahead: bob disconnects at t+50 ms (scripted)");
+
+    // Bob keeps playing through the tunnel: the adaptive invoker serves his
+    // replicas, flagging stale reads, while a session journals his moves.
+    let mut invoker = AdaptiveInvoker::new(
+        Duration::from_millis(200),
+        ReplicationMode::incremental(1),
+    );
+    let mut session = DisconnectedSession::new();
+    for turn in 0..30 {
+        // A move: bump own score locally.
+        session.invoke(world.site(bob), bob_own_score, "incr", ObiValue::Null)?;
+        // A look at the opponent: adaptive read, always served locally.
+        let remote = obiwan::rmi::RemoteRef::new(bob_view_of_alice.id(), server);
+        let (_, path) = invoker.invoke(world.site(bob), &remote, "read", ObiValue::Null)?;
+        assert_eq!(path, InvocationPath::Lmi);
+        // Alice keeps scoring server-side; her pushes stop reaching Bob
+        // the moment the tunnel cuts his link.
+        if turn % 10 == 5 {
+            world
+                .site(server)
+                .invoke(alice_score, "incr", ObiValue::Null)?;
+            world.pump();
+        }
+    }
+    println!(
+        "bob played 30 turns through the tunnel ({} local moves journaled)",
+        session.len()
+    );
+
+    // In the tunnel Bob's view of Alice silently lags: pushes sent while he
+    // was unreachable were lost to him (that is what staleness *means* for
+    // a disconnected replica — it cannot even know).
+    let lagging = world.site(bob).invoke(bob_view_of_alice, "read", ObiValue::Null)?;
+    let actual = world.site(server).invoke(alice_score, "read", ObiValue::Null)?;
+    println!("bob's view of alice: {lagging}; server truth: {actual}");
+    assert!(lagging.as_i64() < actual.as_i64());
+
+    // Out of the tunnel: reconnect, reintegrate Bob's moves, refresh views.
+    world.reconnect(bob);
+    let report = session.reintegrate(world.site(bob));
+    println!("reintegrated: {} object(s) pushed", report.pushed());
+    world.site(bob).refresh(bob_view_of_alice)?;
+    let caught_up = world.site(bob).invoke(bob_view_of_alice, "read", ObiValue::Null)?;
+    assert_eq!(caught_up, actual);
+    println!("bob refreshed; views agree again at {caught_up}");
+
+    let final_bob = world.site(server).invoke(bob_score, "read", ObiValue::Null)?;
+    println!("server's final board: bob = {final_bob}");
+    assert_eq!(final_bob, ObiValue::I64(30));
+
+    let stats = invoker.stats();
+    println!(
+        "adaptive invoker: {} lmi, {} rmi, {} refreshes",
+        stats.lmi, stats.rmi, stats.refreshes
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! An info-appliance with almost no memory.
+//!
+//! §2.1: "situations in which an application does not need to invoke all
+//! objects of a graph, or when the info-appliance where the application is
+//! running has limited memory are those in which incremental replication is
+//! useful." This example walks a catalog far larger than the device's
+//! replica budget: cold replicas are evicted back to proxy-outs as the walk
+//! advances, and prefetch keeps the next step warm so the user never waits.
+//!
+//! ```text
+//! cargo run --example info_appliance
+//! ```
+
+use obiwan::core::demo::PayloadNode;
+use obiwan::core::{ObiValue, ObiWorld, ObjRef, ReplicationMode};
+
+const CATALOG: usize = 200;
+const ITEM_BYTES: usize = 2048;
+const BUDGET: usize = 16 * 1024; // the PDA can hold ~8 items
+
+fn main() -> obiwan::util::Result<()> {
+    let mut world = ObiWorld::paper_testbed();
+    let server = world.add_site("catalog-server");
+    let pda = world.add_site("pda");
+
+    // A 200-item catalog (≈ 400 KB) on the server.
+    let mut next = None;
+    let mut head = None;
+    for i in (0..CATALOG).rev() {
+        let mut node = PayloadNode::sized(i as i64, ITEM_BYTES);
+        node.set_next(next);
+        let r = world.site(server).create(node);
+        next = Some(r);
+        head = Some(r);
+    }
+    let head = head.unwrap();
+    world.site(server).export(head, "catalog")?;
+    println!(
+        "server published a {CATALOG}-item catalog (~{} KB total)",
+        CATALOG * ITEM_BYTES / 1024
+    );
+
+    // The PDA can only afford ~16 KB of replicas.
+    world.site(pda).set_replica_budget(Some(BUDGET));
+    let remote = world.site(pda).lookup("catalog")?;
+    let root = world.site(pda).get(&remote, ReplicationMode::incremental(4))?;
+    println!("pda budget: {} KB of replica state", BUDGET / 1024);
+
+    // Browse the whole catalog, prefetching one step ahead.
+    let mut cur: ObjRef = root;
+    let mut seen = 0usize;
+    let mut peak = 0usize;
+    loop {
+        let _ = world.site(pda).prefetch(cur, 4);
+        let out = world.site(pda).invoke(cur, "touch", ObiValue::Null)?;
+        seen += 1;
+        peak = peak.max(world.site(pda).replica_bytes());
+        match out.as_ref_id() {
+            Some(id) => cur = id.into(),
+            None => break,
+        }
+    }
+    let m = world.site(pda).metrics().snapshot();
+    println!(
+        "browsed {seen} items; peak replica footprint {} KB (catalog is {} KB)",
+        peak / 1024,
+        CATALOG * ITEM_BYTES / 1024
+    );
+    println!(
+        "{} replica materializations, {} evictions back to proxies (re-fetches \
+         of evicted items are the price of the tight budget)",
+        m.replicas_created, m.replicas_evicted
+    );
+    assert_eq!(seen, CATALOG);
+    assert!(peak <= BUDGET + 6 * ITEM_BYTES, "footprint stayed near budget");
+    assert!(m.replicas_evicted > (CATALOG as u64) / 2);
+
+    // Evicted items transparently fault back when revisited.
+    let first_again = world.site(pda).invoke(root, "index", ObiValue::Null)?;
+    println!("revisiting the first item re-faults it: index = {first_again}");
+    assert_eq!(first_again, ObiValue::I64(0));
+    println!("\na device with {} KB of memory browsed a {} KB catalog",
+        BUDGET / 1024,
+        CATALOG * ITEM_BYTES / 1024
+    );
+    Ok(())
+}

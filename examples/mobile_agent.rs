@@ -1,0 +1,94 @@
+//! Mobile agent roaming a degraded network.
+//!
+//! The introduction's scenario: a user reads mail and edits an itinerary
+//! from a PC in the office, a laptop at the airport (Wi-Fi) and a PDA in a
+//! taxi (GPRS, eventually no coverage). A [`MobileAgent`] carries the data
+//! as luggage; a [`ConnectivityMonitor`] decides between RMI and LMI at
+//! each stop.
+//!
+//! ```text
+//! cargo run --example mobile_agent
+//! ```
+
+use obiwan::core::demo::Counter;
+use obiwan::core::{ObiValue, ObiWorld, ReplicationMode};
+use obiwan::mobility::{ConnectivityMonitor, HoardProfile, LinkHealth, MobileAgent};
+use obiwan::net::conditions;
+use std::time::Duration;
+
+fn main() -> obiwan::util::Result<()> {
+    let mut world = ObiWorld::paper_testbed();
+    let office = world.add_site("office-pc");
+    let laptop = world.add_site("airport-laptop");
+    let pda = world.add_site("taxi-pda");
+
+    // Degrade the mobile links: Wi-Fi to the laptop, GPRS to the PDA.
+    world.transport().with_topology_mut(|t| {
+        t.set_link_symmetric(office, laptop, conditions::wifi());
+        t.set_link_symmetric(office, pda, conditions::gprs());
+    });
+
+    // The office publishes a trip log.
+    let log = world.site(office).create(Counter::new(0));
+    world.site(office).export(log, "trip-log")?;
+    println!("office published `trip-log`");
+
+    // The agent carries the log as luggage.
+    let mut agent = MobileAgent::new(
+        "itinerary-agent",
+        HoardProfile::new().with("trip-log", ReplicationMode::transitive()),
+    );
+    let mut monitor = ConnectivityMonitor::new(Duration::from_millis(50));
+
+    // Stop 1: airport laptop over Wi-Fi — usable, slightly degraded.
+    let health = monitor.probe(world.site(laptop), office);
+    println!("laptop -> office link: {health:?}");
+    let stop = agent.visit(world.site(laptop), |process, report| {
+        let log = report.root_of("trip-log").expect("luggage");
+        process.invoke(log, "incr", ObiValue::Null)?;
+        Ok(())
+    })?;
+    println!(
+        "airport stop: hoarded {} item(s), pushed {} update(s)",
+        stop.hoarded, stop.pushed
+    );
+
+    // Stop 2: taxi PDA over GPRS; coverage dies mid-ride.
+    let health = monitor.probe(world.site(pda), office);
+    println!("pda -> office link: {health:?}");
+    assert_eq!(health, LinkHealth::Degraded, "GPRS should look degraded");
+    let stop = agent.visit(world.site(pda), |process, report| {
+        let log = report.root_of("trip-log").expect("luggage");
+        // Coverage drops right after hoarding…
+        world.disconnect(pda);
+        // …but the agent keeps working on co-located replicas.
+        for _ in 0..3 {
+            process.invoke(log, "incr", ObiValue::Null)?;
+        }
+        Ok(())
+    })?;
+    println!(
+        "taxi stop: hoarded {} item(s); departing push managed {} update(s) (offline)",
+        stop.hoarded, stop.pushed
+    );
+    assert_eq!(stop.pushed, 0, "push must fail while disconnected");
+
+    // Back in coverage: reintegrate the PDA's work.
+    world.reconnect(pda);
+    assert_eq!(monitor.probe(world.site(pda), office), LinkHealth::Degraded);
+    let pushed = world.site(pda).put_all_dirty()?;
+    println!("coverage restored: reintegrated {pushed} dirty replica(s)");
+
+    let total = world.site(office).invoke(log, "read", ObiValue::Null)?;
+    println!("\ntrip-log at the office: {total} (1 airport + 3 taxi entries)");
+    assert_eq!(total, ObiValue::I64(4));
+    println!(
+        "agent trail: {:?}",
+        agent
+            .trail()
+            .iter()
+            .map(|s| s.site.to_string())
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! Porting an existing class to OBIWAN (paper §3.2).
+//!
+//! The paper's `obicomp` turned a plain Java class into a replicable one by
+//! deriving its interface and augmenting it with the platform interfaces.
+//! Here the `obi_class!` macro plays that role: we take a "legacy"
+//! inventory-item type written with no distribution in mind, wrap it, and
+//! immediately use it across sites — RMI, incremental replication,
+//! disconnected edits and write-back included.
+//!
+//! ```text
+//! cargo run --example porting_legacy
+//! ```
+
+use obiwan::core::{obi_class, ObiValue, ObiWorld, ObjRef, ReplicationMode};
+
+// ---------------------------------------------------------------------------
+// The "legacy" code: a plain Rust type, no OBIWAN anywhere.
+// ---------------------------------------------------------------------------
+
+mod legacy {
+    /// A warehouse inventory line, as it existed before distribution.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct InventoryLine {
+        pub sku: String,
+        pub on_hand: i64,
+        pub reserved: i64,
+    }
+
+    impl InventoryLine {
+        pub fn available(&self) -> i64 {
+            self.on_hand - self.reserved
+        }
+
+        pub fn reserve(&mut self, quantity: i64) -> Result<i64, String> {
+            if quantity > self.available() {
+                return Err(format!(
+                    "only {} of {} available",
+                    self.available(),
+                    self.sku
+                ));
+            }
+            self.reserved += quantity;
+            Ok(self.available())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The port: obi_class! is our obicomp. Fields mirror the legacy struct;
+// methods delegate to the legacy logic ("the programmer only has to worry
+// about the business logic").
+// ---------------------------------------------------------------------------
+
+obi_class! {
+    /// A replicable wrapper over `legacy::InventoryLine`.
+    pub class Inventory {
+        fields {
+            sku: String,
+            on_hand: i64,
+            reserved: i64,
+        }
+        methods {
+            fn available(this, _ctx, _args) {
+                Ok(ObiValue::I64(this.as_legacy().available()))
+            }
+            fn sku(this, _ctx, _args) {
+                Ok(ObiValue::Str(this.sku.clone()))
+            }
+        }
+        mutating {
+            fn reserve(this, _ctx, args) {
+                let quantity = args.as_i64().ok_or_else(|| {
+                    obiwan::util::ObiError::BadArguments("reserve expects i64".into())
+                })?;
+                let mut line = this.as_legacy();
+                let left = line
+                    .reserve(quantity)
+                    .map_err(obiwan::util::ObiError::Application)?;
+                this.reserved = line.reserved;
+                Ok(ObiValue::I64(left))
+            }
+            fn restock(this, _ctx, args) {
+                let quantity = args.as_i64().unwrap_or(0);
+                this.on_hand += quantity;
+                Ok(ObiValue::I64(this.on_hand))
+            }
+        }
+    }
+}
+
+impl Inventory {
+    /// Wraps a legacy value.
+    fn from_legacy(line: legacy::InventoryLine) -> Self {
+        Inventory {
+            sku: line.sku,
+            on_hand: line.on_hand,
+            reserved: line.reserved,
+        }
+    }
+
+    /// Views the OBIWAN state as the legacy type so existing business
+    /// logic keeps running unchanged.
+    fn as_legacy(&self) -> legacy::InventoryLine {
+        legacy::InventoryLine {
+            sku: self.sku.clone(),
+            on_hand: self.on_hand,
+            reserved: self.reserved,
+        }
+    }
+}
+
+fn main() -> obiwan::util::Result<()> {
+    let mut world = ObiWorld::paper_testbed();
+    let warehouse = world.add_site("warehouse");
+    let shop = world.add_site("web-shop");
+
+    // The ported class must be registered on every site that will
+    // materialize replicas of it — the "classpath" step.
+    Inventory::register(world.registry());
+
+    let line = world.site(warehouse).create(Inventory::from_legacy(
+        legacy::InventoryLine {
+            sku: "OBI-1138".into(),
+            on_hand: 10,
+            reserved: 0,
+        },
+    ));
+    world.site(warehouse).export(line, "inventory/OBI-1138")?;
+    println!("warehouse exported legacy inventory line OBI-1138 (10 on hand)");
+
+    // The shop can use it via RMI immediately…
+    let remote = world.site(shop).lookup("inventory/OBI-1138")?;
+    let left = world.site(shop).invoke_rmi(&remote, "reserve", ObiValue::I64(3))?;
+    println!("shop reserved 3 via RMI; {left} available");
+
+    // …or replicate it and keep selling through an outage.
+    let replica: ObjRef = world.site(shop).get(&remote, ReplicationMode::incremental(1))?;
+    world.disconnect(shop);
+    let left = world.site(shop).invoke(replica, "reserve", ObiValue::I64(2))?;
+    println!("offline: shop reserved 2 more on the replica; {left} available locally");
+
+    // Business rules still hold on the replica: overselling is refused.
+    let err = world
+        .site(shop)
+        .invoke(replica, "reserve", ObiValue::I64(100))
+        .unwrap_err();
+    println!("offline: overselling refused by legacy logic: {err}");
+
+    world.reconnect(shop);
+    world.site(shop).put(replica)?;
+    let left = world.site(warehouse).invoke(line, "available", ObiValue::Null)?;
+    println!("reconnected and put back; warehouse now sees {left} available");
+    assert_eq!(left, ObiValue::I64(5));
+    Ok(())
+}

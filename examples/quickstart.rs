@@ -1,0 +1,76 @@
+//! Quickstart: the paper's running example (§2, Figure 1).
+//!
+//! Site S2 holds a graph of objects A → B → C; S1 obtains a remote
+//! reference to A from the name server, replicates incrementally, and
+//! watches object faults resolve as it reaches deeper into the graph.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use obiwan::core::demo::LinkedItem;
+use obiwan::core::space::Resolution;
+use obiwan::core::{ObiValue, ObiWorld, ReplicationMode};
+
+fn main() -> obiwan::util::Result<()> {
+    // A two-site world on the paper's 10 Mb/s LAN testbed.
+    let mut world = ObiWorld::paper_testbed();
+    let s1 = world.add_site("S1");
+    let s2 = world.add_site("S2");
+
+    // S2: build A -> B -> C and register A in the name server
+    // ("only object AProxyIn is registered in a name server").
+    let c = world.site(s2).create(LinkedItem::new(3, "C"));
+    let b = world.site(s2).create(LinkedItem::with_next(2, "B", c));
+    let a = world.site(s2).create(LinkedItem::with_next(1, "A", b));
+    world.site(s2).export(a, "A")?;
+    println!("S2 exported A -> B -> C under the name \"A\"");
+
+    // S1: obtain the remote reference. Both invocation styles are open:
+    let remote_a = world.site(s1).lookup("A")?;
+    let via_rmi = world.site(s1).invoke_rmi(&remote_a, "value", ObiValue::Null)?;
+    println!("S1 invoked A.value via RMI            -> {via_rmi}");
+
+    // Situation (b): replicate A alone; B stays behind a proxy-out.
+    let a_replica = world.site(s1).get(&remote_a, ReplicationMode::incremental(1))?;
+    println!(
+        "S1 replicated A (incremental, batch=1); B resolves to {:?}",
+        kind(&world, s1, b)
+    );
+
+    // Situation (c): invoking through A' to B raises an object fault that
+    // resolves transparently — then B' is a normal local object.
+    let v = world.site(s1).invoke(a_replica, "next_value", ObiValue::Null)?;
+    println!("S1 invoked A'.next_value (faults B in) -> {v}");
+    println!(
+        "after the fault, B resolves to {:?} and C to {:?}",
+        kind(&world, s1, b),
+        kind(&world, s1, c)
+    );
+
+    // Work on the replica, then update the master ("put").
+    world.site(s1).invoke(a_replica, "set_value", ObiValue::I64(42))?;
+    world.site(s1).put(a_replica)?;
+    let master_v = world.site(s2).invoke(a, "value", ObiValue::Null)?;
+    println!("after S1's put, the master A.value     -> {master_v}");
+
+    let m = world.site(s1).metrics().snapshot();
+    println!(
+        "\nS1 platform metrics: {} LMI, {} RMI, {} object faults, {} replicas, {} proxy pairs",
+        m.lmi_count, m.rmi_count, m.object_faults, m.replicas_created, m.proxy_pairs_created
+    );
+    println!(
+        "virtual time elapsed on the paper testbed: {:.2} ms",
+        world.clock().elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn kind(world: &ObiWorld, site: obiwan::util::SiteId, r: obiwan::core::ObjRef) -> &'static str {
+    match world.site(site).resolution(r) {
+        Resolution::Object(_) => "a local replica",
+        Resolution::Proxy(_) => "a proxy-out",
+        Resolution::Busy => "busy",
+        Resolution::Absent => "absent",
+    }
+}

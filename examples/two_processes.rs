@@ -1,0 +1,155 @@
+//! Two real OS processes, one object graph — OBIWAN over TCP.
+//!
+//! Everything else in this repository runs multiple sites inside one
+//! process. This example forks a *real* second process (re-executing
+//! itself with the `provider` argument): the child hosts the name server
+//! and a counter master behind a `TcpTransport`; the parent connects over
+//! loopback TCP, replicates, works disconnected and writes back. Genuine
+//! inter-process RMI, faulting and `put`, with every frame on a socket.
+//!
+//! ```text
+//! cargo run --example two_processes
+//! ```
+
+use obiwan::core::demo::{register_all, Counter, LinkedItem};
+use obiwan::core::{ClassRegistry, ObiProcess, ObiValue, ReplicationMode};
+use obiwan::net::{TcpTransport, Transport};
+use obiwan::rmi::{NameServer, NameServerService, RmiServer};
+use obiwan::util::{Clock, ClockMode, CostModel, SiteId};
+use std::io::Write as _;
+use std::sync::Arc;
+
+const NS: SiteId = SiteId::new(0);
+const PROVIDER: SiteId = SiteId::new(2);
+const CONSUMER: SiteId = SiteId::new(1);
+
+fn registry() -> ClassRegistry {
+    let registry = ClassRegistry::new();
+    register_all(&registry);
+    registry
+}
+
+fn process_on(
+    site: SiteId,
+    transport: &Arc<TcpTransport>,
+    registry: &ClassRegistry,
+) -> ObiProcess {
+    let p = ObiProcess::new(
+        site,
+        transport.clone() as Arc<dyn Transport>,
+        Clock::new(ClockMode::Hybrid),
+        CostModel::free(),
+        registry.clone(),
+        NS,
+    );
+    transport.register(site, p.message_handler());
+    p
+}
+
+/// Child role: host the name server and the provider site, print the two
+/// listening addresses on stdout, then serve until stdin closes (i.e.
+/// until the parent exits or drops the pipe).
+fn run_provider() -> obiwan::util::Result<()> {
+    let transport = Arc::new(TcpTransport::new());
+    let registry = registry();
+    transport.register(
+        NS,
+        Arc::new(RmiServer::new(Arc::new(NameServerService::new(
+            NameServer::new(),
+        )))),
+    );
+    let provider = process_on(PROVIDER, &transport, &registry);
+
+    // Publish a tiny graph and a counter.
+    let tail = provider.create(LinkedItem::new(2, "tail"));
+    let head = provider.create(LinkedItem::with_next(1, "head", tail));
+    provider.export(head, "list")?;
+    let counter = provider.create(Counter::new(0));
+    provider.export(counter, "visits")?;
+
+    // Hand our addresses to the parent (stdout protocol: two lines).
+    let ns_addr = transport.address_of(NS).expect("ns bound");
+    let prov_addr = transport.address_of(PROVIDER).expect("provider bound");
+    println!("{ns_addr}");
+    println!("{prov_addr}");
+    std::io::stdout().flush().ok();
+
+    // Serve until the parent closes our stdin.
+    let mut sink = String::new();
+    let _ = std::io::stdin().read_line(&mut sink);
+    transport.shutdown();
+    Ok(())
+}
+
+/// Parent role: spawn the provider process, connect, and exercise the
+/// protocol across the process boundary.
+fn run_consumer() -> obiwan::util::Result<()> {
+    let exe = std::env::current_exe().expect("own path");
+    #[allow(clippy::zombie_processes)] // reaped via wait() below; on panic the OS cleans up
+    let mut child = std::process::Command::new(exe)
+        .arg("provider")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn provider process");
+    println!("spawned provider process (pid {})", child.id());
+
+    // Read the two addresses the child printed.
+    let mut addrs = String::new();
+    {
+        use std::io::BufRead;
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut reader = std::io::BufReader::new(stdout);
+        for _ in 0..2 {
+            reader.read_line(&mut addrs).expect("child address line");
+        }
+    }
+    let mut lines = addrs.lines();
+    let ns_addr = lines.next().unwrap().parse().expect("ns addr");
+    let prov_addr = lines.next().unwrap().parse().expect("provider addr");
+    println!("provider listens at {prov_addr}, name server at {ns_addr}");
+
+    let transport = Arc::new(TcpTransport::new());
+    transport.add_peer(NS, ns_addr);
+    transport.add_peer(PROVIDER, prov_addr);
+    let consumer = process_on(CONSUMER, &transport, &registry());
+
+    // Cross-process RMI.
+    let visits = consumer.lookup("visits")?;
+    consumer.invoke_rmi(&visits, "incr", ObiValue::Null)?;
+    let v = consumer.invoke_rmi(&visits, "read", ObiValue::Null)?;
+    println!("cross-process RMI: visits = {v}");
+    assert_eq!(v, ObiValue::I64(1));
+
+    // Cross-process incremental replication with a fault.
+    let list = consumer.lookup("list")?;
+    let head = consumer.get(&list, ReplicationMode::incremental(1))?;
+    let next_value = consumer.invoke(head, "next_value", ObiValue::Null)?;
+    println!(
+        "replicated head over TCP; faulted tail in; tail value = {next_value}"
+    );
+    assert_eq!(next_value, ObiValue::I64(2));
+    assert_eq!(consumer.metrics().snapshot().object_faults, 1);
+
+    // Local edit + write-back across the process boundary.
+    consumer.invoke(head, "set_value", ObiValue::I64(41))?;
+    consumer.put(head)?;
+    let confirmed = consumer.invoke_rmi(&list, "value", ObiValue::Null)?;
+    println!("put over TCP; provider confirms head value = {confirmed}");
+    assert_eq!(confirmed, ObiValue::I64(41));
+
+    // Shut the child down by closing its stdin, then reap it.
+    drop(child.stdin.take());
+    let status = child.wait().expect("child exit");
+    println!("provider process exited ({status})");
+    transport.shutdown();
+    println!("\ntwo OS processes shared one object graph over real sockets");
+    Ok(())
+}
+
+fn main() -> obiwan::util::Result<()> {
+    match std::env::args().nth(1).as_deref() {
+        Some("provider") => run_provider(),
+        _ => run_consumer(),
+    }
+}

@@ -1,0 +1,104 @@
+//! Virtual enterprise: the introduction's co-operative work scenario.
+//!
+//! A virtual organization shares a product catalog and a design document.
+//! An engineer hoards both onto a laptop, boards a plane (disconnects),
+//! keeps editing, and reintegrates at the hotel — while a colleague edited
+//! the same document in the meantime. Conflict detection and resolution
+//! run through the consistency hooks.
+//!
+//! ```text
+//! cargo run --example virtual_enterprise
+//! ```
+
+use obiwan::consistency::{OptimisticDetect, StaleTracker};
+use obiwan::core::demo::{Document, LinkedItem};
+use obiwan::core::{ObiValue, ObiWorld, ReplicationMode};
+use obiwan::mobility::{DisconnectedSession, HoardProfile, Hoarder, ReintegrationOutcome};
+
+fn main() -> obiwan::util::Result<()> {
+    let mut world = ObiWorld::paper_testbed();
+    let hq = world.add_site("headquarters");
+    let laptop = world.add_site("engineer-laptop");
+    let colleague = world.add_site("colleague-pc");
+
+    // Headquarters publishes a 3-part catalog and a spec document, with
+    // first-writer-wins conflict detection on write-backs.
+    let p3 = world.site(hq).create(LinkedItem::new(300, "gearbox"));
+    let p2 = world.site(hq).create(LinkedItem::with_next(200, "axle", p3));
+    let p1 = world.site(hq).create(LinkedItem::with_next(100, "motor", p2));
+    world.site(hq).export(p1, "catalog")?;
+    let spec = world.site(hq).create(Document::new("spec-v1"));
+    world.site(hq).export(spec, "spec")?;
+    world.site(hq).set_policy(Box::new(OptimisticDetect::new()));
+    println!("HQ published `catalog` (3 parts) and `spec` with optimistic conflict detection");
+
+    // The engineer hoards everything before the flight.
+    let profile = HoardProfile::new()
+        .with("catalog", ReplicationMode::transitive())
+        .with("spec", ReplicationMode::incremental(1));
+    let hoarder = Hoarder::new(profile);
+    let report = hoarder.hoard(world.site(laptop));
+    assert!(report.is_complete());
+    println!(
+        "laptop hoarded {} graphs ({} replicas) before disconnecting",
+        report.hoarded.len(),
+        report.replicas_created
+    );
+    let spec_replica = report.root_of("spec").unwrap();
+    let catalog_replica = report.root_of("catalog").unwrap();
+
+    // A stale-tracker keeps the catalog fresh while still connected.
+    let mut tracker = StaleTracker::new();
+    tracker.track(world.site(laptop), catalog_replica)?;
+
+    // ✈ Disconnect. Work continues locally.
+    world.disconnect(laptop);
+    let mut session = DisconnectedSession::new();
+    session.invoke(
+        world.site(laptop),
+        spec_replica,
+        "append",
+        ObiValue::from("§3 torque budget revised on the plane"),
+    )?;
+    let total = session.invoke(
+        world.site(laptop),
+        catalog_replica,
+        "sum_rest",
+        ObiValue::Null,
+    )?;
+    println!("offline: engineer edited the spec; catalog cost roll-up = {total}");
+
+    // Meanwhile the colleague edits the same spec at HQ.
+    let spec_remote = world.site(colleague).lookup("spec")?;
+    world.site(colleague).invoke_rmi(
+        &spec_remote,
+        "append",
+        ObiValue::from("§2 materials updated by colleague"),
+    )?;
+    println!("meanwhile: colleague appended to the master spec via RMI");
+
+    // 🏨 Reconnect and reintegrate.
+    world.reconnect(laptop);
+    let report = session.reintegrate(world.site(laptop));
+    for (id, outcome) in &report.outcomes {
+        match outcome {
+            ReintegrationOutcome::Pushed(v) => println!("reintegrated {id} at master v{v}"),
+            ReintegrationOutcome::Conflict(reason) => {
+                println!("conflict on {id}: {reason}");
+            }
+            ReintegrationOutcome::Unreachable => println!("{id} unreachable"),
+        }
+    }
+    // The spec conflicted (colleague won the race): replay our edit on top.
+    for id in report.conflicts() {
+        let v = session.resolve_replay_local(world.site(laptop), id)?;
+        println!("replayed local edits over fresh state; accepted at v{v}");
+    }
+
+    let final_spec = world.site(hq).invoke(spec, "content", ObiValue::Null)?;
+    println!("\nfinal spec at HQ:\n{}", final_spec.as_str().unwrap());
+    assert!(final_spec.as_str().unwrap().contains("torque"));
+    assert!(final_spec.as_str().unwrap().contains("materials"));
+    println!("\nboth edits survived; no work was lost across the disconnection");
+    Ok(())
+}

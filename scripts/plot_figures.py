@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the harness's CSV output.
+
+Usage:
+    cargo run -p obiwan-bench --bin figures -- csv > figures.csv
+    python3 scripts/plot_figures.py figures.csv out/
+
+Produces fig4.png (RMI vs LMI), and one panel per object size for fig5
+(incremental) and fig6 (cluster), mirroring the layout of the paper's
+Figures 4-6. Requires matplotlib.
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    rows = defaultdict(lambda: defaultdict(list))  # experiment -> series key -> [(x, ms)]
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            exp = row["experiment"]
+            key = (int(row["size_bytes"]), row["series"])
+            rows[exp][key].append((int(row["x"]), float(row["ms"])))
+    for exp in rows.values():
+        for series in exp.values():
+            series.sort()
+    return rows
+
+
+def human_size(n):
+    return f"{n // 1024}K" if n >= 1024 else f"{n}B"
+
+
+def plot(rows, outdir):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    os.makedirs(outdir, exist_ok=True)
+
+    # Figure 4: RMI vs LMI by size.
+    fig, ax = plt.subplots(figsize=(7, 5))
+    for (size, series), pts in sorted(rows["fig4"].items()):
+        xs = [x for x, _ in pts]
+        ys = [y for _, y in pts]
+        label = "RMI" if series == "RMI" else f"LMI {human_size(size)}"
+        ax.plot(xs, ys, marker="o", label=label)
+    ax.set_xscale("log")
+    ax.set_yscale("log")
+    ax.set_xlabel("number of invocations")
+    ax.set_ylabel("time (ms)")
+    ax.set_title("Figure 4 — RMI vs LMI")
+    ax.legend()
+    ax.grid(True, which="both", alpha=0.3)
+    fig.savefig(os.path.join(outdir, "fig4.png"), dpi=150, bbox_inches="tight")
+    plt.close(fig)
+
+    # Figures 5 and 6: one panel per size.
+    for exp, title in [("fig5", "Figure 5 — incremental"), ("fig6", "Figure 6 — clusters")]:
+        sizes = sorted({size for size, _ in rows[exp]})
+        for size in sizes:
+            fig, ax = plt.subplots(figsize=(7, 5))
+            for (s, series), pts in sorted(rows[exp].items()):
+                if s != size:
+                    continue
+                xs = [x for x, _ in pts]
+                ys = [y for _, y in pts]
+                ax.plot(xs, ys, label=series)
+            ax.set_xlabel("invocation")
+            ax.set_ylabel("cumulative time (ms)")
+            ax.set_title(f"{title} — {human_size(size)} objects")
+            ax.legend()
+            ax.grid(True, alpha=0.3)
+            name = f"{exp}_{human_size(size)}.png"
+            fig.savefig(os.path.join(outdir, name), dpi=150, bbox_inches="tight")
+            plt.close(fig)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(2)
+    rows = load(sys.argv[1])
+    plot(rows, sys.argv[2])
+    print(f"wrote plots to {sys.argv[2]}")
+
+
+if __name__ == "__main__":
+    main()

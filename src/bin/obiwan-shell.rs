@@ -1,0 +1,502 @@
+//! `obiwan-shell` — an interactive console over an OBIWAN world.
+//!
+//! The paper's pitch is that *the user* can decide, at run time, how an
+//! object is invoked. This shell makes that literal: spin up sites, publish
+//! objects, replicate incrementally or in clusters, invoke via LMI or RMI,
+//! cut the network, reintegrate — all from a prompt. Reads commands from
+//! stdin, so it is scriptable: `obiwan-shell < demo.obi`.
+//!
+//! ```text
+//! cargo run --bin obiwan-shell
+//! obiwan> help
+//! ```
+
+use obiwan::core::demo::{Counter, Document, LinkedItem};
+use obiwan::core::{ObiValue, ObiWorld, ObjRef, ReplicationMode};
+use obiwan::util::{ObjId, SiteId};
+use std::io::{BufRead, Write};
+
+/// A parsed shell command.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Help,
+    Quit,
+    Sites,
+    AddSite(String),
+    Use(u32),
+    CreateCounter(i64),
+    CreateItem(i64, String, Option<ObjRef>),
+    CreateDoc(String),
+    Export(ObjRef, String),
+    Lookup(String),
+    Names,
+    Get(String, ReplicationMode),
+    Invoke(ObjRef, String, ObiValue),
+    Rmi(String, String, ObiValue),
+    Put(ObjRef),
+    Refresh(ObjRef),
+    Prefetch(ObjRef, usize),
+    Disconnect(u32),
+    Reconnect(u32),
+    Metrics,
+    Gc,
+    Resolve(ObjRef),
+    Clock,
+}
+
+fn parse_ref(token: &str) -> Result<ObjRef, String> {
+    // Format: S<site>/<local>, e.g. S2/7.
+    let rest = token
+        .strip_prefix('S')
+        .or_else(|| token.strip_prefix('s'))
+        .ok_or_else(|| format!("expected a reference like S2/7, got `{token}`"))?;
+    let (site, local) = rest
+        .split_once('/')
+        .ok_or_else(|| format!("expected a reference like S2/7, got `{token}`"))?;
+    let site: u32 = site.parse().map_err(|_| format!("bad site in `{token}`"))?;
+    let local: u64 = local.parse().map_err(|_| format!("bad id in `{token}`"))?;
+    Ok(ObjRef::new(ObjId::new(SiteId::new(site), local)))
+}
+
+fn parse_value(token: Option<&str>) -> ObiValue {
+    match token {
+        None => ObiValue::Null,
+        Some(t) => match t.parse::<i64>() {
+            Ok(n) => ObiValue::I64(n),
+            Err(_) => ObiValue::Str(t.to_owned()),
+        },
+    }
+}
+
+fn parse_mode(tokens: &[&str]) -> Result<ReplicationMode, String> {
+    match tokens {
+        [] | ["inc"] => Ok(ReplicationMode::incremental(1)),
+        ["inc", n] => n
+            .parse()
+            .map(ReplicationMode::incremental)
+            .map_err(|_| format!("bad batch size `{n}`")),
+        ["cluster", n] => n
+            .parse()
+            .map(ReplicationMode::cluster)
+            .map_err(|_| format!("bad cluster size `{n}`")),
+        ["all"] => Ok(ReplicationMode::transitive()),
+        other => Err(format!("unknown mode {other:?}; use inc N | cluster N | all")),
+    }
+}
+
+/// Parses one input line into a [`Command`].
+fn parse(line: &str) -> Result<Option<Command>, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let cmd = match tokens.as_slice() {
+        [] | ["#", ..] => return Ok(None),
+        ["help"] | ["?"] => Command::Help,
+        ["quit"] | ["exit"] => Command::Quit,
+        ["sites"] => Command::Sites,
+        ["add", name] => Command::AddSite((*name).to_owned()),
+        ["use", site] => Command::Use(
+            site.trim_start_matches(['S', 's'])
+                .parse()
+                .map_err(|_| format!("bad site `{site}`"))?,
+        ),
+        ["create", "counter", n] => {
+            Command::CreateCounter(n.parse().map_err(|_| format!("bad count `{n}`"))?)
+        }
+        ["create", "item", v, label] => Command::CreateItem(
+            v.parse().map_err(|_| format!("bad value `{v}`"))?,
+            (*label).to_owned(),
+            None,
+        ),
+        ["create", "item", v, label, next] => Command::CreateItem(
+            v.parse().map_err(|_| format!("bad value `{v}`"))?,
+            (*label).to_owned(),
+            Some(parse_ref(next)?),
+        ),
+        ["create", "doc", title] => Command::CreateDoc((*title).to_owned()),
+        ["export", r, name] => Command::Export(parse_ref(r)?, (*name).to_owned()),
+        ["lookup", name] => Command::Lookup((*name).to_owned()),
+        ["names"] => Command::Names,
+        ["get", name, rest @ ..] => Command::Get((*name).to_owned(), parse_mode(rest)?),
+        ["invoke", r, method] => Command::Invoke(parse_ref(r)?, (*method).to_owned(), ObiValue::Null),
+        ["invoke", r, method, arg] => {
+            Command::Invoke(parse_ref(r)?, (*method).to_owned(), parse_value(Some(arg)))
+        }
+        ["rmi", name, method] => Command::Rmi((*name).to_owned(), (*method).to_owned(), ObiValue::Null),
+        ["rmi", name, method, arg] => {
+            Command::Rmi((*name).to_owned(), (*method).to_owned(), parse_value(Some(arg)))
+        }
+        ["put", r] => Command::Put(parse_ref(r)?),
+        ["refresh", r] => Command::Refresh(parse_ref(r)?),
+        ["prefetch", r, n] => Command::Prefetch(
+            parse_ref(r)?,
+            n.parse().map_err(|_| format!("bad count `{n}`"))?,
+        ),
+        ["disconnect", site] => Command::Disconnect(
+            site.trim_start_matches(['S', 's'])
+                .parse()
+                .map_err(|_| format!("bad site `{site}`"))?,
+        ),
+        ["reconnect", site] => Command::Reconnect(
+            site.trim_start_matches(['S', 's'])
+                .parse()
+                .map_err(|_| format!("bad site `{site}`"))?,
+        ),
+        ["metrics"] => Command::Metrics,
+        ["gc"] => Command::Gc,
+        ["resolve", r] => Command::Resolve(parse_ref(r)?),
+        ["clock"] => Command::Clock,
+        other => return Err(format!("unknown command {other:?}; try `help`")),
+    };
+    Ok(Some(cmd))
+}
+
+const HELP: &str = "\
+world
+  sites                          list sites
+  add <name>                     add a site (becomes current)
+  use <n>                        switch current site
+  disconnect <n> / reconnect <n> cut / restore a site's network
+  clock                          virtual time elapsed
+objects (current site)
+  create counter <n>             new Counter master
+  create item <v> <label> [ref]  new LinkedItem master (optional next)
+  create doc <title>             new Document master
+  export <ref> <name>            export + bind in the name server
+  lookup <name>                  resolve a name to a remote ref
+  names                          list all bound names
+replication & invocation
+  get <name> [inc N|cluster N|all]  replicate from a remote provider
+  invoke <ref> <method> [arg]    LMI (faults resolve transparently)
+  rmi <name> <method> [arg]      RMI on the master
+  put <ref> / refresh <ref>      write back / re-fetch a replica
+  prefetch <ref> <n>             pull n objects ahead of use
+introspection
+  resolve <ref>                  what a handle resolves to here
+  metrics                        current site's platform counters
+  gc                             collect unreachable proxies
+  help / quit";
+
+struct Shell {
+    world: ObiWorld,
+    current: Option<SiteId>,
+}
+
+impl Shell {
+    fn new() -> Self {
+        Shell {
+            world: ObiWorld::paper_testbed(),
+            current: None,
+        }
+    }
+
+    fn site(&self) -> Result<SiteId, String> {
+        self.current
+            .ok_or_else(|| "no current site; `add <name>` first".to_owned())
+    }
+
+    fn run(&mut self, cmd: Command, out: &mut impl Write) -> std::io::Result<bool> {
+        macro_rules! say {
+            ($($arg:tt)*) => { writeln!(out, $($arg)*)? };
+        }
+        macro_rules! attempt {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(e) => {
+                        say!("error: {e}");
+                        return Ok(true);
+                    }
+                }
+            };
+        }
+        match cmd {
+            Command::Help => say!("{HELP}"),
+            Command::Quit => return Ok(false),
+            Command::Sites => {
+                for s in self.world.sites() {
+                    let marker = if Some(s) == self.current { "*" } else { " " };
+                    say!(
+                        "{marker} {s} {}",
+                        self.world.site_name(s).unwrap_or_default()
+                    );
+                }
+            }
+            Command::AddSite(name) => {
+                let s = self.world.add_site(&name);
+                self.current = Some(s);
+                say!("added {s} ({name}); now current");
+            }
+            Command::Use(n) => {
+                let s = SiteId::new(n);
+                if self.world.sites().contains(&s) {
+                    self.current = Some(s);
+                    say!("current site: {s}");
+                } else {
+                    say!("error: no such site S{n}");
+                }
+            }
+            Command::CreateCounter(n) => {
+                let site = attempt!(self.site());
+                let r = self.world.site(site).create(Counter::new(n));
+                say!("created Counter at {r}");
+            }
+            Command::CreateItem(v, label, next) => {
+                let site = attempt!(self.site());
+                let mut item = LinkedItem::new(v, label);
+                item.set_next(next);
+                let r = self.world.site(site).create(item);
+                say!("created LinkedItem at {r}");
+            }
+            Command::CreateDoc(title) => {
+                let site = attempt!(self.site());
+                let r = self.world.site(site).create(Document::new(title));
+                say!("created Document at {r}");
+            }
+            Command::Export(r, name) => {
+                let site = attempt!(self.site());
+                attempt!(self.world.site(site).export(r, &name));
+                say!("exported {r} as `{name}`");
+            }
+            Command::Lookup(name) => {
+                let site = attempt!(self.site());
+                let remote = attempt!(self.world.site(site).lookup(&name));
+                say!("`{name}` -> {remote}");
+            }
+            Command::Names => {
+                let site = attempt!(self.site());
+                let names = attempt!(self.world.site(site).list_names());
+                if names.is_empty() {
+                    say!("(no names bound)");
+                }
+                for n in names {
+                    say!("{n}");
+                }
+            }
+            Command::Get(name, mode) => {
+                let site = attempt!(self.site());
+                let remote = attempt!(self.world.site(site).lookup(&name));
+                let root = attempt!(self.world.site(site).get(&remote, mode));
+                say!("replicated `{name}` -> local {root} ({mode:?})");
+            }
+            Command::Invoke(r, method, args) => {
+                let site = attempt!(self.site());
+                let v = attempt!(self.world.site(site).invoke(r, &method, args));
+                say!("{v}");
+            }
+            Command::Rmi(name, method, args) => {
+                let site = attempt!(self.site());
+                let remote = attempt!(self.world.site(site).lookup(&name));
+                let v = attempt!(self.world.site(site).invoke_rmi(&remote, &method, args));
+                say!("{v}");
+            }
+            Command::Put(r) => {
+                let site = attempt!(self.site());
+                let version = attempt!(self.world.site(site).put(r));
+                say!("put {r}; master now at v{version}");
+            }
+            Command::Refresh(r) => {
+                let site = attempt!(self.site());
+                attempt!(self.world.site(site).refresh(r));
+                say!("refreshed {r}");
+            }
+            Command::Prefetch(r, n) => {
+                let site = attempt!(self.site());
+                let fetched = attempt!(self.world.site(site).prefetch(r, n));
+                say!("prefetched {fetched} object(s)");
+            }
+            Command::Disconnect(n) => {
+                self.world.disconnect(SiteId::new(n));
+                say!("S{n} disconnected");
+            }
+            Command::Reconnect(n) => {
+                self.world.reconnect(SiteId::new(n));
+                say!("S{n} reconnected");
+            }
+            Command::Metrics => {
+                let site = attempt!(self.site());
+                let m = self.world.site(site).metrics().snapshot();
+                say!(
+                    "lmi {} | rmi {} | faults {} | replicas {} (evicted {}) | pairs {} | puts {} | refreshes {}",
+                    m.lmi_count,
+                    m.rmi_count,
+                    m.object_faults,
+                    m.replicas_created,
+                    m.replicas_evicted,
+                    m.proxy_pairs_created,
+                    m.puts,
+                    m.refreshes
+                );
+            }
+            Command::Gc => {
+                let site = attempt!(self.site());
+                let stats = self.world.site(site).collect_garbage(false);
+                say!(
+                    "gc: {} proxies reclaimed, {} live slots",
+                    stats.proxies_reclaimed,
+                    stats.live
+                );
+            }
+            Command::Resolve(r) => {
+                let site = attempt!(self.site());
+                use obiwan::core::space::Resolution;
+                match self.world.site(site).resolution(r) {
+                    Resolution::Object(m) => say!(
+                        "{r}: local {} (v{}{}{})",
+                        if m.kind.is_master() { "master" } else { "replica" },
+                        m.version,
+                        if m.dirty { ", dirty" } else { "" },
+                        if m.stale { ", stale" } else { "" }
+                    ),
+                    Resolution::Proxy(p) => {
+                        say!("{r}: proxy-out -> provider {} ({})", p.provider, p.class)
+                    }
+                    Resolution::Busy => say!("{r}: busy"),
+                    Resolution::Absent => say!("{r}: absent"),
+                }
+            }
+            Command::Clock => {
+                say!(
+                    "virtual time: {:.3} ms",
+                    self.world.clock().elapsed().as_secs_f64() * 1e3
+                );
+            }
+        }
+        Ok(true)
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let interactive = atty_like();
+    let mut shell = Shell::new();
+    if interactive {
+        writeln!(stdout, "OBIWAN shell — `help` for commands")?;
+    }
+    loop {
+        if interactive {
+            write!(stdout, "obiwan> ")?;
+            stdout.flush()?;
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        match parse(&line) {
+            Ok(None) => {}
+            Ok(Some(cmd)) => {
+                if !shell.run(cmd, &mut stdout)? {
+                    break;
+                }
+            }
+            Err(e) => writeln!(stdout, "error: {e}")?,
+        }
+    }
+    Ok(())
+}
+
+// A dependency-free stand-in for isatty: suppress prompts when stdin is
+// redirected (scripts) by checking an env override, defaulting to prompts.
+fn atty_like() -> bool {
+    std::env::var_os("OBIWAN_SHELL_QUIET").is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_accepts_the_documented_grammar() {
+        assert_eq!(parse("help").unwrap(), Some(Command::Help));
+        assert_eq!(parse("  ").unwrap(), None);
+        assert_eq!(parse("# comment").unwrap(), None);
+        assert_eq!(
+            parse("add laptop").unwrap(),
+            Some(Command::AddSite("laptop".into()))
+        );
+        assert_eq!(parse("use S2").unwrap(), Some(Command::Use(2)));
+        assert_eq!(
+            parse("create counter 5").unwrap(),
+            Some(Command::CreateCounter(5))
+        );
+        assert!(matches!(
+            parse("get list cluster 10").unwrap(),
+            Some(Command::Get(_, ReplicationMode::Cluster { size: 10 }))
+        ));
+        assert!(matches!(
+            parse("get list all").unwrap(),
+            Some(Command::Get(_, ReplicationMode::TransitiveClosure))
+        ));
+        assert!(matches!(
+            parse("invoke S2/1 touch").unwrap(),
+            Some(Command::Invoke(_, _, ObiValue::Null))
+        ));
+        assert!(matches!(
+            parse("invoke S2/1 add 7").unwrap(),
+            Some(Command::Invoke(_, _, ObiValue::I64(7)))
+        ));
+        assert!(matches!(
+            parse("rmi list append hello").unwrap(),
+            Some(Command::Rmi(_, _, ObiValue::Str(_)))
+        ));
+    }
+
+    #[test]
+    fn parser_rejects_garbage_with_messages() {
+        assert!(parse("frobnicate").is_err());
+        assert!(parse("invoke notaref m").is_err());
+        assert!(parse("get x inc abc").is_err());
+        assert!(parse("use zebra").is_err());
+    }
+
+    #[test]
+    fn ref_parsing() {
+        let r = parse_ref("S3/14").unwrap();
+        assert_eq!(r.id().site(), SiteId::new(3));
+        assert_eq!(r.id().local(), 14);
+        assert!(parse_ref("3/14").is_err());
+        assert!(parse_ref("S3").is_err());
+    }
+
+    #[test]
+    fn a_full_session_drives_the_world() {
+        let mut shell = Shell::new();
+        let mut out = Vec::new();
+        let script = [
+            "add provider",
+            "create counter 0",
+            "export S1/1 hits",
+            "add consumer",
+            "rmi hits incr",
+            "get hits inc 1",
+            "invoke S1/1 incr",
+            "put S1/1",
+            "resolve S1/1",
+            "metrics",
+            "gc",
+            "clock",
+            "sites",
+        ];
+        for line in script {
+            let cmd = parse(line).unwrap().unwrap();
+            assert!(shell.run(cmd, &mut out).unwrap(), "{line}");
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("created Counter at &S1/1"), "{text}");
+        assert!(text.contains("master now at v3"), "{text}");
+        assert!(text.contains("local replica"), "{text}");
+        // quit stops the loop
+        let mut out = Vec::new();
+        assert!(!shell.run(Command::Quit, &mut out).unwrap());
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut shell = Shell::new();
+        let mut out = Vec::new();
+        // No current site yet.
+        let cmd = parse("create counter 1").unwrap().unwrap();
+        assert!(shell.run(cmd, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("error:"), "{text}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Edge cases of the public API: error paths, cycles, identity cases and
+//! limits that the happy-path tests never touch.
+
+use obiwan::core::demo::{Counter, LinkedItem};
+use obiwan::core::{ObiError, ObiValue, ObiWorld, ObjRef, ReplicationMode};
+use obiwan::rmi::RemoteRef;
+use obiwan::util::{ObjId, SiteId};
+
+fn two_sites() -> (ObiWorld, SiteId, SiteId) {
+    let mut world = ObiWorld::loopback();
+    let s1 = world.add_site("S1");
+    let s2 = world.add_site("S2");
+    (world, s1, s2)
+}
+
+#[test]
+fn export_requires_a_live_local_object() {
+    let (world, s1, _s2) = two_sites();
+    let ghost = ObjRef::new(ObjId::new(SiteId::new(9), 1));
+    assert!(matches!(
+        world.site(s1).export(ghost, "x"),
+        Err(ObiError::NoSuchObject(_))
+    ));
+}
+
+#[test]
+fn name_collisions_are_reported() {
+    let (world, s1, s2) = two_sites();
+    let a = world.site(s1).create(Counter::new(0));
+    let b = world.site(s2).create(Counter::new(0));
+    world.site(s1).export(a, "shared").unwrap();
+    assert!(matches!(
+        world.site(s2).export(b, "shared"),
+        Err(ObiError::NameAlreadyBound(_))
+    ));
+}
+
+#[test]
+fn export_anonymous_skips_the_name_server() {
+    let (world, s1, s2) = two_sites();
+    let master = world.site(s2).create(Counter::new(7));
+    let remote = world.site(s2).export_anonymous(master).unwrap();
+    assert_eq!(remote.host(), s2);
+    // No name was bound…
+    assert!(world.site(s1).lookup("anything").is_err());
+    // …but the ref replicates fine when passed out of band.
+    let replica = world
+        .site(s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    let v = world.site(s1).invoke(replica, "read", ObiValue::Null).unwrap();
+    assert_eq!(v, ObiValue::I64(7));
+}
+
+#[test]
+fn invoking_an_absent_handle_fails_cleanly() {
+    let (world, s1, _s2) = two_sites();
+    let ghost = ObjRef::new(ObjId::new(SiteId::new(9), 1));
+    assert!(matches!(
+        world.site(s1).invoke(ghost, "m", ObiValue::Null),
+        Err(ObiError::NoSuchObject(_))
+    ));
+}
+
+#[test]
+fn remote_method_errors_survive_the_wire() {
+    let (world, s1, s2) = two_sites();
+    let master = world.site(s2).create(Counter::new(0));
+    world.site(s2).export(master, "c").unwrap();
+    let remote = world.site(s1).lookup("c").unwrap();
+    match world.site(s1).invoke_rmi(&remote, "explode", ObiValue::Null) {
+        Err(ObiError::NoSuchMethod { object, method }) => {
+            assert_eq!(object, master.id());
+            assert_eq!(method, "explode");
+        }
+        other => panic!("{other:?}"),
+    }
+    // Bad arguments also survive intact.
+    match world.site(s1).invoke_rmi(&remote, "add", ObiValue::Str("x".into())) {
+        Err(ObiError::BadArguments(_)) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn get_of_an_object_the_provider_does_not_hold() {
+    let (world, s1, s2) = two_sites();
+    let remote = RemoteRef::new(ObjId::new(s2, 999), s2);
+    assert!(matches!(
+        world.site(s1).get(&remote, ReplicationMode::transitive()),
+        Err(ObiError::NoSuchObject(_))
+    ));
+}
+
+#[test]
+fn refresh_and_subscribe_reject_masters_and_absentees() {
+    let (world, _s1, s2) = two_sites();
+    let master = world.site(s2).create(Counter::new(0));
+    assert!(matches!(
+        world.site(s2).refresh(master),
+        Err(ObiError::BadArguments(_))
+    ));
+    assert!(matches!(
+        world.site(s2).subscribe(master, true),
+        Err(ObiError::BadArguments(_))
+    ));
+    let ghost = ObjRef::new(ObjId::new(SiteId::new(9), 1));
+    assert!(matches!(
+        world.site(s2).put(ghost),
+        Err(ObiError::NotReplicated(_))
+    ));
+}
+
+#[test]
+fn reference_cycles_are_detected_not_deadlocked() {
+    // Object ids are assigned sequentially per site, so a cycle can be
+    // closed by pointing the first object at the id the *next* create will
+    // take: A(S2/1).next = S2/2, B(S2/2).next = S2/1.
+    let (world, _s1, s2) = two_sites();
+    let b_future = ObjRef::new(ObjId::new(s2, 2));
+    let a = world.site(s2).create(LinkedItem::with_next(1, "A", b_future));
+    let b = world.site(s2).create(LinkedItem::with_next(2, "B", a));
+    assert_eq!(b, b_future, "id assignment is sequential");
+    // sum_rest recurses A -> B -> A; A is busy, so the platform refuses
+    // the re-entrant call instead of deadlocking or overflowing.
+    let err = world
+        .site(s2)
+        .invoke(a, "sum_rest", ObiValue::Null)
+        .unwrap_err();
+    assert!(matches!(err, ObiError::ReentrantInvocation(id) if id == a.id()));
+    // Non-recursive methods on cycle members still work fine.
+    let v = world.site(s2).invoke(a, "next_value", ObiValue::Null).unwrap();
+    assert_eq!(v, ObiValue::I64(2));
+}
+
+#[test]
+fn runaway_recursion_hits_the_depth_limit() {
+    // A 300-deep chain of sum_rest exceeds MAX_INVOKE_DEPTH (256) and is
+    // refused instead of blowing the stack.
+    let (world, _s1, s2) = two_sites();
+    let mut next: Option<ObjRef> = None;
+    let mut head = None;
+    for i in (0..300).rev() {
+        let mut item = LinkedItem::new(i, format!("n{i}"));
+        item.set_next(next);
+        let r = world.site(s2).create(item);
+        next = Some(r);
+        head = Some(r);
+    }
+    let err = world
+        .site(s2)
+        .invoke(head.unwrap(), "sum_rest", ObiValue::Null)
+        .unwrap_err();
+    assert!(matches!(err, ObiError::Internal(_)), "{err}");
+    // Shallower chains are fine.
+    let mut next: Option<ObjRef> = None;
+    let mut head = None;
+    for i in (0..100).rev() {
+        let mut item = LinkedItem::new(i, format!("m{i}"));
+        item.set_next(next);
+        let r = world.site(s2).create(item);
+        next = Some(r);
+        head = Some(r);
+    }
+    let v = world
+        .site(s2)
+        .invoke(head.unwrap(), "sum_rest", ObiValue::Null)
+        .unwrap();
+    assert_eq!(v, ObiValue::I64((0..100).sum()));
+}
+
+#[test]
+fn get_from_own_site_is_identity_even_for_replicas() {
+    let (world, s1, s2) = two_sites();
+    let master = world.site(s2).create(Counter::new(1));
+    world.site(s2).export(master, "c").unwrap();
+    let remote = world.site(s1).lookup("c").unwrap();
+    let replica = world
+        .site(s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    // Getting "from S1" while being S1 short-circuits.
+    let self_remote = RemoteRef::new(replica.id(), s1);
+    let again = world
+        .site(s1)
+        .get(&self_remote, ReplicationMode::transitive())
+        .unwrap();
+    assert_eq!(again, replica);
+}
+
+#[test]
+fn repeated_get_refreshes_existing_replicas() {
+    let (world, s1, s2) = two_sites();
+    let master = world.site(s2).create(Counter::new(1));
+    world.site(s2).export(master, "c").unwrap();
+    let remote = world.site(s1).lookup("c").unwrap();
+    let replica = world
+        .site(s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    world.site(s2).invoke(master, "add", ObiValue::I64(10)).unwrap();
+    // A second get re-materializes newer state over the replica.
+    world
+        .site(s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    let v = world.site(s1).invoke(replica, "read", ObiValue::Null).unwrap();
+    assert_eq!(v, ObiValue::I64(11));
+}
+
+#[test]
+fn masters_are_never_overwritten_by_round_tripped_replicas() {
+    // S2 replicates its own exported object back from S1's re-export: the
+    // master must not be clobbered by a replica of itself.
+    let (world, s1, s2) = two_sites();
+    let master = world.site(s2).create(Counter::new(5));
+    world.site(s2).export(master, "c").unwrap();
+    let remote = world.site(s1).lookup("c").unwrap();
+    let replica = world
+        .site(s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    world.site(s1).invoke(replica, "add", ObiValue::I64(100)).unwrap();
+    let reexported = world.site(s1).export_anonymous(replica).unwrap();
+    // S2 "gets" its own object from S1.
+    let r = world
+        .site(s2)
+        .get(&reexported, ReplicationMode::incremental(1))
+        .unwrap();
+    assert_eq!(r, master);
+    let meta = world.site(s2).meta_of(master).unwrap();
+    assert!(meta.kind.is_master());
+    // Master value unchanged (the dirty S1 edit never reached it via get).
+    let v = world.site(s2).invoke(master, "read", ObiValue::Null).unwrap();
+    assert_eq!(v, ObiValue::I64(5));
+}
+
+#[test]
+fn name_directory_lists_and_unbinds() {
+    let (world, s1, s2) = two_sites();
+    let a = world.site(s2).create(Counter::new(0));
+    let b = world.site(s2).create(Counter::new(0));
+    world.site(s2).export(a, "zebra").unwrap();
+    world.site(s2).export(b, "apple").unwrap();
+    assert_eq!(
+        world.site(s1).list_names().unwrap(),
+        vec!["apple".to_string(), "zebra".to_string()]
+    );
+    world.site(s1).unbind("zebra").unwrap();
+    assert_eq!(world.site(s1).list_names().unwrap(), vec!["apple".to_string()]);
+    // The object stays exported: a previously obtained ref still works.
+    let remote = RemoteRef::new(a.id(), s2);
+    assert!(world
+        .site(s1)
+        .invoke_rmi(&remote, "read", ObiValue::Null)
+        .is_ok());
+    // Unbinding twice is an error.
+    assert!(matches!(
+        world.site(s1).unbind("zebra"),
+        Err(ObiError::NameNotBound(_))
+    ));
+}

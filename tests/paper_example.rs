@@ -1,0 +1,254 @@
+//! The paper's §2/§2.2 running example, step by step, with every observable
+//! the text describes asserted: situations (a), (b), (c) of Figure 1, the
+//! intermediate step of Figure 2, proxy reclamation, and the free mixing of
+//! RMI and LMI.
+
+use obiwan::core::demo::LinkedItem;
+use obiwan::core::space::Resolution;
+use obiwan::core::{ObiValue, ObiWorld, ObjRef, ReplicationMode};
+use obiwan::util::SiteId;
+
+struct Rig {
+    world: ObiWorld,
+    s1: SiteId,
+    s2: SiteId,
+    a: ObjRef,
+    b: ObjRef,
+    c: ObjRef,
+}
+
+fn rig() -> Rig {
+    let mut world = ObiWorld::paper_testbed();
+    let s1 = world.add_site("S1");
+    let s2 = world.add_site("S2");
+    let c = world.site(s2).create(LinkedItem::new(3, "C"));
+    let b = world.site(s2).create(LinkedItem::with_next(2, "B", c));
+    let a = world.site(s2).create(LinkedItem::with_next(1, "A", b));
+    world.site(s2).export(a, "A").expect("export A");
+    Rig {
+        world,
+        s1,
+        s2,
+        a,
+        b,
+        c,
+    }
+}
+
+#[test]
+fn situation_a_only_a_is_registered_and_reachable_remotely() {
+    let r = rig();
+    // S1 holds nothing locally.
+    assert!(matches!(r.world.site(r.s1).resolution(r.a), Resolution::Absent));
+    // The name server resolves A but knows nothing else.
+    let remote = r.world.site(r.s1).lookup("A").unwrap();
+    assert_eq!(remote.id(), r.a.id());
+    assert_eq!(remote.host(), r.s2);
+    assert!(r.world.site(r.s1).lookup("B").is_err());
+    // RMI through AProxyIn works without any replication.
+    let v = r
+        .world
+        .site(r.s1)
+        .invoke_rmi(&remote, "value", ObiValue::Null)
+        .unwrap();
+    assert_eq!(v, ObiValue::I64(1));
+    assert_eq!(r.world.site(r.s1).object_count(), 0);
+}
+
+#[test]
+fn situation_b_get_replicates_a_and_leaves_bproxyout() {
+    let r = rig();
+    let remote = r.world.site(r.s1).lookup("A").unwrap();
+    let a1 = r
+        .world
+        .site(r.s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    assert_eq!(a1, r.a);
+    // A' is a replica of A at S1.
+    let meta = r.world.site(r.s1).meta_of(a1).unwrap();
+    assert!(!meta.kind.is_master());
+    // B is represented by a proxy-out whose provider is S2.
+    match r.world.site(r.s1).resolution(r.b) {
+        Resolution::Proxy(p) => {
+            assert_eq!(p.provider, r.s2);
+            assert_eq!(p.class, "LinkedItem");
+        }
+        other => panic!("expected proxy for B, got {other:?}"),
+    }
+    // C is entirely unknown at S1 (its proxy appears only after B faults).
+    assert!(matches!(r.world.site(r.s1).resolution(r.c), Resolution::Absent));
+    // A' can be invoked locally immediately (the latency argument of §2.1).
+    let v = r.world.site(r.s1).invoke(a1, "value", ObiValue::Null).unwrap();
+    assert_eq!(v, ObiValue::I64(1));
+}
+
+#[test]
+fn situation_c_fault_on_b_swizzles_and_proxies_c() {
+    let r = rig();
+    let remote = r.world.site(r.s1).lookup("A").unwrap();
+    let a1 = r
+        .world
+        .site(r.s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    let before = r.world.site(r.s1).metrics().snapshot();
+
+    // Invoking a method of IfB on what A' sees as B triggers the fault…
+    let v = r
+        .world
+        .site(r.s1)
+        .invoke(a1, "next_value", ObiValue::Null)
+        .unwrap();
+    assert_eq!(v, ObiValue::I64(2));
+
+    let after = r.world.site(r.s1).metrics().snapshot().since(&before);
+    assert_eq!(after.object_faults, 1);
+    assert_eq!(after.replicas_created, 1);
+    // …after which B' is a live replica (updateMember happened)…
+    assert!(matches!(
+        r.world.site(r.s1).resolution(r.b),
+        Resolution::Object(_)
+    ));
+    // …BProxyOut was reclaimed…
+    assert_eq!(after.proxies_reclaimed, 1);
+    // …and CProxyOut now stands in for C (Figure 2's end state).
+    assert!(matches!(
+        r.world.site(r.s1).resolution(r.c),
+        Resolution::Proxy(_)
+    ));
+}
+
+#[test]
+fn further_invocations_on_b_are_direct() {
+    let r = rig();
+    let remote = r.world.site(r.s1).lookup("A").unwrap();
+    let a1 = r
+        .world
+        .site(r.s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    r.world
+        .site(r.s1)
+        .invoke(a1, "next_value", ObiValue::Null)
+        .unwrap();
+    let before = r.world.site(r.s1).metrics().snapshot();
+    // "Further invocations from A' on B' will be normal direct invocations
+    // with no indirection at all": no new faults, no network traffic.
+    for _ in 0..5 {
+        let v = r
+            .world
+            .site(r.s1)
+            .invoke(a1, "next_value", ObiValue::Null)
+            .unwrap();
+        assert_eq!(v, ObiValue::I64(2));
+    }
+    let after = r.world.site(r.s1).metrics().snapshot().since(&before);
+    assert_eq!(after.object_faults, 0);
+    assert_eq!(after.replicas_created, 0);
+    assert_eq!(after.lmi_count, 10); // 5 × (A'.next_value + B'.value)
+}
+
+#[test]
+fn chained_fault_on_c_completes_the_graph() {
+    let r = rig();
+    let remote = r.world.site(r.s1).lookup("A").unwrap();
+    let a1 = r
+        .world
+        .site(r.s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    // sum_rest walks A -> B -> C, faulting each in turn.
+    let v = r
+        .world
+        .site(r.s1)
+        .invoke(a1, "sum_rest", ObiValue::Null)
+        .unwrap();
+    assert_eq!(v, ObiValue::I64(6));
+    let m = r.world.site(r.s1).metrics().snapshot();
+    assert_eq!(m.object_faults, 2);
+    // Whole graph co-located now; disconnect and keep computing.
+    r.world.disconnect(r.s1);
+    let v = r
+        .world
+        .site(r.s1)
+        .invoke(a1, "sum_rest", ObiValue::Null)
+        .unwrap();
+    assert_eq!(v, ObiValue::I64(6));
+}
+
+#[test]
+fn both_replicas_can_be_freely_invoked_and_synchronized() {
+    let r = rig();
+    let remote = r.world.site(r.s1).lookup("A").unwrap();
+    let a1 = r
+        .world
+        .site(r.s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    // Update the local replica, master unchanged.
+    r.world
+        .site(r.s1)
+        .invoke(a1, "set_value", ObiValue::I64(10))
+        .unwrap();
+    assert_eq!(
+        r.world
+            .site(r.s1)
+            .invoke_rmi(&remote, "value", ObiValue::Null)
+            .unwrap(),
+        ObiValue::I64(1)
+    );
+    // put: "a local replica can update the master whenever the programmer
+    // wants".
+    r.world.site(r.s1).put(a1).unwrap();
+    assert_eq!(
+        r.world
+            .site(r.s2)
+            .invoke(r.a, "value", ObiValue::Null)
+            .unwrap(),
+        ObiValue::I64(10)
+    );
+    // refresh: "…or be updated from its master".
+    r.world
+        .site(r.s2)
+        .invoke(r.a, "set_value", ObiValue::I64(99))
+        .unwrap();
+    r.world.site(r.s1).refresh(a1).unwrap();
+    assert_eq!(
+        r.world
+            .site(r.s1)
+            .invoke(a1, "value", ObiValue::Null)
+            .unwrap(),
+        ObiValue::I64(99)
+    );
+}
+
+#[test]
+fn gc_reclaims_unreachable_proxies_like_the_jvm_would() {
+    let r = rig();
+    let remote = r.world.site(r.s1).lookup("A").unwrap();
+    let a1 = r
+        .world
+        .site(r.s1)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    r.world.site(r.s1).add_root(a1);
+    // Drop A's edge to B: BProxyOut becomes unreachable.
+    r.world
+        .site(r.s1)
+        .invoke(a1, "set_value", ObiValue::I64(0))
+        .unwrap(); // keep replica dirty=true so it survives replica GC
+    assert_eq!(r.world.site(r.s1).proxy_count(), 1);
+    // B is still referenced by A', so it survives.
+    let stats = r.world.site(r.s1).collect_garbage(false);
+    assert_eq!(stats.proxies_reclaimed, 0);
+    // Now sever the application root and replicate nothing else: A' is
+    // dirty (kept), but if we push it and drop the root, both A' and the
+    // proxy chain become collectable.
+    r.world.site(r.s1).put(a1).unwrap();
+    r.world.site(r.s1).remove_root(a1);
+    let stats = r.world.site(r.s1).collect_garbage(true);
+    assert_eq!(stats.replicas_reclaimed, 1);
+    assert_eq!(stats.proxies_reclaimed, 1);
+    assert_eq!(r.world.site(r.s1).proxy_count(), 0);
+}

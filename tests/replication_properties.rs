@@ -1,0 +1,184 @@
+//! Property-based tests over the replication machinery.
+//!
+//! Invariants checked for arbitrary list lengths, object sizes and step
+//! sizes:
+//!
+//! * walking a list replicates every node exactly once, whatever the mode;
+//! * the fault count follows the batch arithmetic;
+//! * the replicated subgraph is *closed*: every reference held by a live
+//!   replica resolves to a live object or a proxy-out, never to nothing;
+//! * virtual-time runs are deterministic;
+//! * cluster mode creates exactly `ceil(n/k)` proxy pairs, incremental mode
+//!   exactly `n`.
+
+use obiwan::core::demo::PayloadNode;
+use obiwan::core::space::Resolution;
+use obiwan::core::{ObiValue, ObiWorld, ObjRef, ReplicationMode};
+use obiwan::util::SiteId;
+use proptest::prelude::*;
+
+struct ListRig {
+    world: ObiWorld,
+    s1: SiteId,
+    nodes: Vec<ObjRef>,
+    head: obiwan::rmi::RemoteRef,
+}
+
+fn list_rig(n: usize, size: usize) -> ListRig {
+    let mut world = ObiWorld::paper_testbed();
+    let s1 = world.add_site("S1");
+    let s2 = world.add_site("S2");
+    let mut nodes = Vec::with_capacity(n);
+    let mut next = None;
+    for i in (0..n).rev() {
+        let mut node = PayloadNode::sized(i as i64, size);
+        node.set_next(next);
+        let r = world.site(s2).create(node);
+        next = Some(r);
+        nodes.push(r);
+    }
+    nodes.reverse();
+    world.site(s2).export(nodes[0], "list").unwrap();
+    let head = world.site(s1).lookup("list").unwrap();
+    ListRig {
+        world,
+        s1,
+        nodes,
+        head,
+    }
+}
+
+fn walk(rig: &ListRig, mode: ReplicationMode) -> usize {
+    let site = rig.world.site(rig.s1);
+    let mut cur = site.get(&rig.head, mode).unwrap();
+    let mut visited = 0;
+    loop {
+        let out = site.invoke(cur, "touch", ObiValue::Null).unwrap();
+        visited += 1;
+        match out.as_ref_id() {
+            Some(id) => cur = id.into(),
+            None => break,
+        }
+    }
+    visited
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn walk_replicates_every_node_exactly_once(
+        n in 1usize..60,
+        step in 1usize..70,
+        cluster in proptest::bool::ANY,
+        size in prop_oneof![Just(16usize), Just(256), Just(2048)],
+    ) {
+        let mode = if cluster {
+            ReplicationMode::cluster(step)
+        } else {
+            ReplicationMode::incremental(step)
+        };
+        let rig = list_rig(n, size);
+        let visited = walk(&rig, mode);
+        prop_assert_eq!(visited, n);
+        let m = rig.world.site(rig.s1).metrics().snapshot();
+        prop_assert_eq!(m.replicas_created as usize, n);
+        for node in &rig.nodes {
+            prop_assert!(rig.world.site(rig.s1).is_replicated(*node));
+        }
+        // No dangling frontier after a full walk.
+        prop_assert_eq!(rig.world.site(rig.s1).proxy_count(), 0);
+    }
+
+    #[test]
+    fn fault_count_follows_batch_arithmetic(
+        n in 1usize..80,
+        step in 1usize..12,
+    ) {
+        let rig = list_rig(n, 16);
+        walk(&rig, ReplicationMode::incremental(step));
+        let faults = rig.world.site(rig.s1).metrics().snapshot().object_faults as usize;
+        // Initial get covers `step`; each fault covers another `step`.
+        let expected = n.saturating_sub(step).div_ceil(step);
+        prop_assert_eq!(faults, expected);
+    }
+
+    #[test]
+    fn proxy_pair_counts_match_mode(
+        n in 1usize..50,
+        step in 1usize..10,
+    ) {
+        // Incremental: one pair per object.
+        let rig = list_rig(n, 16);
+        walk(&rig, ReplicationMode::incremental(step));
+        let pairs = rig.world.site(rig.s1).metrics().snapshot().proxy_pairs_created as usize;
+        prop_assert_eq!(pairs, n);
+
+        // Cluster: one pair per batch.
+        let rig = list_rig(n, 16);
+        walk(&rig, ReplicationMode::cluster(step));
+        let pairs = rig.world.site(rig.s1).metrics().snapshot().proxy_pairs_created as usize;
+        prop_assert_eq!(pairs, n.div_ceil(step));
+    }
+
+    #[test]
+    fn partially_replicated_graph_is_closed(
+        n in 2usize..40,
+        step in 1usize..6,
+        hops in 0usize..40,
+    ) {
+        let rig = list_rig(n, 16);
+        let site = rig.world.site(rig.s1);
+        let mut cur = site.get(&rig.head, ReplicationMode::incremental(step)).unwrap();
+        for _ in 0..hops.min(n - 1) {
+            let out = site.invoke(cur, "touch", ObiValue::Null).unwrap();
+            match out.as_ref_id() {
+                Some(id) => cur = id.into(),
+                None => break,
+            }
+        }
+        // Closure invariant: every edge out of a live replica resolves.
+        for node in &rig.nodes {
+            if rig.world.site(rig.s1).is_replicated(*node) {
+                let state = rig.world.site(rig.s1).state_of(*node).unwrap();
+                let mut refs = Vec::new();
+                state.collect_refs(&mut refs);
+                for target in refs {
+                    let res = rig.world.site(rig.s1).resolution(ObjRef::new(target));
+                    prop_assert!(
+                        matches!(res, Resolution::Object(_) | Resolution::Proxy(_)),
+                        "edge to {target} dangles: {res:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic(
+        n in 1usize..30,
+        step in 1usize..5,
+    ) {
+        let run = || {
+            let rig = list_rig(n, 64);
+            walk(&rig, ReplicationMode::incremental(step));
+            rig.world.clock().virtual_nanos()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn put_after_walk_roundtrips_arbitrary_values(
+        n in 1usize..20,
+        value in any::<i64>(),
+    ) {
+        let rig = list_rig(n, 16);
+        let site = rig.world.site(rig.s1);
+        let root = site.get(&rig.head, ReplicationMode::transitive()).unwrap();
+        site.invoke(root, "set_index", ObiValue::I64(value)).unwrap();
+        site.put(root).unwrap();
+        // Read the master back through RMI.
+        let v = site.invoke_rmi(&rig.head, "index", ObiValue::Null).unwrap();
+        prop_assert_eq!(v, ObiValue::I64(value));
+    }
+}

@@ -20,7 +20,7 @@ use crate::hooks::{AcceptAll, ConsistencyHook};
 use crate::object::{ClassRegistry, ObiObject};
 use crate::objref::ObjRef;
 use crate::proxy::{ProxyIn, ProxyOut};
-use crate::replication::{build_batch, ReplicationMode};
+use crate::replication::{build_batch, build_batch_many, ReplicationMode};
 use crate::space::{GcStats, ObjectEntry, ObjectMeta, ObjectSpace, ReplicaKind, Resolution};
 use obiwan_net::Transport;
 use obiwan_rmi::{RemoteRef, RmiClient, RmiServer, RmiService};
@@ -29,7 +29,7 @@ use obiwan_util::{
 };
 use obiwan_wire::{Decoder, Encoder, Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
 use parking_lot::{Mutex, MutexGuard};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -134,7 +134,10 @@ struct ProcessShared {
     site: SiteId,
     ns_site: SiteId,
     lock: ProcessLock,
-    inbox: Mutex<Vec<(SiteId, Message)>>,
+    /// One-way messages deferred while the process was busy, applied FIFO:
+    /// arrival order is preserved so an `UpdatePush` following an
+    /// `Invalidate` for the same object lands after it, never before.
+    inbox: Mutex<VecDeque<(SiteId, Message)>>,
     client: RmiClient,
     clock: Clock,
     costs: CostModel,
@@ -232,6 +235,13 @@ impl InvokeCtx<'_> {
 // Core invocation / fault machinery (free functions over ProcessInner)
 // ---------------------------------------------------------------------------
 
+/// What one locked attempt of [`ObiProcess::invoke`] produced: a finished
+/// invocation, or a proxy to fault in with the lock dropped.
+enum InvokeOutcome {
+    Done(Result<ObiValue>),
+    Fault(ProxyOut),
+}
+
 fn invoke_inner(
     inner: &mut ProcessInner,
     shared: &ProcessShared,
@@ -283,9 +293,20 @@ fn invoke_inner(
 
 /// Resolves one object fault: demand the next batch from the proxy's
 /// provider and materialize it (paper §2.2 steps 1–6).
+///
+/// This variant holds the process lock across the network wait; it serves
+/// *nested* faults (raised inside a method body, which already owns the
+/// lock). Top-level faults go through
+/// [`ObiProcess::resolve_fault_unlocked`], which releases the lock for the
+/// round-trip.
 fn resolve_fault(inner: &mut ProcessInner, shared: &ProcessShared, proxy: &ProxyOut) -> Result<()> {
     let remote = RemoteRef::new(proxy.target, proxy.provider);
-    let batch = shared.client.get(&remote, proxy.mode)?;
+    let start = shared.clock.virtual_nanos();
+    let batch = shared.client.get(&remote, proxy.mode);
+    shared
+        .metrics
+        .add_fault_nanos(shared.clock.virtual_nanos().saturating_sub(start));
+    let batch = batch?;
     materialize_batch(inner, shared, &batch, proxy.provider, proxy.mode)?;
     // The proxy slot was overwritten by the replica: the swizzle. The old
     // proxy-out is no longer reachable and has effectively been reclaimed.
@@ -296,19 +317,54 @@ fn resolve_fault(inner: &mut ProcessInner, shared: &ProcessShared, proxy: &Proxy
 
 /// Installs a replica batch into the local space: replicas become live
 /// slots, frontier edges become proxy-outs, costs and metrics are charged.
+/// The batch always wins over existing clean replicas (the `get`/`refresh`
+/// contract: the caller asked for fresh state).
 fn materialize_batch(
     inner: &mut ProcessInner,
     shared: &ProcessShared,
     batch: &ReplicaBatch,
     provider: SiteId,
     mode: WireMode,
-) -> Result<()> {
+) -> Result<usize> {
+    materialize_batch_inner(inner, shared, batch, provider, mode, false)
+}
+
+/// Like [`materialize_batch`], but for batches fetched while the process
+/// lock was *dropped*: every replica is re-validated against whatever
+/// happened in the window. Skipped (left untouched) are masters, dirty
+/// replicas (un-pushed local writes), replicas already at the incoming
+/// version or newer (a concurrent fault won the race), and busy slots (an
+/// invocation owns the object right now).
+fn materialize_batch_guarded(
+    inner: &mut ProcessInner,
+    shared: &ProcessShared,
+    batch: &ReplicaBatch,
+    provider: SiteId,
+    mode: WireMode,
+) -> Result<usize> {
+    materialize_batch_inner(inner, shared, batch, provider, mode, true)
+}
+
+fn materialize_batch_inner(
+    inner: &mut ProcessInner,
+    shared: &ProcessShared,
+    batch: &ReplicaBatch,
+    provider: SiteId,
+    mode: WireMode,
+    guard: bool,
+) -> Result<usize> {
+    let mut installed = 0usize;
     for state in &batch.replicas {
-        // Never clobber our own masters with replicas of themselves.
-        if let Resolution::Object(meta) = inner.space.resolve(state.id) {
-            if meta.kind.is_master() {
+        match inner.space.resolve(state.id) {
+            // Never clobber our own masters with replicas of themselves.
+            Resolution::Object(meta) if meta.kind.is_master() => continue,
+            Resolution::Object(meta)
+                if guard && (meta.dirty || meta.version >= state.version) =>
+            {
                 continue;
             }
+            Resolution::Busy if guard => continue,
+            _ => {}
         }
         shared.clock.charge_cpu(shared.costs.serialize(state.state.len()));
         let mut dec = Decoder::new(&state.state);
@@ -319,6 +375,7 @@ fn materialize_batch(
         shared.clock.charge_cpu(shared.costs.replica_create);
         shared.metrics.incr_replicas_created();
         inner.space.insert_object(ObjectEntry { object, meta });
+        installed += 1;
     }
 
     if let Some(cluster) = batch.cluster {
@@ -357,7 +414,7 @@ fn materialize_batch(
         let (evicted, _freed) = inner.space.evict_replicas_to(budget, &[batch.root]);
         shared.metrics.add_replicas_evicted(evicted as u64);
     }
-    Ok(())
+    Ok(installed)
 }
 
 /// Applies post-invocation bookkeeping: bump master versions, mark replicas
@@ -473,7 +530,7 @@ impl ObiProcess {
                     replica_budget: None,
                     cluster_roots: HashMap::new(),
                 }),
-                inbox: Mutex::new(Vec::new()),
+                inbox: Mutex::new(VecDeque::new()),
                 client,
                 clock,
                 costs,
@@ -553,16 +610,18 @@ impl ObiProcess {
         }
     }
 
-    /// Applies one-way messages that arrived while this process was busy.
+    /// Applies one-way messages that arrived while this process was busy,
+    /// oldest first. A message that cannot be applied yet goes back to the
+    /// *front* of the queue so nothing overtakes it.
     pub fn drain_inbox(&self) {
         loop {
-            let Some((from, msg)) = self.shared.inbox.lock().pop() else {
+            let Some((from, msg)) = self.shared.inbox.lock().pop_front() else {
                 return;
             };
             if self.shared.lock.held_by_me() {
                 // Still inside one of our own frames; put it back and let
                 // the outermost caller drain.
-                self.shared.inbox.lock().push((from, msg));
+                self.shared.inbox.lock().push_front((from, msg));
                 return;
             }
             let flush = match self.enter() {
@@ -571,7 +630,7 @@ impl ObiProcess {
                     std::mem::take(&mut g.outbox)
                 }
                 Err(_) => {
-                    self.shared.inbox.lock().push((from, msg));
+                    self.shared.inbox.lock().push_front((from, msg));
                     return;
                 }
             };
@@ -710,38 +769,223 @@ impl ObiProcess {
     /// Connectivity failures abort the prefetch; everything fetched before
     /// the failure stays.
     pub fn prefetch(&self, root: ObjRef, objects: usize) -> Result<usize> {
+        self.prefetch_batched(root, objects, 1)
+    }
+
+    /// Like [`prefetch`](ObiProcess::prefetch), but demanding up to `batch`
+    /// objects per network round-trip through `get_many`: frontier proxies
+    /// are collected and sent to their provider in one request, and each
+    /// round's batch *feeds the next* — the frontier edges of the replicas
+    /// just materialized become the next demand targets, so the object
+    /// graph is traversed once (O(objects + frontier)) instead of re-walked
+    /// per fault. A 64-object list walk that costs 64 round-trips demand-
+    /// by-demand costs ⌈64/batch⌉ here.
+    ///
+    /// Like every prefetch path, the lock is dropped during network waits
+    /// and batches are installed through the guarded materializer.
+    pub fn prefetch_batched(&self, root: ObjRef, objects: usize, batch: usize) -> Result<usize> {
+        let batch = batch.max(1);
+        // Seed once with every frontier proxy reachable from `root`.
+        let seed = self.with_inner(|inner| Ok(reachable_frontier(&inner.space, root.id())))?;
+        let mut seen: HashSet<ObjId> = seed.iter().copied().collect();
+        let mut candidates: VecDeque<ObjId> = seed.into();
+        let mut fetched = 0usize;
+        while fetched < objects && !candidates.is_empty() {
+            let (inserted, discovered) =
+                self.prefetch_round(&mut candidates, batch, objects - fetched)?;
+            for id in discovered {
+                if seen.insert(id) {
+                    candidates.push_back(id);
+                }
+            }
+            fetched += inserted;
+        }
+        Ok(fetched)
+    }
+
+    /// Prefetches from the space's frontier *index* instead of a BFS from a
+    /// root: demand candidates are popped in O(1) regardless of how many
+    /// objects are live, `batch` per round-trip, until `objects` objects
+    /// arrived or the frontier is exhausted. Use this to warm the whole
+    /// working set rather than one root's reachable graph.
+    pub fn prefetch_frontier(&self, objects: usize, batch: usize) -> Result<usize> {
+        let batch = batch.max(1);
+        let mut seen: HashSet<ObjId> = HashSet::new();
+        let mut fetched = 0usize;
+        while fetched < objects {
+            let picked = self.with_inner(|inner| {
+                let want = batch.min(objects - fetched).max(1);
+                Ok(inner
+                    .space
+                    .frontier_candidates(want)
+                    .into_iter()
+                    .map(|p| p.target)
+                    .filter(|id| !seen.contains(id))
+                    .collect::<Vec<ObjId>>())
+            })?;
+            if picked.is_empty() {
+                break;
+            }
+            seen.extend(picked.iter().copied());
+            let mut candidates: VecDeque<ObjId> = picked.into();
+            let (inserted, _) = self.prefetch_round(&mut candidates, batch, objects - fetched)?;
+            fetched += inserted;
+        }
+        Ok(fetched)
+    }
+
+    /// One prefetch round: validate up to `batch.min(remaining)` candidates
+    /// under the lock, demand them (grouped per provider, one `get_many`
+    /// each; non-incremental proxies individually), re-acquire and install.
+    /// Returns `(replicas installed, frontier ids discovered)`.
+    fn prefetch_round(
+        &self,
+        candidates: &mut VecDeque<ObjId>,
+        batch: usize,
+        remaining: usize,
+    ) -> Result<(usize, Vec<ObjId>)> {
+        let want = batch.min(remaining).max(1);
+        // Incremental targets grouped by provider, with the largest step
+        // any of them asked for; cluster/transitive proxies have one-shot
+        // semantics a merged batch would change, so they go solo.
+        let mut grouped: HashMap<SiteId, (Vec<ObjId>, u32)> = HashMap::new();
+        let mut solo: Vec<ProxyOut> = Vec::new();
         self.with_inner(|inner| {
-            let mut fetched = 0usize;
-            while fetched < objects {
-                // Find the first frontier proxy reachable from root.
-                let Some(proxy) = find_reachable_proxy(&inner.space, root.id()) else {
+            let mut picked = 0usize;
+            while picked < want {
+                let Some(id) = candidates.pop_front() else {
                     break;
                 };
-                let before = inner.space.object_ids().len();
-                resolve_fault(inner, &self.shared, &proxy)?;
-                let after = inner.space.object_ids().len();
-                fetched += after.saturating_sub(before).max(1);
+                let Resolution::Proxy(p) = inner.space.resolve(id) else {
+                    continue; // already live (or gone): nothing to demand
+                };
+                picked += 1;
+                match p.mode {
+                    WireMode::Incremental { batch: own } => {
+                        let slot = grouped.entry(p.provider).or_insert((Vec::new(), 1));
+                        slot.0.push(p.target);
+                        slot.1 = slot.1.max(own.max(1));
+                    }
+                    _ => solo.push(p),
+                }
             }
-            Ok(fetched)
+            Ok(())
+        })?;
+
+        let total = grouped.values().map(|(t, _)| t.len()).sum::<usize>() + solo.len();
+        if total == 0 {
+            return Ok((0, Vec::new()));
+        }
+        // Spread the round's object budget across the targets; a single
+        // target still honors its proxy's own incremental step.
+        let spread = (batch / total).max(1).min(u32::MAX as usize) as u32;
+
+        let mut inserted = 0usize;
+        let mut discovered: Vec<ObjId> = Vec::new();
+        for (provider, (targets, own_step)) in grouped {
+            let mode = WireMode::Incremental {
+                batch: own_step.max(spread),
+            };
+            let swizzled = targets.len();
+            let reply = self.shared.client.get_many(provider, targets, mode)?;
+            discovered.extend(reply.frontier.iter().map(|e| e.target));
+            inserted += self.absorb_prefetched(&reply, provider, mode, swizzled)?;
+        }
+        for proxy in solo {
+            let remote = RemoteRef::new(proxy.target, proxy.provider);
+            let reply = self.shared.client.get(&remote, proxy.mode)?;
+            discovered.extend(reply.frontier.iter().map(|e| e.target));
+            inserted += self.absorb_prefetched(&reply, proxy.provider, proxy.mode, 1)?;
+        }
+        Ok((inserted, discovered))
+    }
+
+    /// Re-acquires the lock and installs a prefetched batch through the
+    /// guarded materializer; `swizzled` proxies were overwritten.
+    fn absorb_prefetched(
+        &self,
+        batch: &ReplicaBatch,
+        provider: SiteId,
+        mode: WireMode,
+        swizzled: usize,
+    ) -> Result<usize> {
+        self.with_inner(|inner| {
+            let installed = materialize_batch_guarded(inner, &self.shared, batch, provider, mode)?;
+            self.shared.clock.charge_cpu(self.shared.costs.swizzle);
+            self.shared
+                .metrics
+                .add_proxies_reclaimed(swizzled as u64);
+            Ok(installed)
         })
     }
 
     /// Invokes `method` locally (LMI), transparently resolving object
     /// faults if `target` is not yet replicated.
+    ///
+    /// Top-level faults resolve through a *drop-lock window*: the proxy is
+    /// snapshotted under the process lock, the lock is released for the
+    /// network round-trip, then re-acquired to install the batch (with
+    /// per-replica validation, since the world may have moved in the
+    /// window). Invocations on local objects from other threads therefore
+    /// proceed while this one waits on the provider. Nested faults — raised
+    /// inside a method body, which owns the lock — still resolve under it.
     pub fn invoke(&self, target: ObjRef, method: &str, args: ObiValue) -> Result<ObiValue> {
+        // Bounded like invoke_inner's fault loop: a budget that evicts the
+        // freshly faulted object must degrade to an error, not a livelock.
+        let mut attempts = 0;
+        loop {
+            let outcome = self.with_inner(|inner| {
+                Ok(match inner.space.resolve(target.id()) {
+                    Resolution::Proxy(proxy) => InvokeOutcome::Fault(proxy),
+                    _ => {
+                        let mut modified = Vec::new();
+                        let result = invoke_inner(
+                            inner,
+                            &self.shared,
+                            target.id(),
+                            method,
+                            &args,
+                            &mut modified,
+                            0,
+                        );
+                        finish_invocation(inner, &self.shared, &modified);
+                        InvokeOutcome::Done(result)
+                    }
+                })
+            })?;
+            match outcome {
+                InvokeOutcome::Done(result) => return result,
+                InvokeOutcome::Fault(proxy) => {
+                    attempts += 1;
+                    if attempts > 3 {
+                        return Err(ObiError::Internal(format!(
+                            "object {} evaporates after every fault (budget too small?)",
+                            target.id()
+                        )));
+                    }
+                    self.shared.metrics.incr_object_faults();
+                    self.resolve_fault_unlocked(&proxy)?;
+                }
+            }
+        }
+    }
+
+    /// Resolves one top-level fault with the process lock released during
+    /// the network wait. The time blocked on the provider is recorded in
+    /// the `fault_nanos` metric.
+    fn resolve_fault_unlocked(&self, proxy: &ProxyOut) -> Result<()> {
+        let remote = RemoteRef::new(proxy.target, proxy.provider);
+        let start = self.shared.clock.virtual_nanos();
+        let batch = self.shared.client.get(&remote, proxy.mode);
+        self.shared.metrics.add_fault_nanos(
+            self.shared.clock.virtual_nanos().saturating_sub(start),
+        );
+        let batch = batch?;
         self.with_inner(|inner| {
-            let mut modified = Vec::new();
-            let result = invoke_inner(
-                inner,
-                &self.shared,
-                target.id(),
-                method,
-                &args,
-                &mut modified,
-                0,
-            );
-            finish_invocation(inner, &self.shared, &modified);
-            result
+            materialize_batch_guarded(inner, &self.shared, &batch, proxy.provider, proxy.mode)?;
+            self.shared.clock.charge_cpu(self.shared.costs.swizzle);
+            self.shared.metrics.incr_proxies_reclaimed();
+            Ok(())
         })
     }
 
@@ -913,6 +1157,7 @@ impl ObiProcess {
                 provider,
                 WireMode::Incremental { batch: 1 },
             )
+            .map(|_| ())
         })
     }
 
@@ -1072,16 +1317,18 @@ impl ObiProcess {
     }
 }
 
-/// Breadth-first search from `root` over live objects for the first
-/// reachable proxy-out (the next object a forward walk would fault on).
-fn find_reachable_proxy(space: &ObjectSpace, root: ObjId) -> Option<ProxyOut> {
-    let mut queue = std::collections::VecDeque::new();
+/// Breadth-first search from `root` over live objects collecting every
+/// reachable proxy-out target (the objects a walk from `root` could fault
+/// on), in discovery order.
+fn reachable_frontier(space: &ObjectSpace, root: ObjId) -> Vec<ObjId> {
+    let mut queue = VecDeque::new();
     let mut seen = std::collections::HashSet::new();
+    let mut frontier = Vec::new();
     queue.push_back(root);
     seen.insert(root);
     while let Some(id) = queue.pop_front() {
         match space.resolve(id) {
-            Resolution::Proxy(p) => return Some(p),
+            Resolution::Proxy(_) => frontier.push(id),
             Resolution::Object(_) => {
                 if let Ok(refs) = space.with_object(id, |o, _| o.refs()) {
                     for r in refs {
@@ -1094,7 +1341,7 @@ fn find_reachable_proxy(space: &ObjectSpace, root: ObjId) -> Option<ProxyOut> {
             _ => {}
         }
     }
-    None
+    frontier
 }
 
 fn replica_state_of(inner: &ProcessInner, id: ObjId) -> Result<ReplicaState> {
@@ -1142,6 +1389,26 @@ impl ProcessService {
             };
         }
         result
+    }
+
+    /// Shared tail of the `get`/`get_many` handlers: charge provider-side
+    /// marshalling and register proxy-ins so replicas can be individually
+    /// updated (one per object) or cluster-updated (root only).
+    fn finish_get(&self, inner: &mut ProcessInner, batch: ReplicaBatch) -> Result<ReplicaBatch> {
+        self.shared
+            .clock
+            .charge_cpu(self.shared.costs.serialize(batch.state_bytes()));
+        match batch.cluster {
+            Some(_) => {
+                inner.exports.entry(batch.root).or_default();
+            }
+            None => {
+                for r in &batch.replicas {
+                    inner.exports.entry(r.id).or_default();
+                }
+            }
+        }
+        Ok(batch)
     }
 }
 
@@ -1210,31 +1477,33 @@ impl RmiService for ProcessService {
 
     fn get(&self, _from: SiteId, target: ObjId, mode: WireMode) -> Result<ReplicaBatch> {
         self.with_inner(|inner| {
-            let site = self.shared.site;
-            let next_cluster = {
-                let seq = &mut inner.cluster_seq;
-                let current = *seq;
-                *seq += 1;
-                move || ClusterId::new(site, current)
+            let batch = {
+                let site = self.shared.site;
+                let next_cluster = {
+                    let seq = &mut inner.cluster_seq;
+                    let current = *seq;
+                    *seq += 1;
+                    move || ClusterId::new(site, current)
+                };
+                build_batch(&inner.space, target, mode, next_cluster)?
             };
-            let batch = build_batch(&inner.space, target, mode, next_cluster)?;
-            // Provider-side marshalling cost.
-            self.shared
-                .clock
-                .charge_cpu(self.shared.costs.serialize(batch.state_bytes()));
-            // Register proxy-ins so replicas can be individually updated
-            // (one per object) or cluster-updated (root only).
-            match batch.cluster {
-                Some(_) => {
-                    inner.exports.entry(batch.root).or_default();
-                }
-                None => {
-                    for r in &batch.replicas {
-                        inner.exports.entry(r.id).or_default();
-                    }
-                }
-            }
-            Ok(batch)
+            self.finish_get(inner, batch)
+        })
+    }
+
+    fn get_many(&self, _from: SiteId, targets: &[ObjId], mode: WireMode) -> Result<ReplicaBatch> {
+        self.with_inner(|inner| {
+            let batch = {
+                let site = self.shared.site;
+                let next_cluster = {
+                    let seq = &mut inner.cluster_seq;
+                    let current = *seq;
+                    *seq += 1;
+                    move || ClusterId::new(site, current)
+                };
+                build_batch_many(&inner.space, targets, mode, next_cluster)?
+            };
+            self.finish_get(inner, batch)
         })
     }
 
@@ -1309,7 +1578,7 @@ impl RmiService for ProcessService {
         let msg = Message::Invalidate { objects };
         match self.enter() {
             Ok(mut g) => apply_one_way(&mut g, &self.shared, from, msg),
-            Err(_) => self.shared.inbox.lock().push((from, msg)),
+            Err(_) => self.shared.inbox.lock().push_back((from, msg)),
         }
     }
 
@@ -1317,7 +1586,7 @@ impl RmiService for ProcessService {
         let msg = Message::UpdatePush { entries };
         match self.enter() {
             Ok(mut g) => apply_one_way(&mut g, &self.shared, from, msg),
-            Err(_) => self.shared.inbox.lock().push((from, msg)),
+            Err(_) => self.shared.inbox.lock().push_back((from, msg)),
         }
     }
 }

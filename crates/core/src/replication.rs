@@ -112,17 +112,52 @@ pub fn build_batch(
     mode: WireMode,
     next_cluster: impl FnOnce() -> ClusterId,
 ) -> Result<ReplicaBatch> {
-    if !matches!(space.resolve(root), Resolution::Object(_)) {
-        return Err(ObiError::NoSuchObject(root));
-    }
+    build_batch_many(space, &[root], mode, next_cluster)
+}
+
+/// Builds one merged replica batch rooted at every live object in `targets`
+/// — the provider side of `get_many` (the batched demand pipeline).
+///
+/// The traversal is a multi-source BFS seeded with all live targets, so the
+/// roots are materialized first (in request order) before any of their
+/// referents. The step limit scales with the number of live roots: a
+/// `get_many` of N targets in `Incremental { batch }` mode yields up to
+/// `N × batch` objects, exactly what N separate `get`s would have, in one
+/// round-trip. Targets this site cannot provide (proxies, absent ids) are
+/// silently skipped; the reply's `root` is the first live target.
+///
+/// # Errors
+///
+/// [`ObiError::NoSuchObject`] when *no* target is a live object here (the
+/// id reported is the first target, or a nil id for an empty request).
+pub fn build_batch_many(
+    space: &ObjectSpace,
+    targets: &[ObjId],
+    mode: WireMode,
+    next_cluster: impl FnOnce() -> ClusterId,
+) -> Result<ReplicaBatch> {
+    let mut included_set: HashSet<ObjId> = HashSet::new();
+    let live: Vec<ObjId> = targets
+        .iter()
+        .copied()
+        .filter(|&t| {
+            matches!(space.resolve(t), Resolution::Object(_)) && included_set.insert(t)
+        })
+        .collect();
+    let Some(&root) = live.first() else {
+        let blamed = targets
+            .first()
+            .copied()
+            .unwrap_or_else(|| ObjId::new(space.site(), 0));
+        return Err(ObiError::NoSuchObject(blamed));
+    };
     let mode = ReplicationMode::from_wire(mode);
-    let limit = mode.objects_per_step().unwrap_or(usize::MAX);
+    let limit = mode
+        .objects_per_step()
+        .map_or(usize::MAX, |step| step.saturating_mul(live.len()));
 
     let mut included: Vec<ObjId> = Vec::new();
-    let mut included_set: HashSet<ObjId> = HashSet::new();
-    let mut queue: std::collections::VecDeque<ObjId> = std::collections::VecDeque::new();
-    queue.push_back(root);
-    included_set.insert(root);
+    let mut queue: std::collections::VecDeque<ObjId> = live.into_iter().collect();
 
     // BFS over objects this site can actually provide.
     while let Some(id) = queue.pop_front() {
@@ -342,6 +377,74 @@ mod tests {
         );
         assert!(ReplicationMode::cluster(2).is_cluster());
         assert!(!ReplicationMode::default().is_cluster());
+    }
+
+    #[test]
+    fn multi_root_batch_serves_all_roots_first() {
+        let (space, refs) = list_space(10);
+        // Three scattered roots, batch 2 each: 6 objects total, roots first.
+        let targets = [refs[0].id(), refs[4].id(), refs[8].id()];
+        let batch = build_batch_many(
+            &space,
+            &targets,
+            WireMode::Incremental { batch: 2 },
+            cid,
+        )
+        .unwrap();
+        assert_eq!(batch.root, refs[0].id());
+        assert_eq!(batch.replicas.len(), 6);
+        let ids: Vec<ObjId> = batch.replicas.iter().map(|r| r.id).collect();
+        assert_eq!(&ids[..3], &targets);
+    }
+
+    #[test]
+    fn multi_root_batch_merges_overlapping_traversals() {
+        let (space, refs) = list_space(6);
+        // Adjacent roots: the shared suffix is materialized once.
+        let targets = [refs[0].id(), refs[1].id()];
+        let batch = build_batch_many(
+            &space,
+            &targets,
+            WireMode::Incremental { batch: 4 },
+            cid,
+        )
+        .unwrap();
+        let ids: Vec<ObjId> = batch.replicas.iter().map(|r| r.id).collect();
+        let unique: HashSet<ObjId> = ids.iter().copied().collect();
+        assert_eq!(ids.len(), unique.len(), "no duplicate replicas");
+        assert_eq!(ids.len(), 6, "whole list fits under the scaled limit");
+        assert!(batch.frontier.is_empty());
+    }
+
+    #[test]
+    fn multi_root_skips_dead_targets_and_dedupes() {
+        let (space, refs) = list_space(4);
+        let ghost = ObjId::new(SiteId::new(9), 9);
+        let targets = [ghost, refs[2].id(), refs[2].id()];
+        let batch = build_batch_many(
+            &space,
+            &targets,
+            WireMode::Incremental { batch: 1 },
+            cid,
+        )
+        .unwrap();
+        // Only one live, deduped root → limit 1.
+        assert_eq!(batch.root, refs[2].id());
+        assert_eq!(batch.replicas.len(), 1);
+    }
+
+    #[test]
+    fn multi_root_with_no_live_targets_is_rejected() {
+        let (space, _) = list_space(2);
+        let ghost = ObjId::new(SiteId::new(9), 9);
+        assert!(matches!(
+            build_batch_many(&space, &[ghost], WireMode::Transitive, cid),
+            Err(ObiError::NoSuchObject(id)) if id == ghost
+        ));
+        assert!(matches!(
+            build_batch_many(&space, &[], WireMode::Transitive, cid),
+            Err(ObiError::NoSuchObject(_))
+        ));
     }
 
     #[test]

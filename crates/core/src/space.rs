@@ -144,6 +144,12 @@ pub struct ObjectSpace {
     use_tick: u64,
     slots: HashMap<ObjId, Slot>,
     roots: HashSet<ObjId>,
+    /// Frontier index: every id currently holding a proxy-out slot, in
+    /// insertion order. `frontier_queue` may hold stale ids (cleaned lazily
+    /// on pop); `frontier_set` is the authoritative membership, so prefetch
+    /// finds demand candidates in O(1) instead of scanning the whole table.
+    frontier_queue: VecDeque<ObjId>,
+    frontier_set: HashSet<ObjId>,
 }
 
 impl std::fmt::Debug for ObjectSpace {
@@ -165,6 +171,8 @@ impl ObjectSpace {
             use_tick: 1,
             slots: HashMap::new(),
             roots: HashSet::new(),
+            frontier_queue: VecDeque::new(),
+            frontier_set: HashSet::new(),
         }
     }
 
@@ -202,7 +210,9 @@ impl ObjectSpace {
     /// materializing replicas.
     pub fn insert_object(&mut self, mut entry: ObjectEntry) {
         entry.meta.last_used = self.bump_tick();
-        self.slots.insert(entry.meta.id, Slot::Object(entry));
+        let id = entry.meta.id;
+        self.frontier_set.remove(&id);
+        self.slots.insert(id, Slot::Object(entry));
     }
 
     /// Marks `id` as just-used (freshens it against LRU eviction) without
@@ -220,9 +230,53 @@ impl ObjectSpace {
         match self.slots.get(&proxy.target) {
             Some(Slot::Object(_)) | Some(Slot::Busy(_)) => {}
             _ => {
+                self.index_frontier(proxy.target);
                 self.slots.insert(proxy.target, Slot::Proxy(proxy));
             }
         }
+    }
+
+    fn index_frontier(&mut self, id: ObjId) {
+        if self.frontier_set.insert(id) {
+            self.frontier_queue.push_back(id);
+        }
+    }
+
+    /// Number of proxy-out slots currently indexed as demand candidates.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier_set.len()
+    }
+
+    /// Up to `max` frontier proxies, oldest first, in O(max) — the feed of
+    /// the batched prefetch path. Returned proxies stay in the index (they
+    /// leave it when a replica materializes over the slot); repeated calls
+    /// rotate through the frontier rather than re-returning the same ids.
+    pub fn frontier_candidates(&mut self, max: usize) -> Vec<ProxyOut> {
+        let mut out: Vec<ProxyOut> = Vec::new();
+        let mut budget = self.frontier_queue.len();
+        while out.len() < max && budget > 0 {
+            budget -= 1;
+            let Some(id) = self.frontier_queue.pop_front() else {
+                break;
+            };
+            if !self.frontier_set.contains(&id) {
+                continue; // lazily dropped: slot was materialized or removed
+            }
+            match self.slots.get(&id) {
+                Some(Slot::Proxy(p)) => {
+                    // Duplicate queue entries can appear after re-insertion;
+                    // keep exactly one.
+                    if out.iter().all(|c| c.target != id) {
+                        out.push(p.clone());
+                        self.frontier_queue.push_back(id);
+                    }
+                }
+                _ => {
+                    self.frontier_set.remove(&id);
+                }
+            }
+        }
+        out
     }
 
     /// What does `id` currently resolve to?
@@ -300,6 +354,7 @@ impl ObjectSpace {
 
     /// Removes a slot entirely, returning whether it existed.
     pub fn remove(&mut self, id: ObjId) -> bool {
+        self.frontier_set.remove(&id);
         self.slots.remove(&id).is_some()
     }
 
@@ -411,6 +466,7 @@ impl ObjectSpace {
                 continue;
             };
             let class = e.object.class_name().to_owned();
+            self.index_frontier(id);
             self.slots.insert(
                 id,
                 Slot::Proxy(ProxyOut::new(
@@ -498,6 +554,9 @@ impl ObjectSpace {
                 }
             }
         });
+        let slots = &self.slots;
+        self.frontier_set
+            .retain(|id| matches!(slots.get(id), Some(Slot::Proxy(_))));
         stats
     }
 }
@@ -690,6 +749,83 @@ mod tests {
             o.class_name().to_string()
         });
         assert_eq!(class.unwrap(), "LinkedItem");
+    }
+
+    fn proxy(id: ObjId) -> ProxyOut {
+        ProxyOut::new(
+            id,
+            "LinkedItem",
+            SiteId::new(2),
+            WireMode::Incremental { batch: 1 },
+        )
+    }
+
+    #[test]
+    fn frontier_index_tracks_proxy_lifecycle() {
+        let mut s = space();
+        let a = ObjId::new(SiteId::new(2), 1);
+        let b = ObjId::new(SiteId::new(2), 2);
+        s.insert_proxy(proxy(a));
+        s.insert_proxy(proxy(b));
+        s.insert_proxy(proxy(a)); // duplicate insert does not double-count
+        assert_eq!(s.frontier_len(), 2);
+        // Materializing a replica over a proxy slot removes it from the
+        // index; removing a slot does too.
+        s.insert_object(ObjectEntry {
+            object: boxed(1),
+            meta: ObjectMeta::replica(a, SiteId::new(2), 1),
+        });
+        assert_eq!(s.frontier_len(), 1);
+        s.remove(b);
+        assert_eq!(s.frontier_len(), 0);
+        assert!(s.frontier_candidates(10).is_empty());
+    }
+
+    #[test]
+    fn frontier_candidates_are_oldest_first_and_rotate() {
+        let mut s = space();
+        let ids: Vec<ObjId> = (1..=4).map(|i| ObjId::new(SiteId::new(2), i)).collect();
+        for &id in &ids {
+            s.insert_proxy(proxy(id));
+        }
+        let first = s.frontier_candidates(2);
+        assert_eq!(
+            first.iter().map(|p| p.target).collect::<Vec<_>>(),
+            vec![ids[0], ids[1]]
+        );
+        // Candidates stay indexed but rotate to the back, so the next call
+        // surfaces the others.
+        let second = s.frontier_candidates(2);
+        assert_eq!(
+            second.iter().map(|p| p.target).collect::<Vec<_>>(),
+            vec![ids[2], ids[3]]
+        );
+        assert_eq!(s.frontier_len(), 4);
+    }
+
+    #[test]
+    fn eviction_feeds_the_frontier_index() {
+        let mut s = space();
+        let id = ObjId::new(SiteId::new(2), 7);
+        s.insert_object(ObjectEntry {
+            object: boxed(7),
+            meta: ObjectMeta::replica(id, SiteId::new(2), 1),
+        });
+        assert_eq!(s.frontier_len(), 0);
+        let (evicted, _) = s.evict_replicas_to(0, &[]);
+        assert_eq!(evicted, 1);
+        assert_eq!(s.frontier_len(), 1);
+        assert_eq!(s.frontier_candidates(1)[0].target, id);
+    }
+
+    #[test]
+    fn gc_sweeps_the_frontier_index() {
+        let mut s = space();
+        let stray = ObjId::new(SiteId::new(7), 1);
+        s.insert_proxy(proxy(stray));
+        assert_eq!(s.frontier_len(), 1);
+        s.collect_garbage(false);
+        assert_eq!(s.frontier_len(), 0);
     }
 
     #[test]

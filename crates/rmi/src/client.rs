@@ -164,6 +164,7 @@ impl RmiClient {
     /// `get(mode)`: demand a replica batch rooted at the referenced object.
     pub fn get(&self, target: &RemoteRef, mode: WireMode) -> Result<ReplicaBatch> {
         let request = self.next_request();
+        self.metrics.incr_demand_round_trips();
         let reply = self.round_trip_idempotent(
             target.host(),
             &Message::GetRequest {
@@ -178,6 +179,35 @@ impl RmiClient {
                 result
             }
             other => Err(unexpected("GetReply", &other)),
+        }
+    }
+
+    /// Batched `get`: demand one merged replica batch covering every object
+    /// in `targets` hosted at `host`. Costs a single round-trip regardless
+    /// of how many targets there are — the point of the demand pipeline.
+    /// Idempotent, so lost messages are retried like `get`.
+    pub fn get_many(
+        &self,
+        host: SiteId,
+        targets: Vec<ObjId>,
+        mode: WireMode,
+    ) -> Result<ReplicaBatch> {
+        let request = self.next_request();
+        self.metrics.incr_demand_round_trips();
+        let reply = self.round_trip_idempotent(
+            host,
+            &Message::GetManyRequest {
+                request,
+                targets,
+                mode,
+            },
+        )?;
+        match reply {
+            Message::GetManyReply { request: id, result } => {
+                self.check_correlation(request, Some(id))?;
+                result
+            }
+            other => Err(unexpected("GetManyReply", &other)),
         }
     }
 

@@ -49,6 +49,14 @@ impl RmiServer {
                 request,
                 result: self.service.get(from, target, mode),
             }),
+            Message::GetManyRequest {
+                request,
+                targets,
+                mode,
+            } => Some(Message::GetManyReply {
+                request,
+                result: self.service.get_many(from, &targets, mode),
+            }),
             Message::PutRequest { request, entries } => Some(Message::PutReply {
                 request,
                 result: self.service.put(from, entries),
@@ -78,6 +86,7 @@ impl RmiServer {
             // transports never produce them, so drop silently.
             Message::InvokeReply { .. }
             | Message::GetReply { .. }
+            | Message::GetManyReply { .. }
             | Message::PutReply { .. }
             | Message::NameReply { .. }
             | Message::Ack { .. }

@@ -25,6 +25,18 @@ pub trait RmiService: Send + Sync {
         Err(ObiError::NoSuchObject(target))
     }
 
+    /// Batched `get`: one merged replica batch covering every live object
+    /// in `targets`, so N frontier faults cost a single round-trip. The
+    /// default falls back to "first target unknown" so services that never
+    /// export objects keep working unchanged.
+    fn get_many(&self, from: SiteId, targets: &[ObjId], mode: WireMode) -> Result<ReplicaBatch> {
+        let _ = (from, mode);
+        match targets.first() {
+            Some(&t) => Err(ObiError::NoSuchObject(t)),
+            None => Err(ObiError::BadArguments("get_many with no targets".into())),
+        }
+    }
+
     /// `IProvideRemote::put` — apply replica state back onto masters,
     /// returning the accepted `(object, new_version)` pairs.
     fn put(&self, from: SiteId, entries: Vec<ReplicaState>) -> Result<Vec<(ObjId, u64)>> {

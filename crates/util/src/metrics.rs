@@ -41,6 +41,8 @@ struct Counters {
     puts: AtomicU64,
     refreshes: AtomicU64,
     conflicts_detected: AtomicU64,
+    demand_round_trips: AtomicU64,
+    fault_nanos: AtomicU64,
 }
 
 /// A point-in-time copy of all counters.
@@ -60,6 +62,11 @@ pub struct MetricsSnapshot {
     pub puts: u64,
     pub refreshes: u64,
     pub conflicts_detected: u64,
+    /// Network round-trips spent demanding replicas (`get`/`get_many`
+    /// exchanges, retries excluded). Batch faulting exists to shrink this.
+    pub demand_round_trips: u64,
+    /// Total virtual time (ns) invocations spent blocked on object faults.
+    pub fault_nanos: u64,
 }
 
 macro_rules! counter_methods {
@@ -99,6 +106,8 @@ impl Metrics {
         incr_puts, add_puts, puts;
         incr_refreshes, add_refreshes, refreshes;
         incr_conflicts_detected, add_conflicts_detected, conflicts_detected;
+        incr_demand_round_trips, add_demand_round_trips, demand_round_trips;
+        incr_fault_nanos, add_fault_nanos, fault_nanos;
     }
 
     /// Takes a consistent-enough snapshot of all counters (each counter is
@@ -120,6 +129,8 @@ impl Metrics {
             puts: c.puts.load(Ordering::Relaxed),
             refreshes: c.refreshes.load(Ordering::Relaxed),
             conflicts_detected: c.conflicts_detected.load(Ordering::Relaxed),
+            demand_round_trips: c.demand_round_trips.load(Ordering::Relaxed),
+            fault_nanos: c.fault_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -141,6 +152,8 @@ impl Metrics {
             &c.puts,
             &c.refreshes,
             &c.conflicts_detected,
+            &c.demand_round_trips,
+            &c.fault_nanos,
         ] {
             a.store(0, Ordering::Relaxed);
         }
@@ -179,6 +192,10 @@ impl MetricsSnapshot {
             conflicts_detected: self
                 .conflicts_detected
                 .saturating_sub(earlier.conflicts_detected),
+            demand_round_trips: self
+                .demand_round_trips
+                .saturating_sub(earlier.demand_round_trips),
+            fault_nanos: self.fault_nanos.saturating_sub(earlier.fault_nanos),
         }
     }
 }
@@ -200,10 +217,14 @@ mod tests {
         m.incr_rmi();
         m.add_bytes_sent(100);
         m.incr_object_faults();
+        m.incr_demand_round_trips();
+        m.add_fault_nanos(2_800_000);
         let s = m.snapshot();
         assert_eq!(s.rmi_count, 2);
         assert_eq!(s.bytes_sent, 100);
         assert_eq!(s.object_faults, 1);
+        assert_eq!(s.demand_round_trips, 1);
+        assert_eq!(s.fault_nanos, 2_800_000);
     }
 
     #[test]

@@ -353,17 +353,30 @@ impl<'a> Decoder<'a> {
         Ok(len as usize)
     }
 
-    /// Reads a length-prefixed UTF-8 string.
-    pub fn take_str(&mut self) -> Result<String> {
+    /// Reads a length-prefixed UTF-8 string as a borrowed slice of the
+    /// input buffer — no allocation. Prefer this on decode paths that only
+    /// inspect or immediately re-encode the string.
+    pub fn take_str_ref(&mut self) -> Result<&'a str> {
         let len = self.take_len()?;
         let slice = self.take_slice(len)?;
-        String::from_utf8(slice.to_vec()).map_err(|e| Self::err(format!("invalid utf-8: {e}")))
+        std::str::from_utf8(slice).map_err(|e| Self::err(format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String> {
+        self.take_str_ref().map(str::to_owned)
+    }
+
+    /// Reads length-prefixed raw bytes as a borrowed slice of the input
+    /// buffer — no allocation or copy.
+    pub fn take_bytes_ref(&mut self) -> Result<&'a [u8]> {
+        let len = self.take_len()?;
+        self.take_slice(len)
     }
 
     /// Reads length-prefixed raw bytes.
     pub fn take_bytes(&mut self) -> Result<Bytes> {
-        let len = self.take_len()?;
-        Ok(Bytes::copy_from_slice(self.take_slice(len)?))
+        self.take_bytes_ref().map(Bytes::copy_from_slice)
     }
 
     /// Reads a site identifier.
@@ -622,5 +635,35 @@ mod tests {
         enc.put_u8(0xFE);
         let b = enc.finish();
         assert!(Decoder::new(&b).take_str().is_err());
+        assert!(Decoder::new(&b).take_str_ref().is_err());
+    }
+
+    #[test]
+    fn borrowed_reads_point_into_the_frame() {
+        let mut enc = Encoder::new();
+        enc.put_str("frontier");
+        enc.put_bytes(b"\x01\x02\x03");
+        let b = enc.finish();
+        let mut dec = Decoder::new(&b);
+        let s = dec.take_str_ref().unwrap();
+        let raw = dec.take_bytes_ref().unwrap();
+        assert_eq!(s, "frontier");
+        assert_eq!(raw, b"\x01\x02\x03");
+        // Both are true borrows of the encoded frame, not copies.
+        let frame = b.as_ptr() as usize;
+        let end = frame + b.len();
+        assert!((frame..end).contains(&(s.as_ptr() as usize)));
+        assert!((frame..end).contains(&(raw.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn borrowed_reads_truncate_cleanly() {
+        let mut enc = Encoder::new();
+        enc.put_varint(10); // claims 10 bytes, provides 2
+        enc.put_u8(b'a');
+        enc.put_u8(b'b');
+        let b = enc.finish();
+        assert!(Decoder::new(&b).take_str_ref().is_err());
+        assert!(Decoder::new(&b).take_bytes_ref().is_err());
     }
 }

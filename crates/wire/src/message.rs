@@ -87,11 +87,17 @@ impl ReplicaState {
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let id = dec.take_obj_id()?;
+        // Borrow class and state from the frame: UTF-8 is validated in
+        // place and only the final owned copies are allocated.
+        let class = dec.take_str_ref()?.to_owned();
+        let version = dec.take_varint()?;
+        let state = Bytes::copy_from_slice(dec.take_bytes_ref()?);
         Ok(ReplicaState {
-            id: dec.take_obj_id()?,
-            class: dec.take_str()?,
-            version: dec.take_varint()?,
-            state: dec.take_bytes()?,
+            id,
+            class,
+            version,
+            state,
         })
     }
 }
@@ -113,10 +119,9 @@ impl FrontierEdge {
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
-        Ok(FrontierEdge {
-            target: dec.take_obj_id()?,
-            class: dec.take_str()?,
-        })
+        let target = dec.take_obj_id()?;
+        let class = dec.take_str_ref()?.to_owned();
+        Ok(FrontierEdge { target, class })
     }
 }
 
@@ -288,6 +293,20 @@ pub enum Message {
         request: RequestId,
         result: std::result::Result<ReplicaBatch, ObiError>,
     },
+    /// Batched demand: materialize several frontier proxies in a single
+    /// round-trip. The provider answers with one merged batch rooted at the
+    /// first live target, so N faults cost one network exchange.
+    GetManyRequest {
+        request: RequestId,
+        targets: Vec<ObjId>,
+        mode: WireMode,
+    },
+    /// Merged replica batch (or failure) answering a
+    /// [`Message::GetManyRequest`].
+    GetManyReply {
+        request: RequestId,
+        result: std::result::Result<ReplicaBatch, ObiError>,
+    },
     /// `IProvideRemote::put` — write replica state back to the master site.
     PutRequest {
         request: RequestId,
@@ -342,11 +361,46 @@ const MSG_INVALIDATE: u8 = 11;
 const MSG_UPDATE_PUSH: u8 = 12;
 const MSG_PING: u8 = 13;
 const MSG_PONG: u8 = 14;
+const MSG_GET_MANY_REQ: u8 = 15;
+const MSG_GET_MANY_REP: u8 = 16;
+
+/// Approximate frame size of a batch, used to pre-size encoders so hot
+/// replies do not grow their buffer repeatedly.
+fn batch_size_hint(batch: &ReplicaBatch) -> usize {
+    let replicas: usize = batch
+        .replicas
+        .iter()
+        .map(|r| r.state.len() + r.class.len() + 24)
+        .sum();
+    let frontier: usize = batch.frontier.iter().map(|f| f.class.len() + 12).sum();
+    32 + replicas + frontier
+}
+
+fn entries_size_hint(entries: &[ReplicaState]) -> usize {
+    16 + entries
+        .iter()
+        .map(|e| e.state.len() + e.class.len() + 24)
+        .sum::<usize>()
+}
 
 impl Message {
+    /// Approximate encoded size, used to pre-allocate the frame buffer.
+    /// Exact for fixed-width parts, slightly generous for varints.
+    pub fn encoded_size_hint(&self) -> usize {
+        match self {
+            Message::GetReply { result: Ok(batch), .. }
+            | Message::GetManyReply { result: Ok(batch), .. } => 16 + batch_size_hint(batch),
+            Message::PutRequest { entries, .. } | Message::UpdatePush { entries } => {
+                entries_size_hint(entries)
+            }
+            Message::GetManyRequest { targets, .. } => 24 + targets.len() * 12,
+            _ => 64,
+        }
+    }
+
     /// Serializes the message to a self-contained frame.
     pub fn encode(&self) -> Bytes {
-        let mut enc = Encoder::with_capacity(64);
+        let mut enc = Encoder::with_capacity(self.encoded_size_hint());
         match self {
             Message::InvokeRequest {
                 request,
@@ -377,6 +431,33 @@ impl Message {
             }
             Message::GetReply { request, result } => {
                 enc.put_u8(MSG_GET_REP);
+                enc.put_request_id(*request);
+                match result {
+                    Ok(batch) => {
+                        enc.put_u8(0);
+                        batch.encode(&mut enc);
+                    }
+                    Err(e) => {
+                        enc.put_u8(1);
+                        enc.put_error(e);
+                    }
+                }
+            }
+            Message::GetManyRequest {
+                request,
+                targets,
+                mode,
+            } => {
+                enc.put_u8(MSG_GET_MANY_REQ);
+                enc.put_request_id(*request);
+                enc.put_varint(targets.len() as u64);
+                for t in targets {
+                    enc.put_obj_id(*t);
+                }
+                mode.encode(&mut enc);
+            }
+            Message::GetManyReply { request, result } => {
+                enc.put_u8(MSG_GET_MANY_REP);
                 enc.put_request_id(*request);
                 match result {
                     Ok(batch) => {
@@ -510,6 +591,29 @@ impl Message {
                 };
                 Message::GetReply { request, result }
             }
+            MSG_GET_MANY_REQ => {
+                let request = dec.take_request_id()?;
+                let n = dec.take_varint()? as usize;
+                let mut targets = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    targets.push(dec.take_obj_id()?);
+                }
+                let mode = WireMode::decode(dec)?;
+                Message::GetManyRequest {
+                    request,
+                    targets,
+                    mode,
+                }
+            }
+            MSG_GET_MANY_REP => {
+                let request = dec.take_request_id()?;
+                let result = match dec.take_u8()? {
+                    0 => Ok(ReplicaBatch::decode(dec)?),
+                    1 => Err(dec.take_error()?),
+                    tag => return Err(ObiError::Decode(format!("bad result flag {tag}"))),
+                };
+                Message::GetManyReply { request, result }
+            }
             MSG_PUT_REQ => {
                 let request = dec.take_request_id()?;
                 let n = dec.take_varint()? as usize;
@@ -587,6 +691,8 @@ impl Message {
             | Message::InvokeReply { request, .. }
             | Message::GetRequest { request, .. }
             | Message::GetReply { request, .. }
+            | Message::GetManyRequest { request, .. }
+            | Message::GetManyReply { request, .. }
             | Message::PutRequest { request, .. }
             | Message::PutReply { request, .. }
             | Message::NameRequest { request, .. }
@@ -605,6 +711,7 @@ impl Message {
             self,
             Message::InvokeRequest { .. }
                 | Message::GetRequest { .. }
+                | Message::GetManyRequest { .. }
                 | Message::PutRequest { .. }
                 | Message::NameRequest { .. }
                 | Message::Subscribe { .. }
@@ -688,6 +795,24 @@ mod tests {
                     from: SiteId::new(1),
                     to: SiteId::new(2),
                 }),
+            },
+            Message::GetManyRequest {
+                request: rid(8),
+                targets: vec![oid(1), oid(2), oid(3)],
+                mode: WireMode::Incremental { batch: 4 },
+            },
+            Message::GetManyRequest {
+                request: rid(8),
+                targets: vec![],
+                mode: WireMode::Transitive,
+            },
+            Message::GetManyReply {
+                request: rid(8),
+                result: Ok(sample_batch()),
+            },
+            Message::GetManyReply {
+                request: rid(8),
+                result: Err(ObiError::NoSuchObject(oid(3))),
             },
             Message::PutRequest {
                 request: rid(4),

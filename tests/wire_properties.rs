@@ -97,6 +97,34 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }),
         (arb_request_id(), proptest::collection::vec(arb_replica_state(), 0..5))
             .prop_map(|(request, entries)| Message::PutRequest { request, entries }),
+        (
+            arb_request_id(),
+            proptest::collection::vec(arb_obj_id(), 0..8),
+            arb_mode(),
+        )
+            .prop_map(|(request, targets, mode)| Message::GetManyRequest {
+                request,
+                targets,
+                mode,
+            }),
+        (
+            arb_request_id(),
+            arb_obj_id(),
+            proptest::collection::vec(arb_replica_state(), 0..5),
+            proptest::collection::vec((arb_obj_id(), "[A-Z][a-z]{0,10}"), 0..5),
+        )
+            .prop_map(|(request, root, replicas, frontier)| Message::GetManyReply {
+                request,
+                result: Ok(ReplicaBatch {
+                    root,
+                    replicas,
+                    frontier: frontier
+                        .into_iter()
+                        .map(|(target, class)| FrontierEdge { target, class })
+                        .collect(),
+                    cluster: None,
+                }),
+            }),
         proptest::collection::vec(arb_obj_id(), 0..10)
             .prop_map(|objects| Message::Invalidate { objects }),
         arb_request_id().prop_map(|request| Message::Ping { request }),

@@ -1,0 +1,314 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API this workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched`, and
+//! the `--test` smoke mode (`cargo bench -- --test` runs every routine once
+//! and reports nothing). Timing mode measures wall-clock means over a small
+//! adaptive iteration count — good enough for relative comparisons, with
+//! none of criterion's statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; accepted for compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup for every routine invocation.
+    PerIteration,
+    /// Small batches (treated as per-iteration here).
+    SmallInput,
+    /// Large batches (treated as per-iteration here).
+    LargeInput,
+}
+
+/// Throughput annotation; accepted and echoed, not used in math.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, like `encode/64`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to bench closures; runs and times the routine.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    report: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over an adaptive number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            *self.report = Some(Duration::ZERO);
+            return;
+        }
+        // Warm-up + calibration: find an iteration count that fills a
+        // modest measurement window.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.report = Some(t1.elapsed() / iters as u32);
+    }
+
+    /// Times `routine` with a fresh `setup()` value per invocation; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            *self.report = Some(Duration::ZERO);
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        *self.report = Some(total / iters as u32);
+    }
+
+    /// Like `iter_batched`, taking the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; this harness sizes itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; this harness ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; recorded nowhere.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut report = None;
+        let mut b = Bencher { test_mode: self.criterion.test_mode, report: &mut report };
+        f(&mut b);
+        self.criterion.report(&full, report);
+        self
+    }
+
+    /// Runs one benchmark routine with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (formatting only).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver: parses CLI flags and runs groups.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from `std::env::args`: honors `--test` (run each
+    /// routine once) and a bare-word substring filter; other flags that
+    /// cargo/libtest pass are ignored.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--sample-size"
+                | "--measurement-time" | "--warm-up-time" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(id) {
+            let mut report = None;
+            let mut b = Bencher { test_mode: self.test_mode, report: &mut report };
+            f(&mut b);
+            self.report(id, report);
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn report(&self, id: &str, measured: Option<Duration>) {
+        match measured {
+            Some(d) if !self.test_mode => println!("{id:<50} time: {d:>12.2?}/iter"),
+            Some(_) => println!("{id}: ok (test mode)"),
+            None => {}
+        }
+    }
+}
+
+/// Bundles bench functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("encode", 64).to_string(), "encode/64");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("once", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("zzz".into()), test_mode: true };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("skipped", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 0);
+    }
+}

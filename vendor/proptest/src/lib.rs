@@ -1,0 +1,665 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the [`Strategy`]
+//! trait with `prop_map`/`prop_recursive`/`boxed`, tuple and range
+//! strategies, `any::<T>()`, `Just`, `prop_oneof!`, `collection::vec`, a
+//! small regex-subset string strategy, and the `proptest!` test macro.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs in
+//!   scope, it is not minimized;
+//! * generation is driven by a SplitMix64 RNG seeded deterministically from
+//!   the test's module path and name, so failures reproduce across runs;
+//! * `prop_assert!`/`prop_assert_eq!` are plain panicking asserts.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::{Arc, OnceLock};
+
+/// Depth budget handed to top-level generation; only recursive strategies
+/// pay attention to it (they substitute their own configured depth).
+pub const DEFAULT_DEPTH: u32 = 4;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator (SplitMix64) used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary label (test name) so every test gets a
+    /// stable, distinct stream.
+    pub fn for_test(label: &str) -> Self {
+        let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+        for b in label.bytes() {
+            seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn below_usize(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value. `depth` is the remaining recursion budget for
+    /// [`Strategy::prop_recursive`] strategies; others pass it through.
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type behind an `Arc`d closure (cheap to clone).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy(Arc::new(move |rng, depth| s.generate(rng, depth)))
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// receives a handle producing sub-values one level deeper. `depth`
+    /// bounds nesting; the other two parameters (desired size, branch
+    /// factor) are accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let branch_slot: Arc<OnceLock<BoxedStrategy<Self::Value>>> = Arc::new(OnceLock::new());
+        let handle = {
+            let leaf = leaf.clone();
+            let slot = branch_slot.clone();
+            BoxedStrategy(Arc::new(move |rng: &mut TestRng, d: u32| {
+                // Chance of branching decays with remaining depth.
+                if d == 0 || rng.below(u64::from(d) + 1) == 0 {
+                    (leaf.0)(rng, 0)
+                } else {
+                    (slot.get().expect("recursive strategy initialized").0)(rng, d - 1)
+                }
+            }))
+        };
+        let branch = recurse(handle).boxed();
+        let _ = branch_slot.set(branch);
+        let leaf_entry = leaf;
+        let slot = branch_slot;
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng, _d: u32| {
+            if depth == 0 || rng.below(3) == 0 {
+                (leaf_entry.0)(rng, 0)
+            } else {
+                (slot.get().expect("recursive strategy initialized").0)(rng, depth - 1)
+            }
+        }))
+    }
+}
+
+/// The generator function backing a [`BoxedStrategy`].
+type BoxedGen<T> = Arc<dyn Fn(&mut TestRng, u32) -> T>;
+
+/// Type-erased strategy; clones share the underlying generator.
+pub struct BoxedStrategy<T>(BoxedGen<T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> T {
+        (self.0)(rng, depth)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> U {
+        (self.f)(self.inner.generate(rng, depth))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng, _depth: u32) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (built by [`prop_oneof!`]).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a choice over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> T {
+        let i = rng.below_usize(self.options.len());
+        self.options[i].generate(rng, depth)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: any::<T>(), ranges, bool::ANY
+// ---------------------------------------------------------------------------
+
+/// Types with a full-domain uniform strategy (see [`any`]).
+pub trait ArbitraryValue {
+    /// Samples one value covering the whole domain.
+    fn sample(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn sample(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn sample(rng: &mut TestRng) -> bool {
+        rng.coin()
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn sample(rng: &mut TestRng) -> f64 {
+        // Finite full-range doubles; NaN/inf intentionally excluded.
+        (rng.unit_f64() - 0.5) * 2e300
+    }
+}
+
+impl ArbitraryValue for f32 {
+    fn sample(rng: &mut TestRng) -> f32 {
+        ((rng.unit_f64() - 0.5) * 2e38) as f32
+    }
+}
+
+impl ArbitraryValue for char {
+    fn sample(rng: &mut TestRng) -> char {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+    }
+}
+
+/// Strategy for a whole primitive domain; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Any<T> {}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng, _depth: u32) -> T {
+        T::sample(rng)
+    }
+}
+
+/// Uniform strategy over all values of `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Boolean strategies.
+pub mod bool {
+    /// Fair coin strategy, mirroring `proptest::bool::ANY`.
+    pub const ANY: super::Any<core::primitive::bool> = super::Any(core::marker::PhantomData);
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng, _depth: u32) -> $t {
+                let span = self.end.wrapping_sub(self.start);
+                if span == 0 {
+                    self.start
+                } else {
+                    self.start + (rng.below(span as u64) as $t)
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng, _depth: u32) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if lo >= hi {
+                    lo
+                } else {
+                    let span = (hi - lo) as u64;
+                    lo + (rng.below(span.saturating_add(1)) as $t)
+                }
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng, _depth: u32) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng, _depth: u32) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng, depth: u32) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng, depth),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// String strategies: regex subset
+// ---------------------------------------------------------------------------
+
+/// One unit of a parsed pattern: an alphabet plus a repetition range.
+struct PatternUnit {
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..=0x7E).map(|b| b as char).collect()
+}
+
+/// Parses the regex subset used in strategies: sequences of `.`,
+/// `[class]` (with `a-z` ranges and literal members), or literal
+/// characters, each optionally followed by `{n}` or `{m,n}`.
+fn parse_pattern(pattern: &str) -> Vec<PatternUnit> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '.' => {
+                i += 1;
+                printable_ascii()
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                set
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (mut min, mut max) = (1usize, 1usize);
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or(chars.len());
+            let body: String = chars[i + 1..close].iter().collect();
+            if let Some((lo, hi)) = body.split_once(',') {
+                min = lo.trim().parse().unwrap_or(0);
+                max = hi.trim().parse().unwrap_or(min);
+            } else {
+                min = body.trim().parse().unwrap_or(1);
+                max = min;
+            }
+            i = close + 1;
+        }
+        units.push(PatternUnit { alphabet, min, max });
+    }
+    units
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng, _depth: u32) -> String {
+        let mut out = String::new();
+        for unit in parse_pattern(self) {
+            if unit.alphabet.is_empty() {
+                continue;
+            }
+            let n = unit.min + rng.below_usize(unit.max.saturating_sub(unit.min) + 1);
+            for _ in 0..n {
+                out.push(unit.alphabet[rng.below_usize(unit.alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> String {
+        self.as_str().generate(rng, depth)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for vectors of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng, depth: u32) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let n = self.size.lo + rng.below_usize(span);
+            (0..n).map(|_| self.element.generate(rng, depth)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration; only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` looping over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _ in 0..__config.cases {
+                $(
+                    let $arg =
+                        $crate::Strategy::generate(&($strat), &mut __rng, $crate::DEFAULT_DEPTH);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        ArbitraryValue, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(3u32..17), &mut rng, 0);
+            assert!((3..17).contains(&v));
+            let f = crate::Strategy::generate(&(0.0f64..1.0), &mut rng, 0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::TestRng::for_test("strings");
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z_]{1,12}", &mut rng, 0);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+            let t = crate::Strategy::generate(&"[A-Z][a-z]{0,10}", &mut rng, 0);
+            assert!(t.chars().next().unwrap().is_ascii_uppercase());
+            assert!(t.len() <= 11);
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)] // payloads exist to exercise generation, not to be read
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = any::<u8>().prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::for_test("trees");
+        for _ in 0..100 {
+            let _ = crate::Strategy::generate(&strat, &mut rng, crate::DEFAULT_DEPTH);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u8..10, flip in crate::bool::ANY) {
+            prop_assert!(x < 10);
+            let _ = flip;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1usize), Just(2), 5usize..7]) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        }
+    }
+}

@@ -76,13 +76,14 @@ pub mod world;
 pub use hooks::{AcceptAll, ConsistencyHook};
 pub use object::{ClassRegistry, DecodeFn, ObiObject};
 pub use objref::ObjRef;
-pub use process::{InvokeCtx, ObiProcess};
+pub use process::{Freshness, InvokeCtx, ObiProcess};
 pub use replication::ReplicationMode;
 pub use space::{GcStats, ObjectMeta, ObjectSpace, ReplicaKind, Resolution};
 pub use world::{ObiWorld, NAME_SERVER_SITE};
 
 // Re-exports used by the `obi_class!` macro expansion and by downstream
 // crates wanting a one-stop import.
+pub use obiwan_rmi::{BreakerConfig, BreakerState, Deadline, RetryPolicy};
 pub use obiwan_util::{ObiError, Result};
 pub use obiwan_wire::ObiValue;
 

@@ -23,7 +23,9 @@ use crate::proxy::{ProxyIn, ProxyOut};
 use crate::replication::{build_batch, build_batch_many, ReplicationMode};
 use crate::space::{GcStats, ObjectEntry, ObjectMeta, ObjectSpace, ReplicaKind, Resolution};
 use obiwan_net::Transport;
-use obiwan_rmi::{RemoteRef, RmiClient, RmiServer, RmiService};
+use obiwan_rmi::{
+    BreakerState, Deadline, RemoteRef, RetryPolicy, RmiClient, RmiServer, RmiService,
+};
 use obiwan_util::{
     Clock, ClusterId, CostModel, Metrics, ObiError, ObjId, Result, SiteId,
 };
@@ -35,6 +37,18 @@ use std::sync::Arc;
 
 /// Maximum nested invocation depth, bounding distributed recursion.
 const MAX_INVOKE_DEPTH: usize = 256;
+
+/// Outcome of [`ObiProcess::refresh_or_stale`]: whether the replica was
+/// re-fetched from its master or intentionally left stale because the
+/// master is unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// The master answered; the replica now matches it.
+    Fresh,
+    /// The master is unreachable; the existing (possibly stale) replica
+    /// is served as-is until connectivity returns.
+    Stale,
+}
 
 // ---------------------------------------------------------------------------
 // Re-entrancy-aware process lock
@@ -557,10 +571,14 @@ impl ObiProcess {
     }
 
     /// The message handler to register with the transport for this site.
+    /// Shares the process's metrics so reply-cache hits are visible there.
     pub fn message_handler(&self) -> Arc<dyn obiwan_net::MessageHandler> {
-        Arc::new(RmiServer::new(Arc::new(ProcessService {
-            shared: self.shared.clone(),
-        })))
+        Arc::new(RmiServer::with_metrics(
+            Arc::new(ProcessService {
+                shared: self.shared.clone(),
+            }),
+            self.shared.metrics.clone(),
+        ))
     }
 
     /// Replaces the consistency policy hook.
@@ -785,6 +803,10 @@ impl ObiProcess {
     /// and batches are installed through the guarded materializer.
     pub fn prefetch_batched(&self, root: ObjRef, objects: usize, batch: usize) -> Result<usize> {
         let batch = batch.max(1);
+        // One deadline budget covers the whole sweep: every round-trip of
+        // the pipeline draws from the same per-operation budget instead of
+        // restarting the clock per round.
+        let deadline = self.demand_deadline();
         // Seed once with every frontier proxy reachable from `root`.
         let seed = self.with_inner(|inner| Ok(reachable_frontier(&inner.space, root.id())))?;
         let mut seen: HashSet<ObjId> = seed.iter().copied().collect();
@@ -792,7 +814,7 @@ impl ObiProcess {
         let mut fetched = 0usize;
         while fetched < objects && !candidates.is_empty() {
             let (inserted, discovered) =
-                self.prefetch_round(&mut candidates, batch, objects - fetched)?;
+                self.prefetch_round(&mut candidates, batch, objects - fetched, deadline)?;
             for id in discovered {
                 if seen.insert(id) {
                     candidates.push_back(id);
@@ -810,6 +832,7 @@ impl ObiProcess {
     /// working set rather than one root's reachable graph.
     pub fn prefetch_frontier(&self, objects: usize, batch: usize) -> Result<usize> {
         let batch = batch.max(1);
+        let deadline = self.demand_deadline();
         let mut seen: HashSet<ObjId> = HashSet::new();
         let mut fetched = 0usize;
         while fetched < objects {
@@ -828,7 +851,8 @@ impl ObiProcess {
             }
             seen.extend(picked.iter().copied());
             let mut candidates: VecDeque<ObjId> = picked.into();
-            let (inserted, _) = self.prefetch_round(&mut candidates, batch, objects - fetched)?;
+            let (inserted, _) =
+                self.prefetch_round(&mut candidates, batch, objects - fetched, deadline)?;
             fetched += inserted;
         }
         Ok(fetched)
@@ -843,6 +867,7 @@ impl ObiProcess {
         candidates: &mut VecDeque<ObjId>,
         batch: usize,
         remaining: usize,
+        deadline: Deadline,
     ) -> Result<(usize, Vec<ObjId>)> {
         let want = batch.min(remaining).max(1);
         // Incremental targets grouped by provider, with the largest step
@@ -887,13 +912,19 @@ impl ObiProcess {
                 batch: own_step.max(spread),
             };
             let swizzled = targets.len();
-            let reply = self.shared.client.get_many(provider, targets, mode)?;
+            let reply = self
+                .shared
+                .client
+                .get_many_with_deadline(provider, targets, mode, Some(deadline))?;
             discovered.extend(reply.frontier.iter().map(|e| e.target));
             inserted += self.absorb_prefetched(&reply, provider, mode, swizzled)?;
         }
         for proxy in solo {
             let remote = RemoteRef::new(proxy.target, proxy.provider);
-            let reply = self.shared.client.get(&remote, proxy.mode)?;
+            let reply = self
+                .shared
+                .client
+                .get_with_deadline(&remote, proxy.mode, Some(deadline))?;
             discovered.extend(reply.frontier.iter().map(|e| e.target));
             inserted += self.absorb_prefetched(&reply, proxy.provider, proxy.mode, 1)?;
         }
@@ -975,8 +1006,12 @@ impl ObiProcess {
     /// the `fault_nanos` metric.
     fn resolve_fault_unlocked(&self, proxy: &ProxyOut) -> Result<()> {
         let remote = RemoteRef::new(proxy.target, proxy.provider);
+        let deadline = self.demand_deadline();
         let start = self.shared.clock.virtual_nanos();
-        let batch = self.shared.client.get(&remote, proxy.mode);
+        let batch = self
+            .shared
+            .client
+            .get_with_deadline(&remote, proxy.mode, Some(deadline));
         self.shared.metrics.add_fault_nanos(
             self.shared.clock.virtual_nanos().saturating_sub(start),
         );
@@ -987,6 +1022,12 @@ impl ObiProcess {
             self.shared.metrics.incr_proxies_reclaimed();
             Ok(())
         })
+    }
+
+    /// One deadline budget for one user-facing demand operation (a fault,
+    /// a prefetch sweep): the RPC policy's per-call budget, anchored now.
+    fn demand_deadline(&self) -> Deadline {
+        Deadline::after(&self.shared.clock, self.shared.client.rpc_policy().call_budget)
     }
 
     /// Invokes `method` remotely (RMI) on the master via its proxy-in —
@@ -1161,6 +1202,30 @@ impl ObiProcess {
         })
     }
 
+    /// Like [`refresh`](ObiProcess::refresh), but degrading instead of
+    /// failing when the master cannot be reached: on a connectivity error
+    /// (partition, timeout, or a fast-fail from an open circuit breaker)
+    /// with a local replica still present, the stale replica stays usable
+    /// and `Ok(Freshness::Stale)` is returned — OBIWAN's disconnected
+    /// degraded mode. Local dirty state is untouched, so a later
+    /// [`put_all_dirty`](ObiProcess::put_all_dirty) reintegrates it once
+    /// the link heals.
+    pub fn refresh_or_stale(&self, target: ObjRef) -> Result<Freshness> {
+        match self.refresh(target) {
+            Ok(()) => Ok(Freshness::Fresh),
+            Err(e) if e.is_connectivity() => {
+                let have_replica =
+                    self.with_inner(|inner| Ok(inner.space.meta(target.id()).is_some()))?;
+                if have_replica {
+                    Ok(Freshness::Stale)
+                } else {
+                    Err(e)
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Re-fetches a whole cluster from its provider in one `get`,
     /// discarding local modifications of every member (the cluster-wise
     /// counterpart of [`ObiProcess::refresh`]).
@@ -1246,6 +1311,24 @@ impl ObiProcess {
     /// True when the transport currently routes to `site`.
     pub fn can_reach(&self, site: SiteId) -> bool {
         self.shared.client.is_reachable(site)
+    }
+
+    /// Current circuit-breaker state for the link to `site`. An `Open`
+    /// breaker means calls fail fast without touching the network until
+    /// the cooldown admits a probe.
+    pub fn breaker_state(&self, site: SiteId) -> BreakerState {
+        self.shared.client.breaker_state(site)
+    }
+
+    /// Replaces the RPC retry policy (retries, per-call deadline budget,
+    /// backoff bounds) used by every request this process issues.
+    pub fn set_rpc_policy(&self, policy: RetryPolicy) {
+        self.shared.client.set_rpc_policy(policy);
+    }
+
+    /// The RPC retry policy currently in force.
+    pub fn rpc_policy(&self) -> RetryPolicy {
+        self.shared.client.rpc_policy()
     }
 
     // -- inspection -----------------------------------------------------------
@@ -2454,6 +2537,43 @@ mod cluster_refresh_tests {
             world.site(s1).refresh_cluster(bogus),
             Err(ObiError::BadArguments(_))
         ));
+    }
+
+    #[test]
+    fn refresh_or_stale_degrades_and_recovers() {
+        let (world, s1, _s2, _refs) = rig();
+        let remote = world.site(s1).lookup("head").unwrap();
+        let root = world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(1))
+            .unwrap();
+        assert_eq!(
+            world.site(s1).refresh_or_stale(root).unwrap(),
+            Freshness::Fresh
+        );
+        // Mutate locally, then lose the master: degraded mode serves the
+        // stale replica and preserves the dirty state.
+        world
+            .site(s1)
+            .invoke(root, "set_value", ObiValue::I64(-5))
+            .unwrap();
+        world.disconnect(s1);
+        assert_eq!(
+            world.site(s1).refresh_or_stale(root).unwrap(),
+            Freshness::Stale
+        );
+        assert_eq!(
+            world.site(s1).invoke(root, "value", ObiValue::Null).unwrap(),
+            ObiValue::I64(-5)
+        );
+        assert!(world.site(s1).meta_of(root).unwrap().dirty);
+        // Heal: the dirty replica reintegrates and refresh is fresh again.
+        world.reconnect(s1);
+        world.site(s1).put(root).unwrap();
+        assert_eq!(
+            world.site(s1).refresh_or_stale(root).unwrap(),
+            Freshness::Fresh
+        );
     }
 
     #[test]

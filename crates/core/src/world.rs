@@ -200,8 +200,10 @@ impl ObiWorld {
     }
 
     /// Drains every process's deferred one-way messages (invalidations and
-    /// pushes that arrived while a process was busy).
+    /// pushes that arrived while a process was busy). Frames held back by
+    /// reorder fault injection are released first so the drain sees them.
     pub fn pump(&self) {
+        self.transport.flush_reordered();
         for process in self.processes.values() {
             process.drain_inbox();
         }

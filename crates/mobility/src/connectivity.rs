@@ -6,7 +6,7 @@
 //! link, so applications can choose between RMI and LMI *before* a call
 //! fails.
 
-use obiwan_core::ObiProcess;
+use obiwan_core::{BreakerState, ObiProcess};
 use obiwan_util::SiteId;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -71,13 +71,21 @@ impl ConnectivityMonitor {
     /// Round-trip time is measured against the process's shared clock, so
     /// in virtual-time worlds the classification follows the link model
     /// rather than wall time.
+    ///
+    /// The probe is breaker-aware: when the process's circuit breaker for
+    /// `peer` is open, the ping fails fast without a network attempt and
+    /// the link classifies as [`LinkHealth::Disconnected`] at near-zero
+    /// cost; a successful ping would first have to pass a half-open probe,
+    /// which classifies as [`LinkHealth::Degraded`] until the breaker is
+    /// confirmed closed.
     pub fn probe(&mut self, process: &ObiProcess, peer: SiteId) -> LinkHealth {
         self.probes += 1;
+        let half_open = process.breaker_state(peer) == BreakerState::HalfOpen;
         let before = process.clock().elapsed();
         let health = match process.ping(peer) {
             Ok(()) => {
                 let rtt = process.clock().elapsed().saturating_sub(before);
-                if rtt > self.degraded_threshold {
+                if rtt > self.degraded_threshold || half_open {
                     LinkHealth::Degraded
                 } else {
                     LinkHealth::Connected
@@ -171,6 +179,38 @@ mod tests {
         assert_eq!(strict.probe(world.site(s1), s2), LinkHealth::Degraded);
         let mut lax = ConnectivityMonitor::new(Duration::from_secs(1));
         assert_eq!(lax.probe(world.site(s1), s2), LinkHealth::Connected);
+    }
+
+    #[test]
+    fn open_breaker_probes_fail_fast_and_recover_through_half_open() {
+        use obiwan_core::{BreakerConfig, BreakerState};
+        let mut world = ObiWorld::paper_testbed();
+        let s1 = world.add_site("S1");
+        let s2 = world.add_site("S2");
+        let mut m = ConnectivityMonitor::new(Duration::from_secs(1));
+        assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Connected);
+        world.disconnect(s2);
+        let threshold = BreakerConfig::default().failure_threshold;
+        for _ in 0..threshold {
+            assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Disconnected);
+        }
+        assert_eq!(world.site(s1).breaker_state(s2), BreakerState::Open);
+        // With the breaker open the probe never touches the network: zero
+        // virtual time, and the fast-fail counter moves.
+        let fails_before = world.site(s1).metrics().snapshot().breaker_fast_fails;
+        let t_before = world.site(s1).clock().elapsed();
+        assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Disconnected);
+        assert_eq!(world.site(s1).clock().elapsed(), t_before);
+        assert_eq!(
+            world.site(s1).metrics().snapshot().breaker_fast_fails,
+            fails_before + 1
+        );
+        // Heal and wait out the cooldown: the half-open probe succeeds but
+        // classifies cautiously as Degraded; the next one is Connected.
+        world.reconnect(s2);
+        world.site(s1).clock().charge(BreakerConfig::default().cooldown);
+        assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Degraded);
+        assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Connected);
     }
 
     #[test]

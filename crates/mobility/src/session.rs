@@ -232,6 +232,42 @@ mod tests {
     }
 
     #[test]
+    fn reintegration_rides_through_an_open_breaker() {
+        use obiwan_core::{BreakerConfig, BreakerState};
+        let (world, s1, s2, master, replica) = rig();
+        world.disconnect(s1);
+        let mut session = DisconnectedSession::new();
+        session
+            .invoke(world.site(s1), replica, "incr", ObiValue::Null)
+            .unwrap();
+        // Enough failed passes trip the per-peer breaker.
+        let threshold = BreakerConfig::default().failure_threshold;
+        for _ in 0..threshold {
+            let report = session.reintegrate(world.site(s1));
+            assert_eq!(
+                report.outcomes,
+                vec![(replica.id(), ReintegrationOutcome::Unreachable)]
+            );
+        }
+        assert_eq!(world.site(s1).breaker_state(s2), BreakerState::Open);
+        // Even after the link heals, the open breaker fast-fails — still
+        // classified Unreachable, so the replica simply stays dirty.
+        world.reconnect(s1);
+        let report = session.reintegrate(world.site(s1));
+        assert_eq!(
+            report.outcomes,
+            vec![(replica.id(), ReintegrationOutcome::Unreachable)]
+        );
+        // Once the cooldown admits a half-open probe, the push goes
+        // through and reintegration completes.
+        world.site(s1).clock().charge(BreakerConfig::default().cooldown);
+        let report = session.reintegrate(world.site(s1));
+        assert!(report.is_clean());
+        let v = world.site(s2).invoke(master, "read", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(1));
+    }
+
+    #[test]
     fn conflicts_are_classified_and_replay_resolves_them() {
         let (world, s1, s2, master, replica) = rig();
         world.site(s2).set_policy(Box::new(OptimisticDetect::new()));

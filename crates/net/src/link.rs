@@ -31,6 +31,12 @@ pub struct LinkModel {
     pub jitter: Duration,
     /// Independent per-frame loss probability in `[0, 1]`.
     pub loss: f64,
+    /// Probability in `[0, 1]` that a delivered frame arrives twice
+    /// (retransmission artifacts; exercises duplicate suppression).
+    pub duplicate: f64,
+    /// Probability in `[0, 1]` that a one-way frame is held back and
+    /// delivered after later traffic (reordering).
+    pub reorder: f64,
 }
 
 impl Default for LinkModel {
@@ -47,6 +53,8 @@ impl LinkModel {
             bandwidth_bps,
             jitter: Duration::ZERO,
             loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
         }
     }
 
@@ -64,6 +72,20 @@ impl LinkModel {
     /// Returns a copy with the given loss probability (clamped to `[0, 1]`).
     pub fn with_loss(mut self, loss: f64) -> Self {
         self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the given duplication probability (clamped to
+    /// `[0, 1]`).
+    pub fn with_duplicate(mut self, duplicate: f64) -> Self {
+        self.duplicate = duplicate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the given reordering probability (clamped to
+    /// `[0, 1]`).
+    pub fn with_reorder(mut self, reorder: f64) -> Self {
+        self.reorder = reorder.clamp(0.0, 1.0);
         self
     }
 
@@ -91,6 +113,16 @@ impl LinkModel {
     /// Samples whether a frame is lost.
     pub fn drops(&self, rng: &mut DetRng) -> bool {
         self.loss > 0.0 && rng.chance(self.loss)
+    }
+
+    /// Samples whether a delivered frame is duplicated.
+    pub fn duplicates(&self, rng: &mut DetRng) -> bool {
+        self.duplicate > 0.0 && rng.chance(self.duplicate)
+    }
+
+    /// Samples whether a one-way frame is reordered (held back).
+    pub fn reorders(&self, rng: &mut DetRng) -> bool {
+        self.reorder > 0.0 && rng.chance(self.reorder)
     }
 }
 
@@ -187,6 +219,18 @@ impl Topology {
         !self.down_sites.contains_key(&from)
             && !self.down_sites.contains_key(&to)
             && !self.down_pairs.contains_key(&(from, to))
+    }
+
+    /// Cuts only the `from -> to` direction, leaving the reverse path up —
+    /// an asymmetric partition (a mobile device that can hear the fixed
+    /// network but not reach it, or vice versa).
+    pub fn partition_oneway(&mut self, from: SiteId, to: SiteId) {
+        self.set_pair_state(from, to, LinkState::Down);
+    }
+
+    /// Restores a direction cut by [`Topology::partition_oneway`].
+    pub fn heal_oneway(&mut self, from: SiteId, to: SiteId) {
+        self.set_pair_state(from, to, LinkState::Up);
     }
 
     /// Partitions the sites into two groups: no traffic crosses between
@@ -309,6 +353,34 @@ mod tests {
         assert!(!t.is_up(s(1), s(2)));
         assert!(t.is_up(s(2), s(1)));
         t.set_pair_state(s(1), s(2), LinkState::Up);
+        assert!(t.is_up(s(1), s(2)));
+    }
+
+    #[test]
+    fn duplicate_and_reorder_sampling() {
+        let mut rng = DetRng::new(5);
+        let clean = LinkModel::ideal();
+        assert!(!clean.duplicates(&mut rng));
+        assert!(!clean.reorders(&mut rng));
+        let faulty = LinkModel::ideal().with_duplicate(1.0).with_reorder(1.0);
+        assert!(faulty.duplicates(&mut rng));
+        assert!(faulty.reorders(&mut rng));
+        // Clamping mirrors with_loss.
+        assert_eq!(LinkModel::ideal().with_duplicate(9.0).duplicate, 1.0);
+        assert_eq!(LinkModel::ideal().with_reorder(-2.0).reorder, 0.0);
+        let dup = LinkModel::ideal().with_duplicate(0.3);
+        let mut rng = DetRng::new(11);
+        let hits = (0..10_000).filter(|_| dup.duplicates(&mut rng)).count();
+        assert!((2500..3500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn oneway_partition_is_asymmetric() {
+        let mut t = Topology::uniform(LinkModel::ideal());
+        t.partition_oneway(s(1), s(2));
+        assert!(!t.is_up(s(1), s(2)));
+        assert!(t.is_up(s(2), s(1)));
+        t.heal_oneway(s(1), s(2));
         assert!(t.is_up(s(1), s(2)));
     }
 

@@ -12,7 +12,7 @@ use crate::transport::{MessageHandler, Transport};
 use bytes::Bytes;
 use obiwan_util::{Clock, DetRng, Metrics, ObiError, Result, SiteId};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// A synchronous, single-process, virtual-time transport.
@@ -40,6 +40,9 @@ struct SimInner {
     metrics: Metrics,
     /// Scheduled connectivity changes, kept sorted by due time.
     schedule: Mutex<Vec<(u64, ScheduledChange)>>,
+    /// One-way frames held back by a link's reorder lottery; they deliver
+    /// after later traffic (see [`SimTransport::flush_reordered`]).
+    held: Mutex<VecDeque<(SiteId, SiteId, Bytes)>>,
 }
 
 /// A connectivity change that fires at a virtual time (mobility scripts:
@@ -52,6 +55,9 @@ pub enum ScheduledChange {
     Reconnect(SiteId),
     /// Replace the link model for a pair, both directions.
     SetLink(SiteId, SiteId, crate::link::LinkModel),
+    /// Set the administrative state of one *directed* pair — the primitive
+    /// for scripted asymmetric partitions.
+    SetPairState(SiteId, SiteId, crate::link::LinkState),
 }
 
 impl std::fmt::Debug for SimTransport {
@@ -80,6 +86,7 @@ impl SimTransport {
                 trace: NetTrace::new(),
                 metrics: Metrics::new(),
                 schedule: Mutex::new(Vec::new()),
+                held: Mutex::new(VecDeque::new()),
             }),
         }
     }
@@ -120,6 +127,48 @@ impl SimTransport {
         self.with_topology_mut(|t| t.reconnect(site));
     }
 
+    /// Convenience: cut only the `from -> to` direction (asymmetric
+    /// partition; the reverse path stays up).
+    pub fn partition_oneway(&self, from: SiteId, to: SiteId) {
+        self.with_topology_mut(|t| t.partition_oneway(from, to));
+    }
+
+    /// Convenience: restore a direction cut by
+    /// [`SimTransport::partition_oneway`].
+    pub fn heal_oneway(&self, from: SiteId, to: SiteId) {
+        self.with_topology_mut(|t| t.heal_oneway(from, to));
+    }
+
+    /// One-way frames currently held back by the reorder lottery.
+    pub fn held_frames(&self) -> usize {
+        self.inner.held.lock().len()
+    }
+
+    /// Delivers every held (reordered) one-way frame in arrival order.
+    ///
+    /// Called automatically after each delivered frame so held traffic
+    /// arrives *after* something sent later (that is what makes it a
+    /// reordering); call it explicitly to drain stragglers when the
+    /// workload goes quiet. Held frames whose link has gone down or lossy
+    /// in the meantime are dropped silently, like any one-way frame.
+    pub fn flush_reordered(&self) {
+        loop {
+            let Some((from, to, frame)) = self.inner.held.lock().pop_front() else {
+                return;
+            };
+            let Ok(handler) = self.handler_for(to) else {
+                continue;
+            };
+            // A late one-way frame that the link lost or refused is gone.
+            if let Ok(dup) = self.traverse(from, to, frame.len(), false) {
+                handler.handle(from, frame.clone());
+                if dup {
+                    handler.handle(from, frame);
+                }
+            }
+        }
+    }
+
     /// Schedules a connectivity change at virtual time `at_nanos`.
     ///
     /// Changes apply lazily: the schedule is consulted whenever a frame
@@ -150,15 +199,19 @@ impl SimTransport {
                 ScheduledChange::SetLink(a, b, link) => {
                     topology.set_link_symmetric(a, b, link)
                 }
+                ScheduledChange::SetPairState(from, to, state) => {
+                    topology.set_pair_state(from, to, state)
+                }
             }
         }
     }
 
-    /// Charges one leg's transfer time and loss lottery; returns the error
-    /// to surface if the frame is lost.
-    fn traverse(&self, from: SiteId, to: SiteId, bytes: usize, is_reply: bool) -> Result<()> {
+    /// Charges one leg's transfer time and loss lottery. On delivery,
+    /// returns whether the frame also came in duplicated (request legs
+    /// only: a duplicated reply is invisible to a synchronous caller).
+    fn traverse(&self, from: SiteId, to: SiteId, bytes: usize, is_reply: bool) -> Result<bool> {
         self.apply_due_changes();
-        let (delay, lost) = {
+        let (delay, lost, dup) = {
             let topology = self.inner.topology.read();
             if !topology.is_up(from, to) {
                 self.inner.trace.record(NetEvent {
@@ -173,7 +226,11 @@ impl SimTransport {
             }
             let link = topology.link(from, to);
             let mut rng = self.inner.rng.lock();
-            (link.transfer_time(bytes, &mut rng), link.drops(&mut rng))
+            (
+                link.transfer_time(bytes, &mut rng),
+                link.drops(&mut rng),
+                !is_reply && link.duplicates(&mut rng),
+            )
         };
         self.inner.clock.charge(delay);
         self.inner.metrics.incr_messages_sent();
@@ -199,7 +256,14 @@ impl SimTransport {
             kind: NetEventKind::Delivered,
             is_reply,
         });
-        Ok(())
+        Ok(dup)
+    }
+
+    /// Samples the reorder lottery for a one-way frame `from -> to`.
+    fn should_reorder(&self, from: SiteId, to: SiteId) -> bool {
+        let topology = self.inner.topology.read();
+        let link = topology.link(from, to);
+        link.reorders(&mut self.inner.rng.lock())
     }
 
     fn handler_for(&self, site: SiteId) -> Result<Arc<dyn MessageHandler>> {
@@ -223,19 +287,37 @@ impl Transport for SimTransport {
 
     fn call(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<Bytes> {
         let handler = self.handler_for(to)?;
-        self.traverse(from, to, frame.len(), false)?;
+        let dup = self.traverse(from, to, frame.len(), false)?;
+        if dup {
+            // The duplicate arrives first and its reply evaporates (the
+            // synchronous caller only reads one). A reply-cache server
+            // answers both executions identically; a bare handler runs its
+            // side effects twice — exactly the hazard being modeled.
+            let _ = handler.handle(from, frame.clone());
+        }
         let reply = handler.handle(from, frame).ok_or_else(|| {
             ObiError::Internal(format!("site {to} produced no reply to a request"))
         })?;
         self.traverse(to, from, reply.len(), true)?;
+        self.flush_reordered();
         Ok(reply)
     }
 
     fn cast(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<()> {
         let handler = self.handler_for(to)?;
+        if self.should_reorder(from, to) {
+            // Held back: the frame's physics are charged when it finally
+            // delivers, after later traffic.
+            self.inner.held.lock().push_back((from, to, frame));
+            return Ok(());
+        }
         match self.traverse(from, to, frame.len(), false) {
-            Ok(()) => {
-                handler.handle(from, frame);
+            Ok(dup) => {
+                handler.handle(from, frame.clone());
+                if dup {
+                    handler.handle(from, frame);
+                }
+                self.flush_reordered();
                 Ok(())
             }
             // Loss on a one-way frame is silent, as on a real network.
@@ -493,6 +575,105 @@ mod tests {
         net.schedule_change(1, ScheduledChange::Disconnect(s(2)));
         net.clock().charge_nanos(10);
         // Both fired (disconnect then reconnect): traffic flows.
+        assert!(net.call(s(1), s(2), Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn duplicated_request_executes_handler_twice() {
+        let net = transport();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        net.register(
+            s(2),
+            Arc::new(move |_from: SiteId, frame: Bytes| -> Option<Bytes> {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                Some(frame)
+            }),
+        );
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(s(1), s(2), crate::link::LinkModel::ideal().with_duplicate(1.0));
+        });
+        net.call(s(1), s(2), Bytes::from_static(b"x")).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "duplicate must arrive");
+        net.cast(s(1), s(2), Bytes::from_static(b"y")).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn reordered_casts_arrive_after_later_traffic() {
+        let net = transport();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let order2 = order.clone();
+        net.register(
+            s(2),
+            Arc::new(move |_from: SiteId, frame: Bytes| -> Option<Bytes> {
+                order2.lock().push(frame[0]);
+                Some(frame)
+            }),
+        );
+        // First cast is held by a total-reorder link; then the link heals,
+        // and a second cast flushes the held frame after itself.
+        net.with_topology_mut(|t| {
+            t.set_link(s(1), s(2), crate::link::LinkModel::ideal().with_reorder(1.0));
+        });
+        net.cast(s(1), s(2), Bytes::from_static(b"a")).unwrap();
+        assert_eq!(net.held_frames(), 1);
+        assert!(order.lock().is_empty());
+        net.with_topology_mut(|t| {
+            t.set_link(s(1), s(2), crate::link::LinkModel::ideal());
+        });
+        net.cast(s(1), s(2), Bytes::from_static(b"b")).unwrap();
+        assert_eq!(net.held_frames(), 0);
+        assert_eq!(&*order.lock(), b"ba", "held frame must arrive late");
+    }
+
+    #[test]
+    fn explicit_flush_drains_held_frames() {
+        let net = transport();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        net.register(
+            s(2),
+            Arc::new(move |_from: SiteId, _frame: Bytes| -> Option<Bytes> {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                None
+            }),
+        );
+        net.with_topology_mut(|t| {
+            t.set_link(s(1), s(2), crate::link::LinkModel::ideal().with_reorder(1.0));
+        });
+        net.cast(s(1), s(2), Bytes::new()).unwrap();
+        net.cast(s(1), s(2), Bytes::new()).unwrap();
+        assert_eq!(net.held_frames(), 2);
+        net.flush_reordered();
+        assert_eq!(net.held_frames(), 0);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn scheduled_asymmetric_partition_cuts_one_direction() {
+        let net = transport();
+        net.register(s(1), Arc::new(Echo));
+        net.register(s(2), Arc::new(Echo));
+        net.schedule_change(
+            1,
+            ScheduledChange::SetPairState(s(1), s(2), crate::link::LinkState::Down),
+        );
+        net.clock().charge_nanos(10);
+        assert!(matches!(
+            net.call(s(1), s(2), Bytes::new()),
+            Err(ObiError::Disconnected { .. })
+        ));
+        // The reverse direction still flows (one-way: a call would need the
+        // cut direction for its reply leg).
+        assert!(!net.is_reachable(s(1), s(2)));
+        assert!(net.is_reachable(s(2), s(1)));
+        assert!(net.cast(s(2), s(1), Bytes::new()).is_ok());
+        net.schedule_change(
+            20,
+            ScheduledChange::SetPairState(s(1), s(2), crate::link::LinkState::Up),
+        );
+        net.clock().charge_nanos(100);
         assert!(net.call(s(1), s(2), Bytes::new()).is_ok());
     }
 

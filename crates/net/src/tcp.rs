@@ -39,6 +39,19 @@ use std::time::Duration;
 /// Maximum frame payload accepted (64 MiB).
 pub const MAX_FRAME: u32 = 64 << 20;
 
+/// Maps an I/O failure talking to `to` onto the platform error taxonomy:
+/// timeouts become [`ObiError::Timeout`] (the peer may be alive but slow —
+/// retry), everything else [`ObiError::SiteUnreachable`] (give up or wait
+/// for reconnection).
+fn classify_io(kind: std::io::ErrorKind, to: SiteId) -> ObiError {
+    match kind {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            ObiError::Timeout { to }
+        }
+        _ => ObiError::SiteUnreachable(to),
+    }
+}
+
 const MAGIC: u8 = 0xB1;
 const KIND_CALL: u8 = 1;
 const KIND_CAST: u8 = 2;
@@ -202,12 +215,12 @@ impl TcpTransport {
             .copied()
             .ok_or(ObiError::SiteUnreachable(to))?;
         let stream = TcpStream::connect_timeout(&addr, self.inner.io_timeout)
-            .map_err(|_| ObiError::SiteUnreachable(to))?;
+            .map_err(|e| classify_io(e.kind(), to))?;
         stream
             .set_nodelay(true)
             .and_then(|()| stream.set_read_timeout(Some(self.inner.io_timeout)))
             .and_then(|()| stream.set_write_timeout(Some(self.inner.io_timeout)))
-            .map_err(|_| ObiError::SiteUnreachable(to))?;
+            .map_err(|e| classify_io(e.kind(), to))?;
         Ok(stream)
     }
 
@@ -258,7 +271,7 @@ impl TcpTransport {
         stream
             .write_all(&header)
             .and_then(|()| stream.write_all(frame))
-            .map_err(|_| ObiError::SiteUnreachable(to))?;
+            .map_err(|e| classify_io(e.kind(), to))?;
         self.inner.metrics.incr_messages_sent();
         self.inner.metrics.add_bytes_sent(frame.len() as u64);
         Ok(())
@@ -268,7 +281,7 @@ impl TcpTransport {
         let mut len_buf = [0u8; 4];
         stream
             .read_exact(&mut len_buf)
-            .map_err(|_| ObiError::SiteUnreachable(to))?;
+            .map_err(|e| classify_io(e.kind(), to))?;
         let len = u32::from_be_bytes(len_buf);
         if len > MAX_FRAME {
             return Err(ObiError::Decode(format!("reply of {len} bytes exceeds MAX_FRAME")));
@@ -276,7 +289,7 @@ impl TcpTransport {
         let mut payload = vec![0u8; len as usize];
         stream
             .read_exact(&mut payload)
-            .map_err(|_| ObiError::SiteUnreachable(to))?;
+            .map_err(|e| classify_io(e.kind(), to))?;
         self.inner.metrics.incr_messages_received();
         self.inner.metrics.add_bytes_received(u64::from(len));
         Ok(Bytes::from(payload))
@@ -558,6 +571,48 @@ mod tests {
         // A small frame is fine; the guard is tested at the boundary by
         // checking the constant is enforced in send_frame (unit-level).
         assert!(u64::from(MAX_FRAME) < u64::MAX);
+        net.shutdown();
+    }
+
+    #[test]
+    fn io_errors_classify_into_timeout_vs_unreachable() {
+        use std::io::ErrorKind;
+        let to = s(3);
+        assert_eq!(
+            classify_io(ErrorKind::TimedOut, to),
+            ObiError::Timeout { to }
+        );
+        assert_eq!(
+            classify_io(ErrorKind::WouldBlock, to),
+            ObiError::Timeout { to }
+        );
+        for kind in [
+            ErrorKind::ConnectionRefused,
+            ErrorKind::ConnectionReset,
+            ErrorKind::BrokenPipe,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert_eq!(classify_io(kind, to), ObiError::SiteUnreachable(to));
+        }
+        // Both classifications are retryable connectivity failures.
+        assert!(classify_io(ErrorKind::TimedOut, to).is_connectivity());
+        assert!(classify_io(ErrorKind::BrokenPipe, to).is_connectivity());
+    }
+
+    #[test]
+    fn read_timeout_surfaces_as_typed_timeout() {
+        // A handler that stalls longer than the transport's I/O timeout:
+        // the caller must see `Timeout`, not a generic unreachable.
+        let net = TcpTransport::with_timeout(Duration::from_millis(100));
+        net.register(
+            s(2),
+            Arc::new(|_f: SiteId, b: Bytes| -> Option<Bytes> {
+                std::thread::sleep(Duration::from_millis(400));
+                Some(b)
+            }),
+        );
+        let err = net.call(s(1), s(2), Bytes::from_static(b"slow")).unwrap_err();
+        assert_eq!(err, ObiError::Timeout { to: s(2) });
         net.shutdown();
     }
 

@@ -1,11 +1,16 @@
 //! The stub-side client API.
 
+use crate::fault::{BreakerState, CircuitBreaker, Deadline, HorizonTracker, RetryPolicy};
 use crate::remote_ref::RemoteRef;
 use obiwan_net::Transport;
-use obiwan_util::{Clock, CostModel, Metrics, ObiError, ObjId, RequestId, Result, SiteId};
+use obiwan_util::{
+    Clock, ClockMode, CostModel, DetRng, Metrics, ObiError, ObjId, RequestId, Result, SiteId,
+};
 use obiwan_wire::{Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Issues OBIWAN requests from one site and correlates their replies.
 ///
@@ -14,6 +19,14 @@ use std::sync::Arc;
 /// the shared [`Clock`] through the [`CostModel`] (a no-op under
 /// [`ClockMode::Hybrid`](obiwan_util::ClockMode), where real CPU time flows
 /// instead).
+///
+/// Every request — including mutating `invoke` and `put` — is retried on
+/// message loss or timeout under a [`RetryPolicy`] with jittered backoff
+/// and a per-call [`Deadline`] budget: the server's reply cache guarantees
+/// a retransmitted request id is never re-executed, so retries have
+/// exactly-once effect. A per-peer [`CircuitBreaker`] turns repeated
+/// call-level failures into immediate `SiteUnreachable` errors without
+/// touching the network, until a cooldown admits a probe again.
 pub struct RmiClient {
     site: SiteId,
     transport: Arc<dyn Transport>,
@@ -21,8 +34,10 @@ pub struct RmiClient {
     costs: CostModel,
     metrics: Metrics,
     seq: AtomicU64,
-    /// Extra attempts for *idempotent* requests on message loss.
-    retries: AtomicU64,
+    policy: Mutex<RetryPolicy>,
+    breaker: CircuitBreaker,
+    horizon: HorizonTracker,
+    backoff_rng: Mutex<DetRng>,
 }
 
 impl std::fmt::Debug for RmiClient {
@@ -58,16 +73,45 @@ impl RmiClient {
             costs,
             metrics,
             seq: AtomicU64::new(1),
-            retries: AtomicU64::new(2),
+            policy: Mutex::new(RetryPolicy::default()),
+            breaker: CircuitBreaker::default(),
+            horizon: HorizonTracker::new(),
+            // Deterministic per-site stream so simulations replay exactly.
+            backoff_rng: Mutex::new(DetRng::new(0x0BAC_00FF ^ site.as_u32() as u64)),
         }
     }
 
-    /// Sets how many times *idempotent* requests (`get`, name operations,
-    /// `subscribe`, `ping`) are retried after a lost message. Non-idempotent
-    /// requests (`invoke`, `put`) are never retried: they keep at-most-once
-    /// semantics, and the caller decides whether re-issuing is safe.
+    /// Sets how many times requests are retried after a lost message or
+    /// timeout. Applies to *all* requests — the server's reply cache makes
+    /// retrying mutating requests (`invoke`, `put`) safe, with
+    /// exactly-once effect.
     pub fn set_retries(&self, retries: u64) {
-        self.retries.store(retries, Ordering::Relaxed);
+        self.policy.lock().max_retries = retries;
+    }
+
+    /// Replaces the whole retry policy (retries, deadline budget, backoff).
+    pub fn set_rpc_policy(&self, policy: RetryPolicy) {
+        *self.policy.lock() = policy;
+    }
+
+    /// The retry policy currently in force.
+    pub fn rpc_policy(&self) -> RetryPolicy {
+        *self.policy.lock()
+    }
+
+    /// The per-peer circuit breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Current breaker state for `peer` (applying the open → half-open
+    /// transition if its cooldown has elapsed).
+    pub fn breaker_state(&self, peer: SiteId) -> BreakerState {
+        self.breaker.state(peer, self.now_nanos())
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.clock.elapsed().as_nanos() as u64
     }
 
     /// The site this client issues requests from.
@@ -95,34 +139,88 @@ impl RmiClient {
     }
 
     fn round_trip(&self, to: SiteId, msg: &Message) -> Result<Message> {
-        self.round_trip_inner(to, msg, 0)
+        self.round_trip_inner(to, msg, None)
     }
 
-    /// Round trip retrying lost messages up to the configured budget —
-    /// only safe for idempotent requests.
-    fn round_trip_idempotent(&self, to: SiteId, msg: &Message) -> Result<Message> {
-        self.round_trip_inner(to, msg, self.retries.load(Ordering::Relaxed))
-    }
-
-    fn round_trip_inner(&self, to: SiteId, msg: &Message, retries: u64) -> Result<Message> {
+    /// One call under the retry machinery: breaker admission, retries with
+    /// jittered backoff on `MessageLost`/`Timeout`, all bounded by
+    /// `deadline` (or the policy's default budget when `None`).
+    fn round_trip_inner(
+        &self,
+        to: SiteId,
+        msg: &Message,
+        deadline: Option<Deadline>,
+    ) -> Result<Message> {
+        let policy = *self.policy.lock();
+        let deadline =
+            deadline.unwrap_or_else(|| Deadline::after(&self.clock, policy.call_budget));
+        if !self.breaker.admit(to, self.now_nanos()) {
+            // Open breaker: fail fast, no frame, no clock charge.
+            self.metrics.incr_breaker_fast_fails();
+            return Err(ObiError::SiteUnreachable(to));
+        }
         let frame = msg.encode();
         self.clock.charge_cpu(self.costs.rmi_dispatch);
         self.clock.charge_cpu(self.costs.serialize(frame.len()));
-        let mut attempt = 0;
-        let reply = loop {
+        let mut attempt = 0u64;
+        let mut backoff = policy.base_backoff;
+        let outcome = loop {
             self.metrics.add_bytes_sent(frame.len() as u64);
             match self.transport.call(self.site, to, frame.clone()) {
-                Ok(reply) => break reply,
-                Err(e @ ObiError::MessageLost { .. }) if attempt < retries => {
+                Ok(reply) => break Ok(reply),
+                Err(e @ (ObiError::MessageLost { .. } | ObiError::Timeout { .. })) => {
+                    if attempt >= policy.max_retries {
+                        break Err(e);
+                    }
+                    if deadline.expired(&self.clock) {
+                        break Err(ObiError::Timeout { to });
+                    }
                     attempt += 1;
-                    let _ = e;
+                    self.metrics.incr_rpc_retries();
+                    backoff = policy.next_backoff(backoff, &mut self.backoff_rng.lock());
+                    self.backoff_sleep(backoff.min(deadline.remaining(&self.clock)));
                 }
-                Err(e) => return Err(e),
+                // Anything else (disconnection, refusal, server error)
+                // surfaces immediately: retrying cannot help.
+                Err(e) => break Err(e),
             }
         };
+        // Call-level accounting: one finished call is one breaker event,
+        // however many attempts it took.
+        match &outcome {
+            Ok(_) => self.breaker.on_success(to),
+            Err(e) if e.is_connectivity() => self.breaker.on_failure(to, self.now_nanos()),
+            Err(_) => {}
+        }
+        // The id is settled either way — this client never resends it —
+        // so the server may prune its cached reply.
+        if let Some(id) = msg.request_id() {
+            self.settle(to, id);
+        }
+        let reply = outcome?;
         self.clock.charge_cpu(self.costs.serialize(reply.len()));
         self.metrics.add_bytes_received(reply.len() as u64);
         Message::decode(&reply)
+    }
+
+    /// Backoff between attempts: virtual charge in simulation, a real
+    /// sleep when real time is flowing.
+    fn backoff_sleep(&self, d: Duration) {
+        match self.clock.mode() {
+            ClockMode::VirtualOnly => self.clock.charge(d),
+            ClockMode::Hybrid => std::thread::sleep(d),
+        }
+    }
+
+    /// Records `id` as settled and, when an announcement is due, tells the
+    /// peer how far it may prune its reply cache. Best-effort: a lost
+    /// announcement only delays pruning (LRU bounds the cache anyway).
+    fn settle(&self, to: SiteId, id: RequestId) {
+        if let Some(up_to) = self.horizon.settle(id.seq()) {
+            let _ = self
+                .transport
+                .cast(self.site, to, Message::AckHorizon { up_to }.encode());
+        }
     }
 
     fn check_correlation(&self, sent: RequestId, got: Option<RequestId>) -> Result<()> {
@@ -163,15 +261,28 @@ impl RmiClient {
 
     /// `get(mode)`: demand a replica batch rooted at the referenced object.
     pub fn get(&self, target: &RemoteRef, mode: WireMode) -> Result<ReplicaBatch> {
+        self.get_with_deadline(target, mode, None)
+    }
+
+    /// [`RmiClient::get`] under an explicit deadline budget (`None` uses
+    /// the policy default) — how the demand pipeline threads one budget
+    /// through a whole prefetch sweep.
+    pub fn get_with_deadline(
+        &self,
+        target: &RemoteRef,
+        mode: WireMode,
+        deadline: Option<Deadline>,
+    ) -> Result<ReplicaBatch> {
         let request = self.next_request();
         self.metrics.incr_demand_round_trips();
-        let reply = self.round_trip_idempotent(
+        let reply = self.round_trip_inner(
             target.host(),
             &Message::GetRequest {
                 request,
                 target: target.id(),
                 mode,
             },
+            deadline,
         )?;
         match reply {
             Message::GetReply { request: id, result } => {
@@ -192,15 +303,28 @@ impl RmiClient {
         targets: Vec<ObjId>,
         mode: WireMode,
     ) -> Result<ReplicaBatch> {
+        self.get_many_with_deadline(host, targets, mode, None)
+    }
+
+    /// [`RmiClient::get_many`] under an explicit deadline budget (`None`
+    /// uses the policy default).
+    pub fn get_many_with_deadline(
+        &self,
+        host: SiteId,
+        targets: Vec<ObjId>,
+        mode: WireMode,
+        deadline: Option<Deadline>,
+    ) -> Result<ReplicaBatch> {
         let request = self.next_request();
         self.metrics.incr_demand_round_trips();
-        let reply = self.round_trip_idempotent(
+        let reply = self.round_trip_inner(
             host,
             &Message::GetManyRequest {
                 request,
                 targets,
                 mode,
             },
+            deadline,
         )?;
         match reply {
             Message::GetManyReply { request: id, result } => {
@@ -227,7 +351,7 @@ impl RmiClient {
 
     fn name_request(&self, ns: SiteId, op: NameOp) -> Result<ObiValue> {
         let request = self.next_request();
-        let reply = self.round_trip_idempotent(ns, &Message::NameRequest { request, op })?;
+        let reply = self.round_trip(ns, &Message::NameRequest { request, op })?;
         match reply {
             Message::NameReply { request: id, result } => {
                 self.check_correlation(request, Some(id))?;
@@ -284,7 +408,7 @@ impl RmiClient {
     /// Subscribes this site to consistency traffic for `object` at its host.
     pub fn subscribe(&self, host: SiteId, object: ObjId, push: bool) -> Result<()> {
         let request = self.next_request();
-        let reply = self.round_trip_idempotent(
+        let reply = self.round_trip(
             host,
             &Message::Subscribe {
                 request,
@@ -318,7 +442,7 @@ impl RmiClient {
     /// Round-trip connectivity probe.
     pub fn ping(&self, to: SiteId) -> Result<()> {
         let request = self.next_request();
-        let reply = self.round_trip_idempotent(to, &Message::Ping { request })?;
+        let reply = self.round_trip(to, &Message::Ping { request })?;
         match reply {
             Message::Pong { request: id } => self.check_correlation(request, Some(id)),
             other => Err(unexpected("Pong", &other)),
@@ -418,11 +542,32 @@ mod tests {
 #[cfg(test)]
 mod retry_tests {
     use super::*;
+    use crate::fault::{BreakerConfig, CircuitBreaker, ANNOUNCE_EVERY};
     use crate::server::{EchoService, RmiServer};
+    use crate::service::RmiService;
     use obiwan_net::{conditions, LinkModel, SimTransport};
     use obiwan_util::ClockMode;
 
-    fn lossy_rig(loss: f64) -> (RmiClient, Arc<SimTransport>) {
+    /// `invoke` returns the number of times the service has executed, so
+    /// any double-execution shows up in the reply stream.
+    #[derive(Debug, Default)]
+    struct CountingService {
+        calls: AtomicU64,
+    }
+
+    impl RmiService for CountingService {
+        fn invoke(
+            &self,
+            _from: SiteId,
+            _target: ObjId,
+            _method: &str,
+            _args: ObiValue,
+        ) -> Result<ObiValue> {
+            Ok(ObiValue::I64(self.calls.fetch_add(1, Ordering::Relaxed) as i64 + 1))
+        }
+    }
+
+    fn lossy_rig(loss: f64) -> (RmiClient, Arc<SimTransport>, Clock, Arc<CountingService>) {
         let clock = Clock::new(ClockMode::VirtualOnly);
         let net = Arc::new(SimTransport::new(clock.clone(), conditions::paper_lan()));
         net.reseed(99);
@@ -433,47 +578,47 @@ mod retry_tests {
                 LinkModel::ideal().with_loss(loss),
             );
         });
-        net.register(
-            SiteId::new(2),
-            Arc::new(RmiServer::new(Arc::new(EchoService))),
-        );
+        let svc = Arc::new(CountingService::default());
+        net.register(SiteId::new(2), Arc::new(RmiServer::new(svc.clone())));
         let client = RmiClient::new(
             SiteId::new(1),
             net.clone(),
-            clock,
+            clock.clone(),
             CostModel::free(),
         );
-        (client, net)
+        (client, net, clock, svc)
     }
 
     #[test]
-    fn idempotent_requests_retry_through_moderate_loss() {
-        let (client, _net) = lossy_rig(0.3);
+    fn requests_retry_through_moderate_loss() {
+        let (client, _net, _clock, _svc) = lossy_rig(0.3);
         client.set_retries(10);
         // 50 pings through a 30%-lossy link: with 10 retries each, failure
         // odds are ~1e-13 per ping.
         for _ in 0..50 {
             client.ping(SiteId::new(2)).expect("ping should retry through loss");
         }
+        assert!(client.metrics().snapshot().rpc_retries > 0);
     }
 
     #[test]
-    fn invoke_is_never_retried() {
-        let (client, net) = lossy_rig(1.0);
+    fn mutating_invokes_retry_with_exactly_once_effect() {
+        let (client, _net, _clock, svc) = lossy_rig(0.3);
         client.set_retries(10);
         let target = RemoteRef::to_master(ObjId::new(SiteId::new(2), 1));
-        // Total loss: the sole attempt fails, and exactly one frame crossed
-        // the transport.
-        let before = net.metrics().snapshot().messages_sent;
-        let err = client.invoke(&target, "m", ObiValue::Null).unwrap_err();
-        assert!(matches!(err, ObiError::MessageLost { .. }));
-        let sent = net.metrics().snapshot().messages_sent - before;
-        assert_eq!(sent, 1, "invoke must be attempted exactly once");
+        // The reply carries the service's execution count: if a retry ever
+        // re-executed (instead of hitting the reply cache), some reply
+        // would skip a number.
+        for i in 1..=20i64 {
+            let out = client.invoke(&target, "m", ObiValue::Null).unwrap();
+            assert_eq!(out, ObiValue::I64(i), "execution {i} must happen exactly once");
+        }
+        assert_eq!(svc.calls.load(Ordering::Relaxed), 20);
     }
 
     #[test]
     fn zero_retries_fail_fast_on_total_loss() {
-        let (client, _net) = lossy_rig(1.0);
+        let (client, _net, _clock, _svc) = lossy_rig(1.0);
         client.set_retries(0);
         assert!(matches!(
             client.ping(SiteId::new(2)),
@@ -483,10 +628,92 @@ mod retry_tests {
 
     #[test]
     fn retries_do_not_mask_disconnection() {
-        let (client, net) = lossy_rig(0.0);
+        let (client, net, _clock, _svc) = lossy_rig(0.0);
         client.set_retries(10);
         net.disconnect(SiteId::new(2));
         let err = client.ping(SiteId::new(2)).unwrap_err();
         assert!(matches!(err, ObiError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn deadline_bounds_total_retry_time() {
+        let (client, _net, clock, _svc) = lossy_rig(1.0);
+        client.set_rpc_policy(RetryPolicy {
+            max_retries: 1_000,
+            call_budget: Duration::from_millis(50),
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+        });
+        let before = clock.elapsed();
+        let err = client.ping(SiteId::new(2)).unwrap_err();
+        assert!(matches!(err, ObiError::Timeout { to } if to == SiteId::new(2)));
+        let spent = clock.elapsed() - before;
+        // The budget, plus at most one final backoff, bounds the call.
+        assert!(spent <= Duration::from_millis(60), "{spent:?}");
+        assert!(spent >= Duration::from_millis(50), "{spent:?}");
+    }
+
+    #[test]
+    fn breaker_opens_fast_fails_and_recovers_after_heal() {
+        let (client, net, clock, _svc) = lossy_rig(1.0);
+        client.set_rpc_policy(RetryPolicy {
+            max_retries: 1,
+            call_budget: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        });
+        let threshold = CircuitBreaker::default().config().failure_threshold;
+        for _ in 0..threshold {
+            assert!(matches!(
+                client.ping(SiteId::new(2)),
+                Err(ObiError::MessageLost { .. })
+            ));
+        }
+        assert_eq!(client.breaker_state(SiteId::new(2)), BreakerState::Open);
+        // Open breaker: immediate SiteUnreachable, no frame, no time.
+        let frames_before = net.metrics().snapshot().messages_sent;
+        let t_before = clock.elapsed();
+        let err = client.ping(SiteId::new(2)).unwrap_err();
+        assert!(matches!(err, ObiError::SiteUnreachable(s) if s == SiteId::new(2)));
+        assert_eq!(net.metrics().snapshot().messages_sent, frames_before);
+        assert_eq!(clock.elapsed(), t_before, "fast-fail must cost no time");
+        assert_eq!(client.metrics().snapshot().breaker_fast_fails, 1);
+        // Heal the link and wait out the cooldown: the half-open probe
+        // succeeds and the breaker closes again.
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(SiteId::new(1), SiteId::new(2), LinkModel::ideal());
+        });
+        clock.charge(CircuitBreaker::default().config().cooldown);
+        assert_eq!(client.breaker_state(SiteId::new(2)), BreakerState::HalfOpen);
+        client.ping(SiteId::new(2)).expect("probe should close the breaker");
+        assert_eq!(client.breaker_state(SiteId::new(2)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn ack_horizon_keeps_the_server_reply_cache_small() {
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        let net = Arc::new(SimTransport::new(clock.clone(), conditions::paper_lan()));
+        let server = Arc::new(RmiServer::new(Arc::new(EchoService)));
+        net.register(SiteId::new(2), server.clone());
+        let client = RmiClient::new(SiteId::new(1), net, clock, CostModel::free());
+        let rounds = 2 * ANNOUNCE_EVERY;
+        for _ in 0..rounds {
+            client.ping(SiteId::new(2)).unwrap();
+        }
+        // Without horizon pruning the cache would hold every reply.
+        assert!(
+            (server.replies().len() as u64) <= ANNOUNCE_EVERY,
+            "cache holds {} replies after {} calls",
+            server.replies().len(),
+            rounds
+        );
+    }
+
+    #[test]
+    fn breaker_config_is_visible() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 7,
+            cooldown: Duration::from_secs(1),
+        });
+        assert_eq!(b.config().failure_threshold, 7);
     }
 }

@@ -15,6 +15,10 @@
 //!   correlating replies.
 //! * [`registry`] — [`NameServer`], the name service where exported objects
 //!   (the paper's `AProxyIn`) are registered and looked up.
+//! * [`fault`] — the fault-tolerance layer: server-side [`ReplyCache`]
+//!   giving retries exactly-once effect, client-side [`RetryPolicy`] /
+//!   [`Deadline`] budgets with jittered backoff, and a per-peer
+//!   [`CircuitBreaker`] that fast-fails calls to unreachable sites.
 //!
 //! # Examples
 //!
@@ -48,12 +52,17 @@
 //! ```
 
 pub mod client;
+pub mod fault;
 pub mod registry;
 pub mod remote_ref;
 pub mod server;
 pub mod service;
 
 pub use client::RmiClient;
+pub use fault::{
+    BreakerConfig, BreakerState, CircuitBreaker, Deadline, HorizonTracker, ReplyCache,
+    RetryPolicy,
+};
 pub use registry::{NameServer, NameServerService};
 pub use remote_ref::RemoteRef;
 pub use server::RmiServer;

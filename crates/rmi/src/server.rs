@@ -1,9 +1,10 @@
 //! The message pump: frames in, [`RmiService`] calls out, replies back.
 
+use crate::fault::ReplyCache;
 use crate::service::RmiService;
 use bytes::Bytes;
 use obiwan_net::MessageHandler;
-use obiwan_util::SiteId;
+use obiwan_util::{Metrics, SiteId};
 use obiwan_wire::{Message, ObiValue};
 use std::sync::Arc;
 
@@ -14,8 +15,15 @@ use std::sync::Arc;
 /// turn into error replies (for requests) or are dropped (for one-way
 /// frames), matching how an RMI skeleton surfaces exceptions to the caller
 /// rather than crashing the server.
+///
+/// Every answered request is remembered in a bounded [`ReplyCache`]: a
+/// retransmission (client retry, or a network-duplicated frame) of an
+/// already-executed request is answered from the cache without running the
+/// service again, which is what makes *mutating* requests safe to retry.
 pub struct RmiServer {
     service: Arc<dyn RmiService>,
+    replies: ReplyCache,
+    metrics: Metrics,
 }
 
 impl std::fmt::Debug for RmiServer {
@@ -25,9 +33,38 @@ impl std::fmt::Debug for RmiServer {
 }
 
 impl RmiServer {
-    /// Wraps a service in a message pump.
+    /// Wraps a service in a message pump with default reply-cache bounds.
     pub fn new(service: Arc<dyn RmiService>) -> Self {
-        RmiServer { service }
+        Self::with_metrics(service, Metrics::new())
+    }
+
+    /// Like [`RmiServer::new`], but recording into an externally owned
+    /// counter set.
+    pub fn with_metrics(service: Arc<dyn RmiService>, metrics: Metrics) -> Self {
+        RmiServer {
+            service,
+            replies: ReplyCache::new(ReplyCache::DEFAULT_CAPACITY),
+            metrics,
+        }
+    }
+
+    /// Like [`RmiServer::new`], with an explicit reply-cache capacity.
+    pub fn with_reply_capacity(service: Arc<dyn RmiService>, capacity: usize) -> Self {
+        RmiServer {
+            service,
+            replies: ReplyCache::new(capacity),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Server-side metrics (cached replies served, …).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The reply cache backing exactly-once retries.
+    pub fn replies(&self) -> &ReplyCache {
+        &self.replies
     }
 
     fn dispatch(&self, from: SiteId, msg: Message) -> Option<Message> {
@@ -82,6 +119,9 @@ impl RmiServer {
                 self.service.update_push(from, entries);
                 None
             }
+            // Handled (cache pruning) in `handle` before dispatch; the arm
+            // keeps the match exhaustive.
+            Message::AckHorizon { .. } => None,
             // Replies arriving here are protocol violations; the synchronous
             // transports never produce them, so drop silently.
             Message::InvokeReply { .. }
@@ -98,11 +138,31 @@ impl RmiServer {
 impl MessageHandler for RmiServer {
     fn handle(&self, from: SiteId, frame: Bytes) -> Option<Bytes> {
         match Message::decode(&frame) {
+            Ok(Message::AckHorizon { up_to }) => {
+                self.replies.ack_horizon(from, up_to);
+                None
+            }
             Ok(msg) => {
                 let is_request = msg.is_request();
                 let request = msg.request_id();
+                // Only cache under ids the sender itself issued: a relayed
+                // or spoofed origin must not let one site poison another's
+                // retry slots.
+                let cache_key = request.filter(|id| id.origin() == from);
+                if let Some(id) = cache_key {
+                    if let Some(cached) = self.replies.lookup(id) {
+                        self.metrics.incr_cached_replies();
+                        return Some(cached);
+                    }
+                }
                 match self.dispatch(from, msg) {
-                    Some(reply) => Some(reply.encode()),
+                    Some(reply) => {
+                        let frame = reply.encode();
+                        if let Some(id) = cache_key {
+                            self.replies.insert(id, frame.clone());
+                        }
+                        Some(frame)
+                    }
                     // A request must always be answered; if dispatch produced
                     // nothing (cannot happen for well-formed requests), send
                     // a generic error rather than stalling the caller.
@@ -241,5 +301,86 @@ mod tests {
         let s = server();
         let frame = Message::Pong { request: rid() }.encode();
         assert!(s.handle(SiteId::new(1), frame).is_none());
+    }
+
+    /// A service whose `invoke` returns how many times it has run —
+    /// any re-execution is visible in the reply.
+    #[derive(Debug, Default)]
+    struct CountingService {
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl RmiService for CountingService {
+        fn invoke(
+            &self,
+            _from: SiteId,
+            _target: ObjId,
+            _method: &str,
+            _args: ObiValue,
+        ) -> obiwan_util::Result<ObiValue> {
+            let n = self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Ok(ObiValue::I64(n as i64 + 1))
+        }
+    }
+
+    fn invoke_frame(seq: u64) -> Bytes {
+        Message::InvokeRequest {
+            request: RequestId::new(SiteId::new(1), seq),
+            target: oid(),
+            method: "count".into(),
+            args: ObiValue::Null,
+        }
+        .encode()
+    }
+
+    #[test]
+    fn duplicate_request_is_served_from_the_reply_cache() {
+        let svc = Arc::new(CountingService::default());
+        let s = RmiServer::new(svc.clone());
+        let first = s.handle(SiteId::new(1), invoke_frame(1)).unwrap();
+        let second = s.handle(SiteId::new(1), invoke_frame(1)).unwrap();
+        // Byte-identical replies, one execution, one cache hit.
+        assert_eq!(first, second);
+        assert_eq!(svc.calls.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(s.metrics().snapshot().cached_replies, 1);
+        // A fresh id executes again.
+        s.handle(SiteId::new(1), invoke_frame(2)).unwrap();
+        assert_eq!(svc.calls.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn ack_horizon_prunes_cached_replies() {
+        let svc = Arc::new(CountingService::default());
+        let s = RmiServer::new(svc.clone());
+        s.handle(SiteId::new(1), invoke_frame(1)).unwrap();
+        assert_eq!(s.replies().len(), 1);
+        let ack = Message::AckHorizon { up_to: 1 }.encode();
+        assert!(s.handle(SiteId::new(1), ack).is_none());
+        assert!(s.replies().is_empty());
+        // After pruning, the same id re-executes — the client promised
+        // never to send it again, so this only happens under test.
+        s.handle(SiteId::new(1), invoke_frame(1)).unwrap();
+        assert_eq!(svc.calls.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn mismatched_origin_is_never_cached() {
+        let svc = Arc::new(CountingService::default());
+        let s = RmiServer::new(svc.clone());
+        // Site 3 sends a request stamped with site 1's origin: answered,
+        // but not cached under site 1's retry slot.
+        s.handle(SiteId::new(3), invoke_frame(1)).unwrap();
+        assert!(s.replies().is_empty());
+        s.handle(SiteId::new(3), invoke_frame(1)).unwrap();
+        assert_eq!(svc.calls.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn decode_failure_acks_are_not_cached() {
+        let s = server();
+        s.handle(SiteId::new(1), Bytes::from_static(b"\xff\xff")).unwrap();
+        assert!(s.replies().is_empty());
     }
 }

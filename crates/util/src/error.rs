@@ -21,6 +21,10 @@ pub enum ObiError {
     Disconnected { from: SiteId, to: SiteId },
     /// A message was dropped by the (lossy) network after all retries.
     MessageLost { from: SiteId, to: SiteId },
+    /// The call's deadline budget (or an I/O timeout) expired before a
+    /// reply arrived. Distinct from [`ObiError::SiteUnreachable`]: the peer
+    /// may be alive but slow, so retrying a fresh call can succeed.
+    Timeout { to: SiteId },
     /// No object with this id exists in the addressed object space.
     NoSuchObject(ObjId),
     /// The object exists but does not export the requested method.
@@ -61,6 +65,9 @@ impl fmt::Display for ObiError {
             ObiError::MessageLost { from, to } => {
                 write!(f, "message from {from} to {to} was lost")
             }
+            ObiError::Timeout { to } => {
+                write!(f, "call to {to} timed out before its deadline")
+            }
             ObiError::NoSuchObject(o) => write!(f, "no object {o} in this space"),
             ObiError::NoSuchMethod { object, method } => {
                 write!(f, "object {object} has no method `{method}`")
@@ -98,6 +105,7 @@ impl ObiError {
             ObiError::SiteUnreachable(_)
                 | ObiError::Disconnected { .. }
                 | ObiError::MessageLost { .. }
+                | ObiError::Timeout { .. }
         )
     }
 }
@@ -129,6 +137,7 @@ mod tests {
         assert!(ObiError::SiteUnreachable(s1).is_connectivity());
         assert!(ObiError::Disconnected { from: s1, to: s2 }.is_connectivity());
         assert!(ObiError::MessageLost { from: s1, to: s2 }.is_connectivity());
+        assert!(ObiError::Timeout { to: s2 }.is_connectivity());
         assert!(!ObiError::NameNotBound("x".into()).is_connectivity());
         assert!(!ObiError::NoSuchObject(ObjId::new(s1, 0)).is_connectivity());
     }

@@ -43,6 +43,9 @@ struct Counters {
     conflicts_detected: AtomicU64,
     demand_round_trips: AtomicU64,
     fault_nanos: AtomicU64,
+    rpc_retries: AtomicU64,
+    breaker_fast_fails: AtomicU64,
+    cached_replies: AtomicU64,
 }
 
 /// A point-in-time copy of all counters.
@@ -67,6 +70,12 @@ pub struct MetricsSnapshot {
     pub demand_round_trips: u64,
     /// Total virtual time (ns) invocations spent blocked on object faults.
     pub fault_nanos: u64,
+    /// Request attempts re-issued after a lost frame or timeout.
+    pub rpc_retries: u64,
+    /// Calls refused immediately because the peer's circuit breaker was open.
+    pub breaker_fast_fails: u64,
+    /// Duplicate requests answered from the server-side reply cache.
+    pub cached_replies: u64,
 }
 
 macro_rules! counter_methods {
@@ -108,6 +117,9 @@ impl Metrics {
         incr_conflicts_detected, add_conflicts_detected, conflicts_detected;
         incr_demand_round_trips, add_demand_round_trips, demand_round_trips;
         incr_fault_nanos, add_fault_nanos, fault_nanos;
+        incr_rpc_retries, add_rpc_retries, rpc_retries;
+        incr_breaker_fast_fails, add_breaker_fast_fails, breaker_fast_fails;
+        incr_cached_replies, add_cached_replies, cached_replies;
     }
 
     /// Takes a consistent-enough snapshot of all counters (each counter is
@@ -131,6 +143,9 @@ impl Metrics {
             conflicts_detected: c.conflicts_detected.load(Ordering::Relaxed),
             demand_round_trips: c.demand_round_trips.load(Ordering::Relaxed),
             fault_nanos: c.fault_nanos.load(Ordering::Relaxed),
+            rpc_retries: c.rpc_retries.load(Ordering::Relaxed),
+            breaker_fast_fails: c.breaker_fast_fails.load(Ordering::Relaxed),
+            cached_replies: c.cached_replies.load(Ordering::Relaxed),
         }
     }
 
@@ -154,6 +169,9 @@ impl Metrics {
             &c.conflicts_detected,
             &c.demand_round_trips,
             &c.fault_nanos,
+            &c.rpc_retries,
+            &c.breaker_fast_fails,
+            &c.cached_replies,
         ] {
             a.store(0, Ordering::Relaxed);
         }
@@ -196,6 +214,11 @@ impl MetricsSnapshot {
                 .demand_round_trips
                 .saturating_sub(earlier.demand_round_trips),
             fault_nanos: self.fault_nanos.saturating_sub(earlier.fault_nanos),
+            rpc_retries: self.rpc_retries.saturating_sub(earlier.rpc_retries),
+            breaker_fast_fails: self
+                .breaker_fast_fails
+                .saturating_sub(earlier.breaker_fast_fails),
+            cached_replies: self.cached_replies.saturating_sub(earlier.cached_replies),
         }
     }
 }

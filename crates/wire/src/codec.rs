@@ -201,6 +201,10 @@ impl Encoder {
                 self.put_site(*from);
                 self.put_site(*to);
             }
+            ObiError::Timeout { to } => {
+                self.put_u8(16);
+                self.put_site(*to);
+            }
             ObiError::NoSuchObject(o) => {
                 self.put_u8(3);
                 self.put_obj_id(*o);
@@ -472,6 +476,9 @@ impl<'a> Decoder<'a> {
             13 => ObiError::StaleProvider(self.take_obj_id()?),
             14 => ObiError::Application(self.take_str()?),
             15 => ObiError::Internal(self.take_str()?),
+            16 => ObiError::Timeout {
+                to: self.take_site()?,
+            },
             tag => return Err(Self::err(format!("unknown error tag {tag}"))),
         })
     }
@@ -583,6 +590,7 @@ mod tests {
             ObiError::StaleProvider(o),
             ObiError::Application("a".into()),
             ObiError::Internal("i".into()),
+            ObiError::Timeout { to: s2 },
         ];
         for e in errors {
             let mut enc = Encoder::new();

@@ -345,6 +345,11 @@ pub enum Message {
     Ping { request: RequestId },
     /// Probe response.
     Pong { request: RequestId },
+    /// One-way: the sender has settled every request it issued with
+    /// sequence number `<= up_to`, so the receiver's reply cache may
+    /// discard the corresponding cached replies (the client-driven
+    /// acknowledgement horizon of the exactly-once retry protocol).
+    AckHorizon { up_to: u64 },
 }
 
 const MSG_INVOKE_REQ: u8 = 1;
@@ -363,6 +368,7 @@ const MSG_PING: u8 = 13;
 const MSG_PONG: u8 = 14;
 const MSG_GET_MANY_REQ: u8 = 15;
 const MSG_GET_MANY_REP: u8 = 16;
+const MSG_ACK_HORIZON: u8 = 17;
 
 /// Approximate frame size of a batch, used to pre-size encoders so hot
 /// replies do not grow their buffer repeatedly.
@@ -543,6 +549,10 @@ impl Message {
                 enc.put_u8(MSG_PONG);
                 enc.put_request_id(*request);
             }
+            Message::AckHorizon { up_to } => {
+                enc.put_u8(MSG_ACK_HORIZON);
+                enc.put_varint(*up_to);
+            }
         }
         enc.finish()
     }
@@ -680,6 +690,9 @@ impl Message {
             MSG_PONG => Message::Pong {
                 request: dec.take_request_id()?,
             },
+            MSG_ACK_HORIZON => Message::AckHorizon {
+                up_to: dec.take_varint()?,
+            },
             tag => return Err(ObiError::Decode(format!("unknown message tag {tag}"))),
         })
     }
@@ -701,7 +714,9 @@ impl Message {
             | Message::Ack { request, .. }
             | Message::Ping { request }
             | Message::Pong { request } => Some(*request),
-            Message::Invalidate { .. } | Message::UpdatePush { .. } => None,
+            Message::Invalidate { .. }
+            | Message::UpdatePush { .. }
+            | Message::AckHorizon { .. } => None,
         }
     }
 
@@ -869,6 +884,7 @@ mod tests {
             },
             Message::Ping { request: rid(7) },
             Message::Pong { request: rid(7) },
+            Message::AckHorizon { up_to: 300 },
         ]
     }
 
@@ -911,6 +927,8 @@ mod tests {
             None
         );
         assert_eq!(Message::Ping { request: rid(3) }.request_id(), Some(rid(3)));
+        assert!(!Message::AckHorizon { up_to: 9 }.is_request());
+        assert_eq!(Message::AckHorizon { up_to: 9 }.request_id(), None);
     }
 
     #[test]

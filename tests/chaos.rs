@@ -13,7 +13,8 @@
 
 use obiwan::core::demo::{Counter, LinkedItem};
 use obiwan::core::space::Resolution;
-use obiwan::core::{ObiValue, ObiWorld, ObjRef, ReplicationMode};
+use obiwan::core::{BreakerConfig, ObiValue, ObiWorld, ObjRef, ReplicationMode};
+use obiwan::net::LinkModel;
 use obiwan::util::SiteId;
 use proptest::prelude::*;
 
@@ -29,6 +30,12 @@ enum Op {
     Gc { site: usize },
     Pump,
     Prefetch { site: usize, node: usize },
+    /// Toggle frame duplication on a client↔provider link: the reply
+    /// cache must keep duplicated mutations exactly-once.
+    Duplicate { site: usize, on: bool },
+    /// Toggle one-way reorder-holding on a client↔provider link:
+    /// invalidations/pushes arrive late but must never corrupt state.
+    Reorder { site: usize, on: bool },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -46,6 +53,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (0usize..2).prop_map(|site| Op::Gc { site }),
         Just(Op::Pump),
         (0usize..2, 0usize..6).prop_map(|(site, node)| Op::Prefetch { site, node }),
+        (0usize..2, proptest::bool::ANY).prop_map(|(site, on)| Op::Duplicate { site, on }),
+        (0usize..2, proptest::bool::ANY).prop_map(|(site, on)| Op::Reorder { site, on }),
     ]
 }
 
@@ -55,6 +64,8 @@ struct Chaos {
     provider: SiteId,
     nodes: Vec<ObjRef>,
     counter: ObjRef,
+    /// Current (duplicate, reorder) fault toggles per client link.
+    faults: [std::cell::Cell<(bool, bool)>; 2],
 }
 
 fn build() -> Chaos {
@@ -82,6 +93,10 @@ fn build() -> Chaos {
         provider,
         nodes,
         counter,
+        faults: [
+            std::cell::Cell::new((false, false)),
+            std::cell::Cell::new((false, false)),
+        ],
     }
 }
 
@@ -148,7 +163,32 @@ impl Chaos {
                     .site(self.clients[site])
                     .prefetch(self.object(node), 3);
             }
+            Op::Duplicate { site, on } => self.set_faults(site, Some(on), None),
+            Op::Reorder { site, on } => self.set_faults(site, None, Some(on)),
         }
+    }
+
+    /// Rebuilds one client↔provider link from the current fault toggles.
+    fn set_faults(&self, site: usize, dup: Option<bool>, reorder: Option<bool>) {
+        let (mut d, mut r) = self.faults[site].get();
+        if let Some(v) = dup {
+            d = v;
+        }
+        if let Some(v) = reorder {
+            r = v;
+        }
+        self.faults[site].set((d, r));
+        let mut model = LinkModel::ideal();
+        if d {
+            model = model.with_duplicate(0.5);
+        }
+        if r {
+            model = model.with_reorder(0.5);
+        }
+        let (s, p) = (self.clients[site], self.provider);
+        self.world
+            .transport()
+            .with_topology_mut(|t| t.set_link_symmetric(s, p, model));
     }
 
     fn check_invariants(&self) {
@@ -187,11 +227,20 @@ impl Chaos {
     }
 
     fn check_convergence(&self) {
-        // Heal everything, flush all dirty state, refresh all replicas.
+        // Heal everything: clear fault injection, reconnect, release any
+        // reorder-held frames, and wait out breaker cooldowns so calls to
+        // previously dead peers are admitted again (half-open probes).
+        for site in 0..self.clients.len() {
+            self.set_faults(site, Some(false), Some(false));
+        }
         for &site in &self.clients {
             self.world.reconnect(site);
         }
         self.world.pump();
+        self.world
+            .site(self.clients[0])
+            .clock()
+            .charge(BreakerConfig::default().cooldown);
         for &site in &self.clients {
             self.world
                 .site(site)
@@ -212,8 +261,17 @@ impl Chaos {
     }
 }
 
+/// Case count: 48 by default, overridable via `PROPTEST_CASES` (the CI
+/// `chaos-extended` job runs 256).
+fn configured_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(configured_cases()))]
 
     #[test]
     fn random_op_sequences_preserve_invariants(
@@ -250,6 +308,19 @@ fn a_known_nasty_sequence() {
         Op::Gc { site: 0 },
         Op::Gc { site: 1 },
         Op::Prefetch { site: 0, node: 0 },
+        // Fault injection: mutate through a duplicating link, push and
+        // subscribe through a reordering one.
+        Op::Duplicate { site: 0, on: true },
+        Op::Invoke { site: 0, node: 2, mutate: true },
+        Op::Put { site: 0, node: 2 },
+        Op::Reorder { site: 1, on: true },
+        Op::Subscribe { site: 1, node: 2, push: true },
+        Op::Invoke { site: 1, node: 5, mutate: true },
+        Op::Put { site: 1, node: 5 },
+        Op::Pump,
+        Op::Duplicate { site: 0, on: false },
+        Op::Reorder { site: 1, on: false },
+        Op::Get { site: 1, node: 2, mode: 0, step: 1 },
     ];
     for op in &seq {
         chaos.apply(op);

@@ -352,7 +352,12 @@ fn scripted_commute_day() {
     }
     assert!(pushed > 0, "no push ever succeeded");
     assert!(failed > 0, "the scripted tunnels never fired");
-    // After the day, reconcile what is left.
+    // The tunnels tripped the device's circuit breaker towards the office;
+    // wait out the cooldown so the end-of-day reconciliation probe is
+    // admitted, then reconcile what is left.
+    world
+        .clock()
+        .charge(obiwan::core::BreakerConfig::default().cooldown);
     world.site(device).put_all_dirty().unwrap();
     let content = world.site(office).invoke(doc, "content", ObiValue::Null).unwrap();
     let text = content.as_str().unwrap().to_owned();

@@ -10,7 +10,7 @@ use crate::objref::ObjRef;
 use crate::process::InvokeCtx;
 use obiwan_util::{ObiError, Result};
 use obiwan_wire::{Encoder, ObiValue};
-use parking_lot::RwLock;
+use obiwan_util::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 

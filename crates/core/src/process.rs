@@ -30,7 +30,7 @@ use obiwan_util::{
     Clock, ClusterId, CostModel, Metrics, ObiError, ObjId, Result, SiteId,
 };
 use obiwan_wire::{Decoder, Encoder, Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
-use parking_lot::{Mutex, MutexGuard};
+use obiwan_util::sync::{Mutex, MutexGuard};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -1,0 +1,873 @@
+//! `obiwan-lint`: project-specific invariant checks for the OBIWAN workspace.
+//!
+//! The compiler cannot see OBIWAN's cross-cutting invariants — that no lock
+//! guard is held across a transport boundary, that every wire tag can make a
+//! round trip, that every counter and error variant the platform registers is
+//! actually exercised. This crate is a lightweight line/token scanner (no
+//! dependencies, no rustc plumbing) that enforces them:
+//!
+//! | rule id                      | invariant                                            |
+//! |------------------------------|------------------------------------------------------|
+//! | `guard-across-transport`     | no lock guard live across `.call`/`.cast`/`.send`/`.recv`/`.handle` |
+//! | `wire-tag-coverage`          | every `Message` variant has encode + decode arms and a roundtrip test |
+//! | `metrics-coverage`           | every counter in `util::metrics` is incremented somewhere |
+//! | `error-variant-coverage`     | every `ObiError` variant is constructed somewhere    |
+//! | `no-unwrap-on-lock-or-decode`| no `unwrap()`/`expect()` on lock or decode results outside tests |
+//!
+//! A finding on line `N` is suppressed when line `N` or `N-1` carries a
+//! `// lint:allow(<rule-id>)` comment. Allows are per-rule, never blanket.
+//!
+//! Being a token scanner, the analyzer is deliberately *under*-approximate:
+//! it reasons about guards bound by simple `let g = x.lock();` statements and
+//! same-expression chains, not about guards smuggled through function
+//! parameters or non-trivial patterns. That bias is intentional — every
+//! diagnostic it produces is worth reading, and the dynamic `lockcheck`
+//! detector in `obiwan-util` covers the flows the scanner cannot see.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// All rule identifiers, as used in diagnostics and `lint:allow(...)`.
+pub const RULE_GUARD_ACROSS_TRANSPORT: &str = "guard-across-transport";
+pub const RULE_WIRE_TAG_COVERAGE: &str = "wire-tag-coverage";
+pub const RULE_METRICS_COVERAGE: &str = "metrics-coverage";
+pub const RULE_ERROR_VARIANT_COVERAGE: &str = "error-variant-coverage";
+pub const RULE_NO_UNWRAP: &str = "no-unwrap-on-lock-or-decode";
+
+/// Method-call tokens that acquire a lock guard. Empty parens are part of
+/// the token so `stream.write_all(..)` or `file.read(&mut buf)` never match.
+const ACQUIRE_TOKENS: &[&str] = &[
+    ".lock()",
+    ".try_lock()",
+    ".read()",
+    ".write()",
+    ".try_read()",
+    ".try_write()",
+];
+
+/// Method-call tokens that cross a transport / dispatch boundary: a blocking
+/// round trip, a one-way send, or handing a frame to arbitrary handler code.
+const TRANSPORT_TOKENS: &[&str] = &[".call(", ".cast(", ".send(", ".recv(", ".handle("];
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A source file presented to the rules. Tests construct these from string
+/// literals; the binary loads them from disk via [`scan_workspace`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (e.g. `crates/net/src/tcp.rs`).
+    pub path: String,
+    pub text: String,
+}
+
+impl SourceFile {
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> Self {
+        SourceFile {
+            path: path.into(),
+            text: text.into(),
+        }
+    }
+}
+
+/// Walks the workspace collecting every `.rs` file the rules should see:
+/// `crates/*` (except `crates/lint` itself, whose source is made of rule
+/// tokens), the root package's `src/`, plus `tests/`, `examples/` and
+/// `benches/`. `vendor/` and `target/` are never scanned.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples", "benches"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            if path == root.join("crates").join("lint") {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile::new(rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over `files`, drops `lint:allow`-suppressed findings, and
+/// returns the rest ordered by (file, line).
+pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let prepared: Vec<Prepared> = files.iter().map(Prepared::new).collect();
+    let mut diags = Vec::new();
+    for p in &prepared {
+        diags.extend(guard_across_transport(p));
+        diags.extend(no_unwrap_on_lock_or_decode(p));
+    }
+    diags.extend(wire_tag_coverage(&prepared));
+    diags.extend(metrics_coverage(&prepared));
+    diags.extend(error_variant_coverage(&prepared));
+    diags.retain(|d| !is_allowed(&prepared, d));
+    diags.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    diags
+}
+
+/// Convenience: scan + check.
+pub fn run(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let files = scan_workspace(root)?;
+    Ok(check(&files))
+}
+
+/// Returns the workspace root the binary should analyze by default:
+/// `$CARGO_MANIFEST_DIR/../..` (this crate lives at `crates/lint`).
+pub fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessing
+// ---------------------------------------------------------------------------
+
+/// A file plus its comment/string-stripped lines and test-module mask.
+struct Prepared {
+    path: String,
+    /// Raw lines (for `lint:allow` lookup).
+    raw: Vec<String>,
+    /// Lines with comments and string/char literal contents blanked out.
+    code: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)] mod` block.
+    in_test_mod: Vec<bool>,
+}
+
+impl Prepared {
+    fn new(file: &SourceFile) -> Self {
+        let raw: Vec<String> = file.text.lines().map(str::to_owned).collect();
+        let code = sanitize(&file.text);
+        let in_test_mod = test_mod_mask(&code);
+        Prepared {
+            path: file.path.clone(),
+            raw,
+            code,
+            in_test_mod,
+        }
+    }
+
+    /// Whether guard/unwrap rules apply to this file at this line: library
+    /// source (`crates/*/src`, `src/`) outside `#[cfg(test)]` modules.
+    /// Integration tests, examples and benches may hold locks however their
+    /// assertions need.
+    fn is_lib_code(&self, line_idx: usize) -> bool {
+        let lib = (self.path.starts_with("crates/") && self.path.contains("/src/"))
+            || self.path.starts_with("src/");
+        lib && !self.in_test_mod.get(line_idx).copied().unwrap_or(false)
+    }
+}
+
+/// Blanks out comments and the contents of string/char literals, preserving
+/// line structure so token offsets stay meaningful.
+fn sanitize(text: &str) -> Vec<String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut st = St::Code;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let mut buf = String::with_capacity(line.len());
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match st {
+                St::Block(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        st = if depth == 1 { St::Code } else { St::Block(depth - 1) };
+                        buf.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        st = St::Block(depth + 1);
+                        buf.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    buf.push(' ');
+                    i += 1;
+                }
+                St::Str => {
+                    if c == '\\' {
+                        buf.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        st = St::Code;
+                        buf.push('"');
+                    } else {
+                        buf.push(' ');
+                    }
+                    i += 1;
+                }
+                St::RawStr(hashes) => {
+                    if c == '"' {
+                        let close = (0..hashes as usize)
+                            .all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                        if close {
+                            st = St::Code;
+                            buf.push('"');
+                            for _ in 0..hashes {
+                                buf.push(' ');
+                            }
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    buf.push(' ');
+                    i += 1;
+                }
+                St::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        break; // line comment: drop the rest of the line
+                    }
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        st = St::Block(1);
+                        buf.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == 'r'
+                        && !prev_is_ident(&chars, i)
+                        && raw_str_hashes(&chars, i).is_some()
+                    {
+                        let hashes = raw_str_hashes(&chars, i).unwrap();
+                        st = St::RawStr(hashes);
+                        buf.push('"');
+                        for _ in 0..(1 + hashes as usize) {
+                            buf.push(' ');
+                        }
+                        i += 2 + hashes as usize;
+                        continue;
+                    }
+                    if c == '"' {
+                        st = St::Str;
+                        buf.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        if let Some(len) = char_literal_len(&chars, i) {
+                            buf.push('\'');
+                            for _ in 0..len - 1 {
+                                buf.push(' ');
+                            }
+                            i += len;
+                            continue;
+                        }
+                        // Lifetime marker: keep as-is.
+                        buf.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    buf.push(c);
+                    i += 1;
+                }
+            }
+        }
+        if st == St::Str {
+            // Plain string literals cannot span lines unless escaped; treat
+            // a trailing escape as continuing.
+            if !line.trim_end().ends_with('\\') {
+                st = St::Code;
+            }
+        }
+        out.push(buf);
+    }
+    out
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `chars[i..]` starts a raw string (`r"`, `r#"`, ...), returns the hash
+/// count.
+fn raw_str_hashes(chars: &[char], i: usize) -> Option<u32> {
+    debug_assert_eq!(chars[i], 'r');
+    let mut j = i + 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// If `chars[i..]` (starting at `'`) is a char literal, returns its total
+/// length including quotes; `None` for lifetimes.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    debug_assert_eq!(chars[i], '\'');
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped: scan to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            (j < chars.len()).then_some(j - i + 1)
+        }
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+/// Marks lines belonging to `#[cfg(test)] mod … { … }` blocks.
+fn test_mod_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut depth: i32 = 0;
+    let mut pending_attr = false;
+    // (depth the test mod opened at) for the innermost active test mod.
+    let mut test_open: Option<i32> = None;
+    for (idx, line) in code.iter().enumerate() {
+        let trimmed = line.trim();
+        if let Some(open) = test_open {
+            mask[idx] = true;
+            depth += brace_delta(line);
+            if depth <= open {
+                test_open = None;
+            }
+            continue;
+        }
+        if trimmed.contains("#[cfg(test)]") {
+            pending_attr = true;
+            depth += brace_delta(line);
+            continue;
+        }
+        if pending_attr {
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                let open = depth;
+                mask[idx] = true;
+                depth += brace_delta(line);
+                if depth > open {
+                    test_open = Some(open);
+                }
+                pending_attr = false;
+                continue;
+            }
+            // Other attributes may sit between #[cfg(test)] and `mod`.
+            if !trimmed.starts_with("#[") && !trimmed.is_empty() {
+                pending_attr = false;
+            }
+        }
+        depth += brace_delta(line);
+    }
+    mask
+}
+
+fn brace_delta(code_line: &str) -> i32 {
+    let mut d = 0;
+    for c in code_line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+fn find_token(line: &str, tokens: &[&'static str]) -> Option<&'static str> {
+    tokens.iter().copied().find(|t| line.contains(t))
+}
+
+/// `lint:allow(rule)` on the diagnostic's line or the line above suppresses
+/// it.
+fn is_allowed(prepared: &[Prepared], d: &Diagnostic) -> bool {
+    let needle = format!("lint:allow({})", d.rule);
+    prepared
+        .iter()
+        .find(|p| p.path == d.file)
+        .is_some_and(|p| {
+            let idx = d.line.saturating_sub(1);
+            let here = p.raw.get(idx).is_some_and(|l| l.contains(&needle));
+            let above = idx > 0 && p.raw[idx - 1].contains(&needle);
+            here || above
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Rule: guard-across-transport
+// ---------------------------------------------------------------------------
+
+/// A lock guard bound by a simple `let` statement, live until its scope
+/// closes or it is explicitly dropped.
+struct LiveGuard {
+    name: String,
+    bound_at: usize, // 1-based line
+    depth: i32,
+}
+
+fn guard_across_transport(p: &Prepared) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut depth: i32 = 0;
+    let mut live: Vec<LiveGuard> = Vec::new();
+    let mut i = 0;
+    while i < p.code.len() {
+        let line = &p.code[i];
+        if !p.is_lib_code(i) {
+            depth += brace_delta(line);
+            i += 1;
+            continue;
+        }
+
+        // Same-expression hazard: a guard temporary created in the very
+        // expression that crosses the boundary outlives the whole statement.
+        if let (Some(acq), Some(tr)) = (
+            find_token(line, ACQUIRE_TOKENS),
+            find_token(line, TRANSPORT_TOKENS),
+        ) {
+            diags.push(Diagnostic {
+                file: p.path.clone(),
+                line: i + 1,
+                rule: RULE_GUARD_ACROSS_TRANSPORT,
+                message: format!(
+                    "lock guard (`{acq}`) and transport call (`{tr}`) in the same \
+                     statement: the guard temporary is held across the boundary"
+                ),
+            });
+        } else if let Some(tr) = find_token(line, TRANSPORT_TOKENS) {
+            for g in &live {
+                diags.push(Diagnostic {
+                    file: p.path.clone(),
+                    line: i + 1,
+                    rule: RULE_GUARD_ACROSS_TRANSPORT,
+                    message: format!(
+                        "transport call (`{tr}`) while lock guard `{}` (bound on \
+                         line {}) is held",
+                        g.name, g.bound_at
+                    ),
+                });
+            }
+        }
+
+        // Guard bindings: `let g = foo.lock();` possibly wrapped over
+        // multiple lines. Join until the statement's `;` (give up at `{`,
+        // which means a closure/block initializer this scanner won't model).
+        if let Some(stmt_end) = let_statement_end(&p.code, i) {
+            let joined: String = p.code[i..=stmt_end].join(" ");
+            if let Some((name, bound_line)) = guard_binding(&joined, i) {
+                live.push(LiveGuard {
+                    name,
+                    bound_at: bound_line + 1,
+                    depth,
+                });
+            }
+            // Note: no skip past stmt_end — intermediate lines still get
+            // depth-tracked below, one per loop iteration.
+        }
+
+        // Explicit early release.
+        live.retain(|g| !line.contains(&format!("drop({})", g.name)));
+
+        depth += brace_delta(line);
+        live.retain(|g| depth >= g.depth);
+        i += 1;
+    }
+    diags
+}
+
+/// If line `i` starts a `let` statement, returns the index of the line where
+/// the statement's `;` appears (same line for the common case). Returns
+/// `None` when the statement opens a block before terminating.
+fn let_statement_end(code: &[String], i: usize) -> Option<usize> {
+    let first = code[i].trim_start();
+    if !(first.starts_with("let ") || first.starts_with("let(")) {
+        return None;
+    }
+    for (j, line) in code.iter().enumerate().skip(i).take(8) {
+        let semi = line.find(';');
+        let brace = line.find('{');
+        match (semi, brace) {
+            (Some(s), Some(b)) if b < s => return None,
+            (Some(_), _) => return Some(j),
+            (None, Some(_)) => return None,
+            (None, None) => {}
+        }
+    }
+    None
+}
+
+/// If `joined` is a `let <ident> = <expr ending in an acquire call>;`
+/// statement, returns the bound name. A leading `*` after `=` is a deref
+/// copy, not a guard; destructuring patterns are skipped (conservative).
+fn guard_binding(joined: &str, line_idx: usize) -> Option<(String, usize)> {
+    let s = joined.trim();
+    let rest = s.strip_prefix("let ")?;
+    let (pat, init) = rest.split_once('=')?;
+    let init = init.trim();
+    if init.starts_with('*') {
+        return None;
+    }
+    let body = init.strip_suffix(';')?.trim_end();
+    let body = body.strip_suffix('?').unwrap_or(body).trim_end();
+    if !ACQUIRE_TOKENS.iter().any(|t| body.ends_with(t)) {
+        return None;
+    }
+    let mut pat = pat.trim();
+    if let Some((p, _ty)) = pat.split_once(':') {
+        pat = p.trim();
+    }
+    let pat = pat.strip_prefix("mut ").unwrap_or(pat);
+    let simple = !pat.is_empty()
+        && pat
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_');
+    simple.then(|| (pat.to_string(), line_idx))
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-unwrap-on-lock-or-decode
+// ---------------------------------------------------------------------------
+
+fn no_unwrap_on_lock_or_decode(p: &Prepared) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, line) in p.code.iter().enumerate() {
+        if !p.is_lib_code(i) {
+            continue;
+        }
+        for acq in ACQUIRE_TOKENS {
+            for bad in [".unwrap()", ".expect("] {
+                if line.contains(&format!("{acq}{bad}")) {
+                    diags.push(Diagnostic {
+                        file: p.path.clone(),
+                        line: i + 1,
+                        rule: RULE_NO_UNWRAP,
+                        message: format!(
+                            "`{bad}` directly on a lock acquisition (`{acq}`): \
+                             the facade locks never fail, and std locks must \
+                             not panic on poison outside tests"
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(pos) = line.find("decode(").or_else(|| line.find("decode_inner(")) {
+            let tail = &line[pos..];
+            for bad in [".unwrap()", ".expect("] {
+                if tail.contains(bad) {
+                    diags.push(Diagnostic {
+                        file: p.path.clone(),
+                        line: i + 1,
+                        rule: RULE_NO_UNWRAP,
+                        message: format!(
+                            "`{bad}` on a decode result: malformed frames are \
+                             expected input and must surface as ObiError::Decode"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wire-tag-coverage
+// ---------------------------------------------------------------------------
+
+const MESSAGE_RS: &str = "crates/wire/src/message.rs";
+
+fn wire_tag_coverage(prepared: &[Prepared]) -> Vec<Diagnostic> {
+    let Some(msg) = prepared.iter().find(|p| p.path == MESSAGE_RS) else {
+        return Vec::new();
+    };
+    let variants = enum_variants(msg, "pub enum Message");
+    if variants.is_empty() {
+        return vec![Diagnostic {
+            file: msg.path.clone(),
+            line: 1,
+            rule: RULE_WIRE_TAG_COVERAGE,
+            message: "could not locate `pub enum Message` variants".into(),
+        }];
+    }
+    // `pub fn encode(` pins Message's own encoder: the file also contains
+    // private `fn encode` helpers on WireMode/NameOp/ReplicaBatch and a
+    // `pub fn encoded_size_hint`.
+    let encode = fn_body_text(msg, "pub fn encode(");
+    let decode = fn_body_text(msg, "fn decode_inner(");
+    // Roundtrip coverage: the variant appears in message.rs's own test
+    // module or in any integration-test file.
+    let mut test_text = String::new();
+    for (i, line) in msg.code.iter().enumerate() {
+        if msg.in_test_mod[i] {
+            test_text.push_str(line);
+            test_text.push('\n');
+        }
+    }
+    for p in prepared {
+        if p.path.starts_with("tests/") {
+            for line in &p.code {
+                test_text.push_str(line);
+                test_text.push('\n');
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for (name, line) in &variants {
+        let token = format!("Message::{name}");
+        let mut missing = Vec::new();
+        if !contains_token(&encode, &token) {
+            missing.push("an encode arm");
+        }
+        if !contains_token(&decode, &token) {
+            missing.push("a decode arm");
+        }
+        if !contains_token(&test_text, &token) {
+            missing.push("a roundtrip test");
+        }
+        if !missing.is_empty() {
+            diags.push(Diagnostic {
+                file: msg.path.clone(),
+                line: *line,
+                rule: RULE_WIRE_TAG_COVERAGE,
+                message: format!(
+                    "wire variant `{name}` is missing {}",
+                    missing.join(" and ")
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Collects `(variant, 1-based line)` for a braced enum, skipping
+/// attributes, doc comments, and nested struct-variant fields.
+fn enum_variants(p: &Prepared, header: &str) -> Vec<(String, usize)> {
+    let Some(start) = p.code.iter().position(|l| l.contains(header)) else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    for (i, line) in p.code.iter().enumerate().skip(start) {
+        if i > start && depth <= 0 {
+            break;
+        }
+        if i > start && depth == 1 {
+            let t = line.trim();
+            let ident: String = t
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if ident
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+            {
+                variants.push((ident, i + 1));
+            }
+        }
+        depth += brace_delta(line);
+    }
+    variants
+}
+
+/// The sanitized text of the first function whose signature contains
+/// `header`, from its opening brace to the matching close.
+fn fn_body_text(p: &Prepared, header: &str) -> String {
+    let Some(start) = p
+        .code
+        .iter()
+        .position(|l| l.contains(header) && !l.trim_start().starts_with("//"))
+    else {
+        return String::new();
+    };
+    let mut out = String::new();
+    let mut depth = 0i32;
+    let mut opened = false;
+    for line in p.code.iter().skip(start) {
+        out.push_str(line);
+        out.push('\n');
+        depth += brace_delta(line);
+        if line.contains('{') {
+            opened = true;
+        }
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// True when `token` occurs in `text` not followed by an identifier char
+/// (so `Message::Get` does not match `Message::GetMany`).
+fn contains_token(text: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(token) {
+        let end = from + pos + token.len();
+        let boundary = text[end..]
+            .chars()
+            .next()
+            .map(|c| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(true);
+        if boundary {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule: metrics-coverage
+// ---------------------------------------------------------------------------
+
+const METRICS_RS: &str = "crates/util/src/metrics.rs";
+
+fn metrics_coverage(prepared: &[Prepared]) -> Vec<Diagnostic> {
+    let Some(metrics) = prepared.iter().find(|p| p.path == METRICS_RS) else {
+        return Vec::new();
+    };
+    // Counter registrations: `incr_x, add_x, field;` lines inside the
+    // `counter_methods!` invocation.
+    let mut counters: Vec<(String, String, String, usize)> = Vec::new();
+    let mut in_macro = false;
+    for (i, line) in metrics.code.iter().enumerate() {
+        let t = line.trim();
+        if t.starts_with("counter_methods!") && t.contains('{') {
+            in_macro = true;
+            continue;
+        }
+        if in_macro {
+            if t.starts_with('}') {
+                in_macro = false;
+                continue;
+            }
+            let parts: Vec<&str> = t
+                .trim_end_matches(';')
+                .split(',')
+                .map(str::trim)
+                .collect();
+            if parts.len() == 3 && parts.iter().all(|s| is_ident(s)) {
+                counters.push((
+                    parts[0].to_string(),
+                    parts[1].to_string(),
+                    parts[2].to_string(),
+                    i + 1,
+                ));
+            }
+        }
+    }
+    let mut diags = Vec::new();
+    for (incr, add, field, line) in &counters {
+        let incr_call = format!(".{incr}(");
+        let add_call = format!(".{add}(");
+        let used = prepared.iter().any(|p| {
+            p.path != METRICS_RS
+                && p.code
+                    .iter()
+                    .any(|l| l.contains(&incr_call) || l.contains(&add_call))
+        });
+        if !used {
+            diags.push(Diagnostic {
+                file: metrics.path.clone(),
+                line: *line,
+                rule: RULE_METRICS_COVERAGE,
+                message: format!(
+                    "metrics counter `{field}` is registered but neither \
+                     `{incr}` nor `{add}` is ever called"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+        && !s.chars().next().unwrap_or('0').is_ascii_digit()
+}
+
+// ---------------------------------------------------------------------------
+// Rule: error-variant-coverage
+// ---------------------------------------------------------------------------
+
+const ERROR_RS: &str = "crates/util/src/error.rs";
+
+fn error_variant_coverage(prepared: &[Prepared]) -> Vec<Diagnostic> {
+    let Some(err) = prepared.iter().find(|p| p.path == ERROR_RS) else {
+        return Vec::new();
+    };
+    let variants = enum_variants(err, "pub enum ObiError");
+    let mut diags = Vec::new();
+    for (name, line) in &variants {
+        let token = format!("ObiError::{name}");
+        let used = prepared.iter().any(|p| {
+            p.path != ERROR_RS
+                && p.code.iter().any(|l| contains_token(l, &token))
+        });
+        if !used {
+            diags.push(Diagnostic {
+                file: err.path.clone(),
+                line: *line,
+                rule: RULE_ERROR_VARIANT_COVERAGE,
+                message: format!(
+                    "error variant `{name}` is declared but never constructed \
+                     or matched outside error.rs"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests;

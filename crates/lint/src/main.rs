@@ -1,0 +1,35 @@
+//! `obiwan-lint` binary: scan the workspace, print diagnostics, exit
+//! nonzero when any rule fires.
+//!
+//! ```text
+//! cargo run -p obiwan-lint            # analyze the containing workspace
+//! cargo run -p obiwan-lint -- <dir>   # analyze another tree (used by CI
+//!                                     # and the fixture tests)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(obiwan_lint::default_root);
+    let diags = match obiwan_lint::run(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("obiwan-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("obiwan-lint: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        println!("obiwan-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

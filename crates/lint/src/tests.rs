@@ -1,0 +1,425 @@
+use super::*;
+
+fn lib(path: &str, body: &str) -> SourceFile {
+    SourceFile::new(path, body)
+}
+
+fn rules_fired(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// -- guard-across-transport --------------------------------------------------
+
+#[test]
+fn live_guard_across_call_is_flagged_with_both_lines() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl S {
+    pub fn bad(&self) {
+        let guard = self.state.lock();
+        self.transport.call(1, 2, frame);
+    }
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_GUARD_ACROSS_TRANSPORT]);
+    assert_eq!(diags[0].line, 5);
+    assert!(diags[0].message.contains("`guard`"));
+    assert!(diags[0].message.contains("line 4"));
+}
+
+#[test]
+fn same_statement_guard_temporary_is_flagged() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        "fn f(t: &T) { t.peer.send(t.frame.lock().clone()); }\n",
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_GUARD_ACROSS_TRANSPORT]);
+}
+
+#[test]
+fn dropped_guard_is_not_flagged() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let guard = s.state.lock();
+    let frame = guard.frame();
+    drop(guard);
+    s.transport.call(frame);
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn guard_scoped_in_block_is_not_flagged() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let frame = {
+        let topology = s.topology.read();
+        topology.frame()
+    };
+    s.transport.call(frame);
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn deref_copy_is_not_a_guard() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let policy = *s.policy.lock();
+    s.transport.call(policy.deadline);
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn multiline_let_binding_is_tracked() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let guard = s
+        .state
+        .lock();
+    s.transport.recv(1);
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_GUARD_ACROSS_TRANSPORT]);
+    assert_eq!(diags[0].line, 6);
+}
+
+#[test]
+fn tokens_inside_strings_and_comments_are_ignored() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    // let guard = s.state.lock(); then s.transport.call(..)
+    let doc = "how to .lock() and .call( things";
+    s.log(doc);
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn test_module_and_integration_tests_are_exempt() {
+    let in_mod = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+#[cfg(test)]
+mod tests {
+    fn f(s: &S) {
+        let guard = s.state.lock();
+        s.transport.call(1);
+    }
+}
+"#,
+    );
+    let in_tests_dir = lib(
+        "tests/demo.rs",
+        "fn f(s: &S) {\n    let guard = s.state.lock();\n    s.transport.call(1);\n}\n",
+    );
+    assert!(check(&[in_mod, in_tests_dir]).is_empty());
+}
+
+#[test]
+fn allow_comment_on_same_or_previous_line_suppresses() {
+    let same = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let guard = s.state.lock();
+    s.transport.call(1); // lint:allow(guard-across-transport) nested faults
+}
+"#,
+    );
+    let above = lib(
+        "crates/other/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let guard = s.state.lock();
+    // lint:allow(guard-across-transport)
+    s.transport.call(1);
+}
+"#,
+    );
+    assert!(check(&[same, above]).is_empty());
+}
+
+#[test]
+fn allow_for_a_different_rule_does_not_suppress() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let guard = s.state.lock();
+    s.transport.call(1); // lint:allow(no-unwrap-on-lock-or-decode)
+}
+"#,
+    );
+    assert_eq!(check(&[f]).len(), 1);
+}
+
+// -- no-unwrap-on-lock-or-decode --------------------------------------------
+
+#[test]
+fn unwrap_on_lock_and_expect_on_decode_are_flagged() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let n = *s.state.lock().unwrap();
+    let m = Message::decode(&frame).expect("decodes");
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(
+        rules_fired(&diags),
+        vec![RULE_NO_UNWRAP, RULE_NO_UNWRAP]
+    );
+    assert_eq!((diags[0].line, diags[1].line), (3, 4));
+}
+
+#[test]
+fn unwrap_in_tests_and_on_other_results_is_fine() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let v: u32 = "7".parse().unwrap();
+    let b = s.buffer.try_into().unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    fn g(s: &S) {
+        let n = *s.state.lock().unwrap();
+        let m = Message::decode(&frame).unwrap();
+    }
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+// -- wire-tag-coverage -------------------------------------------------------
+
+fn message_rs(encode_arms: &str, decode_arms: &str, test_refs: &str) -> SourceFile {
+    lib(
+        "crates/wire/src/message.rs",
+        &format!(
+            r#"
+pub enum Message {{
+    Ping {{ request: u64 }},
+    Pong {{ request: u64 }},
+}}
+
+impl Message {{
+    pub fn encode(&self) -> Vec<u8> {{
+        match self {{
+            {encode_arms}
+        }}
+    }}
+
+    fn decode_inner(buf: &[u8]) -> Result<Message, Error> {{
+        match tag {{
+            {decode_arms}
+        }}
+    }}
+}}
+
+#[cfg(test)]
+mod tests {{
+    fn all_messages() {{
+        {test_refs}
+    }}
+}}
+"#
+        ),
+    )
+}
+
+#[test]
+fn fully_covered_variants_are_clean() {
+    let f = message_rs(
+        "Message::Ping { .. } => 1, Message::Pong { .. } => 2,",
+        "1 => Message::Ping { request }, 2 => Message::Pong { request },",
+        "let _ = [Message::Ping { request: 1 }, Message::Pong { request: 1 }];",
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn missing_decode_arm_and_test_are_reported() {
+    let f = message_rs(
+        "Message::Ping { .. } => 1, Message::Pong { .. } => 2,",
+        "1 => Message::Ping { request },",
+        "let _ = Message::Ping { request: 1 };",
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_WIRE_TAG_COVERAGE]);
+    assert!(diags[0].message.contains("`Pong`"));
+    assert!(diags[0].message.contains("a decode arm"));
+    assert!(diags[0].message.contains("a roundtrip test"));
+    // Points at the variant's declaration line.
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn roundtrip_coverage_may_live_in_integration_tests() {
+    let f = message_rs(
+        "Message::Ping { .. } => 1, Message::Pong { .. } => 2,",
+        "1 => Message::Ping { request }, 2 => Message::Pong { request },",
+        "let _ = Message::Ping { request: 1 };",
+    );
+    let t = lib(
+        "tests/wire_properties.rs",
+        "fn roundtrip() { let _ = Message::Pong { request: 1 }; }\n",
+    );
+    assert!(check(&[f, t]).is_empty());
+}
+
+#[test]
+fn variant_prefix_does_not_shadow_longer_variant() {
+    // `Message::Ping` occurrences must not satisfy coverage for a
+    // hypothetical `Message::PingExtra`.
+    let f = lib(
+        "crates/wire/src/message.rs",
+        r#"
+pub enum Message {
+    Ping { request: u64 },
+    PingExtra { request: u64 },
+}
+
+impl Message {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::Ping { .. } => 1,
+            Message::PingExtra { .. } => 2,
+        }
+    }
+
+    fn decode_inner(buf: &[u8]) -> Result<Message, Error> {
+        match tag {
+            1 => Message::Ping { request },
+            2 => Message::PingExtra { request },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn all_messages() {
+        let _ = Message::Ping { request: 1 };
+    }
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_WIRE_TAG_COVERAGE]);
+    assert!(diags[0].message.contains("`PingExtra`"));
+}
+
+// -- metrics-coverage --------------------------------------------------------
+
+fn metrics_rs() -> SourceFile {
+    lib(
+        "crates/util/src/metrics.rs",
+        r#"
+impl Metrics {
+    counter_methods! {
+        incr_messages_sent, add_messages_sent, messages_sent;
+        incr_orphaned, add_orphaned, orphaned_counter;
+    }
+}
+"#,
+    )
+}
+
+#[test]
+fn unincremented_counter_is_reported_at_its_registration_line() {
+    let user = lib(
+        "crates/net/src/mem.rs",
+        "fn f(m: &Metrics) { m.incr_messages_sent(); }\n",
+    );
+    let diags = check(&[metrics_rs(), user]);
+    assert_eq!(rules_fired(&diags), vec![RULE_METRICS_COVERAGE]);
+    assert!(diags[0].message.contains("`orphaned_counter`"));
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn add_variant_counts_as_usage() {
+    let user = lib(
+        "crates/net/src/mem.rs",
+        "fn f(m: &Metrics) { m.incr_messages_sent(); m.add_orphaned(3); }\n",
+    );
+    assert!(check(&[metrics_rs(), user]).is_empty());
+}
+
+// -- error-variant-coverage --------------------------------------------------
+
+#[test]
+fn unconstructed_error_variant_is_reported() {
+    let err = lib(
+        "crates/util/src/error.rs",
+        r#"
+pub enum ObiError {
+    Timeout { elapsed: u64 },
+    NeverUsed,
+}
+
+impl ObiError {
+    fn describe(&self) -> &str {
+        match self {
+            ObiError::Timeout { .. } => "timeout",
+            ObiError::NeverUsed => "never",
+        }
+    }
+}
+"#,
+    );
+    let user = lib(
+        "crates/rmi/src/client.rs",
+        "fn f() -> ObiError { ObiError::Timeout { elapsed: 1 } }\n",
+    );
+    let diags = check(&[err, user]);
+    assert_eq!(rules_fired(&diags), vec![RULE_ERROR_VARIANT_COVERAGE]);
+    assert!(diags[0].message.contains("`NeverUsed`"));
+}
+
+// -- output format -----------------------------------------------------------
+
+#[test]
+fn diagnostics_render_as_file_line_rule() {
+    let d = Diagnostic {
+        file: "crates/demo/src/lib.rs".into(),
+        line: 12,
+        rule: RULE_NO_UNWRAP,
+        message: "boom".into(),
+    };
+    assert_eq!(
+        d.to_string(),
+        "crates/demo/src/lib.rs:12: [no-unwrap-on-lock-or-decode] boom"
+    );
+}

@@ -1,0 +1,59 @@
+//! End-to-end tests of the `obiwan-lint` binary against fixture trees,
+//! covering the exit-code contract: nonzero with `file:line` diagnostics on
+//! a violating tree, zero on a clean one.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_lint(tree: &Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_obiwan-lint"))
+        .arg(tree)
+        .output()
+        .expect("spawn obiwan-lint");
+    (out.status.success(), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+#[test]
+fn bad_tree_fails_with_file_line_diagnostics() {
+    let (ok, stdout) = run_lint(&fixture("bad_tree"));
+    assert!(!ok, "bad tree must fail; output:\n{stdout}");
+    // file:line prefix for the guard-across-transport seeded violation.
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:7: [guard-across-transport]"),
+        "missing guard diagnostic in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:11: [no-unwrap-on-lock-or-decode]"),
+        "missing lock-unwrap diagnostic in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:15: [no-unwrap-on-lock-or-decode]"),
+        "missing decode-expect diagnostic in:\n{stdout}"
+    );
+    assert!(stdout.contains("3 violation(s)"), "count in:\n{stdout}");
+}
+
+#[test]
+fn clean_tree_passes() {
+    let (ok, stdout) = run_lint(&fixture("clean_tree"));
+    assert!(ok, "clean tree must pass; output:\n{stdout}");
+    assert!(stdout.contains("obiwan-lint: clean"));
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The analyzer's own acceptance bar: the tree this test runs in has no
+    // violations. (Equivalent to `cargo run -p obiwan-lint` in CI.)
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let (ok, stdout) = run_lint(root);
+    assert!(ok, "workspace has lint violations:\n{stdout}");
+}

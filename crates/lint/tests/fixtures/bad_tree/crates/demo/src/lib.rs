@@ -1,0 +1,16 @@
+//! Deliberately violating fixture: `obiwan-lint` must exit nonzero on this
+//! tree and point at the lines below. Not a compiled workspace member — the
+//! analyzer scans text, so stub types are unnecessary.
+
+pub fn guard_across_boundary(s: &Service) {
+    let guard = s.state.lock();
+    s.transport.call(1, 2, guard.frame());
+}
+
+pub fn unwrap_on_lock(s: &Service) -> u32 {
+    *s.state.lock().unwrap()
+}
+
+pub fn unwrap_on_decode(frame: &[u8]) -> Message {
+    Message::decode(frame).expect("fixture decodes")
+}

@@ -12,7 +12,7 @@ use crate::transport::{MessageHandler, Transport};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use obiwan_util::{DetRng, Metrics, ObiError, Result, SiteId};
-use parking_lot::{Mutex, RwLock};
+use obiwan_util::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;

@@ -11,7 +11,7 @@ use crate::trace::{NetEvent, NetEventKind, NetTrace};
 use crate::transport::{MessageHandler, Transport};
 use bytes::Bytes;
 use obiwan_util::{Clock, DetRng, Metrics, ObiError, Result, SiteId};
-use parking_lot::{Mutex, RwLock};
+use obiwan_util::sync::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 

@@ -27,7 +27,7 @@ use crate::trace::{NetEvent, NetEventKind, NetTrace};
 use crate::transport::{MessageHandler, Transport};
 use bytes::Bytes;
 use obiwan_util::{Metrics, ObiError, Result, SiteId};
-use parking_lot::{Mutex, RwLock};
+use obiwan_util::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};

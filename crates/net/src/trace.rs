@@ -6,7 +6,7 @@
 //! benchmark harness uses it to report message counts per experiment.
 
 use obiwan_util::SiteId;
-use parking_lot::Mutex;
+use obiwan_util::sync::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -7,7 +7,7 @@ use obiwan_util::{
     Clock, ClockMode, CostModel, DetRng, Metrics, ObiError, ObjId, RequestId, Result, SiteId,
 };
 use obiwan_wire::{Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
-use parking_lot::Mutex;
+use obiwan_util::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

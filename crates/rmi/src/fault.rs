@@ -22,7 +22,7 @@
 
 use bytes::Bytes;
 use obiwan_util::{Clock, DetRng, RequestId, SiteId};
-use parking_lot::Mutex;
+use obiwan_util::sync::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
 

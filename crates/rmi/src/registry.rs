@@ -9,7 +9,7 @@
 use crate::service::RmiService;
 use obiwan_util::{ObiError, ObjId, Result, SiteId};
 use obiwan_wire::{NameOp, ObiValue};
-use parking_lot::RwLock;
+use obiwan_util::sync::RwLock;
 use std::collections::BTreeMap;
 
 /// A thread-safe name-to-object registry.

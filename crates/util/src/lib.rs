@@ -13,6 +13,9 @@
 //! * [`histogram`] — a log-bucketed latency [`Histogram`] for
 //!   distribution-grade reporting.
 //! * [`rng`] — a tiny deterministic PRNG for reproducible workloads.
+//! * [`sync`] — the workspace lock facade (`Mutex`/`RwLock`); with
+//!   `feature = "lockcheck"` the locks are instrumented by [`lockcheck`],
+//!   a runtime lock-order (potential-deadlock) detector.
 //!
 //! # Examples
 //!
@@ -32,8 +35,10 @@ pub mod clock;
 pub mod error;
 pub mod histogram;
 pub mod ids;
+pub mod lockcheck;
 pub mod metrics;
 pub mod rng;
+pub mod sync;
 
 pub use clock::{Clock, ClockMode, CostModel};
 pub use error::{ObiError, Result};

@@ -1,0 +1,42 @@
+//! Workspace-wide lock facade.
+//!
+//! Every OBIWAN crate takes its `Mutex`/`RwLock` from here instead of from
+//! `parking_lot` directly (`obiwan-lint` has no rule for this, but the
+//! convention is load-bearing: it is what lets one feature flag swap the
+//! whole workspace's locks).
+//!
+//! * Default build: zero-cost re-exports of the `parking_lot` types.
+//! * With `feature = "lockcheck"`: the instrumented types from
+//!   [`crate::lockcheck`], which record a per-thread held-set and a global
+//!   acquisition-order graph and report lock-order inversions (potential
+//!   deadlocks) at acquire time.
+//!
+//! The root package enables `lockcheck` from its dev-dependencies, so every
+//! `cargo test` run — unit, integration, chaos — executes under the
+//! detector, while `cargo build --release` never compiles it in.
+
+#[cfg(feature = "lockcheck")]
+pub use crate::lockcheck::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(not(feature = "lockcheck"))]
+pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub use crate::lockcheck::{violations as lock_order_violations, Violation};
+
+/// Whether this build routes the workspace's locks through the lock-order
+/// detector. Tests use this to skip (or insist on) detector assertions
+/// instead of guessing from features of other crates.
+pub const fn lockcheck_enabled() -> bool {
+    cfg!(feature = "lockcheck")
+}
+
+/// Panics if any lock-order inversion has been recorded in this process.
+///
+/// Suites call this at the end of a test. It is meaningful only when
+/// [`lockcheck_enabled`] is true (otherwise the uninstrumented locks record
+/// nothing and it trivially passes), and it is process-global: do not mix a
+/// deliberately-seeded inversion and a cleanliness assertion in one test
+/// binary.
+pub fn assert_no_lock_order_violations() {
+    crate::lockcheck::assert_no_violations();
+}

@@ -283,6 +283,9 @@ proptest! {
             chaos.check_invariants();
         }
         chaos.check_convergence();
+        // Every lock taken during the run fed the lock-order graph; any
+        // inversion the interleaving exposed is a latent deadlock.
+        obiwan::util::sync::assert_no_lock_order_violations();
     }
 }
 
@@ -327,4 +330,5 @@ fn a_known_nasty_sequence() {
         chaos.check_invariants();
     }
     chaos.check_convergence();
+    obiwan::util::sync::assert_no_lock_order_violations();
 }

@@ -211,6 +211,7 @@ fn local_invocation_completes_while_a_fault_is_in_flight() {
     assert_eq!(snap.object_faults, 1);
     assert!(snap.lmi_count >= 2, "lmi_count = {}", snap.lmi_count);
     assert!(snap.fault_nanos > 0 || snap.demand_round_trips > 0);
+    obiwan::util::sync::assert_no_lock_order_violations();
 }
 
 #[test]
@@ -246,4 +247,5 @@ fn concurrent_faults_from_two_threads_both_resolve() {
         .map(|j| j.join().unwrap().unwrap())
         .collect();
     assert_eq!(values, vec![ObiValue::I64(10), ObiValue::I64(20)]);
+    obiwan::util::sync::assert_no_lock_order_violations();
 }

@@ -115,6 +115,7 @@ fn mixed_workload_under_loss_and_duplication_is_exactly_once() {
     // retransmission was answered from the provider's reply cache.
     assert!(world.site(c).metrics().snapshot().rpc_retries > 0);
     assert!(world.site(p).metrics().snapshot().cached_replies > 0);
+    obiwan::util::sync::assert_no_lock_order_violations();
 }
 
 #[test]
@@ -183,6 +184,7 @@ fn partitioned_peer_fails_fast_via_open_breaker_then_recovers() {
     world.site(c).invoke(local, "incr", ObiValue::Null).unwrap();
     assert_eq!(world.site(c).put(local).unwrap(), 2);
     let _ = ctrs;
+    obiwan::util::sync::assert_no_lock_order_violations();
 }
 
 #[test]
@@ -231,4 +233,5 @@ fn get_many_under_loss_installs_each_batch_exactly_once() {
             versions[i]
         );
     }
+    obiwan::util::sync::assert_no_lock_order_violations();
 }

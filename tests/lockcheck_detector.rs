@@ -1,0 +1,71 @@
+//! End-to-end test of the runtime lock-order detector through the
+//! `obiwan_util::sync` facade, exactly as production code consumes it.
+//!
+//! This binary deliberately seeds an inversion, so it must never also call
+//! `assert_no_lock_order_violations` — the record is process-global. The
+//! cleanliness assertions live in the chaos/fault-tolerance suites.
+
+use obiwan::util::sync::{lock_order_violations, lockcheck_enabled, Mutex};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn facade_is_instrumented_under_cargo_test() {
+    // The root package's dev-dependencies enable `obiwan-util/lockcheck`,
+    // so every integration test binary must see the instrumented facade. If
+    // this fails, the detector silently stopped covering the test suite.
+    assert!(
+        lockcheck_enabled(),
+        "integration tests must run with the lockcheck feature unified in"
+    );
+}
+
+#[test]
+fn seeded_inversion_is_detected_and_names_both_sites() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+
+    // Thread 1 establishes a → b.
+    let first_line = line!() + 4; // the `b.lock()` below
+    let (a1, b1) = (a.clone(), b.clone());
+    thread::spawn(move || {
+        let ga = a1.lock();
+        let gb = b1.lock();
+        drop(gb);
+        drop(ga);
+    })
+    .join()
+    .expect("order-establishing thread");
+
+    // Thread 2 takes b → a: the classic deadlock pair.
+    let second_line = line!() + 4; // the `a.lock()` below
+    let (a2, b2) = (a.clone(), b.clone());
+    thread::spawn(move || {
+        let gb = b2.lock();
+        let ga = a2.lock();
+        drop(ga);
+        drop(gb);
+    })
+    .join()
+    .expect("inverting thread");
+
+    let here = file!();
+    let found: Vec<_> = lock_order_violations()
+        .into_iter()
+        .filter(|v| v.site.contains(&format!("{here}:{second_line}:")))
+        .collect();
+    assert_eq!(
+        found.len(),
+        1,
+        "expected exactly one violation for the seeded inversion"
+    );
+    let v = &found[0];
+    assert!(
+        v.conflicting_site.contains(&format!("{here}:{first_line}:")),
+        "conflicting site should be {here}:{first_line}, got {}",
+        v.conflicting_site
+    );
+    // The full report names both sites for the human reading the panic.
+    assert!(v.message.contains(&format!("{here}:{second_line}:")));
+    assert!(v.message.contains(&format!("{here}:{first_line}:")));
+}

@@ -2,7 +2,7 @@
 //! round-trip exactly, and the decoder never panics on arbitrary bytes.
 
 use bytes::Bytes;
-use obiwan::util::{ObjId, RequestId, SiteId};
+use obiwan::util::{ObiError, ObjId, RequestId, SiteId};
 use obiwan::wire::{Decoder, Encoder, FrontierEdge, Message, ObiValue, ReplicaBatch, ReplicaState, WireMode};
 use proptest::prelude::*;
 
@@ -162,6 +162,26 @@ proptest! {
     }
 
     #[test]
+    fn random_tag_and_payload_fail_only_with_decode_errors(
+        tag in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        // Every `unknown … tag` path in message.rs, plus every take_* length
+        // check behind a *valid* tag, must surface as ObiError::Decode — any
+        // panic or any other error variant means a malformed frame can take
+        // down (or confuse) a server.
+        let mut frame = Vec::with_capacity(payload.len() + 1);
+        frame.push(tag);
+        frame.extend_from_slice(&payload);
+        if let Err(e) = Message::decode(&frame) {
+            prop_assert!(
+                matches!(e, ObiError::Decode(_)),
+                "malformed frame yielded non-Decode error: {e:?}"
+            );
+        }
+    }
+
+    #[test]
     fn truncated_valid_messages_never_decode(m in arb_message(), cut_frac in 0.0f64..1.0) {
         let frame = m.encode();
         let cut = ((frame.len() as f64) * cut_frac) as usize;
@@ -189,5 +209,19 @@ proptest! {
         enc.put_i64(v);
         let b = enc.finish();
         prop_assert_eq!(Decoder::new(&b).take_i64().unwrap(), v);
+    }
+}
+
+/// Deterministic sweep of all 256 tag bytes with no payload: the known tags
+/// fail on truncation, the unknown ones on the tag itself — every one a
+/// clean `ObiError::Decode`.
+#[test]
+fn every_bare_tag_byte_fails_with_a_decode_error() {
+    for tag in 0u8..=255 {
+        match Message::decode(&[tag]) {
+            Ok(m) => panic!("bare tag {tag} decoded to {m:?}"),
+            Err(ObiError::Decode(_)) => {}
+            Err(e) => panic!("bare tag {tag} yielded non-Decode error {e:?}"),
+        }
     }
 }

@@ -1,8 +1,11 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run -p obiwan-bench --bin figures -- [e1|fig4|fig5|fig6|verify|all]
+//! cargo run -p obiwan-bench --bin figures -- [e1|fig4|fig5|fig6|verify|bench|all]
 //! ```
+//!
+//! `bench` writes the machine-readable perf trajectory (`BENCH_demand.json`
+//! and `BENCH_rpc.json`) into the current directory instead of printing.
 //!
 //! All numbers are deterministic virtual-time milliseconds on the
 //! paper-testbed model (10 Mb/s LAN, LMI ≈ 2 µs, RMI ≈ 2.8 ms).
@@ -204,6 +207,13 @@ fn main() {
             return;
         }
         "verify" => ok = print_verify(),
+        "bench" => {
+            let cwd = std::env::current_dir().expect("cwd");
+            let paths = obiwan_bench::write_bench_files(&cwd).expect("write BENCH_*.json");
+            for p in &paths {
+                println!("wrote {}", p.display());
+            }
+        }
         "all" => {
             print_e1();
             print_fig4();
@@ -222,7 +232,7 @@ fn main() {
             ok = print_verify();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected e1|fig4|fig5|fig6|e6|e7|csv|verify|all");
+            eprintln!("unknown experiment `{other}`; expected e1|fig4|fig5|fig6|e6|e7|csv|verify|bench|all");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,325 @@
+//! The `BENCH_*.json` perf-trajectory emitter.
+//!
+//! Every run of `cargo run -p obiwan-bench --bin figures -- bench` rewrites
+//! `BENCH_demand.json` and `BENCH_rpc.json` in the current directory (the
+//! repo root, in CI). The numbers are deterministic virtual-time figures on
+//! the paper-testbed model, so two runs on different machines produce the
+//! same files — a diff against the committed copies *is* the perf
+//! trajectory of the change under review.
+//!
+//! Schemas (documented in DESIGN.md §Observability):
+//!
+//! * `obiwan-bench-demand/1` — the paper's list walk per incremental step:
+//!   ops/sec, demand/invoke p50/p99, and round-trips per demand batch.
+//! * `obiwan-bench-rpc/1` — the RPC path per network scenario: ops/sec,
+//!   caller-observed p50/p99, retries and reply-cache hits.
+
+use crate::workload::{payload_list, single_object};
+use crate::LIST_LEN;
+use obiwan_core::{ObiValue, ReplicationMode, RetryPolicy};
+use obiwan_net::conditions;
+use obiwan_util::Histogram;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Payload size used by both benches, bytes.
+pub const PAYLOAD_BYTES: usize = 64;
+
+/// Incremental steps the demand bench sweeps.
+pub const DEMAND_STEPS: [usize; 3] = [1, 10, 50];
+
+/// Calls per RPC scenario.
+pub const RPC_CALLS: usize = 300;
+
+/// One demand-bench point: a full list walk at one incremental step.
+#[derive(Debug, Clone)]
+pub struct DemandPoint {
+    /// Objects fetched per demand batch.
+    pub step: usize,
+    /// Total virtual time for the walk.
+    pub elapsed: Duration,
+    /// Invocations performed (= list length).
+    pub invocations: u64,
+    /// Object faults taken.
+    pub object_faults: u64,
+    /// Demand round-trips spent (get/get_many exchanges).
+    pub round_trips: u64,
+    /// Demand (fault-resolution) latency distribution.
+    pub demand: Histogram,
+    /// Caller-observed invocation latency distribution.
+    pub invoke: Histogram,
+}
+
+impl DemandPoint {
+    /// Invocations per virtual second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.invocations as f64 / self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Demand round-trips per fault batch (1.0 = no retries, no waste).
+    pub fn round_trips_per_batch(&self) -> f64 {
+        self.round_trips as f64 / (self.object_faults as f64).max(1.0)
+    }
+}
+
+/// Walks the paper's list once per step in [`DEMAND_STEPS`], reading the
+/// per-site latency recorders and counters after each walk.
+pub fn demand_bench() -> Vec<DemandPoint> {
+    DEMAND_STEPS
+        .iter()
+        .map(|&step| {
+            let w = payload_list(LIST_LEN, PAYLOAD_BYTES);
+            let site = w.world.site(w.consumer);
+            let before = site.metrics().snapshot();
+            let root = site
+                .get(&w.head, ReplicationMode::incremental(step))
+                .expect("initial get");
+            let mut cur = root;
+            let mut invocations = 0u64;
+            loop {
+                let out = site.invoke(cur, "touch", ObiValue::Null).expect("touch");
+                invocations += 1;
+                match out.as_ref_id() {
+                    Some(id) => cur = id.into(),
+                    None => break,
+                }
+            }
+            let delta = site.metrics().snapshot().since(&before);
+            let latency = site.metrics().latency_snapshot();
+            DemandPoint {
+                step,
+                elapsed: w.world.clock().elapsed(),
+                invocations,
+                // The initial `get` is a demand round-trip too, but not an
+                // object fault; count it on both sides of the ratio.
+                object_faults: delta.object_faults + 1,
+                round_trips: delta.demand_round_trips,
+                demand: latency.demand,
+                invoke: latency.invoke,
+            }
+        })
+        .collect()
+}
+
+/// One RPC-bench scenario: repeated RMIs under one network condition.
+#[derive(Debug, Clone)]
+pub struct RpcScenario {
+    /// Scenario name (`clean_lan`, `lossy_lan_10pct`).
+    pub name: &'static str,
+    /// Calls issued.
+    pub calls: u64,
+    /// Total virtual time.
+    pub elapsed: Duration,
+    /// Caller-observed per-call latency.
+    pub latency: Histogram,
+    /// Request attempts re-issued after loss/timeout.
+    pub retries: u64,
+    /// Duplicate requests the server answered from its reply cache.
+    pub cached_replies: u64,
+}
+
+impl RpcScenario {
+    /// Calls per virtual second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.calls as f64 / self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+fn rpc_scenario(name: &'static str, loss: f64) -> RpcScenario {
+    let w = single_object(PAYLOAD_BYTES);
+    if loss > 0.0 {
+        // Deterministic loss stream: same seed, same drops, same JSON.
+        w.world.transport().reseed(0xBE0C_0DE5);
+        w.world.transport().with_topology_mut(|t| {
+            t.set_link_symmetric(
+                w.consumer,
+                w.provider,
+                conditions::paper_lan().with_loss(loss),
+            );
+        });
+        w.world.site(w.consumer).set_rpc_policy(RetryPolicy {
+            max_retries: 10,
+            ..RetryPolicy::default()
+        });
+    }
+    let site = w.world.site(w.consumer);
+    let before = site.metrics().snapshot();
+    let mut latency = Histogram::new();
+    for _ in 0..RPC_CALLS {
+        let t0 = w.world.clock().elapsed();
+        site.invoke_rmi(&w.object, "touch", ObiValue::Null)
+            .expect("rmi");
+        latency.record(w.world.clock().elapsed() - t0);
+    }
+    let delta = site.metrics().snapshot().since(&before);
+    RpcScenario {
+        name,
+        calls: RPC_CALLS as u64,
+        elapsed: w.world.clock().elapsed(),
+        latency,
+        retries: delta.rpc_retries,
+        cached_replies: delta.cached_replies,
+    }
+}
+
+/// Runs both RPC scenarios: a clean paper LAN and the same link at 10%
+/// frame loss with retries enabled.
+pub fn rpc_bench() -> Vec<RpcScenario> {
+    vec![
+        rpc_scenario("clean_lan", 0.0),
+        rpc_scenario("lossy_lan_10pct", 0.10),
+    ]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn num(v: f64) -> String {
+    // Stable, diff-friendly fixed precision.
+    format!("{v:.4}")
+}
+
+/// `BENCH_demand.json` contents (schema `obiwan-bench-demand/1`).
+pub fn bench_demand_json() -> String {
+    let points = demand_bench();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"obiwan-bench-demand/1\",\n");
+    out.push_str("  \"clock\": \"virtual\",\n");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"list_len\": {LIST_LEN}, \"payload_bytes\": {PAYLOAD_BYTES}}},"
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"step\": {}, \"elapsed_ms\": {}, \"invocations\": {}, \"ops_per_sec\": {}, \
+             \"object_faults\": {}, \"demand_round_trips\": {}, \"round_trips_per_batch\": {}, \
+             \"demand_p50_ms\": {}, \"demand_p99_ms\": {}, \
+             \"invoke_p50_ms\": {}, \"invoke_p99_ms\": {}}}",
+            p.step,
+            num(ms(p.elapsed)),
+            p.invocations,
+            num(p.ops_per_sec()),
+            p.object_faults,
+            p.round_trips,
+            num(p.round_trips_per_batch()),
+            num(ms(p.demand.quantile(0.5))),
+            num(ms(p.demand.quantile(0.99))),
+            num(ms(p.invoke.quantile(0.5))),
+            num(ms(p.invoke.quantile(0.99))),
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// `BENCH_rpc.json` contents (schema `obiwan-bench-rpc/1`).
+pub fn bench_rpc_json() -> String {
+    let scenarios = rpc_bench();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"obiwan-bench-rpc/1\",\n");
+    out.push_str("  \"clock\": \"virtual\",\n");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"calls\": {RPC_CALLS}, \"payload_bytes\": {PAYLOAD_BYTES}}},"
+    );
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"calls\": {}, \"elapsed_ms\": {}, \"ops_per_sec\": {}, \
+             \"p50_ms\": {}, \"p99_ms\": {}, \"retries\": {}, \"cached_replies\": {}}}",
+            s.name,
+            s.calls,
+            num(ms(s.elapsed)),
+            num(s.ops_per_sec()),
+            num(ms(s.latency.quantile(0.5))),
+            num(ms(s.latency.quantile(0.99))),
+            s.retries,
+            s.cached_replies,
+        );
+        out.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes both `BENCH_*.json` files into `dir`; returns the paths written.
+pub fn write_bench_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let demand = dir.join("BENCH_demand.json");
+    std::fs::write(&demand, bench_demand_json())?;
+    let rpc = dir.join("BENCH_rpc.json");
+    std::fs::write(&rpc, bench_rpc_json())?;
+    Ok(vec![demand, rpc])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_bench_round_trips_shrink_with_bigger_steps() {
+        let points = demand_bench();
+        assert_eq!(points.len(), DEMAND_STEPS.len());
+        for p in &points {
+            assert_eq!(p.invocations, LIST_LEN as u64);
+            assert!(p.elapsed > Duration::ZERO);
+            assert!(p.ops_per_sec() > 0.0);
+            assert!(!p.demand.is_empty(), "demand recorder must have samples");
+            assert!(!p.invoke.is_empty(), "invoke recorder must have samples");
+            assert!(p.round_trips_per_batch() >= 0.99, "{}", p.round_trips_per_batch());
+        }
+        // Bigger steps mean fewer round-trips and more throughput.
+        assert!(points[0].round_trips > points[1].round_trips);
+        assert!(points[1].round_trips > points[2].round_trips);
+        assert!(points[2].ops_per_sec() > points[0].ops_per_sec());
+    }
+
+    #[test]
+    fn rpc_bench_reports_retries_only_under_loss() {
+        let scenarios = rpc_bench();
+        assert_eq!(scenarios.len(), 2);
+        let clean = &scenarios[0];
+        let lossy = &scenarios[1];
+        assert_eq!(clean.retries, 0);
+        assert!(lossy.retries > 0, "10% loss must force retries");
+        assert!(clean.ops_per_sec() > lossy.ops_per_sec());
+        // Retried calls stretch the tail past the clean p99.
+        assert!(lossy.latency.quantile(0.99) > clean.latency.quantile(0.99));
+    }
+
+    #[test]
+    fn emitted_json_is_structurally_sound() {
+        for json in [bench_demand_json(), bench_rpc_json()] {
+            assert!(json.starts_with("{\n"));
+            assert!(json.ends_with("}\n"));
+            assert_eq!(
+                json.matches('{').count(),
+                json.matches('}').count(),
+                "balanced braces"
+            );
+            assert!(json.contains("\"ops_per_sec\""));
+            assert!(json.contains("\"clock\": \"virtual\""));
+            // Determinism: a second run emits byte-identical output.
+        }
+        assert_eq!(bench_rpc_json(), bench_rpc_json());
+    }
+
+    #[test]
+    fn write_bench_files_creates_both_files() {
+        let dir = std::env::temp_dir().join("obiwan_bench_emit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = write_bench_files(&dir).unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            let body = std::fs::read_to_string(p).unwrap();
+            assert!(body.contains("\"schema\""), "{p:?}");
+        }
+    }
+}

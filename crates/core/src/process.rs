@@ -26,14 +26,16 @@ use obiwan_net::Transport;
 use obiwan_rmi::{
     BreakerState, Deadline, RemoteRef, RetryPolicy, RmiClient, RmiServer, RmiService,
 };
+use obiwan_util::trace;
 use obiwan_util::{
-    Clock, ClusterId, CostModel, Metrics, ObiError, ObjId, Result, SiteId,
+    Clock, ClusterId, CostModel, LatencyKind, Metrics, ObiError, ObjId, Result, SiteId,
 };
 use obiwan_wire::{Decoder, Encoder, Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
 use obiwan_util::sync::{Mutex, MutexGuard};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Maximum nested invocation depth, bounding distributed recursion.
 const MAX_INVOKE_DEPTH: usize = 256;
@@ -314,12 +316,17 @@ fn invoke_inner(
 /// [`ObiProcess::resolve_fault_unlocked`], which releases the lock for the
 /// round-trip.
 fn resolve_fault(inner: &mut ProcessInner, shared: &ProcessShared, proxy: &ProxyOut) -> Result<()> {
+    let _span = trace::span(&shared.clock, "obi.fault")
+        .with_site(shared.site)
+        .with_obj(proxy.target);
     let remote = RemoteRef::new(proxy.target, proxy.provider);
     let start = shared.clock.virtual_nanos();
     let batch = shared.client.get(&remote, proxy.mode);
+    let waited = shared.clock.virtual_nanos().saturating_sub(start);
+    shared.metrics.add_fault_nanos(waited);
     shared
         .metrics
-        .add_fault_nanos(shared.clock.virtual_nanos().saturating_sub(start));
+        .record_latency(LatencyKind::Demand, Duration::from_nanos(waited));
     let batch = batch?;
     materialize_batch(inner, shared, &batch, proxy.provider, proxy.mode)?;
     // The proxy slot was overwritten by the replica: the swizzle. The old
@@ -367,6 +374,10 @@ fn materialize_batch_inner(
     mode: WireMode,
     guard: bool,
 ) -> Result<usize> {
+    let _span = trace::span(&shared.clock, "obi.materialize")
+        .with_site(shared.site)
+        .with_obj(batch.root)
+        .with_value(batch.replicas.len() as u64);
     let mut installed = 0usize;
     for state in &batch.replicas {
         match inner.space.resolve(state.id) {
@@ -573,12 +584,15 @@ impl ObiProcess {
     /// The message handler to register with the transport for this site.
     /// Shares the process's metrics so reply-cache hits are visible there.
     pub fn message_handler(&self) -> Arc<dyn obiwan_net::MessageHandler> {
-        Arc::new(RmiServer::with_metrics(
-            Arc::new(ProcessService {
-                shared: self.shared.clone(),
-            }),
-            self.shared.metrics.clone(),
-        ))
+        Arc::new(
+            RmiServer::with_metrics(
+                Arc::new(ProcessService {
+                    shared: self.shared.clone(),
+                }),
+                self.shared.metrics.clone(),
+            )
+            .with_clock(self.shared.clock.clone()),
+        )
     }
 
     /// Replaces the consistency policy hook.
@@ -869,6 +883,8 @@ impl ObiProcess {
         remaining: usize,
         deadline: Deadline,
     ) -> Result<(usize, Vec<ObjId>)> {
+        let mut span = trace::span(&self.shared.clock, "obi.prefetch_round")
+            .with_site(self.shared.site);
         let want = batch.min(remaining).max(1);
         // Incremental targets grouped by provider, with the largest step
         // any of them asked for; cluster/transitive proxies have one-shot
@@ -928,6 +944,7 @@ impl ObiProcess {
             discovered.extend(reply.frontier.iter().map(|e| e.target));
             inserted += self.absorb_prefetched(&reply, proxy.provider, proxy.mode, 1)?;
         }
+        span.set_value(inserted as u64);
         Ok((inserted, discovered))
     }
 
@@ -961,6 +978,20 @@ impl ObiProcess {
     /// proceed while this one waits on the provider. Nested faults — raised
     /// inside a method body, which owns the lock — still resolve under it.
     pub fn invoke(&self, target: ObjRef, method: &str, args: ObiValue) -> Result<ObiValue> {
+        let _span = trace::span(&self.shared.clock, "obi.invoke")
+            .with_site(self.shared.site)
+            .with_obj(target.id());
+        let start = self.shared.clock.virtual_nanos();
+        let result = self.invoke_resolving(target, method, args);
+        self.shared.metrics.record_latency(
+            LatencyKind::Invoke,
+            Duration::from_nanos(self.shared.clock.virtual_nanos().saturating_sub(start)),
+        );
+        result
+    }
+
+    /// The fault-resolving LMI loop behind [`ObiProcess::invoke`].
+    fn invoke_resolving(&self, target: ObjRef, method: &str, args: ObiValue) -> Result<ObiValue> {
         // Bounded like invoke_inner's fault loop: a budget that evicts the
         // freshly faulted object must degrade to an error, not a livelock.
         let mut attempts = 0;
@@ -1005,6 +1036,9 @@ impl ObiProcess {
     /// the network wait. The time blocked on the provider is recorded in
     /// the `fault_nanos` metric.
     fn resolve_fault_unlocked(&self, proxy: &ProxyOut) -> Result<()> {
+        let _span = trace::span(&self.shared.clock, "obi.fault")
+            .with_site(self.shared.site)
+            .with_obj(proxy.target);
         let remote = RemoteRef::new(proxy.target, proxy.provider);
         let deadline = self.demand_deadline();
         let start = self.shared.clock.virtual_nanos();
@@ -1012,9 +1046,11 @@ impl ObiProcess {
             .shared
             .client
             .get_with_deadline(&remote, proxy.mode, Some(deadline));
-        self.shared.metrics.add_fault_nanos(
-            self.shared.clock.virtual_nanos().saturating_sub(start),
-        );
+        let waited = self.shared.clock.virtual_nanos().saturating_sub(start);
+        self.shared.metrics.add_fault_nanos(waited);
+        self.shared
+            .metrics
+            .record_latency(LatencyKind::Demand, Duration::from_nanos(waited));
         let batch = batch?;
         self.with_inner(|inner| {
             materialize_batch_guarded(inner, &self.shared, &batch, proxy.provider, proxy.mode)?;
@@ -1051,6 +1087,19 @@ impl ObiProcess {
     /// * [`ObiError::NotReplicated`] / [`ObiError::BadArguments`] — no such
     ///   local replica / target is a master.
     pub fn put(&self, target: ObjRef) -> Result<u64> {
+        let _span = trace::span(&self.shared.clock, "obi.put")
+            .with_site(self.shared.site)
+            .with_obj(target.id());
+        let start = self.shared.clock.virtual_nanos();
+        let result = self.put_inner(target);
+        self.shared.metrics.record_latency(
+            LatencyKind::Put,
+            Duration::from_nanos(self.shared.clock.virtual_nanos().saturating_sub(start)),
+        );
+        result
+    }
+
+    fn put_inner(&self, target: ObjRef) -> Result<u64> {
         let (provider, entry) = self.with_inner(|inner| {
             let meta = inner
                 .space
@@ -1172,6 +1221,19 @@ impl ObiProcess {
     /// Re-fetches a replica's state from its master, discarding local
     /// modifications (`IProvide::get` on an existing replica).
     pub fn refresh(&self, target: ObjRef) -> Result<()> {
+        let _span = trace::span(&self.shared.clock, "obi.refresh")
+            .with_site(self.shared.site)
+            .with_obj(target.id());
+        let start = self.shared.clock.virtual_nanos();
+        let result = self.refresh_inner(target);
+        self.shared.metrics.record_latency(
+            LatencyKind::Refresh,
+            Duration::from_nanos(self.shared.clock.virtual_nanos().saturating_sub(start)),
+        );
+        result
+    }
+
+    fn refresh_inner(&self, target: ObjRef) -> Result<()> {
         let provider = self.with_inner(|inner| {
             let meta = inner
                 .space
@@ -1559,6 +1621,9 @@ impl RmiService for ProcessService {
     }
 
     fn get(&self, _from: SiteId, target: ObjId, mode: WireMode) -> Result<ReplicaBatch> {
+        let _span = trace::span(&self.shared.clock, "obi.serve_get")
+            .with_site(self.shared.site)
+            .with_obj(target);
         self.with_inner(|inner| {
             let batch = {
                 let site = self.shared.site;
@@ -1575,6 +1640,9 @@ impl RmiService for ProcessService {
     }
 
     fn get_many(&self, _from: SiteId, targets: &[ObjId], mode: WireMode) -> Result<ReplicaBatch> {
+        let _span = trace::span(&self.shared.clock, "obi.serve_get_many")
+            .with_site(self.shared.site)
+            .with_value(targets.len() as u64);
         self.with_inner(|inner| {
             let batch = {
                 let site = self.shared.site;

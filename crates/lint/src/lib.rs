@@ -775,13 +775,34 @@ fn metrics_coverage(prepared: &[Prepared]) -> Vec<Diagnostic> {
     let Some(metrics) = prepared.iter().find(|p| p.path == METRICS_RS) else {
         return Vec::new();
     };
+    // The `macro_rules! counters` definition region, by brace depth. Lines
+    // inside it are the generation template, not hand-written accessors.
+    let mut in_definition = vec![false; metrics.code.len()];
+    let mut depth: i32 = 0;
+    let mut in_def = false;
+    for (i, line) in metrics.code.iter().enumerate() {
+        let t = line.trim();
+        if !in_def && t.starts_with("macro_rules!") && t.contains("counters") {
+            in_def = true;
+            depth = 0;
+        }
+        if in_def {
+            in_definition[i] = true;
+            depth += line.matches('{').count() as i32;
+            depth -= line.matches('}').count() as i32;
+            if depth <= 0 && line.contains('}') {
+                in_def = false;
+            }
+        }
+    }
     // Counter registrations: `incr_x, add_x, field;` lines inside the
-    // `counter_methods!` invocation.
+    // `counters!` invocation (doc comments arrive blanked, so only the
+    // entry lines parse as three identifiers).
     let mut counters: Vec<(String, String, String, usize)> = Vec::new();
     let mut in_macro = false;
     for (i, line) in metrics.code.iter().enumerate() {
         let t = line.trim();
-        if t.starts_with("counter_methods!") && t.contains('{') {
+        if !in_definition[i] && t.starts_with("counters!") && t.contains('{') {
             in_macro = true;
             continue;
         }
@@ -806,6 +827,40 @@ fn metrics_coverage(prepared: &[Prepared]) -> Vec<Diagnostic> {
         }
     }
     let mut diags = Vec::new();
+    if counters.is_empty() {
+        diags.push(Diagnostic {
+            file: metrics.path.clone(),
+            line: 1,
+            rule: RULE_METRICS_COVERAGE,
+            message: "no `counters!` invocation found; the metrics-coverage \
+                      rule cannot see the counter registry (was the macro \
+                      renamed?)"
+                .to_string(),
+        });
+    }
+    // Drift guard: snapshot/reset/since must be generated by the macro. A
+    // hand-written copy outside the definition silently stops covering new
+    // counters.
+    for (i, line) in metrics.code.iter().enumerate() {
+        if in_definition[i] {
+            continue;
+        }
+        for name in ["fn snapshot(", "fn reset(", "fn since("] {
+            if line.contains(name) {
+                diags.push(Diagnostic {
+                    file: metrics.path.clone(),
+                    line: i + 1,
+                    rule: RULE_METRICS_COVERAGE,
+                    message: format!(
+                        "`{}` is hand-written outside the `counters!` macro; \
+                         it will drift from the counter registry — generate \
+                         it from the macro instead",
+                        name.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
     for (incr, add, field, line) in &counters {
         let incr_call = format!(".{incr}(");
         let add_call = format!(".{add}(");

@@ -346,11 +346,18 @@ fn metrics_rs() -> SourceFile {
     lib(
         "crates/util/src/metrics.rs",
         r#"
-impl Metrics {
-    counter_methods! {
-        incr_messages_sent, add_messages_sent, messages_sent;
-        incr_orphaned, add_orphaned, orphaned_counter;
-    }
+macro_rules! counters {
+    ($($(#[$doc:meta])* $incr:ident, $add:ident, $field:ident;)*) => {
+        impl Metrics {
+            pub fn snapshot(&self) -> MetricsSnapshot { todo!() }
+            pub fn reset(&self) { todo!() }
+        }
+    };
+}
+
+counters! {
+    incr_messages_sent, add_messages_sent, messages_sent;
+    incr_orphaned, add_orphaned, orphaned_counter;
 }
 "#,
     )
@@ -365,7 +372,7 @@ fn unincremented_counter_is_reported_at_its_registration_line() {
     let diags = check(&[metrics_rs(), user]);
     assert_eq!(rules_fired(&diags), vec![RULE_METRICS_COVERAGE]);
     assert!(diags[0].message.contains("`orphaned_counter`"));
-    assert_eq!(diags[0].line, 5);
+    assert_eq!(diags[0].line, 13);
 }
 
 #[test]
@@ -375,6 +382,53 @@ fn add_variant_counts_as_usage() {
         "fn f(m: &Metrics) { m.incr_messages_sent(); m.add_orphaned(3); }\n",
     );
     assert!(check(&[metrics_rs(), user]).is_empty());
+}
+
+#[test]
+fn snapshot_inside_the_macro_definition_is_not_drift() {
+    // The base fixture defines `fn snapshot`/`fn reset` inside the
+    // `macro_rules! counters` template; that is the generator, not drift.
+    let user = lib(
+        "crates/net/src/mem.rs",
+        "fn f(m: &Metrics) { m.incr_messages_sent(); m.add_orphaned(3); }\n",
+    );
+    assert!(check(&[metrics_rs(), user]).is_empty());
+}
+
+#[test]
+fn hand_written_snapshot_outside_the_macro_is_drift() {
+    let metrics = lib(
+        "crates/util/src/metrics.rs",
+        r#"
+counters! {
+    incr_messages_sent, add_messages_sent, messages_sent;
+}
+
+impl Metrics {
+    pub fn since(&self) -> MetricsSnapshot { todo!() }
+}
+"#,
+    );
+    let user = lib(
+        "crates/net/src/mem.rs",
+        "fn f(m: &Metrics) { m.incr_messages_sent(); }\n",
+    );
+    let diags = check(&[metrics, user]);
+    assert_eq!(rules_fired(&diags), vec![RULE_METRICS_COVERAGE]);
+    assert!(diags[0].message.contains("`fn since`"));
+    assert!(diags[0].message.contains("drift"));
+    assert_eq!(diags[0].line, 7);
+}
+
+#[test]
+fn missing_counters_invocation_is_reported() {
+    let metrics = lib(
+        "crates/util/src/metrics.rs",
+        "impl Metrics { pub fn new() -> Self { todo!() } }\n",
+    );
+    let diags = check(&[metrics]);
+    assert_eq!(rules_fired(&diags), vec![RULE_METRICS_COVERAGE]);
+    assert!(diags[0].message.contains("no `counters!` invocation"));
 }
 
 // -- error-variant-coverage --------------------------------------------------

@@ -7,6 +7,7 @@
 //! reporting a per-object [`ReintegrationOutcome`].
 
 use obiwan_core::{ObiProcess, ObiValue, ObjRef};
+use obiwan_util::trace;
 use obiwan_util::{ObiError, ObjId, Result};
 use std::collections::BTreeSet;
 
@@ -137,6 +138,8 @@ impl DisconnectedSession {
     /// dirty; the session can reintegrate again later (successful pushes
     /// drop out of the dirty set by themselves).
     pub fn reintegrate(&self, process: &ObiProcess) -> ReintegrationReport {
+        let mut pass = trace::span(process.clock(), "session.reintegrate")
+            .with_site(process.site());
         let mut report = ReintegrationReport::default();
         for &id in &self.touched {
             let r = ObjRef::new(id);
@@ -146,6 +149,9 @@ impl DisconnectedSession {
             if !meta.dirty {
                 continue;
             }
+            let _push = trace::span(process.clock(), "session.push")
+                .with_site(process.site())
+                .with_obj(id);
             let outcome = match process.put(r) {
                 Ok(version) => ReintegrationOutcome::Pushed(version),
                 Err(e) if e.is_connectivity() => ReintegrationOutcome::Unreachable,
@@ -156,6 +162,7 @@ impl DisconnectedSession {
             };
             report.outcomes.push((id, outcome));
         }
+        pass.set_value(report.pushed() as u64);
         report
     }
 

@@ -286,6 +286,8 @@ impl Transport for SimTransport {
     }
 
     fn call(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<Bytes> {
+        let mut span = obiwan_util::trace::span(&self.inner.clock, "net.call").with_site(from);
+        span.set_value(frame.len() as u64);
         let handler = self.handler_for(to)?;
         let dup = self.traverse(from, to, frame.len(), false)?;
         if dup {
@@ -304,6 +306,9 @@ impl Transport for SimTransport {
     }
 
     fn cast(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<()> {
+        let _span = obiwan_util::trace::span(&self.inner.clock, "net.cast")
+            .with_site(from)
+            .with_value(frame.len() as u64);
         let handler = self.handler_for(to)?;
         if self.should_reorder(from, to) {
             // Held back: the frame's physics are charged when it finally

@@ -3,6 +3,7 @@
 use crate::fault::{BreakerState, CircuitBreaker, Deadline, HorizonTracker, RetryPolicy};
 use crate::remote_ref::RemoteRef;
 use obiwan_net::Transport;
+use obiwan_util::trace;
 use obiwan_util::{
     Clock, ClockMode, CostModel, DetRng, Metrics, ObiError, ObjId, RequestId, Result, SiteId,
 };
@@ -151,6 +152,10 @@ impl RmiClient {
         msg: &Message,
         deadline: Option<Deadline>,
     ) -> Result<Message> {
+        let mut span = trace::span(&self.clock, "rpc.round_trip").with_site(self.site);
+        if let Some(id) = msg.request_id() {
+            span = span.with_req(id);
+        }
         let policy = *self.policy.lock();
         let deadline =
             deadline.unwrap_or_else(|| Deadline::after(&self.clock, policy.call_budget));
@@ -185,6 +190,8 @@ impl RmiClient {
                 Err(e) => break Err(e),
             }
         };
+        // The span's value is the number of retries this call needed.
+        span.set_value(attempt);
         // Call-level accounting: one finished call is one breaker event,
         // however many attempts it took.
         match &outcome {

@@ -548,6 +548,36 @@ mod tests {
         assert!(cache.lookup(RequestId::new(s(9), 2)).is_some());
     }
 
+    /// Audit: a client that *never* sends `AckHorizon` must not grow the
+    /// cache past its LRU bound — `insert` evicts on every overflow, so
+    /// sustained one-sided traffic (and traffic from many origins at once)
+    /// stays within capacity without any cooperation from the client.
+    #[test]
+    fn reply_cache_stays_bounded_without_ack_horizon() {
+        let capacity = 8;
+        let cache = ReplyCache::new(capacity);
+        for seq in 1..=10_000u64 {
+            cache.insert(RequestId::new(s(1), seq), Bytes::from_static(b"r"));
+            assert!(
+                cache.len() <= capacity,
+                "cache grew to {} after {seq} unacked inserts",
+                cache.len()
+            );
+        }
+        // Only the most recent window survives.
+        assert_eq!(cache.len(), capacity);
+        assert!(cache.lookup(RequestId::new(s(1), 1)).is_none());
+        assert!(cache.lookup(RequestId::new(s(1), 10_000)).is_some());
+        // Many silent origins interleaved: the bound is global, not
+        // per-origin.
+        for seq in 1..=1_000u64 {
+            for origin in 2..=5u32 {
+                cache.insert(RequestId::new(s(origin), seq), Bytes::from_static(b"r"));
+            }
+            assert!(cache.len() <= capacity);
+        }
+    }
+
     #[test]
     fn horizon_advances_contiguously_and_announces_periodically() {
         let t = HorizonTracker::new();

@@ -4,7 +4,8 @@ use crate::fault::ReplyCache;
 use crate::service::RmiService;
 use bytes::Bytes;
 use obiwan_net::MessageHandler;
-use obiwan_util::{Metrics, SiteId};
+use obiwan_util::trace;
+use obiwan_util::{Clock, Metrics, SiteId};
 use obiwan_wire::{Message, ObiValue};
 use std::sync::Arc;
 
@@ -24,6 +25,9 @@ pub struct RmiServer {
     service: Arc<dyn RmiService>,
     replies: ReplyCache,
     metrics: Metrics,
+    // Timestamps server-side `rpc.handle` spans; without it the pump is
+    // untraced (standalone servers in unit tests have no clock to offer).
+    clock: Option<Clock>,
 }
 
 impl std::fmt::Debug for RmiServer {
@@ -45,6 +49,7 @@ impl RmiServer {
             service,
             replies: ReplyCache::new(ReplyCache::DEFAULT_CAPACITY),
             metrics,
+            clock: None,
         }
     }
 
@@ -54,7 +59,14 @@ impl RmiServer {
             service,
             replies: ReplyCache::new(capacity),
             metrics: Metrics::new(),
+            clock: None,
         }
+    }
+
+    /// Attaches the site clock, enabling server-side `rpc.handle` spans.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = Some(clock);
+        self
     }
 
     /// Server-side metrics (cached replies served, …).
@@ -145,6 +157,13 @@ impl MessageHandler for RmiServer {
             Ok(msg) => {
                 let is_request = msg.is_request();
                 let request = msg.request_id();
+                let mut span = self.clock.as_ref().map(|c| {
+                    let mut s = trace::span(c, "rpc.handle");
+                    if let Some(id) = request {
+                        s = s.with_req(id);
+                    }
+                    s
+                });
                 // Only cache under ids the sender itself issued: a relayed
                 // or spoofed origin must not let one site poison another's
                 // retry slots.
@@ -152,6 +171,11 @@ impl MessageHandler for RmiServer {
                 if let Some(id) = cache_key {
                     if let Some(cached) = self.replies.lookup(id) {
                         self.metrics.incr_cached_replies();
+                        // Value 1 marks a reply served from the cache
+                        // (an elided re-execution).
+                        if let Some(s) = &mut span {
+                            s.set_value(1);
+                        }
                         return Some(cached);
                     }
                 }
@@ -375,6 +399,25 @@ mod tests {
         assert!(s.replies().is_empty());
         s.handle(SiteId::new(3), invoke_frame(1)).unwrap();
         assert_eq!(svc.calls.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    /// A sender that never acknowledges its settled prefix (no `AckHorizon`
+    /// frames at all) must still leave the server's reply cache within its
+    /// LRU bound.
+    #[test]
+    fn unacked_traffic_keeps_the_reply_cache_within_its_bound() {
+        let svc = Arc::new(CountingService::default());
+        let capacity = 4;
+        let s = RmiServer::with_reply_capacity(svc, capacity);
+        for seq in 1..=500 {
+            s.handle(SiteId::new(1), invoke_frame(seq)).unwrap();
+            assert!(
+                s.replies().len() <= capacity,
+                "cache holds {} replies after {seq} unacked requests",
+                s.replies().len()
+            );
+        }
+        assert_eq!(s.replies().len(), capacity);
     }
 
     #[test]

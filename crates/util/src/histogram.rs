@@ -67,11 +67,21 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, d: Duration) {
-        self.counts[Self::bucket_of(d)] += 1;
-        self.total += 1;
+        self.record_n(d, 1);
+    }
+
+    /// Records `n` identical samples in one update — how pre-aggregated
+    /// data (per-bucket exports, repeated constant-cost operations) enters
+    /// without `n` separate calls. `n = 0` is a no-op.
+    pub fn record_n(&mut self, d: Duration, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_of(d)] += n;
+        self.total += n;
         self.min = self.min.min(d);
         self.max = self.max.max(d);
-        self.sum += d;
+        self.sum += duration_from_nanos_u128(d.as_nanos().saturating_mul(n as u128));
     }
 
     /// Number of samples recorded.
@@ -99,11 +109,15 @@ impl Histogram {
     }
 
     /// Arithmetic mean (zero when empty).
+    ///
+    /// The division happens in `u128` nanoseconds: a `Duration` divide
+    /// would truncate the sample count to `u32`, which wraps (and can even
+    /// hit zero, panicking) once `total` exceeds `u32::MAX`.
     pub fn mean(&self) -> Duration {
         if self.is_empty() {
             Duration::ZERO
         } else {
-            self.sum / self.total as u32
+            duration_from_nanos_u128(self.sum.as_nanos() / self.total as u128)
         }
     }
 
@@ -145,6 +159,14 @@ impl Histogram {
             self.sum += other.sum;
         }
     }
+}
+
+/// Builds a `Duration` from `u128` nanoseconds, saturating at the
+/// representable maximum instead of overflowing `Duration::from_nanos`'s
+/// `u64` argument.
+fn duration_from_nanos_u128(nanos: u128) -> Duration {
+    let secs = (nanos / 1_000_000_000).min(u64::MAX as u128) as u64;
+    Duration::new(secs, (nanos % 1_000_000_000) as u32)
 }
 
 #[cfg(test)]
@@ -227,5 +249,90 @@ mod tests {
         h.record(Duration::from_secs(86_400));
         assert_eq!(h.len(), 2);
         assert!(h.quantile(0.9) <= h.max());
+    }
+
+    /// Regression: `mean` used `sum / total as u32`, which wraps the
+    /// sample count once `total > u32::MAX` — for `total = 5 × 2^30` the
+    /// wrapped divisor made the mean ~7× too large (and a total that is an
+    /// exact multiple of 2^32 divided by zero, panicking).
+    #[test]
+    fn mean_survives_totals_beyond_u32() {
+        let mut h = Histogram::new();
+        let total = 5u64 << 30; // > u32::MAX
+        h.record_n(Duration::from_nanos(1), total);
+        assert_eq!(h.len(), total);
+        assert_eq!(h.mean(), Duration::from_nanos(1));
+        // Exact multiple of 2^32: the old `as u32` divisor was zero here.
+        let mut h = Histogram::new();
+        h.record_n(Duration::from_nanos(2), 1u64 << 32);
+        assert_eq!(h.mean(), Duration::from_nanos(2));
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..7 {
+            a.record(Duration::from_micros(3));
+        }
+        b.record_n(Duration::from_micros(3), 7);
+        b.record_n(Duration::from_micros(9), 0); // no-op
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+    }
+
+    /// Merge-of-many invariants: totals and sums add up, and every
+    /// quantile of the merged histogram is bounded by the global extremes.
+    #[test]
+    fn merge_of_many_preserves_mass_and_bounds_quantiles() {
+        let mut parts: Vec<Histogram> = Vec::new();
+        let mut global_min = Duration::MAX;
+        let mut global_max = Duration::ZERO;
+        let mut expect_total = 0u64;
+        let mut expect_sum = Duration::ZERO;
+        for site in 0..8u64 {
+            let mut h = Histogram::new();
+            for i in 1..=100u64 {
+                // Distinct per-site latency bands: site 0 ~ µs, site 7 ~ ms.
+                let d = Duration::from_nanos((site + 1) * 1_000 * i);
+                h.record(d);
+                global_min = global_min.min(d);
+                global_max = global_max.max(d);
+                expect_total += 1;
+                expect_sum += d;
+            }
+            parts.push(h);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.len(), expect_total);
+        assert_eq!(merged.min(), global_min);
+        assert_eq!(merged.max(), global_max);
+        // Bucketed sum is exact: merge adds the parts' sums.
+        let part_sum: Duration = parts.iter().map(|p| p.sum).sum();
+        assert_eq!(merged.sum, part_sum);
+        assert_eq!(part_sum, expect_sum);
+        // Quantiles are monotone in q and bounded by the global extremes.
+        let mut prev = Duration::ZERO;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = merged.quantile(q);
+            assert!(v >= global_min, "q={q}: {v:?} < min {global_min:?}");
+            assert!(v <= global_max, "q={q}: {v:?} > max {global_max:?}");
+            assert!(v >= prev, "q={q}: quantiles must be monotone");
+            prev = v;
+        }
+        // Merging in the other order yields the same distribution.
+        let mut reversed = Histogram::new();
+        for p in parts.iter().rev() {
+            reversed.merge(p);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(merged.quantile(q), reversed.quantile(q));
+        }
     }
 }

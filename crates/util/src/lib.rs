@@ -16,6 +16,9 @@
 //! * [`sync`] — the workspace lock facade (`Mutex`/`RwLock`); with
 //!   `feature = "lockcheck"` the locks are instrumented by [`lockcheck`],
 //!   a runtime lock-order (potential-deadlock) detector.
+//! * [`trace`] — a feature-gated span tracer (`feature = "trace"`): named,
+//!   virtual-clock-timestamped spans recorded into a process-global ring
+//!   buffer, compiled to no-ops when the feature is off.
 //!
 //! # Examples
 //!
@@ -39,10 +42,12 @@ pub mod lockcheck;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
+pub mod trace;
 
 pub use clock::{Clock, ClockMode, CostModel};
 pub use error::{ObiError, Result};
 pub use histogram::Histogram;
 pub use ids::{ClusterId, ObjId, ReplicaId, RequestId, SiteId};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{LatencyKind, LatencySnapshot, Metrics, MetricsSnapshot};
 pub use rng::DetRng;
+pub use trace::{SpanEvent, SpanGuard};

@@ -2,10 +2,23 @@
 //!
 //! Every site records what the evaluation section of the paper measures:
 //! messages and bytes on the wire, replicas created, proxy pairs created,
-//! object faults taken, and invocations by kind (local vs remote).
+//! object faults taken, and invocations by kind (local vs remote) — plus
+//! [`Histogram`]-backed latency recorders for the demand/invoke/put/refresh
+//! hot paths.
+//!
+//! The counter set is declared exactly once, in the `counters!`
+//! invocation below. The macro generates the atomic storage, the
+//! `incr_*`/`add_*` methods, [`Metrics::snapshot`], [`Metrics::reset`] and
+//! [`MetricsSnapshot::since`] from that single list, so a new counter can
+//! never be registered without also being snapshotted, reset and diffed
+//! (the hand-maintained per-counter lists this replaces could silently
+//! drift; `obiwan-lint`'s `metrics-coverage` rule now rejects such lists).
 
+use crate::histogram::Histogram;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Shared, cheaply cloneable counter set.
 ///
@@ -22,76 +35,182 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    inner: Arc<Counters>,
+    inner: Arc<Inner>,
 }
 
 #[derive(Debug, Default)]
-struct Counters {
-    messages_sent: AtomicU64,
-    messages_received: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    rmi_count: AtomicU64,
-    lmi_count: AtomicU64,
-    object_faults: AtomicU64,
-    replicas_created: AtomicU64,
-    replicas_evicted: AtomicU64,
-    proxy_pairs_created: AtomicU64,
-    proxies_reclaimed: AtomicU64,
-    puts: AtomicU64,
-    refreshes: AtomicU64,
-    conflicts_detected: AtomicU64,
-    demand_round_trips: AtomicU64,
-    fault_nanos: AtomicU64,
-    rpc_retries: AtomicU64,
-    breaker_fast_fails: AtomicU64,
-    cached_replies: AtomicU64,
+struct Inner {
+    counters: Counters,
+    latency: [Mutex<Histogram>; LatencyKind::ALL.len()],
 }
 
-/// A point-in-time copy of all counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct MetricsSnapshot {
-    pub messages_sent: u64,
-    pub messages_received: u64,
-    pub bytes_sent: u64,
-    pub bytes_received: u64,
-    pub rmi_count: u64,
-    pub lmi_count: u64,
-    pub object_faults: u64,
-    pub replicas_created: u64,
-    pub replicas_evicted: u64,
-    pub proxy_pairs_created: u64,
-    pub proxies_reclaimed: u64,
-    pub puts: u64,
-    pub refreshes: u64,
-    pub conflicts_detected: u64,
+/// The hot-path operations with a dedicated latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyKind {
+    /// Resolving one object fault / demand round (network wait included).
+    Demand,
+    /// One local invocation as the caller saw it (faults included).
+    Invoke,
+    /// One write-back of replica state to its master.
+    Put,
+    /// One refresh of a replica from its master.
+    Refresh,
+}
+
+impl LatencyKind {
+    /// Every kind, in index order.
+    pub const ALL: [LatencyKind; 4] = [
+        LatencyKind::Demand,
+        LatencyKind::Invoke,
+        LatencyKind::Put,
+        LatencyKind::Refresh,
+    ];
+
+    /// Stable lowercase name, used by exports and diagnostics.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LatencyKind::Demand => "demand",
+            LatencyKind::Invoke => "invoke",
+            LatencyKind::Put => "put",
+            LatencyKind::Refresh => "refresh",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            LatencyKind::Demand => 0,
+            LatencyKind::Invoke => 1,
+            LatencyKind::Put => 2,
+            LatencyKind::Refresh => 3,
+        }
+    }
+}
+
+/// A point-in-time copy of every latency histogram.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySnapshot {
+    /// Demand / object-fault resolution latency.
+    pub demand: Histogram,
+    /// Caller-observed invocation latency.
+    pub invoke: Histogram,
+    /// Write-back latency.
+    pub put: Histogram,
+    /// Refresh latency.
+    pub refresh: Histogram,
+}
+
+impl LatencySnapshot {
+    /// The histogram for `kind`.
+    pub fn get(&self, kind: LatencyKind) -> &Histogram {
+        match kind {
+            LatencyKind::Demand => &self.demand,
+            LatencyKind::Invoke => &self.invoke,
+            LatencyKind::Put => &self.put,
+            LatencyKind::Refresh => &self.refresh,
+        }
+    }
+
+    /// Merges another snapshot into this one (e.g. across sites).
+    pub fn merge(&mut self, other: &LatencySnapshot) {
+        self.demand.merge(&other.demand);
+        self.invoke.merge(&other.invoke);
+        self.put.merge(&other.put);
+        self.refresh.merge(&other.refresh);
+    }
+}
+
+/// Declares the full counter set and generates every per-counter artifact:
+/// the atomic `Counters` storage, [`MetricsSnapshot`] (with the given doc
+/// comments), the `incr_*`/`add_*` methods, [`Metrics::snapshot`],
+/// [`Metrics::reset`] and [`MetricsSnapshot::since`].
+macro_rules! counters {
+    ($($(#[$doc:meta])* $incr:ident, $add:ident, $field:ident;)*) => {
+        #[derive(Debug, Default)]
+        struct Counters {
+            $($field: AtomicU64,)*
+        }
+
+        /// A point-in-time copy of all counters.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct MetricsSnapshot {
+            $($(#[$doc])* pub $field: u64,)*
+        }
+
+        impl Metrics {
+            $(
+                #[doc = concat!("Increments `", stringify!($field), "` by one.")]
+                pub fn $incr(&self) {
+                    self.inner.counters.$field.fetch_add(1, Ordering::Relaxed);
+                }
+
+                #[doc = concat!("Adds `n` to `", stringify!($field), "`.")]
+                pub fn $add(&self, n: u64) {
+                    self.inner.counters.$field.fetch_add(n, Ordering::Relaxed);
+                }
+            )*
+
+            /// Takes a consistent-enough snapshot of all counters (each
+            /// counter is read atomically; the set is not read under a
+            /// global lock).
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                let c = &self.inner.counters;
+                MetricsSnapshot {
+                    $($field: c.$field.load(Ordering::Relaxed),)*
+                }
+            }
+
+            /// Resets every counter to zero and clears every latency
+            /// histogram.
+            pub fn reset(&self) {
+                let c = &self.inner.counters;
+                $(c.$field.store(0, Ordering::Relaxed);)*
+                for h in &self.inner.latency {
+                    *h.lock() = Histogram::new();
+                }
+            }
+        }
+
+        impl MetricsSnapshot {
+            /// Difference between `self` and an earlier snapshot, per
+            /// counter.
+            ///
+            /// Saturates at zero so a reset between snapshots does not
+            /// wrap.
+            pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($field: self.$field.saturating_sub(earlier.$field),)*
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    incr_messages_sent, add_messages_sent, messages_sent;
+    incr_messages_received, add_messages_received, messages_received;
+    incr_bytes_sent, add_bytes_sent, bytes_sent;
+    incr_bytes_received, add_bytes_received, bytes_received;
+    incr_rmi, add_rmi, rmi_count;
+    incr_lmi, add_lmi, lmi_count;
+    incr_object_faults, add_object_faults, object_faults;
+    incr_replicas_created, add_replicas_created, replicas_created;
+    incr_replicas_evicted, add_replicas_evicted, replicas_evicted;
+    incr_proxy_pairs_created, add_proxy_pairs_created, proxy_pairs_created;
+    incr_proxies_reclaimed, add_proxies_reclaimed, proxies_reclaimed;
+    incr_puts, add_puts, puts;
+    incr_refreshes, add_refreshes, refreshes;
+    incr_conflicts_detected, add_conflicts_detected, conflicts_detected;
     /// Network round-trips spent demanding replicas (`get`/`get_many`
     /// exchanges, retries excluded). Batch faulting exists to shrink this.
-    pub demand_round_trips: u64,
+    incr_demand_round_trips, add_demand_round_trips, demand_round_trips;
     /// Total virtual time (ns) invocations spent blocked on object faults.
-    pub fault_nanos: u64,
+    incr_fault_nanos, add_fault_nanos, fault_nanos;
     /// Request attempts re-issued after a lost frame or timeout.
-    pub rpc_retries: u64,
+    incr_rpc_retries, add_rpc_retries, rpc_retries;
     /// Calls refused immediately because the peer's circuit breaker was open.
-    pub breaker_fast_fails: u64,
+    incr_breaker_fast_fails, add_breaker_fast_fails, breaker_fast_fails;
     /// Duplicate requests answered from the server-side reply cache.
-    pub cached_replies: u64,
-}
-
-macro_rules! counter_methods {
-    ($($incr:ident, $add:ident, $field:ident;)*) => {
-        $(
-            #[doc = concat!("Increments `", stringify!($field), "` by one.")]
-            pub fn $incr(&self) {
-                self.inner.$field.fetch_add(1, Ordering::Relaxed);
-            }
-
-            #[doc = concat!("Adds `n` to `", stringify!($field), "`.")]
-            pub fn $add(&self, n: u64) {
-                self.inner.$field.fetch_add(n, Ordering::Relaxed);
-            }
-        )*
-    };
+    incr_cached_replies, add_cached_replies, cached_replies;
 }
 
 impl Metrics {
@@ -100,125 +219,19 @@ impl Metrics {
         Metrics::default()
     }
 
-    counter_methods! {
-        incr_messages_sent, add_messages_sent, messages_sent;
-        incr_messages_received, add_messages_received, messages_received;
-        incr_bytes_sent, add_bytes_sent, bytes_sent;
-        incr_bytes_received, add_bytes_received, bytes_received;
-        incr_rmi, add_rmi, rmi_count;
-        incr_lmi, add_lmi, lmi_count;
-        incr_object_faults, add_object_faults, object_faults;
-        incr_replicas_created, add_replicas_created, replicas_created;
-        incr_replicas_evicted, add_replicas_evicted, replicas_evicted;
-        incr_proxy_pairs_created, add_proxy_pairs_created, proxy_pairs_created;
-        incr_proxies_reclaimed, add_proxies_reclaimed, proxies_reclaimed;
-        incr_puts, add_puts, puts;
-        incr_refreshes, add_refreshes, refreshes;
-        incr_conflicts_detected, add_conflicts_detected, conflicts_detected;
-        incr_demand_round_trips, add_demand_round_trips, demand_round_trips;
-        incr_fault_nanos, add_fault_nanos, fault_nanos;
-        incr_rpc_retries, add_rpc_retries, rpc_retries;
-        incr_breaker_fast_fails, add_breaker_fast_fails, breaker_fast_fails;
-        incr_cached_replies, add_cached_replies, cached_replies;
+    /// Records one `kind` operation that took `d` into the matching
+    /// latency histogram.
+    pub fn record_latency(&self, kind: LatencyKind, d: Duration) {
+        self.inner.latency[kind.index()].lock().record(d);
     }
 
-    /// Takes a consistent-enough snapshot of all counters (each counter is
-    /// read atomically; the set is not read under a global lock).
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        let c = &self.inner;
-        MetricsSnapshot {
-            messages_sent: c.messages_sent.load(Ordering::Relaxed),
-            messages_received: c.messages_received.load(Ordering::Relaxed),
-            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: c.bytes_received.load(Ordering::Relaxed),
-            rmi_count: c.rmi_count.load(Ordering::Relaxed),
-            lmi_count: c.lmi_count.load(Ordering::Relaxed),
-            object_faults: c.object_faults.load(Ordering::Relaxed),
-            replicas_created: c.replicas_created.load(Ordering::Relaxed),
-            replicas_evicted: c.replicas_evicted.load(Ordering::Relaxed),
-            proxy_pairs_created: c.proxy_pairs_created.load(Ordering::Relaxed),
-            proxies_reclaimed: c.proxies_reclaimed.load(Ordering::Relaxed),
-            puts: c.puts.load(Ordering::Relaxed),
-            refreshes: c.refreshes.load(Ordering::Relaxed),
-            conflicts_detected: c.conflicts_detected.load(Ordering::Relaxed),
-            demand_round_trips: c.demand_round_trips.load(Ordering::Relaxed),
-            fault_nanos: c.fault_nanos.load(Ordering::Relaxed),
-            rpc_retries: c.rpc_retries.load(Ordering::Relaxed),
-            breaker_fast_fails: c.breaker_fast_fails.load(Ordering::Relaxed),
-            cached_replies: c.cached_replies.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Resets every counter to zero.
-    pub fn reset(&self) {
-        let c = &self.inner;
-        for a in [
-            &c.messages_sent,
-            &c.messages_received,
-            &c.bytes_sent,
-            &c.bytes_received,
-            &c.rmi_count,
-            &c.lmi_count,
-            &c.object_faults,
-            &c.replicas_created,
-            &c.replicas_evicted,
-            &c.proxy_pairs_created,
-            &c.proxies_reclaimed,
-            &c.puts,
-            &c.refreshes,
-            &c.conflicts_detected,
-            &c.demand_round_trips,
-            &c.fault_nanos,
-            &c.rpc_retries,
-            &c.breaker_fast_fails,
-            &c.cached_replies,
-        ] {
-            a.store(0, Ordering::Relaxed);
-        }
-    }
-}
-
-impl MetricsSnapshot {
-    /// Difference between `self` and an earlier snapshot, per counter.
-    ///
-    /// Saturates at zero so a reset between snapshots does not wrap.
-    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
-        MetricsSnapshot {
-            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
-            messages_received: self
-                .messages_received
-                .saturating_sub(earlier.messages_received),
-            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
-            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
-            rmi_count: self.rmi_count.saturating_sub(earlier.rmi_count),
-            lmi_count: self.lmi_count.saturating_sub(earlier.lmi_count),
-            object_faults: self.object_faults.saturating_sub(earlier.object_faults),
-            replicas_created: self
-                .replicas_created
-                .saturating_sub(earlier.replicas_created),
-            replicas_evicted: self
-                .replicas_evicted
-                .saturating_sub(earlier.replicas_evicted),
-            proxy_pairs_created: self
-                .proxy_pairs_created
-                .saturating_sub(earlier.proxy_pairs_created),
-            proxies_reclaimed: self
-                .proxies_reclaimed
-                .saturating_sub(earlier.proxies_reclaimed),
-            puts: self.puts.saturating_sub(earlier.puts),
-            refreshes: self.refreshes.saturating_sub(earlier.refreshes),
-            conflicts_detected: self
-                .conflicts_detected
-                .saturating_sub(earlier.conflicts_detected),
-            demand_round_trips: self
-                .demand_round_trips
-                .saturating_sub(earlier.demand_round_trips),
-            fault_nanos: self.fault_nanos.saturating_sub(earlier.fault_nanos),
-            rpc_retries: self.rpc_retries.saturating_sub(earlier.rpc_retries),
-            breaker_fast_fails: self
-                .breaker_fast_fails
-                .saturating_sub(earlier.breaker_fast_fails),
-            cached_replies: self.cached_replies.saturating_sub(earlier.cached_replies),
+    /// A point-in-time copy of every latency histogram.
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            demand: self.inner.latency[LatencyKind::Demand.index()].lock().clone(),
+            invoke: self.inner.latency[LatencyKind::Invoke.index()].lock().clone(),
+            put: self.inner.latency[LatencyKind::Put.index()].lock().clone(),
+            refresh: self.inner.latency[LatencyKind::Refresh.index()].lock().clone(),
         }
     }
 }
@@ -276,8 +289,43 @@ mod tests {
         m.incr_messages_sent();
         m.add_bytes_received(7);
         m.incr_conflicts_detected();
+        m.record_latency(LatencyKind::Demand, Duration::from_millis(3));
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        assert!(m.latency_snapshot().demand.is_empty());
+    }
+
+    #[test]
+    fn latency_recorders_are_per_kind_and_shared_across_clones() {
+        let m = Metrics::new();
+        m.clone().record_latency(LatencyKind::Demand, Duration::from_millis(3));
+        m.record_latency(LatencyKind::Demand, Duration::from_millis(5));
+        m.record_latency(LatencyKind::Invoke, Duration::from_micros(2));
+        let snap = m.latency_snapshot();
+        assert_eq!(snap.demand.len(), 2);
+        assert_eq!(snap.invoke.len(), 1);
+        assert!(snap.put.is_empty());
+        assert!(snap.refresh.is_empty());
+        assert_eq!(snap.get(LatencyKind::Invoke).len(), 1);
+        assert!(snap.demand.mean() >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn latency_snapshots_merge_across_sites() {
+        let site_a = Metrics::new();
+        let site_b = Metrics::new();
+        site_a.record_latency(LatencyKind::Put, Duration::from_millis(1));
+        site_b.record_latency(LatencyKind::Put, Duration::from_millis(9));
+        let mut merged = site_a.latency_snapshot();
+        merged.merge(&site_b.latency_snapshot());
+        assert_eq!(merged.put.len(), 2);
+        assert_eq!(merged.put.max(), Duration::from_millis(9));
+    }
+
+    #[test]
+    fn latency_kind_names_are_stable() {
+        let names: Vec<&str> = LatencyKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["demand", "invoke", "put", "refresh"]);
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! Feature-gated span tracer for hot-path observability.
+//!
+//! Following the span-per-request style of distributed tracers, every
+//! instrumented operation opens a named [`SpanGuard`] and the guard's drop
+//! records one completed [`SpanEvent`] — name, virtual-clock start/end,
+//! nesting depth and optional [`SiteId`]/[`ObjId`]/[`RequestId`] context —
+//! into a process-global ring buffer. A demand round-trip therefore
+//! decomposes into nested spans (`obi.invoke` → `obi.fault` →
+//! `rpc.round_trip` → `net.call` → `rpc.handle` …) that can be exported as
+//! JSON for offline inspection.
+//!
+//! Gating mirrors the `lockcheck` convention (see [`crate::sync`]):
+//!
+//! * Default build: every entry point compiles to an inlined no-op; the
+//!   guard is a zero-sized type with no `Drop` impl and the ring does not
+//!   exist. `cargo build --release` pays nothing.
+//! * With `feature = "trace"` (enabled by the root package's
+//!   dev-dependencies, so every `cargo test` run traces): spans are
+//!   recorded into a fixed-capacity ring that overwrites its oldest entry
+//!   on overflow, counting what it discarded. The hot path never
+//!   allocates — the ring is preallocated, span names are `&'static str`,
+//!   and context ids are `Copy`.
+//!
+//! The ring is process-global and tests share it; suites that assert on
+//! trace contents serialize themselves and call [`clear`] first.
+
+use crate::clock::Clock;
+use crate::ids::{ObjId, RequestId, SiteId};
+use std::fmt::Write as _;
+
+/// Whether this build records spans. Mirrors
+/// [`crate::sync::lockcheck_enabled`]: tests use it to skip (or insist on)
+/// trace assertions instead of guessing from features of other crates.
+pub const fn trace_enabled() -> bool {
+    cfg!(feature = "trace")
+}
+
+/// Number of spans the ring retains before overwriting the oldest.
+pub const RING_CAPACITY: usize = 4096;
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Monotone per-process sequence number (records the true order even
+    /// after the ring wraps).
+    pub seq: u64,
+    /// Static span name, dot-namespaced by layer (`obi.*`, `rpc.*`,
+    /// `net.*`, `session.*`).
+    pub name: &'static str,
+    /// Virtual time at guard creation, in nanoseconds.
+    pub start_nanos: u64,
+    /// Virtual time at guard drop, in nanoseconds.
+    pub end_nanos: u64,
+    /// Nesting depth on the recording thread (0 = root span).
+    pub depth: u16,
+    /// Site performing the operation, when known.
+    pub site: Option<SiteId>,
+    /// Object being resolved/written, when the span is about one object.
+    pub obj: Option<ObjId>,
+    /// RPC request id, for spans tied to one exchange.
+    pub req: Option<RequestId>,
+    /// Free per-span magnitude (batch size, payload bytes, retry count).
+    pub value: u64,
+}
+
+impl SpanEvent {
+    /// Span duration in virtual nanoseconds.
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::SpanEvent;
+    use std::cell::Cell;
+    use std::sync::OnceLock;
+
+    // Deliberately `parking_lot`, not the `crate::sync` facade: the ring is
+    // a leaf lock touched from inside arbitrary lock contexts, and it must
+    // not feed the lockcheck order graph (or recurse into itself when the
+    // detector's own locks are traced).
+    use parking_lot::Mutex;
+
+    pub(super) struct Ring {
+        buf: Vec<SpanEvent>,
+        next_seq: u64,
+        dropped: u64,
+    }
+
+    impl Ring {
+        pub(super) fn record(&mut self, mut ev: SpanEvent) {
+            ev.seq = self.next_seq;
+            self.next_seq += 1;
+            if self.buf.len() < super::RING_CAPACITY {
+                self.buf.push(ev);
+            } else {
+                self.buf[(ev.seq % super::RING_CAPACITY as u64) as usize] = ev;
+                self.dropped += 1;
+            }
+        }
+
+        pub(super) fn ordered(&self) -> Vec<SpanEvent> {
+            let mut out = self.buf.clone();
+            out.sort_by_key(|e| e.seq);
+            out
+        }
+
+        pub(super) fn clear(&mut self) {
+            self.buf.clear();
+            self.next_seq = 0;
+            self.dropped = 0;
+        }
+
+        pub(super) fn dropped(&self) -> u64 {
+            self.dropped
+        }
+    }
+
+    pub(super) fn ring() -> &'static Mutex<Ring> {
+        static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+        RING.get_or_init(|| {
+            Mutex::new(Ring {
+                buf: Vec::with_capacity(super::RING_CAPACITY),
+                next_seq: 0,
+                dropped: 0,
+            })
+        })
+    }
+
+    thread_local! {
+        static DEPTH: Cell<u16> = const { Cell::new(0) };
+    }
+
+    pub(super) fn push_depth() -> u16 {
+        DEPTH.with(|d| {
+            let cur = d.get();
+            d.set(cur.saturating_add(1));
+            cur
+        })
+    }
+
+    pub(super) fn pop_depth() {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+/// An in-flight span. Records one [`SpanEvent`] when dropped.
+///
+/// Without `feature = "trace"` this is a zero-sized type with no `Drop`
+/// impl; constructing and dropping it compiles away.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct SpanGuard {
+    #[cfg(feature = "trace")]
+    active: Option<Active>,
+}
+
+#[cfg(feature = "trace")]
+struct Active {
+    clock: Clock,
+    event: SpanEvent,
+}
+
+/// Opens a span named `name`, timestamped by `clock`'s virtual time.
+///
+/// Attach context with the builder methods:
+///
+/// ```
+/// use obiwan_util::{trace, Clock, ClockMode, SiteId};
+/// let clock = Clock::new(ClockMode::VirtualOnly);
+/// let _span = trace::span(&clock, "obi.demand").with_site(SiteId::new(1));
+/// ```
+#[inline]
+pub fn span(clock: &Clock, name: &'static str) -> SpanGuard {
+    #[cfg(feature = "trace")]
+    {
+        let now = clock.virtual_nanos();
+        SpanGuard {
+            active: Some(Active {
+                clock: clock.clone(),
+                event: SpanEvent {
+                    seq: 0,
+                    name,
+                    start_nanos: now,
+                    end_nanos: now,
+                    depth: imp::push_depth(),
+                    site: None,
+                    obj: None,
+                    req: None,
+                    value: 0,
+                },
+            }),
+        }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (clock, name);
+        SpanGuard {}
+    }
+}
+
+impl SpanGuard {
+    /// Tags the span with the site performing the work.
+    #[inline]
+    #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+    pub fn with_site(mut self, site: SiteId) -> Self {
+        #[cfg(feature = "trace")]
+        if let Some(a) = &mut self.active {
+            a.event.site = Some(site);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = site;
+        self
+    }
+
+    /// Tags the span with the object it concerns.
+    #[inline]
+    #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+    pub fn with_obj(mut self, obj: ObjId) -> Self {
+        #[cfg(feature = "trace")]
+        if let Some(a) = &mut self.active {
+            a.event.obj = Some(obj);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = obj;
+        self
+    }
+
+    /// Tags the span with the RPC request it belongs to.
+    #[inline]
+    #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+    pub fn with_req(mut self, req: RequestId) -> Self {
+        #[cfg(feature = "trace")]
+        if let Some(a) = &mut self.active {
+            a.event.req = Some(req);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = req;
+        self
+    }
+
+    /// Sets the span's magnitude (batch size, bytes, retries, …).
+    #[inline]
+    pub fn with_value(mut self, value: u64) -> Self {
+        self.set_value(value);
+        self
+    }
+
+    /// Sets the magnitude on an already-bound guard (for values only known
+    /// mid-scope, like a retry count).
+    #[inline]
+    pub fn set_value(&mut self, value: u64) {
+        #[cfg(feature = "trace")]
+        if let Some(a) = &mut self.active {
+            a.event.value = value;
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = value;
+    }
+}
+
+#[cfg(feature = "trace")]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(mut a) = self.active.take() {
+            imp::pop_depth();
+            a.event.end_nanos = a.clock.virtual_nanos();
+            imp::ring().lock().record(a.event);
+        }
+    }
+}
+
+/// All retained spans, ordered by sequence number. Empty when the feature
+/// is off.
+pub fn events() -> Vec<SpanEvent> {
+    #[cfg(feature = "trace")]
+    {
+        imp::ring().lock().ordered()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Number of spans overwritten since the last [`clear`] because the ring
+/// was full.
+pub fn dropped() -> u64 {
+    #[cfg(feature = "trace")]
+    {
+        imp::ring().lock().dropped()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        0
+    }
+}
+
+/// Empties the ring and resets the sequence and drop counters.
+pub fn clear() {
+    #[cfg(feature = "trace")]
+    imp::ring().lock().clear();
+}
+
+/// Serializes the retained spans as a JSON document:
+/// `{"dropped": N, "spans": [{...}, ...]}` with one object per span
+/// (`seq`, `name`, `start_nanos`, `end_nanos`, `depth`, `value`, and
+/// `site`/`obj`/`req` when tagged). Span names are controlled `&'static`
+/// identifiers, so no string escaping is required.
+pub fn export_json() -> String {
+    let spans = events();
+    let mut out = String::with_capacity(64 + spans.len() * 128);
+    let _ = write!(out, "{{\"dropped\":{},\"spans\":[", dropped());
+    for (i, e) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"name\":\"{}\",\"start_nanos\":{},\"end_nanos\":{},\"depth\":{},\"value\":{}",
+            e.seq, e.name, e.start_nanos, e.end_nanos, e.depth, e.value
+        );
+        if let Some(site) = e.site {
+            let _ = write!(out, ",\"site\":{}", site.as_u32());
+        }
+        if let Some(obj) = e.obj {
+            let _ = write!(out, ",\"obj\":\"{obj}\"");
+        }
+        if let Some(req) = e.req {
+            let _ = write!(out, ",\"req\":\"{req}\"");
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use crate::clock::ClockMode;
+    use std::sync::Mutex as StdMutex;
+
+    // The ring is process-global; tests that inspect it must not interleave.
+    static SERIAL: StdMutex<()> = StdMutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn spans_record_names_context_and_virtual_times() {
+        let _serial = lock();
+        clear();
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        clock.charge_nanos(100);
+        {
+            let _s = span(&clock, "test.outer")
+                .with_site(SiteId::new(3))
+                .with_value(7);
+            clock.charge_nanos(50);
+        }
+        let evs = events();
+        assert_eq!(evs.len(), 1);
+        let e = evs[0];
+        assert_eq!(e.name, "test.outer");
+        assert_eq!(e.start_nanos, 100);
+        assert_eq!(e.end_nanos, 150);
+        assert_eq!(e.duration_nanos(), 50);
+        assert_eq!(e.site, Some(SiteId::new(3)));
+        assert_eq!(e.value, 7);
+        assert_eq!(e.depth, 0);
+    }
+
+    #[test]
+    fn nested_spans_report_depth_and_containment() {
+        let _serial = lock();
+        clear();
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        {
+            let _outer = span(&clock, "test.parent");
+            clock.charge_nanos(10);
+            {
+                let _inner = span(&clock, "test.child").with_obj(ObjId::new(SiteId::new(1), 42));
+                clock.charge_nanos(5);
+                let _leaf = span(&clock, "test.leaf");
+            }
+            clock.charge_nanos(10);
+        }
+        let evs = events();
+        // Children drop first, so the ring holds leaf, child, parent.
+        assert_eq!(
+            evs.iter().map(|e| e.name).collect::<Vec<_>>(),
+            ["test.leaf", "test.child", "test.parent"]
+        );
+        let leaf = evs[0];
+        let child = evs[1];
+        let parent = evs[2];
+        assert_eq!(parent.depth, 0);
+        assert_eq!(child.depth, 1);
+        assert_eq!(leaf.depth, 2);
+        assert!(parent.start_nanos <= child.start_nanos);
+        assert!(child.end_nanos <= parent.end_nanos);
+        assert_eq!(child.obj, Some(ObjId::new(SiteId::new(1), 42)));
+    }
+
+    #[test]
+    fn ring_wraps_by_overwriting_oldest_and_counts_drops() {
+        let _serial = lock();
+        clear();
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        let extra = 100u64;
+        for i in 0..(RING_CAPACITY as u64 + extra) {
+            let _s = span(&clock, "test.wrap").with_value(i);
+        }
+        let evs = events();
+        assert_eq!(evs.len(), RING_CAPACITY);
+        assert_eq!(dropped(), extra);
+        // The oldest `extra` spans were overwritten: the retained window is
+        // exactly [extra, capacity + extra), still in order.
+        assert_eq!(evs[0].value, extra);
+        assert_eq!(evs.last().unwrap().value, RING_CAPACITY as u64 + extra - 1);
+        for w in evs.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        clear();
+        assert!(events().is_empty());
+        assert_eq!(dropped(), 0);
+    }
+
+    #[test]
+    fn export_json_emits_every_retained_span() {
+        let _serial = lock();
+        clear();
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        {
+            let _s = span(&clock, "test.json")
+                .with_site(SiteId::new(9))
+                .with_obj(ObjId::new(SiteId::new(9), 1))
+                .with_value(3);
+            clock.charge_nanos(25);
+        }
+        let json = export_json();
+        assert!(json.starts_with("{\"dropped\":0,\"spans\":["));
+        assert!(json.contains("\"name\":\"test.json\""));
+        assert!(json.contains("\"site\":9"));
+        assert!(json.contains("\"obj\":\""));
+        assert!(json.contains("\"value\":3"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn trace_enabled_reflects_the_feature() {
+        assert!(trace_enabled());
+    }
+}
+
+#[cfg(all(test, not(feature = "trace")))]
+mod disabled_tests {
+    use super::*;
+    use crate::clock::ClockMode;
+
+    #[test]
+    fn disabled_tracer_is_a_zero_sized_no_op() {
+        assert!(!trace_enabled());
+        assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+        assert!(!std::mem::needs_drop::<SpanGuard>());
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        {
+            let _s = span(&clock, "test.noop")
+                .with_site(SiteId::new(1))
+                .with_value(1);
+        }
+        assert!(events().is_empty());
+        assert_eq!(dropped(), 0);
+        assert_eq!(export_json(), "{\"dropped\":0,\"spans\":[]}");
+        clear();
+    }
+}

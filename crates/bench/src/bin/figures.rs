@@ -1,11 +1,13 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run -p obiwan-bench --bin figures -- [e1|fig4|fig5|fig6|verify|bench|all]
+//! cargo run -p obiwan-bench --bin figures -- [e1|fig4|fig5|fig6|verify|bench|scale|all]
 //! ```
 //!
 //! `bench` writes the machine-readable perf trajectory (`BENCH_demand.json`
 //! and `BENCH_rpc.json`) into the current directory instead of printing.
+//! `scale` writes `BENCH_scale.json` (many-site worker-pool sweep, real
+//! wall-clock time); `scale smoke` runs the reduced CI-sized world.
 //!
 //! All numbers are deterministic virtual-time milliseconds on the
 //! paper-testbed model (10 Mb/s LAN, LMI ≈ 2 µs, RMI ≈ 2.8 ms).
@@ -213,6 +215,22 @@ fn main() {
             for p in &paths {
                 println!("wrote {}", p.display());
             }
+        }
+        "scale" => {
+            let cfg = match std::env::args().nth(2).as_deref() {
+                Some("smoke") => obiwan_bench::ScaleConfig::smoke(),
+                _ => obiwan_bench::ScaleConfig::full(),
+            };
+            println!(
+                "scale: {} sites, {} objects, {} ops/point, workers {:?} (real time)",
+                cfg.sites(),
+                cfg.objects(),
+                cfg.ops_per_point(),
+                cfg.workers
+            );
+            let cwd = std::env::current_dir().expect("cwd");
+            let path = obiwan_bench::write_scale_file(&cwd, &cfg).expect("write BENCH_scale.json");
+            println!("wrote {}", path.display());
         }
         "all" => {
             print_e1();

@@ -126,16 +126,18 @@ impl RpcScenario {
     }
 }
 
-fn rpc_scenario(name: &'static str, loss: f64) -> RpcScenario {
+fn rpc_scenario(name: &'static str, loss: f64, reply_loss: f64) -> RpcScenario {
     let w = single_object(PAYLOAD_BYTES);
-    if loss > 0.0 {
+    if loss > 0.0 || reply_loss > 0.0 {
         // Deterministic loss stream: same seed, same drops, same JSON.
         w.world.transport().reseed(0xBE0C_0DE5);
         w.world.transport().with_topology_mut(|t| {
             t.set_link_symmetric(
                 w.consumer,
                 w.provider,
-                conditions::paper_lan().with_loss(loss),
+                conditions::paper_lan()
+                    .with_loss(loss)
+                    .with_reply_loss(reply_loss),
             );
         });
         w.world.site(w.consumer).set_rpc_policy(RetryPolicy {
@@ -145,6 +147,9 @@ fn rpc_scenario(name: &'static str, loss: f64) -> RpcScenario {
     }
     let site = w.world.site(w.consumer);
     let before = site.metrics().snapshot();
+    // Reply-cache hits are counted by the *answering* side: read them from
+    // the provider's counters, not the caller's.
+    let provider_before = w.world.site(w.provider).metrics().snapshot();
     let mut latency = Histogram::new();
     for _ in 0..RPC_CALLS {
         let t0 = w.world.clock().elapsed();
@@ -153,22 +158,31 @@ fn rpc_scenario(name: &'static str, loss: f64) -> RpcScenario {
         latency.record(w.world.clock().elapsed() - t0);
     }
     let delta = site.metrics().snapshot().since(&before);
+    let provider_delta = w
+        .world
+        .site(w.provider)
+        .metrics()
+        .snapshot()
+        .since(&provider_before);
     RpcScenario {
         name,
         calls: RPC_CALLS as u64,
         elapsed: w.world.clock().elapsed(),
         latency,
         retries: delta.rpc_retries,
-        cached_replies: delta.cached_replies,
+        cached_replies: provider_delta.cached_replies,
     }
 }
 
-/// Runs both RPC scenarios: a clean paper LAN and the same link at 10%
-/// frame loss with retries enabled.
+/// Runs the RPC scenarios: a clean paper LAN, the same link at 10% frame
+/// loss, and a link that only loses *replies* (10%) — the asymmetric
+/// failure where every retry reaches a server that already executed the
+/// request, so the reply cache answers it.
 pub fn rpc_bench() -> Vec<RpcScenario> {
     vec![
-        rpc_scenario("clean_lan", 0.0),
-        rpc_scenario("lossy_lan_10pct", 0.10),
+        rpc_scenario("clean_lan", 0.0, 0.0),
+        rpc_scenario("lossy_lan_10pct", 0.10, 0.0),
+        rpc_scenario("lossy_lan_reply_loss", 0.0, 0.10),
     ]
 }
 
@@ -284,14 +298,33 @@ mod tests {
     #[test]
     fn rpc_bench_reports_retries_only_under_loss() {
         let scenarios = rpc_bench();
-        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios.len(), 3);
         let clean = &scenarios[0];
         let lossy = &scenarios[1];
         assert_eq!(clean.retries, 0);
+        assert_eq!(clean.cached_replies, 0);
         assert!(lossy.retries > 0, "10% loss must force retries");
         assert!(clean.ops_per_sec() > lossy.ops_per_sec());
         // Retried calls stretch the tail past the clean p99.
         assert!(lossy.latency.quantile(0.99) > clean.latency.quantile(0.99));
+    }
+
+    /// The reply-loss scenario exists to light up the reply cache: the
+    /// request executes, only the answer is lost, so every retry is a
+    /// duplicate the server answers from cache.
+    #[test]
+    fn reply_loss_scenario_exercises_the_reply_cache() {
+        let scenarios = rpc_bench();
+        let reply_lossy = &scenarios[2];
+        assert_eq!(reply_lossy.name, "lossy_lan_reply_loss");
+        assert!(reply_lossy.retries > 0, "lost replies must force retries");
+        assert!(
+            reply_lossy.cached_replies > 0,
+            "every retry after a lost reply is a cache hit"
+        );
+        // With no forward loss, every retried request reached the server
+        // the first time: retries and cache hits must agree.
+        assert_eq!(reply_lossy.cached_replies, reply_lossy.retries);
     }
 
     #[test]

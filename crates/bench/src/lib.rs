@@ -19,12 +19,14 @@
 pub mod emit;
 pub mod experiments;
 pub mod report;
+pub mod scale;
 pub mod workload;
 
 pub use emit::{
     bench_demand_json, bench_rpc_json, demand_bench, rpc_bench, write_bench_files, DemandPoint,
     RpcScenario,
 };
+pub use scale::{bench_scale_json, scale_bench, write_scale_file, ScaleConfig, ScalePoint};
 pub use experiments::{
     e1_constants, e6_prefetch, e7_latency_distributions, fig4, fig5_series, fig6_series,
     verify_shapes, E1Result, E6Result, E7Row,

@@ -69,6 +69,7 @@ pub mod paper_map;
 pub mod process;
 pub mod proxy;
 pub mod replication;
+pub mod shards;
 pub mod space;
 pub mod value_fields;
 pub mod world;
@@ -78,7 +79,8 @@ pub use object::{ClassRegistry, DecodeFn, ObiObject};
 pub use objref::ObjRef;
 pub use process::{Freshness, InvokeCtx, ObiProcess};
 pub use replication::ReplicationMode;
-pub use space::{GcStats, ObjectMeta, ObjectSpace, ReplicaKind, Resolution};
+pub use shards::ShardedSpace;
+pub use space::{GcStats, ObjectMeta, ObjectSpace, ReplicaKind, Resolution, SpaceView};
 pub use world::{ObiWorld, NAME_SERVER_SITE};
 
 // Re-exports used by the `obi_class!` macro expansion and by downstream

@@ -25,7 +25,7 @@ use std::sync::Arc;
 /// * [`invoke`](ObiObject::invoke) — dynamic dispatch, because objects may
 ///   only be manipulated through methods (paper §2.1: proxies share the
 ///   interface but not the implementation, so no direct field access).
-pub trait ObiObject: Send {
+pub trait ObiObject: Send + Sync {
     /// The class name, resolved against a [`ClassRegistry`] on the
     /// receiving site.
     fn class_name(&self) -> &'static str;

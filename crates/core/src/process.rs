@@ -21,7 +21,8 @@ use crate::object::{ClassRegistry, ObiObject};
 use crate::objref::ObjRef;
 use crate::proxy::{ProxyIn, ProxyOut};
 use crate::replication::{build_batch, build_batch_many, ReplicationMode};
-use crate::space::{GcStats, ObjectEntry, ObjectMeta, ObjectSpace, ReplicaKind, Resolution};
+use crate::shards::ShardedSpace;
+use crate::space::{GcStats, ObjectEntry, ObjectMeta, ReplicaKind, Resolution, SpaceView};
 use obiwan_net::Transport;
 use obiwan_rmi::{
     BreakerState, Deadline, RemoteRef, RetryPolicy, RmiClient, RmiServer, RmiService,
@@ -31,7 +32,7 @@ use obiwan_util::{
     Clock, ClusterId, CostModel, LatencyKind, Metrics, ObiError, ObjId, Result, SiteId,
 };
 use obiwan_wire::{Decoder, Encoder, Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
-use obiwan_util::sync::{Mutex, MutexGuard};
+use obiwan_util::sync::{Mutex, MutexGuard, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -135,11 +136,8 @@ impl ProcessLock {
 // ---------------------------------------------------------------------------
 
 struct ProcessInner {
-    space: ObjectSpace,
-    exports: HashMap<ObjId, ProxyIn>,
     policy: Box<dyn ConsistencyHook>,
     outbox: Vec<(SiteId, Message)>,
-    cluster_seq: u64,
     replica_budget: Option<usize>,
     /// Root object of each cluster this process has materialized, for
     /// cluster-wise refresh.
@@ -150,6 +148,18 @@ struct ProcessShared {
     site: SiteId,
     ns_site: SiteId,
     lock: ProcessLock,
+    /// The object table, striped into internally-locked shards. It lives
+    /// *outside* the process lock: read-mostly service paths (`get`,
+    /// `get_many`) walk it concurrently with local invocations, which still
+    /// serialize on the process lock above.
+    space: ShardedSpace,
+    /// Proxy-in table for objects this process provides. Guarded by its own
+    /// lock so the serve-get fast path can register exports without the
+    /// process lock; never held across a shard acquisition or a transport
+    /// call.
+    exports: RwLock<HashMap<ObjId, ProxyIn>>,
+    /// Cluster-id generation counter (one per cluster batch served).
+    cluster_seq: AtomicU64,
     /// One-way messages deferred while the process was busy, applied FIFO:
     /// arrival order is preserved so an `UpdatePush` following an
     /// `Invalidate` for the same object lands after it, never before.
@@ -243,7 +253,7 @@ impl InvokeCtx<'_> {
 
     /// Creates a new master object in the local space.
     pub fn create(&mut self, object: Box<dyn ObiObject>) -> ObjRef {
-        self.inner.space.create(object)
+        self.shared.space.create(object)
     }
 }
 
@@ -273,7 +283,7 @@ fn invoke_inner(
     // faulted object) degrade to an error instead of a livelock.
     let mut attempts = 0;
     loop {
-        match inner.space.resolve(target) {
+        match shared.space.resolve(target) {
             Resolution::Object(_) => break,
             Resolution::Proxy(proxy) => {
                 attempts += 1;
@@ -290,7 +300,7 @@ fn invoke_inner(
         }
     }
 
-    let mut entry = inner.space.take_object(target)?;
+    let mut entry = shared.space.take_object(target)?;
     shared.clock.charge_cpu(shared.costs.lmi);
     shared.metrics.incr_lmi();
     let result = {
@@ -303,7 +313,7 @@ fn invoke_inner(
         };
         entry.object.invoke(&mut ctx, method, args)
     };
-    inner.space.restore_object(entry);
+    shared.space.restore_object(entry);
     result
 }
 
@@ -380,7 +390,7 @@ fn materialize_batch_inner(
         .with_value(batch.replicas.len() as u64);
     let mut installed = 0usize;
     for state in &batch.replicas {
-        match inner.space.resolve(state.id) {
+        match shared.space.resolve(state.id) {
             // Never clobber our own masters with replicas of themselves.
             Resolution::Object(meta) if meta.kind.is_master() => continue,
             Resolution::Object(meta)
@@ -399,7 +409,7 @@ fn materialize_batch_inner(
         meta.cluster = batch.cluster;
         shared.clock.charge_cpu(shared.costs.replica_create);
         shared.metrics.incr_replicas_created();
-        inner.space.insert_object(ObjectEntry { object, meta });
+        shared.space.insert_object(ObjectEntry { object, meta });
         installed += 1;
     }
 
@@ -427,7 +437,7 @@ fn materialize_batch_inner(
         if let Some(cluster) = batch.cluster {
             proxy = proxy.in_cluster(cluster);
         }
-        inner.space.insert_proxy(proxy);
+        shared.space.insert_proxy(proxy);
     }
 
     // Opt-in memory budget for info-appliances (§2.1): shed cold, clean
@@ -435,8 +445,8 @@ fn materialize_batch_inner(
     // root is freshened and protected — it is the object the caller is
     // about to invoke, and evicting it would re-raise the same fault.
     if let Some(budget) = inner.replica_budget {
-        inner.space.touch(batch.root);
-        let (evicted, _freed) = inner.space.evict_replicas_to(budget, &[batch.root]);
+        shared.space.touch(batch.root);
+        let (evicted, _freed) = shared.space.evict_replicas_to(budget, &[batch.root]);
         shared.metrics.add_replicas_evicted(evicted as u64);
     }
     Ok(installed)
@@ -450,18 +460,21 @@ fn finish_invocation(inner: &mut ProcessInner, shared: &ProcessShared, modified:
         if !seen.insert(id) {
             continue;
         }
-        let Some(meta) = inner.space.meta_mut(id) else {
+        let Some(meta) = shared.space.meta(id) else {
             continue;
         };
         match meta.kind {
             ReplicaKind::Master => {
-                meta.version += 1;
-                let version = meta.version;
+                let mut version = meta.version;
+                shared.space.update_meta(id, |m| {
+                    m.version += 1;
+                    version = m.version;
+                });
                 inner.policy.on_master_updated(id, version);
                 queue_notifications(inner, shared, id, shared.site);
             }
             ReplicaKind::Replica { .. } => {
-                meta.dirty = true;
+                shared.space.update_meta(id, |m| m.dirty = true);
             }
         }
     }
@@ -475,15 +488,21 @@ fn queue_notifications(
     id: ObjId,
     originator: SiteId,
 ) {
-    let Some(entry) = inner.exports.get(&id) else {
-        return;
+    // Snapshot the subscriber list and release the exports lock before
+    // touching the space: the exports guard must never overlap a shard
+    // acquisition.
+    let subscribers: Vec<_> = {
+        let exports = shared.exports.read();
+        let Some(entry) = exports.get(&id) else {
+            return;
+        };
+        entry.subscribers_except(originator).collect()
     };
-    let subscribers: Vec<_> = entry.subscribers_except(originator).collect();
     if subscribers.is_empty() {
         return;
     }
     let push_state = if subscribers.iter().any(|s| s.push) {
-        inner
+        shared
             .space
             .with_object(id, |o, m| ReplicaState {
                 id,
@@ -512,7 +531,6 @@ fn queue_notifications(
         };
         inner.outbox.push((sub.site, msg));
     }
-    let _ = shared;
 }
 
 // ---------------------------------------------------------------------------
@@ -547,14 +565,14 @@ impl ObiProcess {
                 site,
                 ns_site,
                 lock: ProcessLock::new(ProcessInner {
-                    space: ObjectSpace::new(site),
-                    exports: HashMap::new(),
                     policy: Box::new(AcceptAll),
                     outbox: Vec::new(),
-                    cluster_seq: 1,
                     replica_budget: None,
                     cluster_roots: HashMap::new(),
                 }),
+                space: ShardedSpace::new(site),
+                exports: RwLock::new(HashMap::new()),
+                cluster_seq: AtomicU64::new(1),
                 inbox: Mutex::new(VecDeque::new()),
                 client,
                 clock,
@@ -679,7 +697,7 @@ impl ObiProcess {
     /// Panics when called from inside a method invocation — use
     /// [`InvokeCtx::create`] there instead.
     pub fn create<T: ObiObject + 'static>(&self, object: T) -> ObjRef {
-        self.with_inner(|inner| Ok(inner.space.create(Box::new(object))))
+        self.with_inner(|_inner| Ok(self.shared.space.create(Box::new(object))))
             .expect("create called re-entrantly; use InvokeCtx::create inside methods")
     }
 
@@ -692,12 +710,12 @@ impl ObiProcess {
     /// Fails when the object does not exist locally, the name is taken, or
     /// the name server is unreachable.
     pub fn export(&self, object: ObjRef, name: &str) -> Result<()> {
-        self.with_inner(|inner| {
-            if !matches!(inner.space.resolve(object.id()), Resolution::Object(_)) {
+        self.with_inner(|_inner| {
+            if !matches!(self.shared.space.resolve(object.id()), Resolution::Object(_)) {
                 return Err(ObiError::NoSuchObject(object.id()));
             }
-            inner.exports.entry(object.id()).or_default();
-            inner.space.add_root(object.id());
+            self.shared.exports.write().entry(object.id()).or_default();
+            self.shared.space.add_root(object.id());
             Ok(())
         })?;
         self.shared
@@ -708,12 +726,12 @@ impl ObiProcess {
     /// Exports an object without binding a name (callers distribute the
     /// [`RemoteRef`] themselves).
     pub fn export_anonymous(&self, object: ObjRef) -> Result<RemoteRef> {
-        self.with_inner(|inner| {
-            if !matches!(inner.space.resolve(object.id()), Resolution::Object(_)) {
+        self.with_inner(|_inner| {
+            if !matches!(self.shared.space.resolve(object.id()), Resolution::Object(_)) {
                 return Err(ObiError::NoSuchObject(object.id()));
             }
-            inner.exports.entry(object.id()).or_default();
-            inner.space.add_root(object.id());
+            self.shared.exports.write().entry(object.id()).or_default();
+            self.shared.space.add_root(object.id());
             Ok(RemoteRef::new(object.id(), self.shared.site))
         })
     }
@@ -770,7 +788,7 @@ impl ObiProcess {
         let _ = self.with_inner(|inner| {
             inner.replica_budget = budget;
             if let Some(b) = budget {
-                let (evicted, _) = inner.space.evict_replicas_to(b, &[]);
+                let (evicted, _) = self.shared.space.evict_replicas_to(b, &[]);
                 self.shared.metrics.add_replicas_evicted(evicted as u64);
             }
             Ok(())
@@ -779,7 +797,7 @@ impl ObiProcess {
 
     /// Approximate bytes of replica state currently held.
     pub fn replica_bytes(&self) -> usize {
-        self.with_inner(|inner| Ok(inner.space.replica_bytes()))
+        self.with_inner(|_inner| Ok(self.shared.space.replica_bytes()))
             .unwrap_or(0)
     }
 
@@ -822,7 +840,8 @@ impl ObiProcess {
         // restarting the clock per round.
         let deadline = self.demand_deadline();
         // Seed once with every frontier proxy reachable from `root`.
-        let seed = self.with_inner(|inner| Ok(reachable_frontier(&inner.space, root.id())))?;
+        let seed =
+            self.with_inner(|_inner| Ok(reachable_frontier(&self.shared.space, root.id())))?;
         let mut seen: HashSet<ObjId> = seed.iter().copied().collect();
         let mut candidates: VecDeque<ObjId> = seed.into();
         let mut fetched = 0usize;
@@ -850,9 +869,10 @@ impl ObiProcess {
         let mut seen: HashSet<ObjId> = HashSet::new();
         let mut fetched = 0usize;
         while fetched < objects {
-            let picked = self.with_inner(|inner| {
+            let picked = self.with_inner(|_inner| {
                 let want = batch.min(objects - fetched).max(1);
-                Ok(inner
+                Ok(self
+                    .shared
                     .space
                     .frontier_candidates(want)
                     .into_iter()
@@ -891,13 +911,13 @@ impl ObiProcess {
         // semantics a merged batch would change, so they go solo.
         let mut grouped: HashMap<SiteId, (Vec<ObjId>, u32)> = HashMap::new();
         let mut solo: Vec<ProxyOut> = Vec::new();
-        self.with_inner(|inner| {
+        self.with_inner(|_inner| {
             let mut picked = 0usize;
             while picked < want {
                 let Some(id) = candidates.pop_front() else {
                     break;
                 };
-                let Resolution::Proxy(p) = inner.space.resolve(id) else {
+                let Resolution::Proxy(p) = self.shared.space.resolve(id) else {
                     continue; // already live (or gone): nothing to demand
                 };
                 picked += 1;
@@ -997,7 +1017,7 @@ impl ObiProcess {
         let mut attempts = 0;
         loop {
             let outcome = self.with_inner(|inner| {
-                Ok(match inner.space.resolve(target.id()) {
+                Ok(match self.shared.space.resolve(target.id()) {
                     Resolution::Proxy(proxy) => InvokeOutcome::Fault(proxy),
                     _ => {
                         let mut modified = Vec::new();
@@ -1100,11 +1120,11 @@ impl ObiProcess {
     }
 
     fn put_inner(&self, target: ObjRef) -> Result<u64> {
-        let (provider, entry) = self.with_inner(|inner| {
-            let meta = inner
+        let (provider, entry) = self.with_inner(|_inner| {
+            let meta = self
+                .shared
                 .space
                 .meta(target.id())
-                .cloned()
                 .ok_or(ObiError::NotReplicated(target.id()))?;
             let ReplicaKind::Replica { provider } = meta.kind else {
                 return Err(ObiError::BadArguments(
@@ -1114,7 +1134,7 @@ impl ObiProcess {
             if meta.cluster.is_some() {
                 return Err(ObiError::ClusterMember(target.id()));
             }
-            let entry = replica_state_of(inner, target.id())?;
+            let entry = replica_state_of(&self.shared.space, target.id())?;
             Ok((provider, entry))
         })?;
         self.shared
@@ -1124,12 +1144,12 @@ impl ObiProcess {
         let &(_, version) = versions
             .first()
             .ok_or_else(|| ObiError::Internal("empty put reply".into()))?;
-        self.with_inner(|inner| {
-            if let Some(meta) = inner.space.meta_mut(target.id()) {
+        self.with_inner(|_inner| {
+            self.shared.space.update_meta(target.id(), |meta| {
                 meta.version = version;
                 meta.dirty = false;
                 meta.stale = false;
-            }
+            });
             Ok(())
         })?;
         Ok(version)
@@ -1138,24 +1158,19 @@ impl ObiProcess {
     /// Writes a whole cluster back to its provider in one `put` (the only
     /// way to update cluster members).
     pub fn put_cluster(&self, cluster: ClusterId) -> Result<Vec<(ObjId, u64)>> {
-        let (provider, entries) = self.with_inner(|inner| {
-            let members: Vec<ObjId> = inner
-                .space
+        let (provider, entries) = self.with_inner(|_inner| {
+            let space = &self.shared.space;
+            let members: Vec<ObjId> = space
                 .object_ids()
                 .into_iter()
-                .filter(|id| {
-                    inner
-                        .space
-                        .meta(*id)
-                        .is_some_and(|m| m.cluster == Some(cluster))
-                })
+                .filter(|id| space.meta(*id).is_some_and(|m| m.cluster == Some(cluster)))
                 .collect();
             if members.is_empty() {
                 return Err(ObiError::BadArguments(format!(
                     "no local members of {cluster}"
                 )));
             }
-            let provider = match inner.space.meta(members[0]).map(|m| m.kind) {
+            let provider = match space.meta(members[0]).map(|m| m.kind) {
                 Some(ReplicaKind::Replica { provider }) => provider,
                 _ => {
                     return Err(ObiError::BadArguments(
@@ -1165,20 +1180,20 @@ impl ObiProcess {
             };
             let mut entries = Vec::with_capacity(members.len());
             for id in members {
-                entries.push(replica_state_of(inner, id)?);
+                entries.push(replica_state_of(space, id)?);
             }
             Ok((provider, entries))
         })?;
         let total: usize = entries.iter().map(|e| e.state.len()).sum();
         self.shared.clock.charge_cpu(self.shared.costs.serialize(total));
         let versions = self.shared.client.put(provider, entries)?;
-        self.with_inner(|inner| {
+        self.with_inner(|_inner| {
             for &(id, version) in &versions {
-                if let Some(meta) = inner.space.meta_mut(id) {
+                self.shared.space.update_meta(id, |meta| {
                     meta.version = version;
                     meta.dirty = false;
                     meta.stale = false;
-                }
+                });
             }
             Ok(())
         })?;
@@ -1188,11 +1203,11 @@ impl ObiProcess {
     /// Writes every dirty replica back to its master; returns how many
     /// objects were pushed. Dirty cluster members are pushed cluster-wise.
     pub fn put_all_dirty(&self) -> Result<usize> {
-        let (dirty_plain, dirty_clusters) = self.with_inner(|inner| {
+        let (dirty_plain, dirty_clusters) = self.with_inner(|_inner| {
             let mut plain = Vec::new();
             let mut clusters = std::collections::BTreeSet::new();
-            for id in inner.space.object_ids() {
-                let Some(meta) = inner.space.meta(id) else {
+            for id in self.shared.space.object_ids() {
+                let Some(meta) = self.shared.space.meta(id) else {
                     continue;
                 };
                 if !meta.dirty || meta.kind.is_master() {
@@ -1234,8 +1249,9 @@ impl ObiProcess {
     }
 
     fn refresh_inner(&self, target: ObjRef) -> Result<()> {
-        let provider = self.with_inner(|inner| {
-            let meta = inner
+        let provider = self.with_inner(|_inner| {
+            let meta = self
+                .shared
                 .space
                 .meta(target.id())
                 .ok_or(ObiError::NotReplicated(target.id()))?;
@@ -1277,7 +1293,7 @@ impl ObiProcess {
             Ok(()) => Ok(Freshness::Fresh),
             Err(e) if e.is_connectivity() => {
                 let have_replica =
-                    self.with_inner(|inner| Ok(inner.space.meta(target.id()).is_some()))?;
+                    self.with_inner(|_inner| Ok(self.shared.space.meta(target.id()).is_some()))?;
                 if have_replica {
                     Ok(Freshness::Stale)
                 } else {
@@ -1297,16 +1313,11 @@ impl ObiProcess {
     /// id and the number of members refreshed.
     pub fn refresh_cluster(&self, cluster: ClusterId) -> Result<(ClusterId, usize)> {
         let (provider, root, size) = self.with_inner(|inner| {
-            let members = inner
-                .space
+            let space = &self.shared.space;
+            let members = space
                 .object_ids()
                 .into_iter()
-                .filter(|id| {
-                    inner
-                        .space
-                        .meta(*id)
-                        .is_some_and(|m| m.cluster == Some(cluster))
-                })
+                .filter(|id| space.meta(*id).is_some_and(|m| m.cluster == Some(cluster)))
                 .count();
             let Some(&root) = inner.cluster_roots.get(&cluster) else {
                 return Err(ObiError::BadArguments(format!(
@@ -1318,7 +1329,7 @@ impl ObiProcess {
                     "no local members of {cluster}"
                 )));
             }
-            match inner.space.meta(root).map(|m| m.kind) {
+            match space.meta(root).map(|m| m.kind) {
                 Some(ReplicaKind::Replica { provider }) => Ok((provider, root, members)),
                 _ => Err(ObiError::BadArguments(
                     "cluster root is not a replica".into(),
@@ -1343,8 +1354,9 @@ impl ObiProcess {
     /// Subscribes this process to consistency traffic for a replica it
     /// holds: `push = false` for invalidations, `true` for full updates.
     pub fn subscribe(&self, target: ObjRef, push: bool) -> Result<()> {
-        let provider = self.with_inner(|inner| {
-            let meta = inner
+        let provider = self.with_inner(|_inner| {
+            let meta = self
+                .shared
                 .space
                 .meta(target.id())
                 .ok_or(ObiError::NotReplicated(target.id()))?;
@@ -1397,13 +1409,13 @@ impl ObiProcess {
 
     /// What `target` currently resolves to in this process.
     pub fn resolution(&self, target: ObjRef) -> Resolution {
-        self.with_inner(|inner| Ok(inner.space.resolve(target.id())))
+        self.with_inner(|_inner| Ok(self.shared.space.resolve(target.id())))
             .unwrap_or(Resolution::Busy)
     }
 
     /// Metadata of a live local object, if any.
     pub fn meta_of(&self, target: ObjRef) -> Option<ObjectMeta> {
-        self.with_inner(|inner| Ok(inner.space.meta(target.id()).cloned()))
+        self.with_inner(|_inner| Ok(self.shared.space.meta(target.id())))
             .ok()
             .flatten()
     }
@@ -1416,33 +1428,33 @@ impl ObiProcess {
     /// A snapshot of a live object's serialized state (reads do not count
     /// as invocations).
     pub fn state_of(&self, target: ObjRef) -> Result<ObiValue> {
-        self.with_inner(|inner| inner.space.with_object(target.id(), |o, _| o.state()))
+        self.with_inner(|_inner| self.shared.space.with_object(target.id(), |o, _| o.state()))
     }
 
     /// Number of live objects (masters + replicas).
     pub fn object_count(&self) -> usize {
-        self.with_inner(|inner| Ok(inner.space.object_ids().len()))
+        self.with_inner(|_inner| Ok(self.shared.space.object_ids().len()))
             .unwrap_or(0)
     }
 
     /// Number of outstanding proxy-out slots.
     pub fn proxy_count(&self) -> usize {
-        self.with_inner(|inner| Ok(inner.space.proxy_count()))
+        self.with_inner(|_inner| Ok(self.shared.space.proxy_count()))
             .unwrap_or(0)
     }
 
     /// Marks an application-held reference as a GC root.
     pub fn add_root(&self, target: ObjRef) {
-        let _ = self.with_inner(|inner| {
-            inner.space.add_root(target.id());
+        let _ = self.with_inner(|_inner| {
+            self.shared.space.add_root(target.id());
             Ok(())
         });
     }
 
     /// Unmarks a GC root.
     pub fn remove_root(&self, target: ObjRef) {
-        let _ = self.with_inner(|inner| {
-            inner.space.remove_root(target.id());
+        let _ = self.with_inner(|_inner| {
+            self.shared.space.remove_root(target.id());
             Ok(())
         });
     }
@@ -1451,8 +1463,8 @@ impl ObiProcess {
     /// [`ObjectSpace::collect_garbage`]); reclaimed proxies are counted in
     /// this process's metrics.
     pub fn collect_garbage(&self, collect_replicas: bool) -> GcStats {
-        self.with_inner(|inner| {
-            let stats = inner.space.collect_garbage(collect_replicas);
+        self.with_inner(|_inner| {
+            let stats = self.shared.space.collect_garbage(collect_replicas);
             self.shared
                 .metrics
                 .add_proxies_reclaimed(stats.proxies_reclaimed as u64);
@@ -1465,7 +1477,7 @@ impl ObiProcess {
 /// Breadth-first search from `root` over live objects collecting every
 /// reachable proxy-out target (the objects a walk from `root` could fault
 /// on), in discovery order.
-fn reachable_frontier(space: &ObjectSpace, root: ObjId) -> Vec<ObjId> {
+fn reachable_frontier<S: SpaceView>(space: &S, root: ObjId) -> Vec<ObjId> {
     let mut queue = VecDeque::new();
     let mut seen = std::collections::HashSet::new();
     let mut frontier = Vec::new();
@@ -1489,8 +1501,8 @@ fn reachable_frontier(space: &ObjectSpace, root: ObjId) -> Vec<ObjId> {
     frontier
 }
 
-fn replica_state_of(inner: &ProcessInner, id: ObjId) -> Result<ReplicaState> {
-    inner.space.with_object(id, |o, m| ReplicaState {
+fn replica_state_of(space: &ShardedSpace, id: ObjId) -> Result<ReplicaState> {
+    space.with_object(id, |o, m| ReplicaState {
         id,
         class: o.class_name().to_owned(),
         version: m.version,
@@ -1536,41 +1548,71 @@ impl ProcessService {
         result
     }
 
+    /// Mints the closure that names the next cluster batch. The counter is
+    /// atomic, so concurrent serve-gets each draw a distinct generation.
+    fn next_cluster(&self) -> impl FnOnce() -> ClusterId {
+        let site = self.shared.site;
+        let current = self.shared.cluster_seq.fetch_add(1, Ordering::Relaxed);
+        move || ClusterId::new(site, current)
+    }
+
     /// Shared tail of the `get`/`get_many` handlers: charge provider-side
     /// marshalling and register proxy-ins so replicas can be individually
     /// updated (one per object) or cluster-updated (root only).
-    fn finish_get(&self, inner: &mut ProcessInner, batch: ReplicaBatch) -> Result<ReplicaBatch> {
+    fn finish_get(&self, batch: ReplicaBatch) -> Result<ReplicaBatch> {
         self.shared
             .clock
             .charge_cpu(self.shared.costs.serialize(batch.state_bytes()));
+        let mut exports = self.shared.exports.write();
         match batch.cluster {
             Some(_) => {
-                inner.exports.entry(batch.root).or_default();
+                exports.entry(batch.root).or_default();
             }
             None => {
                 for r in &batch.replicas {
-                    inner.exports.entry(r.id).or_default();
+                    exports.entry(r.id).or_default();
                 }
             }
         }
+        drop(exports);
         Ok(batch)
+    }
+
+    /// The serve-get fast path: builds the batch straight off the sharded
+    /// space, one shard read at a time, *without* the process lock. Remote
+    /// readers therefore scale with the shard count while local invocations
+    /// keep serializing on the process lock.
+    ///
+    /// The one semantic difference from the locked path: a slot owned by an
+    /// in-flight invocation reads as `Busy` (the locked path would have
+    /// waited the invocation out). Callers retry under the process lock on
+    /// any error, which restores exactly the old blocking behavior.
+    fn serve_get_fast(&self, target: ObjId, mode: WireMode) -> Result<ReplicaBatch> {
+        let batch = build_batch(&self.shared.space, target, mode, self.next_cluster())?;
+        self.finish_get(batch)
+    }
+
+    fn serve_get_many_fast(&self, targets: &[ObjId], mode: WireMode) -> Result<ReplicaBatch> {
+        let batch = build_batch_many(&self.shared.space, targets, mode, self.next_cluster())?;
+        self.finish_get(batch)
     }
 }
 
 fn apply_one_way(inner: &mut ProcessInner, shared: &ProcessShared, _from: SiteId, msg: Message) {
+    let _ = inner;
     match msg {
         Message::Invalidate { objects } => {
             for id in objects {
-                if let Some(meta) = inner.space.meta_mut(id) {
+                shared.space.update_meta(id, |meta| {
                     if !meta.kind.is_master() {
                         meta.stale = true;
                     }
-                }
+                });
             }
         }
         Message::UpdatePush { entries } => {
             for state in entries {
-                let Some(meta) = inner.space.meta(state.id).cloned() else {
+                let Some(meta) = shared.space.meta(state.id) else {
                     continue;
                 };
                 if meta.kind.is_master() {
@@ -1578,9 +1620,7 @@ fn apply_one_way(inner: &mut ProcessInner, shared: &ProcessShared, _from: SiteId
                 }
                 if meta.dirty {
                     // Local un-pushed edits win locally; remember staleness.
-                    if let Some(m) = inner.space.meta_mut(state.id) {
-                        m.stale = true;
-                    }
+                    shared.space.update_meta(state.id, |m| m.stale = true);
                     continue;
                 }
                 let ReplicaKind::Replica { provider } = meta.kind else {
@@ -1594,7 +1634,7 @@ fn apply_one_way(inner: &mut ProcessInner, shared: &ProcessShared, _from: SiteId
                 };
                 let mut new_meta = ObjectMeta::replica(state.id, provider, state.version);
                 new_meta.cluster = meta.cluster;
-                inner.space.insert_object(ObjectEntry {
+                shared.space.insert_object(ObjectEntry {
                     object,
                     meta: new_meta,
                 });
@@ -1624,45 +1664,31 @@ impl RmiService for ProcessService {
         let _span = trace::span(&self.shared.clock, "obi.serve_get")
             .with_site(self.shared.site)
             .with_obj(target);
-        self.with_inner(|inner| {
-            let batch = {
-                let site = self.shared.site;
-                let next_cluster = {
-                    let seq = &mut inner.cluster_seq;
-                    let current = *seq;
-                    *seq += 1;
-                    move || ClusterId::new(site, current)
-                };
-                build_batch(&inner.space, target, mode, next_cluster)?
-            };
-            self.finish_get(inner, batch)
-        })
+        match self.serve_get_fast(target, mode) {
+            Ok(batch) => Ok(batch),
+            // A miss may mean a concurrent invocation holds the slot Busy;
+            // the process lock waits every invocation out, then the slot is
+            // live again (or genuinely absent).
+            Err(_) => self.with_inner(|_inner| self.serve_get_fast(target, mode)),
+        }
     }
 
     fn get_many(&self, _from: SiteId, targets: &[ObjId], mode: WireMode) -> Result<ReplicaBatch> {
         let _span = trace::span(&self.shared.clock, "obi.serve_get_many")
             .with_site(self.shared.site)
             .with_value(targets.len() as u64);
-        self.with_inner(|inner| {
-            let batch = {
-                let site = self.shared.site;
-                let next_cluster = {
-                    let seq = &mut inner.cluster_seq;
-                    let current = *seq;
-                    *seq += 1;
-                    move || ClusterId::new(site, current)
-                };
-                build_batch_many(&inner.space, targets, mode, next_cluster)?
-            };
-            self.finish_get(inner, batch)
-        })
+        match self.serve_get_many_fast(targets, mode) {
+            Ok(batch) => Ok(batch),
+            Err(_) => self.with_inner(|_inner| self.serve_get_many_fast(targets, mode)),
+        }
     }
 
     fn put(&self, from: SiteId, entries: Vec<ReplicaState>) -> Result<Vec<(ObjId, u64)>> {
         self.with_inner(|inner| {
             // Phase 1: validate every entry against the policy, atomically.
             for entry in &entries {
-                let meta = inner
+                let meta = self
+                    .shared
                     .space
                     .meta(entry.id)
                     .ok_or(ObiError::NoSuchObject(entry.id))?;
@@ -1687,7 +1713,8 @@ impl RmiService for ProcessService {
                 let value = Decoder::new(&entry.state).take_value()?;
                 let object = self.shared.registry.decode(&entry.class, &value)?;
                 let new_version = {
-                    let meta = inner
+                    let meta = self
+                        .shared
                         .space
                         .meta(entry.id)
                         .ok_or(ObiError::NoSuchObject(entry.id))?;
@@ -1695,7 +1722,7 @@ impl RmiService for ProcessService {
                 };
                 let mut meta = ObjectMeta::master(entry.id);
                 meta.version = new_version;
-                inner.space.insert_object(ObjectEntry { object, meta });
+                self.shared.space.insert_object(ObjectEntry { object, meta });
                 inner.policy.on_master_updated(entry.id, new_version);
                 self.shared.metrics.incr_puts();
                 versions.push((entry.id, new_version));
@@ -1716,11 +1743,16 @@ impl RmiService for ProcessService {
     }
 
     fn subscribe(&self, from: SiteId, object: ObjId, push: bool) -> Result<ObiValue> {
-        self.with_inner(|inner| {
-            if !matches!(inner.space.resolve(object), Resolution::Object(_)) {
+        self.with_inner(|_inner| {
+            if !matches!(self.shared.space.resolve(object), Resolution::Object(_)) {
                 return Err(ObiError::NoSuchObject(object));
             }
-            inner.exports.entry(object).or_default().subscribe(from, push);
+            self.shared
+                .exports
+                .write()
+                .entry(object)
+                .or_default()
+                .subscribe(from, push);
             Ok(ObiValue::Null)
         })
     }

@@ -1,6 +1,6 @@
 //! Provider-side replication: building replica batches (paper §2.2, §4.3).
 
-use crate::space::{ObjectSpace, Resolution};
+use crate::space::{Resolution, SpaceView};
 use obiwan_util::{ClusterId, ObiError, ObjId, Result};
 use obiwan_wire::{Encoder, FrontierEdge, ReplicaBatch, ReplicaState, WireMode};
 use std::collections::HashSet;
@@ -106,8 +106,8 @@ impl Default for ReplicationMode {
 ///
 /// [`ObiError::NoSuchObject`] when `root` is not a live object here (this
 /// site cannot *provide* objects it only holds proxies for).
-pub fn build_batch(
-    space: &ObjectSpace,
+pub fn build_batch<S: SpaceView>(
+    space: &S,
     root: ObjId,
     mode: WireMode,
     next_cluster: impl FnOnce() -> ClusterId,
@@ -130,8 +130,8 @@ pub fn build_batch(
 ///
 /// [`ObiError::NoSuchObject`] when *no* target is a live object here (the
 /// id reported is the first target, or a nil id for an empty request).
-pub fn build_batch_many(
-    space: &ObjectSpace,
+pub fn build_batch_many<S: SpaceView>(
+    space: &S,
     targets: &[ObjId],
     mode: WireMode,
     next_cluster: impl FnOnce() -> ClusterId,
@@ -183,7 +183,7 @@ pub fn build_batch_many(
     let materialized: HashSet<ObjId> = included.iter().copied().collect();
     let mut frontier: Vec<FrontierEdge> = Vec::new();
     let mut frontier_seen: HashSet<ObjId> = HashSet::new();
-    let mut add_frontier = |space: &ObjectSpace, target: ObjId, out: &mut Vec<FrontierEdge>| {
+    let mut add_frontier = |space: &S, target: ObjId, out: &mut Vec<FrontierEdge>| {
         if frontier_seen.insert(target) {
             let class = match space.resolve(target) {
                 Resolution::Object(_) | Resolution::Busy => space
@@ -239,6 +239,7 @@ mod tests {
     use super::*;
     use crate::demo::LinkedItem;
     use crate::objref::ObjRef;
+    use crate::space::ObjectSpace;
     use obiwan_util::SiteId;
 
     fn list_space(n: usize) -> (ObjectSpace, Vec<ObjRef>) {

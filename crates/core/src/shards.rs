@@ -1,0 +1,771 @@
+//! The striped object table: [`ObjectSpace`] semantics behind per-shard
+//! locks.
+//!
+//! [`ShardedSpace`] splits the slot table into N shards keyed by a
+//! deterministic hash of the [`ObjId`], each behind its own
+//! [`RwLock`](obiwan_util::sync::RwLock) from the workspace lock facade (so
+//! the `lockcheck` detector sees every acquisition). Single-object
+//! operations — resolve, invoke take/restore, replica materialization —
+//! touch exactly one shard, which is what lets many reader threads serve
+//! `get` batches concurrently while writers mutate disjoint shards.
+//!
+//! Lock discipline (enforced by `lockcheck` at runtime and the
+//! `single-shard-guard` lint rule statically):
+//!
+//! * a function holds at most one shard guard at a time, acquired and
+//!   released before the next shard is touched (always in ascending shard
+//!   index order);
+//! * whole-table operations (GC, eviction) take every shard through
+//!   [`obiwan_util::sync::lock_many`], the one sanctioned multi-guard path,
+//!   which also acquires in index order.
+//!
+//! Observational equivalence with the unsharded [`ObjectSpace`] is a tested
+//! property (`tests/sharded_equivalence.rs`): for any single-threaded op
+//! sequence both tables report the same resolutions, demand batches,
+//! frontier pops, eviction choices and GC stats. The global frontier FIFO is
+//! preserved across shards by stamping each queue entry with a process-wide
+//! monotone counter and merge-sorting candidates by stamp.
+
+use crate::object::ObiObject;
+use crate::objref::ObjRef;
+use crate::proxy::ProxyOut;
+use crate::space::{GcStats, ObjectEntry, ObjectMeta, ReplicaKind, Resolution, Slot, SpaceView};
+use obiwan_util::sync::{lock_many, RwLock};
+use obiwan_util::{ObiError, ObjId, Result, SiteId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default stripe count; a power of two so the hash mix spreads evenly.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One stripe of the table: its slots plus the shard-local slices of the
+/// frontier index and root set.
+struct Shard {
+    slots: HashMap<ObjId, Slot>,
+    /// Frontier entries as `(global stamp, id)`, oldest stamp first.
+    /// Like the unsharded queue it may hold stale ids, cleaned lazily.
+    frontier_queue: VecDeque<(u64, ObjId)>,
+    /// Authoritative frontier membership for ids hashing to this shard.
+    frontier_set: HashSet<ObjId>,
+    /// GC roots hashing to this shard.
+    roots: HashSet<ObjId>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            slots: HashMap::new(),
+            frontier_queue: VecDeque::new(),
+            frontier_set: HashSet::new(),
+            roots: HashSet::new(),
+        }
+    }
+}
+
+/// The sharded object table hosted by one process.
+///
+/// API parity with [`crate::space::ObjectSpace`], except every method takes
+/// `&self` (interior mutability via the shard locks) and metadata mutation
+/// goes through [`ShardedSpace::update_meta`] instead of a `meta_mut`
+/// borrow.
+pub struct ShardedSpace {
+    site: SiteId,
+    shards: Vec<RwLock<Shard>>,
+    next_local: AtomicU64,
+    use_tick: AtomicU64,
+    frontier_stamp: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardedSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSpace")
+            .field("site", &self.site)
+            .field("shards", &self.shards.len())
+            .field("slots", &self.len())
+            .finish()
+    }
+}
+
+impl ShardedSpace {
+    /// Creates an empty space owned by `site` with [`DEFAULT_SHARDS`]
+    /// stripes.
+    pub fn new(site: SiteId) -> Self {
+        Self::with_shards(site, DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty space with an explicit stripe count (≥ 1; clamped).
+    pub fn with_shards(site: SiteId, shards: usize) -> Self {
+        ShardedSpace {
+            site,
+            shards: (0..shards.max(1)).map(|_| RwLock::new(Shard::new())).collect(),
+            next_local: AtomicU64::new(1),
+            use_tick: AtomicU64::new(1),
+            frontier_stamp: AtomicU64::new(0),
+        }
+    }
+
+    /// The owning site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The stripe `id` hashes to. Deterministic (not `RandomState`), so two
+    /// processes shard identically and tests can target specific stripes.
+    pub fn shard_index(&self, id: ObjId) -> usize {
+        let mut h = id.local().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= (id.site().as_u32() as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    fn shard(&self, id: ObjId) -> &RwLock<Shard> {
+        &self.shards[self.shard_index(id)]
+    }
+
+    fn bump_tick(&self) -> u64 {
+        self.use_tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn next_stamp(&self) -> u64 {
+        self.frontier_stamp.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of slots (objects + proxies + busy markers).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().slots.len()).sum()
+    }
+
+    /// True when the space holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().slots.is_empty())
+    }
+
+    /// Creates a new master object, assigning it a fresh id.
+    pub fn create(&self, object: Box<dyn ObiObject>) -> ObjRef {
+        let id = ObjId::new(self.site, self.next_local.fetch_add(1, Ordering::Relaxed));
+        let mut meta = ObjectMeta::master(id);
+        meta.last_used = self.bump_tick();
+        self.shard(id)
+            .write()
+            .slots
+            .insert(id, Slot::Object(ObjectEntry { object, meta }));
+        ObjRef::new(id)
+    }
+
+    /// Inserts (or replaces) a live object under an explicit id — used when
+    /// materializing replicas.
+    pub fn insert_object(&self, mut entry: ObjectEntry) {
+        entry.meta.last_used = self.bump_tick();
+        let id = entry.meta.id;
+        let mut g = self.shard(id).write();
+        g.frontier_set.remove(&id);
+        g.slots.insert(id, Slot::Object(entry));
+    }
+
+    /// Marks `id` as just-used (freshens it against LRU eviction) without
+    /// invoking it.
+    pub fn touch(&self, id: ObjId) {
+        let tick = self.bump_tick();
+        if let Some(Slot::Object(entry)) = self.shard(id).write().slots.get_mut(&id) {
+            entry.meta.last_used = tick;
+        }
+    }
+
+    /// Inserts a proxy-out slot for a frontier edge. Existing live objects
+    /// are never downgraded to proxies; the insert is skipped.
+    pub fn insert_proxy(&self, proxy: ProxyOut) {
+        let id = proxy.target;
+        let mut g = self.shard(id).write();
+        match g.slots.get(&id) {
+            Some(Slot::Object(_)) | Some(Slot::Busy(_)) => {}
+            _ => {
+                if g.frontier_set.insert(id) {
+                    let stamp = self.next_stamp();
+                    g.frontier_queue.push_back((stamp, id));
+                }
+                g.slots.insert(id, Slot::Proxy(proxy));
+            }
+        }
+    }
+
+    /// Number of proxy-out slots currently indexed as demand candidates.
+    pub fn frontier_len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().frontier_set.len()).sum()
+    }
+
+    /// Up to `max` frontier proxies, globally oldest first, rotating through
+    /// the frontier exactly like the unsharded queue.
+    ///
+    /// Two passes, never holding more than one shard lock: pass one
+    /// snapshots every queue entry shard by shard (index order) and
+    /// merge-sorts by stamp to reconstruct the global FIFO; pass two applies
+    /// the resulting rotations and lazy cleanups, again one shard at a time
+    /// in index order.
+    pub fn frontier_candidates(&self, max: usize) -> Vec<ProxyOut> {
+        struct Entry {
+            stamp: u64,
+            id: ObjId,
+            shard: usize,
+            indexed: bool,
+            live: Option<ProxyOut>,
+        }
+        let mut entries: Vec<Entry> = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let g = shard.read();
+            for &(stamp, id) in &g.frontier_queue {
+                let indexed = g.frontier_set.contains(&id);
+                let live = match g.slots.get(&id) {
+                    Some(Slot::Proxy(p)) if indexed => Some(p.clone()),
+                    _ => None,
+                };
+                entries.push(Entry {
+                    stamp,
+                    id,
+                    shard: si,
+                    indexed,
+                    live,
+                });
+            }
+        }
+        entries.sort_unstable_by_key(|e| e.stamp);
+
+        // Replay the unsharded algorithm over the merged virtual queue.
+        let mut out: Vec<ProxyOut> = Vec::new();
+        // Entries to delete outright, per shard: (stamp, id).
+        let mut drops: Vec<Vec<(u64, ObjId)>> = vec![Vec::new(); self.shards.len()];
+        // Ids to drop from the frontier set (slot no longer a proxy).
+        let mut deindex: Vec<Vec<ObjId>> = vec![Vec::new(); self.shards.len()];
+        // Entries to rotate to the back, in pop order: (shard, stamp, id).
+        let mut rotate: Vec<(usize, u64, ObjId)> = Vec::new();
+        for e in &entries {
+            if out.len() >= max {
+                break;
+            }
+            if !e.indexed {
+                drops[e.shard].push((e.stamp, e.id));
+                continue;
+            }
+            match &e.live {
+                Some(p) => {
+                    if out.iter().all(|c| c.target != e.id) {
+                        out.push(p.clone());
+                        rotate.push((e.shard, e.stamp, e.id));
+                    } else {
+                        // Duplicate queue entry: keep exactly one.
+                        drops[e.shard].push((e.stamp, e.id));
+                    }
+                }
+                None => {
+                    drops[e.shard].push((e.stamp, e.id));
+                    deindex[e.shard].push(e.id);
+                }
+            }
+        }
+        // Fresh stamps in pop order keep the rotated entries' relative
+        // order at the back of the global FIFO.
+        let restamped: Vec<(usize, u64, ObjId, u64)> = rotate
+            .into_iter()
+            .map(|(shard, stamp, id)| (shard, stamp, id, self.next_stamp()))
+            .collect();
+
+        for (si, shard) in self.shards.iter().enumerate() {
+            let needs_write = !drops[si].is_empty()
+                || !deindex[si].is_empty()
+                || restamped.iter().any(|&(s, ..)| s == si);
+            if !needs_write {
+                continue;
+            }
+            let mut g = shard.write();
+            for id in &deindex[si] {
+                g.frontier_set.remove(id);
+            }
+            g.frontier_queue
+                .retain(|entry| !drops[si].contains(entry));
+            for &(s, old_stamp, id, new_stamp) in &restamped {
+                if s != si {
+                    continue;
+                }
+                // Re-validate under the write lock: a concurrent caller may
+                // have rotated or removed the entry since pass one.
+                let mut found = false;
+                g.frontier_queue.retain(|&entry| {
+                    let hit = entry == (old_stamp, id);
+                    found |= hit;
+                    !hit
+                });
+                if found && g.frontier_set.contains(&id) {
+                    g.frontier_queue.push_back((new_stamp, id));
+                }
+            }
+        }
+        out
+    }
+
+    /// What does `id` currently resolve to?
+    pub fn resolve(&self, id: ObjId) -> Resolution {
+        match self.shard(id).read().slots.get(&id) {
+            Some(Slot::Object(entry)) => Resolution::Object(entry.meta.clone()),
+            Some(Slot::Proxy(p)) => Resolution::Proxy(p.clone()),
+            Some(Slot::Busy(_)) => Resolution::Busy,
+            None => Resolution::Absent,
+        }
+    }
+
+    /// Metadata of a live or busy object (cloned out of the shard).
+    pub fn meta(&self, id: ObjId) -> Option<ObjectMeta> {
+        match self.shard(id).read().slots.get(&id) {
+            Some(Slot::Object(entry)) => Some(entry.meta.clone()),
+            Some(Slot::Busy(meta)) => Some(meta.clone()),
+            _ => None,
+        }
+    }
+
+    /// Runs `f` on the metadata of a live object (not busy ones: their meta
+    /// is carried by the taken entry). Returns whether the object was live.
+    pub fn update_meta(&self, id: ObjId, f: impl FnOnce(&mut ObjectMeta)) -> bool {
+        match self.shard(id).write().slots.get_mut(&id) {
+            Some(Slot::Object(entry)) => {
+                f(&mut entry.meta);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Takes a live object out for invocation, leaving a `Busy` marker.
+    ///
+    /// # Errors
+    ///
+    /// * [`ObiError::ReentrantInvocation`] if the object is already out.
+    /// * [`ObiError::NoSuchObject`] if the id is absent or a proxy.
+    pub fn take_object(&self, id: ObjId) -> Result<ObjectEntry> {
+        let tick = self.bump_tick();
+        let mut g = self.shard(id).write();
+        match g.slots.get_mut(&id) {
+            Some(Slot::Object(entry)) => {
+                entry.meta.last_used = tick;
+                let meta = entry.meta.clone();
+                match g.slots.insert(id, Slot::Busy(meta)) {
+                    Some(Slot::Object(entry)) => Ok(entry),
+                    _ => unreachable!("slot changed under the shard write lock"),
+                }
+            }
+            Some(Slot::Busy(_)) => Err(ObiError::ReentrantInvocation(id)),
+            _ => Err(ObiError::NoSuchObject(id)),
+        }
+    }
+
+    /// Returns an object taken with [`ShardedSpace::take_object`].
+    pub fn restore_object(&self, entry: ObjectEntry) {
+        let id = entry.meta.id;
+        self.shard(id).write().slots.insert(id, Slot::Object(entry));
+    }
+
+    /// Read-only access to a live object.
+    ///
+    /// # Errors
+    ///
+    /// [`ObiError::NoSuchObject`] when absent/proxy,
+    /// [`ObiError::ReentrantInvocation`] when busy.
+    pub fn with_object<R>(
+        &self,
+        id: ObjId,
+        f: impl FnOnce(&dyn ObiObject, &ObjectMeta) -> R,
+    ) -> Result<R> {
+        match self.shard(id).read().slots.get(&id) {
+            Some(Slot::Object(entry)) => Ok(f(entry.object.as_ref(), &entry.meta)),
+            Some(Slot::Busy(_)) => Err(ObiError::ReentrantInvocation(id)),
+            _ => Err(ObiError::NoSuchObject(id)),
+        }
+    }
+
+    /// Removes a slot entirely, returning whether it existed.
+    pub fn remove(&self, id: ObjId) -> bool {
+        let mut g = self.shard(id).write();
+        g.frontier_set.remove(&id);
+        g.slots.remove(&id).is_some()
+    }
+
+    /// Marks `id` as a GC root (exported, name-bound, or application-held).
+    pub fn add_root(&self, id: ObjId) {
+        self.shard(id).write().roots.insert(id);
+    }
+
+    /// Unmarks a GC root.
+    pub fn remove_root(&self, id: ObjId) {
+        self.shard(id).write().roots.remove(&id);
+    }
+
+    /// True when `id` is a root.
+    pub fn is_root(&self, id: ObjId) -> bool {
+        self.shard(id).read().roots.contains(&id)
+    }
+
+    /// Ids of all live objects (masters and replicas), unordered.
+    pub fn object_ids(&self) -> Vec<ObjId> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let g = shard.read();
+            out.extend(
+                g.slots
+                    .iter()
+                    .filter(|(_, s)| matches!(s, Slot::Object(_) | Slot::Busy(_)))
+                    .map(|(id, _)| *id),
+            );
+        }
+        out
+    }
+
+    /// Ids of all proxy-out slots, unordered.
+    pub fn proxy_ids(&self) -> Vec<ObjId> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let g = shard.read();
+            out.extend(
+                g.slots
+                    .iter()
+                    .filter(|(_, s)| matches!(s, Slot::Proxy(_)))
+                    .map(|(id, _)| *id),
+            );
+        }
+        out
+    }
+
+    /// Number of live proxy-out slots.
+    pub fn proxy_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .slots
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Proxy(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Approximate bytes of serialized state held by *replica* slots.
+    pub fn replica_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .slots
+                    .values()
+                    .filter_map(|slot| match slot {
+                        Slot::Object(e) if !e.meta.kind.is_master() => {
+                            Some(e.object.payload_size())
+                        }
+                        _ => None,
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Evicts least-recently-used replicas until replica state fits in
+    /// `budget` bytes. Same policy as the unsharded table (never masters,
+    /// dirty replicas, roots, busy slots, cluster members, or `protect`
+    /// entries); holds every shard via `lock_many` for a consistent global
+    /// LRU order.
+    ///
+    /// Returns `(replicas evicted, bytes freed)`.
+    pub fn evict_replicas_to(&self, budget: usize, protect: &[ObjId]) -> (usize, usize) {
+        let mut guards = lock_many(&self.shards);
+        let mut total = 0usize;
+        let mut candidates: Vec<(u64, ObjId, usize)> = Vec::new();
+        for g in guards.iter() {
+            for (&id, slot) in &g.slots {
+                if let Slot::Object(e) = slot {
+                    if e.meta.kind.is_master() {
+                        continue;
+                    }
+                    let bytes = e.object.payload_size();
+                    total += bytes;
+                    let evictable = !e.meta.dirty
+                        && e.meta.cluster.is_none()
+                        && !g.roots.contains(&id)
+                        && !protect.contains(&id);
+                    if evictable {
+                        candidates.push((e.meta.last_used, id, bytes));
+                    }
+                }
+            }
+        }
+        if total <= budget {
+            return (0, 0);
+        }
+        candidates.sort_unstable_by_key(|(used, id, _)| (*used, *id));
+        let mut evicted = 0usize;
+        let mut freed = 0usize;
+        for (_, id, bytes) in candidates {
+            if total <= budget {
+                break;
+            }
+            let g = &mut guards[self.shard_index(id)];
+            let Some(Slot::Object(e)) = g.slots.get(&id) else {
+                continue;
+            };
+            let ReplicaKind::Replica { provider } = e.meta.kind else {
+                continue;
+            };
+            let class = e.object.class_name().to_owned();
+            if g.frontier_set.insert(id) {
+                let stamp = self.next_stamp();
+                g.frontier_queue.push_back((stamp, id));
+            }
+            g.slots.insert(
+                id,
+                Slot::Proxy(ProxyOut::new(
+                    id,
+                    class,
+                    provider,
+                    obiwan_wire::WireMode::Incremental { batch: 1 },
+                )),
+            );
+            total -= bytes;
+            freed += bytes;
+            evicted += 1;
+        }
+        (evicted, freed)
+    }
+
+    /// Mark-and-sweep over the handle graph; same seeds and sweep policy as
+    /// the unsharded table. Holds every shard via `lock_many` so the marked
+    /// set is a consistent snapshot.
+    pub fn collect_garbage(&self, collect_replicas: bool) -> GcStats {
+        let mut guards = lock_many(&self.shards);
+        let mut marked: HashSet<ObjId> = HashSet::new();
+        let mut queue: VecDeque<ObjId> = VecDeque::new();
+
+        for g in guards.iter() {
+            for (&id, slot) in &g.slots {
+                let is_seed = match slot {
+                    Slot::Busy(_) => true,
+                    Slot::Object(e) => {
+                        e.meta.kind.is_master()
+                            || e.meta.dirty
+                            || g.roots.contains(&id)
+                            || !collect_replicas
+                    }
+                    Slot::Proxy(_) => g.roots.contains(&id),
+                };
+                if is_seed {
+                    queue.push_back(id);
+                }
+            }
+        }
+
+        while let Some(id) = queue.pop_front() {
+            if !marked.insert(id) {
+                continue;
+            }
+            if let Some(Slot::Object(entry)) = guards[self.shard_index(id)].slots.get(&id) {
+                for r in entry.object.refs() {
+                    if !marked.contains(&r.id()) {
+                        queue.push_back(r.id());
+                    }
+                }
+            }
+        }
+
+        let mut stats = GcStats::default();
+        for g in guards.iter_mut() {
+            let shard: &mut Shard = g;
+            shard.slots.retain(|id, slot| {
+                if marked.contains(id) {
+                    stats.live += 1;
+                    return true;
+                }
+                match slot {
+                    Slot::Proxy(_) => {
+                        stats.proxies_reclaimed += 1;
+                        false
+                    }
+                    Slot::Object(entry)
+                        if collect_replicas
+                            && !entry.meta.kind.is_master()
+                            && !entry.meta.dirty =>
+                    {
+                        stats.replicas_reclaimed += 1;
+                        false
+                    }
+                    _ => {
+                        stats.live += 1;
+                        true
+                    }
+                }
+            });
+            let slots = &shard.slots;
+            shard
+                .frontier_set
+                .retain(|id| matches!(slots.get(id), Some(Slot::Proxy(_))));
+        }
+        stats
+    }
+}
+
+impl SpaceView for ShardedSpace {
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn resolve(&self, id: ObjId) -> Resolution {
+        ShardedSpace::resolve(self, id)
+    }
+
+    fn with_object<R>(
+        &self,
+        id: ObjId,
+        f: impl FnOnce(&dyn ObiObject, &ObjectMeta) -> R,
+    ) -> Result<R> {
+        ShardedSpace::with_object(self, id, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::LinkedItem;
+    use obiwan_wire::WireMode;
+
+    fn space() -> ShardedSpace {
+        ShardedSpace::with_shards(SiteId::new(1), 4)
+    }
+
+    fn boxed(v: i64) -> Box<dyn ObiObject> {
+        Box::new(LinkedItem::new(v, "t"))
+    }
+
+    fn proxy(id: ObjId) -> ProxyOut {
+        ProxyOut::new(
+            id,
+            "LinkedItem",
+            SiteId::new(2),
+            WireMode::Incremental { batch: 1 },
+        )
+    }
+
+    #[test]
+    fn create_take_restore_cycle() {
+        let s = space();
+        let a = s.create(boxed(1));
+        assert_eq!(a.id().site(), SiteId::new(1));
+        let entry = s.take_object(a.id()).unwrap();
+        assert!(matches!(s.resolve(a.id()), Resolution::Busy));
+        assert_eq!(s.meta(a.id()).unwrap().version, 1);
+        assert!(matches!(
+            s.take_object(a.id()),
+            Err(ObiError::ReentrantInvocation(_))
+        ));
+        s.restore_object(entry);
+        assert!(matches!(s.resolve(a.id()), Resolution::Object(_)));
+    }
+
+    #[test]
+    fn shard_index_is_deterministic_and_in_range() {
+        let s = space();
+        for i in 0..100 {
+            let id = ObjId::new(SiteId::new(i % 7), u64::from(i));
+            let idx = s.shard_index(id);
+            assert!(idx < s.shard_count());
+            assert_eq!(idx, s.shard_index(id));
+        }
+    }
+
+    #[test]
+    fn frontier_rotates_globally_oldest_first_across_shards() {
+        let s = space();
+        let ids: Vec<ObjId> = (1..=6).map(|i| ObjId::new(SiteId::new(2), i)).collect();
+        for &id in &ids {
+            s.insert_proxy(proxy(id));
+        }
+        assert_eq!(s.frontier_len(), 6);
+        let first = s.frontier_candidates(3);
+        assert_eq!(
+            first.iter().map(|p| p.target).collect::<Vec<_>>(),
+            &ids[0..3]
+        );
+        let second = s.frontier_candidates(3);
+        assert_eq!(
+            second.iter().map(|p| p.target).collect::<Vec<_>>(),
+            &ids[3..6]
+        );
+        // Third call wraps back to the rotated entries, still in order.
+        let third = s.frontier_candidates(3);
+        assert_eq!(
+            third.iter().map(|p| p.target).collect::<Vec<_>>(),
+            &ids[0..3]
+        );
+    }
+
+    #[test]
+    fn materialization_leaves_the_frontier() {
+        let s = space();
+        let id = ObjId::new(SiteId::new(2), 5);
+        s.insert_proxy(proxy(id));
+        assert_eq!(s.frontier_len(), 1);
+        s.insert_object(ObjectEntry {
+            object: boxed(5),
+            meta: ObjectMeta::replica(id, SiteId::new(2), 3),
+        });
+        assert_eq!(s.frontier_len(), 0);
+        assert!(s.frontier_candidates(10).is_empty());
+        assert!(matches!(s.resolve(id), Resolution::Object(m) if m.version == 3));
+    }
+
+    #[test]
+    fn eviction_is_globally_lru_and_feeds_the_frontier() {
+        let s = space();
+        let a = ObjId::new(SiteId::new(2), 1);
+        let b = ObjId::new(SiteId::new(2), 2);
+        s.insert_object(ObjectEntry {
+            object: boxed(1),
+            meta: ObjectMeta::replica(a, SiteId::new(2), 1),
+        });
+        s.insert_object(ObjectEntry {
+            object: boxed(2),
+            meta: ObjectMeta::replica(b, SiteId::new(2), 1),
+        });
+        s.touch(a); // b is now the LRU entry
+        let before = s.replica_bytes();
+        let (evicted, freed) = s.evict_replicas_to(before - 1, &[]);
+        assert_eq!(evicted, 1);
+        assert!(freed > 0);
+        assert!(matches!(s.resolve(b), Resolution::Proxy(_)));
+        assert!(matches!(s.resolve(a), Resolution::Object(_)));
+        assert_eq!(s.frontier_candidates(1)[0].target, b);
+    }
+
+    #[test]
+    fn gc_matches_unsharded_policy() {
+        let s = space();
+        let tail = s.create(boxed(2));
+        let head = s.create(Box::new(LinkedItem::with_next(1, "h", tail)));
+        s.add_root(head.id());
+        let stray = ObjId::new(SiteId::new(7), 1);
+        s.insert_proxy(proxy(stray));
+        let stats = s.collect_garbage(false);
+        assert_eq!(stats.proxies_reclaimed, 1);
+        assert_eq!(stats.live, 2);
+        assert!(matches!(s.resolve(stray), Resolution::Absent));
+        assert_eq!(s.frontier_len(), 0);
+    }
+
+    #[test]
+    fn update_meta_reaches_live_objects_only() {
+        let s = space();
+        let a = s.create(boxed(1));
+        assert!(s.update_meta(a.id(), |m| m.version = 9));
+        assert_eq!(s.meta(a.id()).unwrap().version, 9);
+        let entry = s.take_object(a.id()).unwrap();
+        assert!(!s.update_meta(a.id(), |m| m.version = 10));
+        s.restore_object(entry);
+        assert!(!s.update_meta(ObjId::new(SiteId::new(9), 9), |_| {}));
+    }
+}

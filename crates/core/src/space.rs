@@ -137,6 +137,51 @@ pub struct GcStats {
     pub live: usize,
 }
 
+/// Read-only view of an object table, as batch building needs it.
+///
+/// Implemented by [`ObjectSpace`] (the single-table reference
+/// implementation) and by [`ShardedSpace`](crate::shards::ShardedSpace)
+/// (the striped production table), so the provider-side batch builder in
+/// [`crate::replication`] works against either without holding more than
+/// one shard lock at a time.
+pub trait SpaceView {
+    /// The owning site.
+    fn site(&self) -> SiteId;
+
+    /// What does `id` currently resolve to?
+    fn resolve(&self, id: ObjId) -> Resolution;
+
+    /// Read-only access to a live object.
+    ///
+    /// # Errors
+    ///
+    /// [`ObiError::NoSuchObject`] when absent/proxy,
+    /// [`ObiError::ReentrantInvocation`] when busy.
+    fn with_object<R>(
+        &self,
+        id: ObjId,
+        f: impl FnOnce(&dyn ObiObject, &ObjectMeta) -> R,
+    ) -> Result<R>;
+}
+
+impl SpaceView for ObjectSpace {
+    fn site(&self) -> SiteId {
+        ObjectSpace::site(self)
+    }
+
+    fn resolve(&self, id: ObjId) -> Resolution {
+        ObjectSpace::resolve(self, id)
+    }
+
+    fn with_object<R>(
+        &self,
+        id: ObjId,
+        f: impl FnOnce(&dyn ObiObject, &ObjectMeta) -> R,
+    ) -> Result<R> {
+        ObjectSpace::with_object(self, id, f)
+    }
+}
+
 /// The table of objects hosted by one process.
 pub struct ObjectSpace {
     site: SiteId,

@@ -9,6 +9,7 @@
 //! | rule id                      | invariant                                            |
 //! |------------------------------|------------------------------------------------------|
 //! | `guard-across-transport`     | no lock guard live across `.call`/`.cast`/`.send`/`.recv`/`.handle` |
+//! | `single-shard-guard`         | no function holds two shard guards except via `lock_pair`/`lock_many` |
 //! | `wire-tag-coverage`          | every `Message` variant has encode + decode arms and a roundtrip test |
 //! | `metrics-coverage`           | every counter in `util::metrics` is incremented somewhere |
 //! | `error-variant-coverage`     | every `ObiError` variant is constructed somewhere    |
@@ -31,6 +32,7 @@ use std::path::{Path, PathBuf};
 
 /// All rule identifiers, as used in diagnostics and `lint:allow(...)`.
 pub const RULE_GUARD_ACROSS_TRANSPORT: &str = "guard-across-transport";
+pub const RULE_SINGLE_SHARD_GUARD: &str = "single-shard-guard";
 pub const RULE_WIRE_TAG_COVERAGE: &str = "wire-tag-coverage";
 pub const RULE_METRICS_COVERAGE: &str = "metrics-coverage";
 pub const RULE_ERROR_VARIANT_COVERAGE: &str = "error-variant-coverage";
@@ -142,6 +144,7 @@ pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for p in &prepared {
         diags.extend(guard_across_transport(p));
+        diags.extend(single_shard_guard(p));
         diags.extend(no_unwrap_on_lock_or_decode(p));
     }
     diags.extend(wire_tag_coverage(&prepared));
@@ -570,6 +573,95 @@ fn guard_binding(joined: &str, line_idx: usize) -> Option<(String, usize)> {
             .chars()
             .all(|c| c.is_alphanumeric() || c == '_');
     simple.then(|| (pat.to_string(), line_idx))
+}
+
+// ---------------------------------------------------------------------------
+// Rule: single-shard-guard
+// ---------------------------------------------------------------------------
+
+/// Expression tokens that reach into the striped object space: the
+/// per-shard accessor and direct indexing of the stripe array.
+const SHARD_SOURCE_TOKENS: &[&str] = &[".shard(", ".shards["];
+
+/// The sanctioned multi-shard acquisition paths. Both sort by stripe index
+/// before locking, so they cannot deadlock against each other; ad-hoc
+/// second acquisitions lock in textual order and can.
+const MULTI_SHARD_OK_TOKENS: &[&str] = &["lock_pair(", "lock_many("];
+
+/// Shard stripes are leaf locks ordered by index: holding one while taking
+/// another inverts the order whenever the two ids hash the other way
+/// around. Any section needing two stripes must go through
+/// [`MULTI_SHARD_OK_TOKENS`], which sort first.
+fn single_shard_guard(p: &Prepared) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut depth: i32 = 0;
+    let mut live: Vec<LiveGuard> = Vec::new();
+    let mut i = 0;
+    while i < p.code.len() {
+        let line = &p.code[i];
+        if !p.is_lib_code(i) {
+            depth += brace_delta(line);
+            i += 1;
+            continue;
+        }
+        if !MULTI_SHARD_OK_TOKENS.iter().any(|t| line.contains(t)) {
+            // Shard acquisitions on this line: a shard source feeding an
+            // acquire call. Counting both tokens keeps `self.shards.len()`
+            // (no acquire) and `other.read()` (no shard source) out.
+            let sources: usize = SHARD_SOURCE_TOKENS
+                .iter()
+                .map(|t| line.matches(t).count())
+                .sum();
+            let acquires: usize = ACQUIRE_TOKENS
+                .iter()
+                .map(|t| line.matches(t).count())
+                .sum();
+            let here = sources.min(acquires);
+            if here >= 2 {
+                diags.push(Diagnostic {
+                    file: p.path.clone(),
+                    line: i + 1,
+                    rule: RULE_SINGLE_SHARD_GUARD,
+                    message: "two shard guards acquired in one statement lock in \
+                              textual order, not stripe order; use `lock_pair`/\
+                              `lock_many` for multi-shard sections"
+                        .to_string(),
+                });
+            } else if here == 1 {
+                for g in &live {
+                    diags.push(Diagnostic {
+                        file: p.path.clone(),
+                        line: i + 1,
+                        rule: RULE_SINGLE_SHARD_GUARD,
+                        message: format!(
+                            "shard guard acquired while shard guard `{}` (bound \
+                             on line {}) is still held; use `lock_pair`/\
+                             `lock_many` for multi-shard sections",
+                            g.name, g.bound_at
+                        ),
+                    });
+                }
+            }
+            // Track let-bound shard guards, mirroring guard-across-transport.
+            if let Some(stmt_end) = let_statement_end(&p.code, i) {
+                let joined: String = p.code[i..=stmt_end].join(" ");
+                if SHARD_SOURCE_TOKENS.iter().any(|t| joined.contains(t)) {
+                    if let Some((name, bound_line)) = guard_binding(&joined, i) {
+                        live.push(LiveGuard {
+                            name,
+                            bound_at: bound_line + 1,
+                            depth,
+                        });
+                    }
+                }
+            }
+        }
+        live.retain(|g| !line.contains(&format!("drop({})", g.name)));
+        depth += brace_delta(line);
+        live.retain(|g| depth >= g.depth);
+        i += 1;
+    }
+    diags
 }
 
 // ---------------------------------------------------------------------------

@@ -179,6 +179,141 @@ fn f(s: &S) {
     assert_eq!(check(&[f]).len(), 1);
 }
 
+// -- single-shard-guard ------------------------------------------------------
+
+#[test]
+fn second_shard_guard_while_one_is_held_is_flagged() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl Space {
+    fn transfer(&self, a: ObjId, b: ObjId) {
+        let src = self.shard(a).write();
+        let dst = self.shard(b).write();
+        dst.put(src.take());
+    }
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_SINGLE_SHARD_GUARD]);
+    assert_eq!(diags[0].line, 5);
+    assert!(diags[0].message.contains("`src`"));
+    assert!(diags[0].message.contains("line 4"));
+    assert!(diags[0].message.contains("lock_pair"));
+}
+
+#[test]
+fn two_shard_guards_in_one_statement_are_flagged() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        "fn f(s: &Space) { merge(s.shard(a).write(), s.shard(b).write()); }\n",
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_SINGLE_SHARD_GUARD]);
+    assert!(diags[0].message.contains("one statement"));
+}
+
+#[test]
+fn lock_pair_and_lock_many_are_the_sanctioned_paths() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn pair(s: &Space, a: ObjId, b: ObjId) {
+    let (ga, gb) = lock_pair(s.shard(a), s.shard(b));
+}
+
+fn all(s: &Space) {
+    let mut guards = lock_many(&s.shards);
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn sequential_scoped_shard_guards_are_clean() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &Space, a: ObjId, b: ObjId) {
+    let moved = {
+        let g = s.shard(a).write();
+        g.take()
+    };
+    let g = s.shard(b).write();
+    g.put(moved);
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn dropping_the_shard_guard_releases_it_for_the_rule() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &Space, a: ObjId, b: ObjId) {
+    let g = s.shard(a).write();
+    drop(g);
+    let h = s.shard(b).write();
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn non_shard_lock_while_shard_guard_held_is_not_this_rules_business() {
+    // Holding a shard guard plus an unrelated lock is governed by the
+    // runtime lockcheck order graph, not this rule.
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &Space, a: ObjId) {
+    let g = s.shard(a).write();
+    let exports = s.exports.read();
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn shard_guard_dies_with_its_function_scope() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl Space {
+    fn first(&self, a: ObjId) {
+        let g = self.shard(a).write();
+    }
+
+    fn second(&self, b: ObjId) {
+        let g = self.shard(b).write();
+    }
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn allow_comment_suppresses_single_shard_guard() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &Space, a: ObjId, b: ObjId) {
+    let src = s.shard(a).write();
+    // lint:allow(single-shard-guard) ids pre-sorted by caller
+    let dst = s.shard(b).write();
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
 // -- no-unwrap-on-lock-or-decode --------------------------------------------
 
 #[test]

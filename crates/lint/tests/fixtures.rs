@@ -36,7 +36,15 @@ fn bad_tree_fails_with_file_line_diagnostics() {
         stdout.contains("crates/demo/src/lib.rs:15: [no-unwrap-on-lock-or-decode]"),
         "missing decode-expect diagnostic in:\n{stdout}"
     );
-    assert!(stdout.contains("3 violation(s)"), "count in:\n{stdout}");
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:20: [single-shard-guard]"),
+        "missing second-shard-guard diagnostic in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:25: [single-shard-guard]"),
+        "missing same-statement shard-pair diagnostic in:\n{stdout}"
+    );
+    assert!(stdout.contains("5 violation(s)"), "count in:\n{stdout}");
 }
 
 #[test]

@@ -14,3 +14,13 @@ pub fn unwrap_on_lock(s: &Service) -> u32 {
 pub fn unwrap_on_decode(frame: &[u8]) -> Message {
     Message::decode(frame).expect("fixture decodes")
 }
+
+pub fn two_shard_guards(s: &Space, a: ObjId, b: ObjId) {
+    let src = s.shard(a).write();
+    let dst = s.shard(b).write();
+    dst.put(src.take());
+}
+
+pub fn shard_pair_in_one_statement(s: &Space, a: ObjId, b: ObjId) {
+    s.merge(s.shard(a).write(), s.shard(b).write());
+}

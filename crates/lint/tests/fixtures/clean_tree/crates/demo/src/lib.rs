@@ -13,3 +13,16 @@ pub fn allowed_hold(s: &Service) {
     // lint:allow(guard-across-transport) fixture: documented deliberate hold
     s.transport.call(1, 2, guard.frame());
 }
+
+pub fn sanctioned_shard_pair(s: &Space, a: ObjId, b: ObjId) {
+    let (src, dst) = lock_pair(s.shard(a), s.shard(b));
+    dst.put(src.take());
+}
+
+pub fn one_shard_at_a_time(s: &Space, a: ObjId, b: ObjId) {
+    let moved = {
+        let g = s.shard(a).write();
+        g.take()
+    };
+    s.shard(b).write().put(moved);
+}

@@ -31,6 +31,12 @@ pub struct LinkModel {
     pub jitter: Duration,
     /// Independent per-frame loss probability in `[0, 1]`.
     pub loss: f64,
+    /// Additional loss probability in `[0, 1]` applied only to *reply*
+    /// frames. Models the asymmetric failure where the request executed
+    /// but its answer never came back — the case that forces the client
+    /// to retry a request the server already ran, and thus the case the
+    /// server-side reply cache exists for.
+    pub reply_loss: f64,
     /// Probability in `[0, 1]` that a delivered frame arrives twice
     /// (retransmission artifacts; exercises duplicate suppression).
     pub duplicate: f64,
@@ -53,6 +59,7 @@ impl LinkModel {
             bandwidth_bps,
             jitter: Duration::ZERO,
             loss: 0.0,
+            reply_loss: 0.0,
             duplicate: 0.0,
             reorder: 0.0,
         }
@@ -72,6 +79,13 @@ impl LinkModel {
     /// Returns a copy with the given loss probability (clamped to `[0, 1]`).
     pub fn with_loss(mut self, loss: f64) -> Self {
         self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the given reply-only loss probability (clamped
+    /// to `[0, 1]`).
+    pub fn with_reply_loss(mut self, reply_loss: f64) -> Self {
+        self.reply_loss = reply_loss.clamp(0.0, 1.0);
         self
     }
 
@@ -113,6 +127,13 @@ impl LinkModel {
     /// Samples whether a frame is lost.
     pub fn drops(&self, rng: &mut DetRng) -> bool {
         self.loss > 0.0 && rng.chance(self.loss)
+    }
+
+    /// Samples whether a *reply* frame is lost on the way back. The guard
+    /// keeps a zero probability from consuming rng state, so enabling
+    /// reply loss on one link never perturbs another link's samples.
+    pub fn drops_reply(&self, rng: &mut DetRng) -> bool {
+        self.reply_loss > 0.0 && rng.chance(self.reply_loss)
     }
 
     /// Samples whether a delivered frame is duplicated.
@@ -372,6 +393,24 @@ mod tests {
         let mut rng = DetRng::new(11);
         let hits = (0..10_000).filter(|_| dup.duplicates(&mut rng)).count();
         assert!((2500..3500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn reply_loss_samples_independently_of_forward_loss() {
+        let mut rng = DetRng::new(9);
+        // Zero reply loss never drops and never consumes rng state: the
+        // next sample from a fresh clone-equivalent stream must agree.
+        let clean = LinkModel::ideal();
+        assert!(!clean.drops_reply(&mut rng));
+        let mut rng2 = DetRng::new(9);
+        assert_eq!(rng.next_below(1000), rng2.next_below(1000));
+
+        let lossy = LinkModel::ideal().with_reply_loss(0.3);
+        assert_eq!(lossy.loss, 0.0, "forward path stays clean");
+        let mut rng = DetRng::new(11);
+        let drops = (0..10_000).filter(|_| lossy.drops_reply(&mut rng)).count();
+        assert!((2500..3500).contains(&drops), "drops = {drops}");
+        assert_eq!(LinkModel::ideal().with_reply_loss(3.0).reply_loss, 1.0);
     }
 
     #[test]

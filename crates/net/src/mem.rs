@@ -32,7 +32,7 @@ enum Envelope {
 
 struct SiteHandle {
     tx: Sender<Envelope>,
-    thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 /// A transport whose sites are live threads exchanging frames over
@@ -146,9 +146,64 @@ impl MemTransport {
         let mut sites = self.inner.sites.write();
         let handles: Vec<SiteHandle> = sites.drain().map(|(_, h)| h).collect();
         drop(sites);
-        for mut h in handles {
+        for h in handles {
             drop(h.tx);
-            if let Some(t) = h.thread.take() {
+            for t in h.threads {
+                let _ = t.join();
+            }
+        }
+    }
+
+    /// Registers `site` with a pool of `workers` receiver threads draining
+    /// one shared inbox (the channel is MPMC), so requests to this site are
+    /// *dispatched concurrently*. Replies still route to the right caller —
+    /// each request envelope carries its own reply channel.
+    ///
+    /// With more than one worker, ordering guarantees weaken: two requests
+    /// may execute in either order, and a cast may be handled after a later
+    /// call. The handler must be safe under concurrent invocation (an
+    /// `RmiServer` over an `ObiProcess` is; see its reply-cache in-flight
+    /// protocol). [`Transport::register`] keeps the single-worker, in-order
+    /// behavior.
+    pub fn register_with_workers(
+        &self,
+        site: SiteId,
+        handler: Arc<dyn MessageHandler>,
+        workers: usize,
+    ) {
+        let workers = workers.max(1);
+        let (tx, rx) = unbounded::<Envelope>();
+        let mut threads = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let rx = rx.clone();
+            let handler = handler.clone();
+            let thread = std::thread::Builder::new()
+                .name(format!("obiwan-site-{}-w{w}", site.as_u32()))
+                .spawn(move || {
+                    while let Ok(envelope) = rx.recv() {
+                        match envelope {
+                            Envelope::Request { from, frame, reply } => {
+                                let out = handler.handle(from, frame);
+                                // Caller may have timed out; ignore send failure.
+                                let _ = reply.send(out);
+                            }
+                            Envelope::OneWay { from, frame } => {
+                                handler.handle(from, frame);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn site receiver thread");
+            threads.push(thread);
+        }
+        let old = self
+            .inner
+            .sites
+            .write()
+            .insert(site, SiteHandle { tx, threads });
+        if let Some(old) = old {
+            drop(old.tx);
+            for t in old.threads {
                 let _ = t.join();
             }
         }
@@ -171,7 +226,10 @@ impl MemTransport {
             }
             let link = topology.link(from, to);
             let mut rng = self.inner.rng.lock();
-            (link.transfer_time(bytes, &mut rng), link.drops(&mut rng))
+            (
+                link.transfer_time(bytes, &mut rng),
+                link.drops(&mut rng) || (is_reply && link.drops_reply(&mut rng)),
+            )
         };
         if self.inner.delay_scale > 0.0 {
             std::thread::sleep(delay.mul_f64(self.inner.delay_scale));
@@ -214,43 +272,15 @@ impl MemTransport {
 
 impl Transport for MemTransport {
     fn register(&self, site: SiteId, handler: Arc<dyn MessageHandler>) {
-        let (tx, rx) = unbounded::<Envelope>();
-        let thread = std::thread::Builder::new()
-            .name(format!("obiwan-site-{}", site.as_u32()))
-            .spawn(move || {
-                while let Ok(envelope) = rx.recv() {
-                    match envelope {
-                        Envelope::Request { from, frame, reply } => {
-                            let out = handler.handle(from, frame);
-                            // Caller may have timed out; ignore send failure.
-                            let _ = reply.send(out);
-                        }
-                        Envelope::OneWay { from, frame } => {
-                            handler.handle(from, frame);
-                        }
-                    }
-                }
-            })
-            .expect("spawn site receiver thread");
-        let old = self.inner.sites.write().insert(
-            site,
-            SiteHandle {
-                tx,
-                thread: Some(thread),
-            },
-        );
-        if let Some(mut old) = old {
-            drop(old.tx);
-            if let Some(t) = old.thread.take() {
-                let _ = t.join();
-            }
-        }
+        // One worker: envelopes are handled strictly in arrival order,
+        // which `cast` fire-and-forget semantics and several tests rely on.
+        self.register_with_workers(site, handler, 1);
     }
 
     fn deregister(&self, site: SiteId) {
-        if let Some(mut h) = self.inner.sites.write().remove(&site) {
+        if let Some(h) = self.inner.sites.write().remove(&site) {
             drop(h.tx);
-            if let Some(t) = h.thread.take() {
+            for t in h.threads {
                 let _ = t.join();
             }
         }
@@ -360,6 +390,39 @@ mod tests {
         net.register(s(3), Arc::new(Echo));
         let _ = net.call(s(1), s(2), Bytes::new());
         assert_eq!(hits.load(Ordering::SeqCst), 11);
+        net.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_dispatches_concurrently_with_correct_reply_routing() {
+        use std::sync::Barrier;
+        // The handler blocks until 4 requests are in flight at once: only a
+        // multi-worker site can make progress, and each caller must still
+        // receive its own echo (replies route by per-request channel, not
+        // by arrival order).
+        let rendezvous = Arc::new(Barrier::new(4));
+        let r2 = rendezvous.clone();
+        let net = MemTransport::new();
+        net.register_with_workers(
+            s(9),
+            Arc::new(move |_f: SiteId, b: Bytes| -> Option<Bytes> {
+                r2.wait();
+                Some(b)
+            }),
+            4,
+        );
+        let mut joins = Vec::new();
+        for i in 0..4u32 {
+            let net = net.clone();
+            joins.push(std::thread::spawn(move || {
+                let payload = Bytes::from(format!("caller-{i}"));
+                let reply = net.call(s(i + 1), s(9), payload.clone()).unwrap();
+                assert_eq!(reply, payload);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
         net.shutdown();
     }
 

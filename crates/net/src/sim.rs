@@ -228,7 +228,7 @@ impl SimTransport {
             let mut rng = self.inner.rng.lock();
             (
                 link.transfer_time(bytes, &mut rng),
-                link.drops(&mut rng),
+                link.drops(&mut rng) || (is_reply && link.drops_reply(&mut rng)),
                 !is_reply && link.duplicates(&mut rng),
             )
         };
@@ -442,6 +442,38 @@ mod tests {
             }
         }
         assert!(losses > 10, "losses = {losses}");
+    }
+
+    /// Reply-only loss: the request always arrives and executes, but the
+    /// caller still sees `MessageLost` — the asymmetric failure that makes
+    /// retries of already-executed requests reach the reply cache.
+    #[test]
+    fn reply_loss_executes_the_handler_but_loses_the_answer() {
+        let net = transport();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        net.register(
+            s(2),
+            Arc::new(move |_from: SiteId, frame: Bytes| -> Option<Bytes> {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                Some(frame)
+            }),
+        );
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(
+                s(1),
+                s(2),
+                crate::link::LinkModel::ideal().with_reply_loss(1.0),
+            );
+        });
+        for i in 1..=10 {
+            let err = net.call(s(1), s(2), Bytes::new()).unwrap_err();
+            assert!(matches!(err, ObiError::MessageLost { .. }), "{err:?}");
+            assert_eq!(hits.load(Ordering::SeqCst), i, "request leg must land");
+        }
+        // One-way frames have no reply leg: reply loss never touches them.
+        net.cast(s(1), s(2), Bytes::new()).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 11);
     }
 
     #[test]

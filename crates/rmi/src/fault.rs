@@ -21,6 +21,7 @@
 //!   between closing the breaker and re-opening it.
 
 use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
 use obiwan_util::{Clock, DetRng, RequestId, SiteId};
 use obiwan_util::sync::Mutex;
 use std::collections::{BTreeSet, HashMap};
@@ -275,7 +276,30 @@ struct CachedReply {
 #[derive(Debug)]
 struct ReplyCacheInner {
     entries: HashMap<(SiteId, u64), CachedReply>,
+    /// Request ids currently executing; the waiter list holds one sender
+    /// per duplicate that arrived while the first copy was still running.
+    pending: HashMap<(SiteId, u64), Vec<Sender<Option<Bytes>>>>,
     stamp: u64,
+}
+
+/// Verdict of [`ReplyCache::begin`] for a request id entering the pump.
+///
+/// Under concurrent dispatch (a worker pool draining one inbox) two copies
+/// of the same request can race past a plain lookup-miss and both execute —
+/// the check-then-act hole that `begin` closes by registering the id as
+/// *in flight* atomically with the miss.
+#[derive(Debug)]
+pub enum Admit {
+    /// First arrival: the caller must execute the request and then call
+    /// [`ReplyCache::complete`] with the outcome (even a `None` outcome —
+    /// waiters are parked until it does).
+    Execute,
+    /// Already answered: retransmit this cached frame.
+    Cached(Bytes),
+    /// Another worker is executing this id right now; block on the
+    /// receiver for the reply it will publish (`None` if the execution
+    /// produced no reply frame).
+    Wait(Receiver<Option<Bytes>>),
 }
 
 /// Bounded server-side cache of encoded replies, keyed by
@@ -302,6 +326,7 @@ impl ReplyCache {
             capacity: capacity.max(1),
             inner: Mutex::new(ReplyCacheInner {
                 entries: HashMap::new(),
+                pending: HashMap::new(),
                 stamp: 0,
             }),
         }
@@ -335,6 +360,65 @@ impl ReplyCache {
             {
                 inner.entries.remove(&oldest);
             }
+        }
+    }
+
+    /// Admits a request id for execution, atomically with the cache check.
+    ///
+    /// Exactly one caller per id gets [`Admit::Execute`] between cache
+    /// misses; concurrent duplicates get [`Admit::Wait`] and park until the
+    /// executor publishes via [`ReplyCache::complete`]. An id already
+    /// answered gets [`Admit::Cached`] (refreshing its LRU stamp).
+    pub fn begin(&self, id: RequestId) -> Admit {
+        let key = (id.origin(), id.seq());
+        let mut inner = self.inner.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            entry.stamp = stamp;
+            return Admit::Cached(entry.frame.clone());
+        }
+        if let Some(waiters) = inner.pending.get_mut(&key) {
+            // Capacity 1: `complete` sends exactly one value per waiter and
+            // never blocks doing so.
+            let (tx, rx) = bounded(1);
+            waiters.push(tx);
+            return Admit::Wait(rx);
+        }
+        inner.pending.insert(key, Vec::new());
+        Admit::Execute
+    }
+
+    /// Publishes the outcome of an execution admitted by
+    /// [`ReplyCache::begin`]: caches `frame` (when `Some`) under `id` and
+    /// wakes every duplicate parked on [`Admit::Wait`].
+    pub fn complete(&self, id: RequestId, frame: Option<Bytes>) {
+        let key = (id.origin(), id.seq());
+        let waiters = {
+            let mut inner = self.inner.lock();
+            let waiters = inner.pending.remove(&key).unwrap_or_default();
+            if let Some(frame) = &frame {
+                inner.stamp += 1;
+                let stamp = inner.stamp;
+                inner
+                    .entries
+                    .insert(key, CachedReply { frame: frame.clone(), stamp });
+                if inner.entries.len() > self.capacity {
+                    if let Some(oldest) = inner
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(k, _)| *k)
+                    {
+                        inner.entries.remove(&oldest);
+                    }
+                }
+            }
+            waiters
+        };
+        for waiter in waiters {
+            // A waiter that gave up and dropped its receiver is fine.
+            let _ = waiter.send(frame.clone());
         }
     }
 
@@ -576,6 +660,70 @@ mod tests {
             }
             assert!(cache.len() <= capacity);
         }
+    }
+
+    #[test]
+    fn begin_admits_one_executor_and_caches_its_reply() {
+        let cache = ReplyCache::new(8);
+        let id = RequestId::new(s(1), 1);
+        assert!(matches!(cache.begin(id), Admit::Execute));
+        // A duplicate arriving mid-execution parks instead of executing.
+        let waiter = match cache.begin(id) {
+            Admit::Wait(rx) => rx,
+            other => panic!("duplicate admitted as {other:?}"),
+        };
+        cache.complete(id, Some(Bytes::from_static(b"r")));
+        assert_eq!(
+            waiter.recv_timeout(Duration::from_secs(1)).unwrap(),
+            Some(Bytes::from_static(b"r"))
+        );
+        // After completion the id is a plain cache hit.
+        match cache.begin(id) {
+            Admit::Cached(frame) => assert_eq!(frame, Bytes::from_static(b"r")),
+            other => panic!("settled id admitted as {other:?}"),
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn complete_without_reply_wakes_waiters_and_caches_nothing() {
+        let cache = ReplyCache::new(8);
+        let id = RequestId::new(s(1), 7);
+        assert!(matches!(cache.begin(id), Admit::Execute));
+        let a = match cache.begin(id) {
+            Admit::Wait(rx) => rx,
+            other => panic!("{other:?}"),
+        };
+        let b = match cache.begin(id) {
+            Admit::Wait(rx) => rx,
+            other => panic!("{other:?}"),
+        };
+        cache.complete(id, None);
+        assert_eq!(a.recv_timeout(Duration::from_secs(1)).unwrap(), None);
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), None);
+        assert!(cache.is_empty());
+        // The slot is released: the next arrival executes afresh.
+        assert!(matches!(cache.begin(id), Admit::Execute));
+        cache.complete(id, None);
+    }
+
+    /// Eviction pressure from completed entries must never evict a
+    /// pending (in-flight) slot — waiters would hang forever.
+    #[test]
+    fn pending_slots_survive_lru_pressure() {
+        let cache = ReplyCache::new(2);
+        let inflight = RequestId::new(s(1), 100);
+        assert!(matches!(cache.begin(inflight), Admit::Execute));
+        for seq in 1..=10 {
+            let id = RequestId::new(s(2), seq);
+            assert!(matches!(cache.begin(id), Admit::Execute));
+            cache.complete(id, Some(Bytes::from_static(b"x")));
+        }
+        assert_eq!(cache.len(), 2, "LRU bound holds for completed entries");
+        // The in-flight slot is still registered: duplicates still park.
+        assert!(matches!(cache.begin(inflight), Admit::Wait(_)));
+        cache.complete(inflight, Some(Bytes::from_static(b"y")));
+        assert!(matches!(cache.begin(inflight), Admit::Cached(_)));
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! The message pump: frames in, [`RmiService`] calls out, replies back.
 
-use crate::fault::ReplyCache;
+use crate::fault::{Admit, ReplyCache};
 use crate::service::RmiService;
 use bytes::Bytes;
 use obiwan_net::MessageHandler;
 use obiwan_util::trace;
-use obiwan_util::{Clock, Metrics, SiteId};
+use obiwan_util::{Clock, ClockMode, Metrics, SiteId};
 use obiwan_wire::{Message, ObiValue};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Decodes incoming frames, dispatches them to an [`RmiService`], and
 /// encodes the reply — the skeleton side of every OBIWAN interaction.
@@ -25,9 +26,10 @@ pub struct RmiServer {
     service: Arc<dyn RmiService>,
     replies: ReplyCache,
     metrics: Metrics,
-    // Timestamps server-side `rpc.handle` spans; without it the pump is
-    // untraced (standalone servers in unit tests have no clock to offer).
-    clock: Option<Clock>,
+    // Timestamps server-side `rpc.handle` spans. Defaults to a private
+    // virtual-only clock so standalone servers are traced too; sites that
+    // simulate time swap in their own via [`RmiServer::with_clock`].
+    clock: Clock,
 }
 
 impl std::fmt::Debug for RmiServer {
@@ -37,6 +39,12 @@ impl std::fmt::Debug for RmiServer {
 }
 
 impl RmiServer {
+    /// How long a duplicate request parks on an in-flight execution of the
+    /// same id before degrading to executing itself. Only reachable when
+    /// the executing worker died without publishing (a panic in a
+    /// handler), so generous is fine.
+    const IN_FLIGHT_WAIT: Duration = Duration::from_secs(5);
+
     /// Wraps a service in a message pump with default reply-cache bounds.
     pub fn new(service: Arc<dyn RmiService>) -> Self {
         Self::with_metrics(service, Metrics::new())
@@ -49,7 +57,7 @@ impl RmiServer {
             service,
             replies: ReplyCache::new(ReplyCache::DEFAULT_CAPACITY),
             metrics,
-            clock: None,
+            clock: Clock::new(ClockMode::VirtualOnly),
         }
     }
 
@@ -59,13 +67,14 @@ impl RmiServer {
             service,
             replies: ReplyCache::new(capacity),
             metrics: Metrics::new(),
-            clock: None,
+            clock: Clock::new(ClockMode::VirtualOnly),
         }
     }
 
-    /// Attaches the site clock, enabling server-side `rpc.handle` spans.
+    /// Replaces the default virtual clock with the site clock, so
+    /// `rpc.handle` spans share the site's timeline.
     pub fn with_clock(mut self, clock: Clock) -> Self {
-        self.clock = Some(clock);
+        self.clock = clock;
         self
     }
 
@@ -157,49 +166,96 @@ impl MessageHandler for RmiServer {
             Ok(msg) => {
                 let is_request = msg.is_request();
                 let request = msg.request_id();
-                let mut span = self.clock.as_ref().map(|c| {
-                    let mut s = trace::span(c, "rpc.handle");
-                    if let Some(id) = request {
-                        s = s.with_req(id);
-                    }
-                    s
-                });
+                let mut span = trace::span(&self.clock, "rpc.handle");
+                if let Some(id) = request {
+                    span = span.with_req(id);
+                }
                 // Only cache under ids the sender itself issued: a relayed
                 // or spoofed origin must not let one site poison another's
                 // retry slots.
                 let cache_key = request.filter(|id| id.origin() == from);
+                // Under worker-pool dispatch two copies of one request can
+                // race; `begin` admits exactly one executor per id and
+                // parks the rest, so mutating requests stay exactly-once.
+                let mut executor = false;
                 if let Some(id) = cache_key {
-                    if let Some(cached) = self.replies.lookup(id) {
-                        self.metrics.incr_cached_replies();
-                        // Value 1 marks a reply served from the cache
-                        // (an elided re-execution).
-                        if let Some(s) = &mut span {
-                            s.set_value(1);
+                    match self.replies.begin(id) {
+                        Admit::Execute => executor = true,
+                        Admit::Cached(cached) => {
+                            self.metrics.incr_cached_replies();
+                            // Value 1 marks a reply served from the cache
+                            // (an elided re-execution).
+                            span.set_value(1);
+                            return Some(cached);
                         }
-                        return Some(cached);
+                        Admit::Wait(rx) => {
+                            match rx.recv_timeout(Self::IN_FLIGHT_WAIT) {
+                                Ok(Some(frame)) => {
+                                    self.metrics.incr_cached_replies();
+                                    span.set_value(1);
+                                    return Some(frame);
+                                }
+                                // The executor ran the request but produced
+                                // no reply frame; answer with the same
+                                // generic error it did, without re-running.
+                                Ok(None) => {
+                                    return request.map(|request| {
+                                        Message::Ack {
+                                            request,
+                                            result: Err(obiwan_util::ObiError::Internal(
+                                                "request produced no reply".into(),
+                                            )),
+                                        }
+                                        .encode()
+                                    });
+                                }
+                                // The executing worker vanished without
+                                // publishing (handler panic): degrade to
+                                // executing ourselves, uncached.
+                                Err(_) => {}
+                            }
+                        }
                     }
                 }
                 match self.dispatch(from, msg) {
                     Some(reply) => {
                         let frame = reply.encode();
-                        if let Some(id) = cache_key {
-                            self.replies.insert(id, frame.clone());
+                        if executor {
+                            if let Some(id) = cache_key {
+                                self.replies.complete(id, Some(frame.clone()));
+                            }
                         }
                         Some(frame)
                     }
                     // A request must always be answered; if dispatch produced
                     // nothing (cannot happen for well-formed requests), send
                     // a generic error rather than stalling the caller.
-                    None if is_request => request.map(|request| {
-                        Message::Ack {
-                            request,
-                            result: Err(obiwan_util::ObiError::Internal(
-                                "request produced no reply".into(),
-                            )),
+                    None if is_request => {
+                        if executor {
+                            if let Some(id) = cache_key {
+                                self.replies.complete(id, None);
+                            }
                         }
-                        .encode()
-                    }),
-                    None => None,
+                        request.map(|request| {
+                            Message::Ack {
+                                request,
+                                result: Err(obiwan_util::ObiError::Internal(
+                                    "request produced no reply".into(),
+                                )),
+                            }
+                            .encode()
+                        })
+                    }
+                    // One-way frames (and stray replies, which do carry a
+                    // request id): release the in-flight slot if we took it.
+                    None => {
+                        if executor {
+                            if let Some(id) = cache_key {
+                                self.replies.complete(id, None);
+                            }
+                        }
+                        None
+                    }
                 }
             }
             Err(e) => {
@@ -425,5 +481,57 @@ mod tests {
         let s = server();
         s.handle(SiteId::new(1), Bytes::from_static(b"\xff\xff")).unwrap();
         assert!(s.replies().is_empty());
+    }
+
+    /// The race `begin`/`complete` closes: many copies of one mutating
+    /// request dispatched concurrently (a worker pool draining a shared
+    /// inbox) must execute exactly once, every copy receiving the same
+    /// reply bytes.
+    #[test]
+    fn concurrent_duplicates_execute_exactly_once() {
+        let svc = Arc::new(CountingService::default());
+        let s = Arc::new(RmiServer::new(svc.clone()));
+        for round in 0..20u64 {
+            let barrier = Arc::new(std::sync::Barrier::new(4));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = s.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        s.handle(SiteId::new(1), invoke_frame(round + 1)).unwrap()
+                    })
+                })
+                .collect();
+            let replies: Vec<Bytes> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(
+                replies.iter().all(|r| *r == replies[0]),
+                "round {round}: duplicates saw divergent replies"
+            );
+            assert_eq!(
+                svc.calls.load(std::sync::atomic::Ordering::Relaxed),
+                round + 1,
+                "round {round}: a duplicate re-executed the handler"
+            );
+        }
+        // 20 rounds x 3 losing duplicates, all served without execution.
+        assert_eq!(s.metrics().snapshot().cached_replies, 60);
+    }
+
+    /// `rpc.handle` spans record even on a server that was never given a
+    /// site clock: the pump owns a virtual-only fallback.
+    #[test]
+    fn handle_traces_spans_without_an_attached_clock() {
+        if !trace::trace_enabled() {
+            return;
+        }
+        let s = server();
+        s.handle(SiteId::new(1), Message::Ping { request: rid() }.encode())
+            .unwrap();
+        let recorded = trace::events()
+            .iter()
+            .any(|e| e.name == "rpc.handle" && e.req == Some(rid()));
+        assert!(recorded, "no rpc.handle span reached the trace ring");
     }
 }

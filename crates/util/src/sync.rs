@@ -40,3 +40,37 @@ pub const fn lockcheck_enabled() -> bool {
 pub fn assert_no_lock_order_violations() {
     crate::lockcheck::assert_no_violations();
 }
+
+/// Write-locks two locks from the same indexed family (e.g. two shards of a
+/// striped table) in **index order**, returning the guards in argument
+/// order.
+///
+/// This is the only sanctioned way to hold two sibling locks at once: every
+/// caller acquires in ascending index order, so the lockcheck graph (and the
+/// `single-shard-guard` lint rule) stay clean. The indices must differ — the
+/// same index would self-deadlock.
+pub fn lock_pair<'a, T>(
+    (ia, a): (usize, &'a RwLock<T>),
+    (ib, b): (usize, &'a RwLock<T>),
+) -> (RwLockWriteGuard<'a, T>, RwLockWriteGuard<'a, T>) {
+    assert_ne!(ia, ib, "lock_pair needs two distinct indices");
+    if ia < ib {
+        let ga = a.write();
+        let gb = b.write();
+        (ga, gb)
+    } else {
+        let gb = b.write();
+        let ga = a.write();
+        (ga, gb)
+    }
+}
+
+/// Write-locks every lock in `locks` in slice (= index) order.
+///
+/// The whole-family counterpart of [`lock_pair`], for stop-the-world
+/// operations over a striped structure (GC, eviction sweeps). Because every
+/// multi-lock path goes through these helpers with the same ascending order,
+/// no inversion can form against the single-shard fast paths.
+pub fn lock_many<T>(locks: &[RwLock<T>]) -> Vec<RwLockWriteGuard<'_, T>> {
+    locks.iter().map(|l| l.write()).collect()
+}

@@ -303,14 +303,21 @@ pub fn clear() {
 }
 
 /// Serializes the retained spans as a JSON document:
-/// `{"dropped": N, "spans": [{...}, ...]}` with one object per span
-/// (`seq`, `name`, `start_nanos`, `end_nanos`, `depth`, `value`, and
-/// `site`/`obj`/`req` when tagged). Span names are controlled `&'static`
-/// identifiers, so no string escaping is required.
+/// `{"dropped": N, "spans": [{...}, ...], "site_index": {...}}` with one
+/// object per span (`seq`, `name`, `start_nanos`, `end_nanos`, `depth`,
+/// `value`, and `site`/`obj`/`req` when tagged). Span names are controlled
+/// `&'static` identifiers, so no string escaping is required.
+///
+/// `site_index` maps each tagged site id to the positions of its spans in
+/// the `spans` array, ascending by site id. In a many-site world the ring
+/// interleaves every site's traffic; the index lets a consumer pull one
+/// site's timeline without scanning all `RING_CAPACITY` entries per site.
 pub fn export_json() -> String {
     let spans = events();
     let mut out = String::with_capacity(64 + spans.len() * 128);
     let _ = write!(out, "{{\"dropped\":{},\"spans\":[", dropped());
+    let mut site_index: std::collections::BTreeMap<u32, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, e) in spans.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -322,6 +329,7 @@ pub fn export_json() -> String {
         );
         if let Some(site) = e.site {
             let _ = write!(out, ",\"site\":{}", site.as_u32());
+            site_index.entry(site.as_u32()).or_default().push(i);
         }
         if let Some(obj) = e.obj {
             let _ = write!(out, ",\"obj\":\"{obj}\"");
@@ -331,7 +339,21 @@ pub fn export_json() -> String {
         }
         out.push('}');
     }
-    out.push_str("]}");
+    out.push_str("],\"site_index\":{");
+    for (i, (site, positions)) in site_index.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{site}\":[");
+        for (j, pos) in positions.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{pos}");
+        }
+        out.push(']');
+    }
+    out.push_str("}}");
     out
 }
 
@@ -446,7 +468,26 @@ mod tests {
         assert!(json.contains("\"site\":9"));
         assert!(json.contains("\"obj\":\""));
         assert!(json.contains("\"value\":3"));
-        assert!(json.ends_with("]}"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn export_json_indexes_spans_by_site() {
+        let _serial = lock();
+        clear();
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        // Interleave two sites' spans plus an untagged one: the index must
+        // list each site's positions in span order and skip untagged spans.
+        let _ = span(&clock, "test.a").with_site(SiteId::new(7));
+        let _ = span(&clock, "test.b").with_site(SiteId::new(3));
+        let _ = span(&clock, "test.c");
+        let _ = span(&clock, "test.d").with_site(SiteId::new(7));
+        let json = export_json();
+        assert!(
+            json.ends_with("\"site_index\":{\"3\":[1],\"7\":[0,3]}}"),
+            "unexpected tail: …{}",
+            &json[json.len().saturating_sub(60)..]
+        );
     }
 
     #[test]
@@ -473,7 +514,7 @@ mod disabled_tests {
         }
         assert!(events().is_empty());
         assert_eq!(dropped(), 0);
-        assert_eq!(export_json(), "{\"dropped\":0,\"spans\":[]}");
+        assert_eq!(export_json(), "{\"dropped\":0,\"spans\":[],\"site_index\":{}}");
         clear();
     }
 }

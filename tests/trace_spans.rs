@@ -123,6 +123,13 @@ fn trace_export_json_carries_the_demand_spans() {
     }
     // Object context is exported in display form ("S<site>/<local>").
     assert!(json.contains("\"obj\""), "export carries object ids");
+    // The per-site index lists the consumer's span positions, so a viewer
+    // can pull one site's timeline without scanning the whole ring.
+    let key = format!("\"{}\":[", r.consumer.as_u32());
+    assert!(
+        json.contains("\"site_index\":{") && json.contains(&key),
+        "site_index must index the consumer's spans"
+    );
 }
 
 #[test]

@@ -73,8 +73,21 @@ pub mod channel {
     }
 
     /// The receiving half of a channel.
+    ///
+    /// Cloneable, as in crossbeam: clones share one queue (MPMC), each
+    /// value is delivered to exactly one receiver. Implemented by guarding
+    /// the underlying `mpsc` receiver with a mutex; a blocked `recv` holds
+    /// the guard, so sibling clones queue behind it — acceptable for
+    /// worker-pool draining, where every receiver wants the next value
+    /// anyway.
     pub struct Receiver<T> {
-        rx: mpsc::Receiver<T>,
+        rx: std::sync::Arc<std::sync::Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { rx: self.rx.clone() }
+        }
     }
 
     impl<T> fmt::Debug for Receiver<T> {
@@ -84,38 +97,46 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        fn guard(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            match self.rx.lock() {
+                Ok(g) => g,
+                // A sender panicking mid-send cannot poison this mutex (it
+                // is only held here); recover rather than propagate.
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+
         /// Blocks until a value arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.rx.recv()
+            self.guard().recv()
         }
 
         /// Blocks up to `timeout` for a value.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.rx.recv_timeout(timeout)
+            self.guard().recv_timeout(timeout)
         }
 
         /// Returns a pending value without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.rx.try_recv()
+            self.guard().try_recv()
         }
+    }
 
-        /// Iterates over received values until all senders disconnect.
-        pub fn iter(&self) -> mpsc::Iter<'_, T> {
-            self.rx.iter()
-        }
+    fn wrap_rx<T>(rx: mpsc::Receiver<T>) -> Receiver<T> {
+        Receiver { rx: std::sync::Arc::new(std::sync::Mutex::new(rx)) }
     }
 
     /// Creates a channel of unlimited capacity.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { kind: SenderKind::Unbounded(tx) }, Receiver { rx })
+        (Sender { kind: SenderKind::Unbounded(tx) }, wrap_rx(rx))
     }
 
     /// Creates a channel holding at most `cap` in-flight values
     /// (`cap == 0` gives a rendezvous channel).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender { kind: SenderKind::Bounded(tx) }, Receiver { rx })
+        (Sender { kind: SenderKind::Bounded(tx) }, wrap_rx(rx))
     }
 
     #[cfg(test)]
@@ -147,6 +168,24 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn cloned_receivers_share_one_queue() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            for v in 0..4 {
+                tx.send(v).unwrap();
+            }
+            // Each value arrives exactly once across the two clones.
+            let mut got = vec![
+                rx.recv().unwrap(),
+                rx2.recv().unwrap(),
+                rx.recv().unwrap(),
+                rx2.recv().unwrap(),
+            ];
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
         }
     }
 }

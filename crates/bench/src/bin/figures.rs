@@ -1,13 +1,16 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run -p obiwan-bench --bin figures -- [e1|fig4|fig5|fig6|verify|bench|scale|all]
+//! cargo run -p obiwan-bench --bin figures -- [e1|fig4|fig5|fig6|verify|bench|scale|wal|all]
 //! ```
 //!
 //! `bench` writes the machine-readable perf trajectory (`BENCH_demand.json`
 //! and `BENCH_rpc.json`) into the current directory instead of printing.
 //! `scale` writes `BENCH_scale.json` (many-site worker-pool sweep, real
 //! wall-clock time); `scale smoke` runs the reduced CI-sized world.
+//! `wal` writes `BENCH_wal.json` (WAL append throughput vs group-commit
+//! size and recovery time vs log length); `wal smoke` runs the reduced
+//! sweep.
 //!
 //! All numbers are deterministic virtual-time milliseconds on the
 //! paper-testbed model (10 Mb/s LAN, LMI ≈ 2 µs, RMI ≈ 2.8 ms).
@@ -232,6 +235,19 @@ fn main() {
             let path = obiwan_bench::write_scale_file(&cwd, &cfg).expect("write BENCH_scale.json");
             println!("wrote {}", path.display());
         }
+        "wal" => {
+            let cfg = match std::env::args().nth(2).as_deref() {
+                Some("smoke") => obiwan_bench::WalConfig::smoke(),
+                _ => obiwan_bench::WalConfig::full(),
+            };
+            println!(
+                "wal: {} appends x group_commit {:?}, recovery sweep {:?} (real time)",
+                cfg.append_records, cfg.group_commits, cfg.recovery_lens
+            );
+            let cwd = std::env::current_dir().expect("cwd");
+            let path = obiwan_bench::write_wal_file(&cwd, &cfg).expect("write BENCH_wal.json");
+            println!("wrote {}", path.display());
+        }
         "all" => {
             print_e1();
             print_fig4();
@@ -250,7 +266,7 @@ fn main() {
             ok = print_verify();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected e1|fig4|fig5|fig6|e6|e7|csv|verify|bench|all");
+            eprintln!("unknown experiment `{other}`; expected e1|fig4|fig5|fig6|e6|e7|csv|verify|bench|scale|wal|all");
             std::process::exit(2);
         }
     }

@@ -20,6 +20,7 @@ pub mod emit;
 pub mod experiments;
 pub mod report;
 pub mod scale;
+pub mod wal;
 pub mod workload;
 
 pub use emit::{
@@ -27,6 +28,10 @@ pub use emit::{
     RpcScenario,
 };
 pub use scale::{bench_scale_json, scale_bench, write_scale_file, ScaleConfig, ScalePoint};
+pub use wal::{
+    append_bench, bench_wal_json, recovery_bench, write_wal_file, AppendPoint, RecoveryPoint,
+    WalConfig,
+};
 pub use experiments::{
     e1_constants, e6_prefetch, e7_latency_distributions, fig4, fig5_series, fig6_series,
     verify_shapes, E1Result, E6Result, E7Row,

@@ -27,9 +27,10 @@ use obiwan_net::Transport;
 use obiwan_rmi::{
     BreakerState, Deadline, RemoteRef, RetryPolicy, RmiClient, RmiServer, RmiService,
 };
+use obiwan_store::{Durable, RecoveredState};
 use obiwan_util::trace;
 use obiwan_util::{
-    Clock, ClusterId, CostModel, LatencyKind, Metrics, ObiError, ObjId, Result, SiteId,
+    Clock, ClusterId, CostModel, LatencyKind, Metrics, ObiError, ObjId, RequestId, Result, SiteId,
 };
 use obiwan_wire::{Decoder, Encoder, Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
 use obiwan_util::sync::{Mutex, MutexGuard, RwLock};
@@ -169,6 +170,12 @@ struct ProcessShared {
     costs: CostModel,
     metrics: Metrics,
     registry: ClassRegistry,
+    /// Write-through durability, attached at most once
+    /// ([`ObiProcess::attach_durability`]). All `log_*` calls happen with
+    /// no shard guard held (enforced by the `no-io-under-shard-guard`
+    /// lint): an fsync under a shard guard would serialize the striped
+    /// table.
+    durable: std::sync::OnceLock<Arc<Durable>>,
 }
 
 /// One OBIWAN process: the runtime services a site's application links
@@ -473,10 +480,29 @@ fn finish_invocation(inner: &mut ProcessInner, shared: &ProcessShared, modified:
                 inner.policy.on_master_updated(id, version);
                 queue_notifications(inner, shared, id, shared.site);
             }
-            ReplicaKind::Replica { .. } => {
+            ReplicaKind::Replica { provider } => {
                 shared.space.update_meta(id, |m| m.dirty = true);
+                log_dirty_delta(shared, id, provider);
             }
         }
+    }
+}
+
+/// Appends the replica's serialized state to the durability log (when one
+/// is attached). Called after every shard guard has been released: the
+/// state is re-read under a fresh short guard, and the WAL append (which
+/// can trigger a group fsync) happens guard-free.
+///
+/// Best-effort by design: the in-memory replica is the source of truth and
+/// stays dirty, so a failed append costs durability of this delta, not
+/// correctness — the next mutation or the put path's strict intent logging
+/// retries the state.
+fn log_dirty_delta(shared: &ProcessShared, id: ObjId, provider: SiteId) {
+    let Some(durable) = shared.durable.get() else {
+        return;
+    };
+    if let Ok(state) = replica_state_of(&shared.space, id) {
+        let _ = durable.log_dirty(provider, state);
     }
 }
 
@@ -579,6 +605,7 @@ impl ObiProcess {
                 costs,
                 metrics,
                 registry,
+                durable: std::sync::OnceLock::new(),
             }),
         }
     }
@@ -621,6 +648,52 @@ impl ObiProcess {
     pub fn set_policy(&self, policy: Box<dyn ConsistencyHook>) {
         let mut g = self.enter().expect("set_policy called re-entrantly");
         g.policy = policy;
+    }
+
+    /// Attaches a durability log: from now on dirty-replica mutations,
+    /// puts, and refreshes write through to it (see `obiwan-store`). At
+    /// most one log can ever be attached; a second call is ignored.
+    pub fn attach_durability(&self, durable: Arc<Durable>) {
+        let _ = self.shared.durable.set(durable);
+    }
+
+    /// The attached durability log, if any.
+    pub fn durability(&self) -> Option<&Arc<Durable>> {
+        self.shared.durable.get()
+    }
+
+    /// Reinstalls state recovered from a durability log after a restart:
+    /// dirty replicas go back into the space (still dirty, awaiting
+    /// reintegration), and the RMI client's request counter and reply
+    /// horizon are restored so post-crash requests never collide with
+    /// pre-crash ones (recovery invariant 3 in `obiwan-store`). Returns how
+    /// many replicas were reinstalled.
+    ///
+    /// Call before the process serves traffic, typically right after
+    /// [`ObiProcess::attach_durability`] with the state that
+    /// `Durable::open` returned.
+    pub fn recover_from(&self, recovered: &RecoveredState) -> Result<usize> {
+        self.shared
+            .client
+            .restore_request_seq(recovered.next_request_seq);
+        self.shared
+            .client
+            .horizon_tracker()
+            .restore(recovered.horizon);
+        self.with_inner(|_inner| {
+            let mut installed = 0usize;
+            for (id, (provider, state)) in &recovered.dirty {
+                let mut dec = Decoder::new(&state.state);
+                let value = dec.take_value()?;
+                let object = self.shared.registry.decode(&state.class, &value)?;
+                let mut meta = ObjectMeta::replica(*id, *provider, state.version);
+                meta.dirty = true;
+                self.shared.metrics.incr_replicas_created();
+                self.shared.space.insert_object(ObjectEntry { object, meta });
+                installed += 1;
+            }
+            Ok(installed)
+        })
     }
 
     fn enter(&self) -> Result<LockGuard<'_>> {
@@ -1140,10 +1213,58 @@ impl ObiProcess {
         self.shared
             .clock
             .charge_cpu(self.shared.costs.serialize(entry.state.len()));
-        let versions = self.shared.client.put(provider, vec![entry])?;
+        // With durability attached, the put intent (object + request seq)
+        // is forced to the log *before* the RPC leaves. A crash after this
+        // point replays the put under the same request id, and the master's
+        // reply cache deduplicates it — exactly-once across restarts.
+        let request = match self.shared.durable.get() {
+            Some(durable) => {
+                let seq = match durable.pending_put_seq(target.id()) {
+                    Some(seq) => seq, // crash replay: reuse the logged id
+                    None => {
+                        let request = self.shared.client.reserve_request();
+                        durable.log_put_intent(target.id(), request.seq())?;
+                        request.seq()
+                    }
+                };
+                Some(RequestId::new(self.shared.site, seq))
+            }
+            None => None,
+        };
+        let versions = match request {
+            Some(request) => {
+                match self.shared.client.put_with_request(provider, vec![entry], request) {
+                    Ok(versions) => versions,
+                    Err(e) => {
+                        // A definitive (non-connectivity) rejection means the
+                        // master processed this request and cached the error
+                        // reply — the intent's seq is spent, and reusing it
+                        // on a later put would replay the cached rejection.
+                        // Connectivity failures keep the intent: the reply is
+                        // unknown, so the retry must dedupe under the same id.
+                        if !e.is_connectivity() {
+                            if let Some(durable) = self.shared.durable.get() {
+                                durable.log_put_abandoned(target.id())?;
+                            }
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            None => self.shared.client.put(provider, vec![entry])?,
+        };
         let &(_, version) = versions
             .first()
             .ok_or_else(|| ObiError::Internal("empty put reply".into()))?;
+        if let Some(durable) = self.shared.durable.get() {
+            durable.log_confirm(target.id(), version)?;
+            // Refresh the persisted client watermark alongside: recovery
+            // restores the request counter and reply horizon from it.
+            durable.log_client_state(
+                self.shared.client.request_seq(),
+                self.shared.client.horizon_tracker().horizon(),
+            )?;
+        }
         self.with_inner(|_inner| {
             self.shared.space.update_meta(target.id(), |meta| {
                 meta.version = version;
@@ -1187,6 +1308,13 @@ impl ObiProcess {
         let total: usize = entries.iter().map(|e| e.state.len()).sum();
         self.shared.clock.charge_cpu(self.shared.costs.serialize(total));
         let versions = self.shared.client.put(provider, entries)?;
+        if let Some(durable) = self.shared.durable.get() {
+            // Cluster puts are not in the disconnected replay path, so no
+            // intent record — but confirmed members' deltas are superseded.
+            for &(id, version) in &versions {
+                durable.log_confirm(id, version)?;
+            }
+        }
         self.with_inner(|_inner| {
             for &(id, version) in &versions {
                 self.shared.space.update_meta(id, |meta| {
@@ -1277,7 +1405,13 @@ impl ObiProcess {
                 WireMode::Incremental { batch: 1 },
             )
             .map(|_| ())
-        })
+        })?;
+        // The replica now matches its master: any pending dirty delta in
+        // the log is moot.
+        if let Some(durable) = self.shared.durable.get() {
+            durable.log_clean(target.id())?;
+        }
+        Ok(())
     }
 
     /// Like [`refresh`](ObiProcess::refresh), but degrading instead of

@@ -143,6 +143,37 @@ impl ObiWorld {
         site
     }
 
+    /// Simulates a crash-and-restart of `site`: the old process (with all
+    /// its in-memory state — replicas, exports, request counters) is
+    /// dropped and a fresh one takes over the same site id, name, and
+    /// links. Registering the new message handler replaces the old one.
+    ///
+    /// The caller re-attaches durability and replays recovered state (see
+    /// `ObiProcess::attach_durability` / `ObiProcess::recover_from`); a
+    /// restart without a durability log models a site that lost
+    /// everything.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the site was not created by this world.
+    pub fn restart_site(&mut self, site: SiteId) -> &ObiProcess {
+        assert!(
+            self.processes.contains_key(&site),
+            "unknown site {site}"
+        );
+        let process = ObiProcess::new(
+            site,
+            self.transport.clone() as Arc<dyn Transport>,
+            self.clock.clone(),
+            self.costs.clone(),
+            self.registry.clone(),
+            NAME_SERVER_SITE,
+        );
+        self.transport.register(site, process.message_handler());
+        self.processes.insert(site, process);
+        self.site(site)
+    }
+
     /// The process running at `site`.
     ///
     /// # Panics

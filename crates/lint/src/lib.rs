@@ -10,6 +10,7 @@
 //! |------------------------------|------------------------------------------------------|
 //! | `guard-across-transport`     | no lock guard live across `.call`/`.cast`/`.send`/`.recv`/`.handle` |
 //! | `single-shard-guard`         | no function holds two shard guards except via `lock_pair`/`lock_many` |
+//! | `no-io-under-shard-guard`    | no WAL append/fsync/`log_*` call while a shard guard is held |
 //! | `wire-tag-coverage`          | every `Message` variant has encode + decode arms and a roundtrip test |
 //! | `metrics-coverage`           | every counter in `util::metrics` is incremented somewhere |
 //! | `error-variant-coverage`     | every `ObiError` variant is constructed somewhere    |
@@ -33,6 +34,7 @@ use std::path::{Path, PathBuf};
 /// All rule identifiers, as used in diagnostics and `lint:allow(...)`.
 pub const RULE_GUARD_ACROSS_TRANSPORT: &str = "guard-across-transport";
 pub const RULE_SINGLE_SHARD_GUARD: &str = "single-shard-guard";
+pub const RULE_NO_IO_UNDER_SHARD_GUARD: &str = "no-io-under-shard-guard";
 pub const RULE_WIRE_TAG_COVERAGE: &str = "wire-tag-coverage";
 pub const RULE_METRICS_COVERAGE: &str = "metrics-coverage";
 pub const RULE_ERROR_VARIANT_COVERAGE: &str = "error-variant-coverage";
@@ -145,6 +147,7 @@ pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
     for p in &prepared {
         diags.extend(guard_across_transport(p));
         diags.extend(single_shard_guard(p));
+        diags.extend(no_io_under_shard_guard(p));
         diags.extend(no_unwrap_on_lock_or_decode(p));
     }
     diags.extend(wire_tag_coverage(&prepared));
@@ -653,6 +656,94 @@ fn single_shard_guard(p: &Prepared) -> Vec<Diagnostic> {
                             depth,
                         });
                     }
+                }
+            }
+        }
+        live.retain(|g| !line.contains(&format!("drop({})", g.name)));
+        depth += brace_delta(line);
+        live.retain(|g| depth >= g.depth);
+        i += 1;
+    }
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-io-under-shard-guard
+// ---------------------------------------------------------------------------
+
+/// Method-call tokens that reach the durability layer: raw WAL appends and
+/// fsyncs, the group-commit flush, and the `Durable::log_*` write-through
+/// hooks that wrap them.
+const WAL_IO_TOKENS: &[&str] = &[
+    ".log_dirty(",
+    ".log_op(",
+    ".log_put_intent(",
+    ".log_confirm(",
+    ".log_clean(",
+    ".append(",
+    ".sync(",
+    ".commit(",
+];
+
+/// Storage latency must never sit inside a shard critical section: a WAL
+/// append can fsync (group commit), and a stalled disk would then stall
+/// every invocation hashing to that stripe. The durability hooks read
+/// object state under a short guard of their own and log *after* it is
+/// released; this rule keeps that discipline from eroding.
+fn no_io_under_shard_guard(p: &Prepared) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut depth: i32 = 0;
+    let mut live: Vec<LiveGuard> = Vec::new();
+    let mut i = 0;
+    while i < p.code.len() {
+        let line = &p.code[i];
+        if !p.is_lib_code(i) {
+            depth += brace_delta(line);
+            i += 1;
+            continue;
+        }
+        let shard_acquire = SHARD_SOURCE_TOKENS.iter().any(|t| line.contains(t))
+            && find_token(line, ACQUIRE_TOKENS).is_some();
+        if let Some(io) = find_token(line, WAL_IO_TOKENS) {
+            // Same-statement hazard: the guard temporary created in the
+            // expression feeding the IO call outlives the whole statement.
+            if shard_acquire {
+                diags.push(Diagnostic {
+                    file: p.path.clone(),
+                    line: i + 1,
+                    rule: RULE_NO_IO_UNDER_SHARD_GUARD,
+                    message: format!(
+                        "durability call (`{io}`) and shard guard acquisition \
+                         in the same statement: the guard temporary is held \
+                         across the storage I/O"
+                    ),
+                });
+            } else {
+                for g in &live {
+                    diags.push(Diagnostic {
+                        file: p.path.clone(),
+                        line: i + 1,
+                        rule: RULE_NO_IO_UNDER_SHARD_GUARD,
+                        message: format!(
+                            "durability call (`{io}`) while shard guard `{}` \
+                             (bound on line {}) is held; copy the state out, \
+                             release the stripe, then log",
+                            g.name, g.bound_at
+                        ),
+                    });
+                }
+            }
+        }
+        // Track let-bound shard guards, mirroring single-shard-guard.
+        if let Some(stmt_end) = let_statement_end(&p.code, i) {
+            let joined: String = p.code[i..=stmt_end].join(" ");
+            if SHARD_SOURCE_TOKENS.iter().any(|t| joined.contains(t)) {
+                if let Some((name, bound_line)) = guard_binding(&joined, i) {
+                    live.push(LiveGuard {
+                        name,
+                        bound_at: bound_line + 1,
+                        depth,
+                    });
                 }
             }
         }

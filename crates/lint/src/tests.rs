@@ -314,6 +314,97 @@ fn f(s: &Space, a: ObjId, b: ObjId) {
     assert!(check(&[f]).is_empty());
 }
 
+// -- no-io-under-shard-guard -------------------------------------------------
+
+#[test]
+fn wal_append_while_shard_guard_held_is_flagged() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl Space {
+    fn bad(&self, a: ObjId) {
+        let g = self.shard(a).write();
+        self.wal.append(&g.frame());
+    }
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_NO_IO_UNDER_SHARD_GUARD]);
+    assert_eq!(diags[0].line, 5);
+    assert!(diags[0].message.contains("`g`"));
+    assert!(diags[0].message.contains("line 4"));
+    assert!(diags[0].message.contains("`.append(`"));
+}
+
+#[test]
+fn log_call_in_the_same_statement_as_a_shard_acquire_is_flagged() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        "fn f(s: &Space, d: &Durable, a: ObjId) { d.log_dirty(a, s.shard(a).read().state()); }\n",
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_NO_IO_UNDER_SHARD_GUARD]);
+    assert!(diags[0].message.contains("same statement"));
+}
+
+#[test]
+fn logging_after_the_guard_is_released_is_clean() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn scoped(s: &Space, d: &Durable, a: ObjId) {
+    let state = {
+        let g = s.shard(a).read();
+        g.state()
+    };
+    d.log_dirty(a, state);
+}
+
+fn dropped(s: &Space, d: &Durable, a: ObjId) {
+    let g = s.shard(a).write();
+    let state = g.state();
+    drop(g);
+    d.log_op(a, state);
+    d.commit();
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn io_with_no_shard_guard_in_sight_is_clean() {
+    // Non-shard locks are the runtime lockcheck's business; the WAL's own
+    // internal mutex in particular must not trip this rule.
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(w: &Wal, frame: &[u8]) {
+    let state = w.state.lock();
+    w.storage.append("wal", frame);
+    w.storage.sync("wal");
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn allow_comment_suppresses_no_io_under_shard_guard() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &Space, d: &Durable, a: ObjId) {
+    let g = s.shard(a).write();
+    // lint:allow(no-io-under-shard-guard) fixture: documented deliberate hold
+    d.commit();
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
 // -- no-unwrap-on-lock-or-decode --------------------------------------------
 
 #[test]

@@ -44,7 +44,15 @@ fn bad_tree_fails_with_file_line_diagnostics() {
         stdout.contains("crates/demo/src/lib.rs:25: [single-shard-guard]"),
         "missing same-statement shard-pair diagnostic in:\n{stdout}"
     );
-    assert!(stdout.contains("5 violation(s)"), "count in:\n{stdout}");
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:30: [no-io-under-shard-guard]"),
+        "missing wal-under-guard diagnostic in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:34: [no-io-under-shard-guard]"),
+        "missing same-statement io diagnostic in:\n{stdout}"
+    );
+    assert!(stdout.contains("7 violation(s)"), "count in:\n{stdout}");
 }
 
 #[test]

@@ -24,3 +24,12 @@ pub fn two_shard_guards(s: &Space, a: ObjId, b: ObjId) {
 pub fn shard_pair_in_one_statement(s: &Space, a: ObjId, b: ObjId) {
     s.merge(s.shard(a).write(), s.shard(b).write());
 }
+
+pub fn wal_append_under_shard_guard(s: &Space, a: ObjId) {
+    let g = s.shard(a).write();
+    s.wal.append(&g.frame());
+}
+
+pub fn log_in_same_statement_as_shard_acquire(s: &Space, d: &Durable, a: ObjId) {
+    d.log_dirty(a, s.shard(a).read().state());
+}

@@ -26,3 +26,12 @@ pub fn one_shard_at_a_time(s: &Space, a: ObjId, b: ObjId) {
     };
     s.shard(b).write().put(moved);
 }
+
+pub fn log_outside_the_shard_guard(s: &Space, d: &Durable, a: ObjId) {
+    let state = {
+        let g = s.shard(a).read();
+        g.state()
+    };
+    d.log_dirty(a, state);
+    d.commit();
+}

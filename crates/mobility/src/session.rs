@@ -7,9 +7,10 @@
 //! reporting a per-object [`ReintegrationOutcome`].
 
 use obiwan_core::{ObiProcess, ObiValue, ObjRef};
+use obiwan_store::RecoveredState;
 use obiwan_util::trace;
 use obiwan_util::{ObiError, ObjId, Result};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One journaled offline operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,28 +45,37 @@ pub struct ReintegrationReport {
 }
 
 impl ReintegrationReport {
-    /// Count of accepted write-backs.
+    /// The latest outcome per object. An object can appear in `outcomes`
+    /// more than once (multiple passes merged into one report, or an early
+    /// conflict later resolved in the same pass); only the last word per
+    /// id counts, otherwise `pushed`/`is_clean` double- or under-count.
+    fn latest(&self) -> BTreeMap<ObjId, &ReintegrationOutcome> {
+        self.outcomes.iter().map(|(id, o)| (*id, o)).collect()
+    }
+
+    /// Count of objects whose latest outcome is an accepted write-back.
     pub fn pushed(&self) -> usize {
-        self.outcomes
-            .iter()
-            .filter(|(_, o)| matches!(o, ReintegrationOutcome::Pushed(_)))
+        self.latest()
+            .values()
+            .filter(|o| matches!(o, ReintegrationOutcome::Pushed(_)))
             .count()
     }
 
-    /// Ids that conflicted.
+    /// Ids whose latest outcome is a conflict, in id order.
     pub fn conflicts(&self) -> Vec<ObjId> {
-        self.outcomes
+        self.latest()
             .iter()
             .filter(|(_, o)| matches!(o, ReintegrationOutcome::Conflict(_)))
             .map(|(id, _)| *id)
             .collect()
     }
 
-    /// True when nothing conflicted and nothing was unreachable.
+    /// True when every object's latest outcome is a push (nothing
+    /// conflicted, nothing unreachable).
     pub fn is_clean(&self) -> bool {
-        self.outcomes
-            .iter()
-            .all(|(_, o)| matches!(o, ReintegrationOutcome::Pushed(_)))
+        self.latest()
+            .values()
+            .all(|o| matches!(o, ReintegrationOutcome::Pushed(_)))
     }
 }
 
@@ -87,7 +97,36 @@ impl DisconnectedSession {
         DisconnectedSession::default()
     }
 
+    /// Rebuilds a session from state recovered after a crash (see
+    /// `obiwan-store`): the journaled op log is restored, and every
+    /// recovered dirty replica counts as touched — even one whose op
+    /// records were lost in the torn tail — so the next
+    /// [`reintegrate`](DisconnectedSession::reintegrate) pushes it.
+    pub fn resume(recovered: &RecoveredState) -> Self {
+        let mut session = DisconnectedSession::new();
+        for op in &recovered.ops {
+            let args = op.args.first().cloned().unwrap_or(ObiValue::Null);
+            if op.succeeded {
+                session.touched.insert(op.target);
+            }
+            session.log.push(LoggedOp {
+                target: op.target,
+                method: op.method.clone(),
+                args,
+                succeeded: op.succeeded,
+            });
+        }
+        session.touched.extend(recovered.dirty.keys().copied());
+        session.touched.extend(recovered.pending_puts.keys().copied());
+        session
+    }
+
     /// Invokes a method through the session, journaling it.
+    ///
+    /// With durability attached to `process`, the journal entry is also
+    /// written through to the log, after the invocation (whose own dirty
+    /// delta lands first, so a crash between the two leaves the delta —
+    /// pushable state — rather than an op with no state).
     ///
     /// # Errors
     ///
@@ -101,6 +140,14 @@ impl DisconnectedSession {
         args: ObiValue,
     ) -> Result<ObiValue> {
         let result = process.invoke(target, method, args.clone());
+        if let Some(durable) = process.durability() {
+            let _ = durable.log_op(
+                target.id(),
+                method,
+                std::slice::from_ref(&args),
+                result.is_ok(),
+            );
+        }
         self.log.push(LoggedOp {
             target: target.id(),
             method: method.to_owned(),
@@ -163,6 +210,16 @@ impl DisconnectedSession {
             report.outcomes.push((id, outcome));
         }
         pass.set_value(report.pushed() as u64);
+        if let Some(durable) = process.durability() {
+            if report.is_clean() && !report.outcomes.is_empty() {
+                // Everything pushed: the op log and pending-put markers are
+                // spent. Fold the WAL down so a later crash replays only
+                // live state.
+                let _ = durable.reset_session();
+            } else {
+                let _ = durable.commit();
+            }
+        }
         report
     }
 
@@ -339,5 +396,110 @@ mod tests {
             .unwrap();
         let report = session.reintegrate(world.site(s1));
         assert!(report.outcomes.is_empty());
+    }
+
+    #[test]
+    fn report_accounting_dedupes_repeated_object_ids() {
+        use obiwan_util::{ObjId, SiteId};
+        let id = ObjId::new(SiteId::new(7), 1);
+        let other = ObjId::new(SiteId::new(7), 2);
+        // The same object appears twice: an early conflict superseded by a
+        // successful push (e.g. two merged passes). Only the last outcome
+        // per id may count.
+        let report = ReintegrationReport {
+            outcomes: vec![
+                (id, ReintegrationOutcome::Conflict("stale".into())),
+                (other, ReintegrationOutcome::Pushed(3)),
+                (id, ReintegrationOutcome::Pushed(5)),
+            ],
+        };
+        assert_eq!(report.pushed(), 2, "id counted once, at its final outcome");
+        assert!(report.conflicts().is_empty());
+        assert!(report.is_clean());
+        // And the mirror case: a push later invalidated by a conflict.
+        let report = ReintegrationReport {
+            outcomes: vec![
+                (id, ReintegrationOutcome::Pushed(5)),
+                (id, ReintegrationOutcome::Conflict("rejected".into())),
+            ],
+        };
+        assert_eq!(report.pushed(), 0);
+        assert_eq!(report.conflicts(), vec![id]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn take_remote_while_disconnected_propagates_the_error() {
+        let (world, s1, _s2, _master, replica) = rig();
+        let mut session = DisconnectedSession::new();
+        session
+            .invoke(world.site(s1), replica, "incr", ObiValue::Null)
+            .unwrap();
+        world.disconnect(s1);
+        // Conflict resolution needs the master; offline it must fail
+        // without touching the dirty local state.
+        let err = session
+            .resolve_take_remote(world.site(s1), replica.id())
+            .unwrap_err();
+        assert!(err.is_connectivity(), "{err}");
+        assert!(world.site(s1).meta_of(replica).unwrap().dirty);
+        let v = world.site(s1).invoke(replica, "read", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(1), "local edits survive a failed resolve");
+    }
+
+    #[test]
+    fn replay_local_reports_errors_from_the_replayed_ops() {
+        let (world, s1, s2, _master, replica) = rig();
+        world.site(s2).set_policy(Box::new(OptimisticDetect::new()));
+        let mut session = DisconnectedSession::new();
+        session
+            .invoke(world.site(s1), replica, "add", ObiValue::I64(1))
+            .unwrap();
+        // A journaled op that cannot replay (method gone after refresh is
+        // impossible here, so use a bad-arguments op journaled as failed —
+        // failed ops are skipped, so replay still succeeds).
+        let _ = session.invoke(world.site(s1), replica, "no_such_method", ObiValue::Null);
+        world.site(s2).invoke(_master, "incr", ObiValue::Null).unwrap();
+        let report = session.reintegrate(world.site(s1));
+        assert_eq!(report.conflicts(), vec![replica.id()]);
+        let version = session
+            .resolve_replay_local(world.site(s1), replica.id())
+            .unwrap();
+        assert!(version > 0);
+        let v = world.site(s2).invoke(_master, "read", ObiValue::Null).unwrap();
+        assert_eq!(v, ObiValue::I64(2), "1 (master incr) + 1 (replayed add)");
+    }
+
+    #[test]
+    fn durable_session_journals_ops_and_resumes() {
+        use obiwan_store::{Durable, DurableOptions, MemStorage, Storage};
+        use std::sync::Arc;
+        let (world, s1, _s2, _master, replica) = rig();
+        let mem = Arc::new(MemStorage::new());
+        let (durable, recovered) = Durable::open(
+            mem.clone() as Arc<dyn Storage>,
+            DurableOptions::default(),
+        )
+        .unwrap();
+        assert!(recovered.is_empty());
+        world.site(s1).attach_durability(durable.clone());
+        world.disconnect(s1);
+        let mut session = DisconnectedSession::new();
+        session
+            .invoke(world.site(s1), replica, "add", ObiValue::I64(4))
+            .unwrap();
+        durable.commit().unwrap();
+        // "Restart": recover from the same storage and resume the session.
+        let (_d2, recovered) = Durable::open(
+            mem as Arc<dyn Storage>,
+            DurableOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered.ops.len(), 1);
+        assert_eq!(recovered.dirty.len(), 1, "the dirty delta was logged too");
+        let resumed = DisconnectedSession::resume(&recovered);
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed.touched(), vec![replica.id()]);
+        assert_eq!(resumed.log()[0].args, ObiValue::I64(4));
     }
 }

@@ -139,6 +139,32 @@ impl RmiClient {
         RequestId::new(self.site, self.seq.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Allocates a request id without sending anything. The durability
+    /// layer reserves the id, logs a put intent under it, and only then
+    /// sends via [`RmiClient::put_with_request`] — so a crash-and-replay
+    /// reuses the same id and the server's reply cache deduplicates it.
+    pub fn reserve_request(&self) -> RequestId {
+        self.next_request()
+    }
+
+    /// The next unissued request sequence number (persisted as the client
+    /// watermark so recovery can restore a non-colliding counter).
+    pub fn request_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Restores the request counter after recovery. Only ever moves the
+    /// counter forward: sequence numbers already handed out stay unique.
+    pub fn restore_request_seq(&self, next_seq: u64) {
+        self.seq.fetch_max(next_seq, Ordering::Relaxed);
+    }
+
+    /// The client's settled-reply horizon tracker (persisted by the
+    /// durability layer, restored after a crash).
+    pub fn horizon_tracker(&self) -> &HorizonTracker {
+        &self.horizon
+    }
+
     fn round_trip(&self, to: SiteId, msg: &Message) -> Result<Message> {
         self.round_trip_inner(to, msg, None)
     }
@@ -344,7 +370,20 @@ impl RmiClient {
 
     /// `put`: send replica state back to the master site.
     pub fn put(&self, host: SiteId, entries: Vec<ReplicaState>) -> Result<Vec<(ObjId, u64)>> {
-        let request = self.next_request();
+        self.put_with_request(host, entries, self.next_request())
+    }
+
+    /// `put` under a caller-chosen request id (from
+    /// [`RmiClient::reserve_request`], possibly recovered from a durable
+    /// put-intent record). Sending the same id twice is how crash-replay
+    /// achieves exactly-once: the server's reply cache answers the second
+    /// send from the cache instead of re-applying.
+    pub fn put_with_request(
+        &self,
+        host: SiteId,
+        entries: Vec<ReplicaState>,
+        request: RequestId,
+    ) -> Result<Vec<(ObjId, u64)>> {
         self.metrics.incr_puts();
         let reply = self.round_trip(host, &Message::PutRequest { request, entries })?;
         match reply {

@@ -504,6 +504,16 @@ impl HorizonTracker {
     pub fn horizon(&self) -> u64 {
         self.inner.lock().horizon
     }
+
+    /// Restores the horizon after crash recovery. Only moves forward, and
+    /// drops any stray settlements at or below the restored prefix.
+    pub fn restore(&self, horizon: u64) {
+        let mut inner = self.inner.lock();
+        if horizon > inner.horizon {
+            inner.horizon = horizon;
+            inner.settled = inner.settled.split_off(&(horizon + 1));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -742,5 +752,21 @@ mod tests {
         let h = announced.expect("an announcement is due within the window");
         assert!(h >= ANNOUNCE_EVERY, "{h}");
         assert!(h <= t.horizon(), "announced horizon can only trail the live one");
+    }
+
+    #[test]
+    fn horizon_restore_moves_forward_and_drops_stale_settlements() {
+        let t = HorizonTracker::new();
+        t.settle(1);
+        t.settle(5); // stranded above the prefix
+        assert_eq!(t.horizon(), 1);
+        t.restore(4);
+        assert_eq!(t.horizon(), 4);
+        // Seq 5 was stranded; settling nothing new, the prefix absorbs it.
+        t.settle(5);
+        assert_eq!(t.horizon(), 5);
+        // Restore never moves backwards.
+        t.restore(2);
+        assert_eq!(t.horizon(), 5);
     }
 }

@@ -1,0 +1,632 @@
+//! The [`Durable`] write-through wrapper and crash recovery.
+//!
+//! One `Durable` instance backs one site. The process and the mobility
+//! layer call `log_*` methods at each state transition that must survive a
+//! crash; the wrapper appends a [`WalRecord`] to the WAL and mirrors the
+//! resulting durable state in memory so periodic [`Durable::compact`]
+//! passes can fold the log into a snapshot.
+//!
+//! # Files
+//!
+//! Two blobs in the [`Storage`] backend: `"snap"` (the last compacted
+//! snapshot, replaced atomically) and `"wal"` (records appended since).
+//! Recovery = replay snapshot records, then WAL records, in order.
+//!
+//! # Recovery invariants
+//!
+//! 1. **Only dirty replicas are persisted.** A clean replica can always be
+//!    re-demanded from its master, so losing it costs a round trip, not
+//!    data. The recovered state therefore contains exactly the replicas
+//!    whose local updates had not reached their masters.
+//! 2. **Put intents are durable before the RPC leaves.** A `PutIntent`
+//!    record carries the request sequence number the `put` will use; it is
+//!    fsynced before the message is sent. Replaying reintegration after a
+//!    crash reuses that sequence number, so the master's ReplyCache either
+//!    serves the cached reply (the put had been applied) or admits it as
+//!    new — applied exactly once either way.
+//! 3. **Recovered request sequence numbers never collide with pre-crash
+//!    ones.** Requests other than puts (demands, refreshes) consume
+//!    sequence numbers without logging them, so recovery advances the
+//!    restored counter past every persisted watermark *plus*
+//!    [`SEQ_EPOCH_SKIP`]; replayed puts are the only deliberate reuses.
+//! 4. **Torn tails are truncated, never guessed at** (see [`crate::wal`]).
+//!    A record lost from the tail means the corresponding state change is
+//!    re-done (a put retried, an op re-journaled) — never half-applied.
+
+use crate::record::WalRecord;
+use crate::storage::Storage;
+use crate::wal::{self, Wal, WalOptions, WalStats};
+use obiwan_util::sync::Mutex;
+use obiwan_util::{ObjId, Result, SiteId};
+use obiwan_wire::{ObiValue, ReplicaState};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How far past every persisted sequence watermark the restored request
+/// counter jumps (invariant 3 above). Pre-crash requests that were never
+/// logged (demands, refreshes) number far fewer than this between two
+/// `ClientState` records in any realistic session.
+pub const SEQ_EPOCH_SKIP: u64 = 1 << 20;
+
+/// Blob names used by the durability layer.
+pub const WAL_FILE: &str = "wal";
+pub const SNAP_FILE: &str = "snap";
+
+/// Tuning knobs for [`Durable::open`].
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Group-commit batch size for the WAL (see [`WalOptions`]).
+    pub group_commit: usize,
+    /// Compact (snapshot + truncate WAL) once this many records have been
+    /// appended since the last snapshot. `0` disables auto-compaction.
+    pub compact_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            group_commit: 8,
+            compact_every: 1024,
+        }
+    }
+}
+
+/// One journaled disconnected-session invocation, as recovered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredOp {
+    pub target: ObjId,
+    pub method: String,
+    pub args: Vec<ObiValue>,
+    pub succeeded: bool,
+}
+
+/// Everything a restarted site gets back from its log.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// Dirty replicas to reinstall, keyed by object: the master site and
+    /// the latest serialized state. Clean replicas are absent by design
+    /// (recovery invariant 1).
+    pub dirty: BTreeMap<ObjId, (SiteId, ReplicaState)>,
+    /// The journaled op log, in original order.
+    pub ops: Vec<RecoveredOp>,
+    /// Puts whose intent was durable but whose confirmation was not:
+    /// object → the request sequence number the put used (or will use).
+    pub pending_puts: BTreeMap<ObjId, u64>,
+    /// Restored RMI request counter (already epoch-skipped; invariant 3).
+    pub next_request_seq: u64,
+    /// Restored reply horizon for the client's `HorizonTracker`.
+    pub horizon: u64,
+    /// Bytes dropped from the WAL's torn tail (0 for a clean shutdown).
+    pub truncated_bytes: u64,
+    /// Intact WAL records replayed (excludes the snapshot).
+    pub wal_records: u64,
+}
+
+impl RecoveredState {
+    /// True when the log held nothing to restore.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+            && self.ops.is_empty()
+            && self.pending_puts.is_empty()
+            && self.next_request_seq == 0
+    }
+}
+
+/// The in-memory mirror of durable state, maintained so compaction can
+/// write a snapshot without re-reading the WAL.
+#[derive(Default)]
+struct Mirror {
+    dirty: BTreeMap<ObjId, (SiteId, ReplicaState)>,
+    ops: Vec<RecoveredOp>,
+    pending_puts: BTreeMap<ObjId, u64>,
+    client: Option<(u64, u64)>, // (next_seq, horizon)
+    records_since_compact: u64,
+    max_seen_seq: u64,
+}
+
+impl Mirror {
+    fn apply(&mut self, record: &WalRecord) {
+        match record {
+            WalRecord::ObjectDelta { provider, state } => {
+                self.dirty.insert(state.id, (*provider, state.clone()));
+            }
+            WalRecord::Op {
+                target,
+                method,
+                args,
+                succeeded,
+            } => self.ops.push(RecoveredOp {
+                target: *target,
+                method: method.clone(),
+                args: args.clone(),
+                succeeded: *succeeded,
+            }),
+            WalRecord::PutIntent { id, seq } => {
+                self.pending_puts.insert(*id, *seq);
+                self.max_seen_seq = self.max_seen_seq.max(*seq);
+            }
+            WalRecord::PutConfirmed { id, .. } => {
+                self.pending_puts.remove(id);
+                self.dirty.remove(id);
+            }
+            WalRecord::PutAbandoned { id } => {
+                // The seq is spent (the master cached a rejection for it)
+                // but the state was NOT applied: keep the dirty delta.
+                self.pending_puts.remove(id);
+            }
+            WalRecord::Clean { id } => {
+                self.dirty.remove(id);
+            }
+            WalRecord::ClientState { next_seq, horizon } => {
+                self.client = Some((*next_seq, *horizon));
+                self.max_seen_seq = self.max_seen_seq.max(next_seq.saturating_sub(1));
+            }
+        }
+    }
+
+    /// The record sequence a snapshot of this mirror consists of.
+    fn snapshot_records(&self) -> Vec<WalRecord> {
+        let mut out = Vec::new();
+        if let Some((next_seq, horizon)) = self.client {
+            out.push(WalRecord::ClientState { next_seq, horizon });
+        }
+        for (provider, state) in self.dirty.values() {
+            out.push(WalRecord::ObjectDelta {
+                provider: *provider,
+                state: state.clone(),
+            });
+        }
+        for (id, seq) in &self.pending_puts {
+            out.push(WalRecord::PutIntent { id: *id, seq: *seq });
+        }
+        for op in &self.ops {
+            out.push(WalRecord::Op {
+                target: op.target,
+                method: op.method.clone(),
+                args: op.args.clone(),
+                succeeded: op.succeeded,
+            });
+        }
+        out
+    }
+}
+
+/// Write-through durability for one site. See the module docs.
+pub struct Durable {
+    storage: Arc<dyn Storage>,
+    wal: Wal,
+    mirror: Mutex<Mirror>,
+    compact_every: u64,
+}
+
+impl Durable {
+    /// Opens (or creates) the log in `storage`, runs recovery, and returns
+    /// the wrapper plus whatever state survived. The WAL's torn tail, if
+    /// any, has been truncated by the time this returns.
+    pub fn open(
+        storage: Arc<dyn Storage>,
+        opts: DurableOptions,
+    ) -> Result<(Arc<Durable>, RecoveredState)> {
+        // Snapshot first (it is never torn: `replace` is atomic), then the
+        // WAL tail appended since that snapshot.
+        let (snap_records, _) =
+            wal::replay_decoded(storage.as_ref(), SNAP_FILE, WalRecord::decode)?;
+        let (wal_records, truncated) =
+            wal::replay_decoded(storage.as_ref(), WAL_FILE, WalRecord::decode)?;
+
+        let mut mirror = Mirror::default();
+        for r in snap_records.iter().chain(wal_records.iter()) {
+            mirror.apply(r);
+        }
+
+        let (logged_next_seq, horizon) = mirror.client.unwrap_or((0, 0));
+        // Any surviving history means a previous process life issued RPCs,
+        // and only put/client-state records log their seqs — lookups, gets
+        // and invokes burn sequence numbers invisibly. Restarting the
+        // counter low would collide with those, and the provider's reply
+        // cache would answer brand-new requests with stale cached replies.
+        // So any non-empty log forces a fresh seq epoch; only a genuinely
+        // blank store keeps the natural counter.
+        let next_request_seq = if snap_records.is_empty() && wal_records.is_empty() {
+            0 // nothing persisted: a fresh site keeps its natural counter
+        } else {
+            logged_next_seq.max(mirror.max_seen_seq + 1) + SEQ_EPOCH_SKIP
+        };
+
+        let recovered = RecoveredState {
+            dirty: mirror.dirty.clone(),
+            ops: mirror.ops.clone(),
+            pending_puts: mirror.pending_puts.clone(),
+            next_request_seq,
+            horizon,
+            truncated_bytes: truncated,
+            wal_records: wal_records.len() as u64,
+        };
+
+        let durable = Arc::new(Durable {
+            wal: Wal::new(
+                storage.clone(),
+                WAL_FILE,
+                WalOptions {
+                    group_commit: opts.group_commit,
+                },
+            ),
+            storage,
+            mirror: Mutex::new(mirror),
+            compact_every: opts.compact_every,
+        });
+        Ok((durable, recovered))
+    }
+
+    /// Logs that the replica of `state.id` (mastered at `provider`) went
+    /// dirty with the given serialized state.
+    ///
+    /// Callers must not hold any shard guard across this call (enforced by
+    /// the `no-io-under-shard-guard` lint): the append can trigger a group
+    /// sync, and I/O under a shard guard would serialize the striped table.
+    pub fn log_dirty(&self, provider: SiteId, state: ReplicaState) -> Result<()> {
+        self.log(WalRecord::ObjectDelta { provider, state })
+    }
+
+    /// Journals one disconnected-session invocation.
+    pub fn log_op(
+        &self,
+        target: ObjId,
+        method: &str,
+        args: &[ObiValue],
+        succeeded: bool,
+    ) -> Result<()> {
+        self.log(WalRecord::Op {
+            target,
+            method: method.to_string(),
+            args: args.to_vec(),
+            succeeded,
+        })
+    }
+
+    /// Logs the intent to send a `put` for `id` as request `seq`, then
+    /// forces the record durable. Must return `Ok` before the RPC leaves
+    /// (recovery invariant 2).
+    pub fn log_put_intent(&self, id: ObjId, seq: u64) -> Result<()> {
+        self.log(WalRecord::PutIntent { id, seq })?;
+        self.wal.commit()
+    }
+
+    /// Logs that the put for `id` was acknowledged at `version`.
+    pub fn log_confirm(&self, id: ObjId, version: u64) -> Result<()> {
+        self.log(WalRecord::PutConfirmed { id, version })
+    }
+
+    /// Logs that the put for `id` was *definitively rejected* (an
+    /// application-level reply, not a connectivity failure). The master
+    /// processed the request and its reply cache now holds the rejection,
+    /// so the pending intent's seq is spent — a later put must use a
+    /// fresh request id or it would be answered with the cached error.
+    /// The replica stays dirty. Forced durable immediately, like the
+    /// intent it cancels.
+    pub fn log_put_abandoned(&self, id: ObjId) -> Result<()> {
+        self.log(WalRecord::PutAbandoned { id })?;
+        self.wal.commit()
+    }
+
+    /// Logs that the replica of `id` was refreshed from its master.
+    pub fn log_clean(&self, id: ObjId) -> Result<()> {
+        self.log(WalRecord::Clean { id })
+    }
+
+    /// Logs the RMI client watermark (request counter + reply horizon).
+    pub fn log_client_state(&self, next_seq: u64, horizon: u64) -> Result<()> {
+        self.log(WalRecord::ClientState { next_seq, horizon })
+    }
+
+    /// Forces all buffered records durable now (group commit cut short).
+    pub fn commit(&self) -> Result<()> {
+        self.wal.commit()
+    }
+
+    /// The request sequence number of a durable-but-unconfirmed put intent
+    /// for `id`, if one exists. The put path reuses it so a crash-replayed
+    /// `put` carries the same request id as the original attempt.
+    pub fn pending_put_seq(&self, id: ObjId) -> Option<u64> {
+        self.mirror.lock().pending_puts.get(&id).copied()
+    }
+
+    /// Drops the journaled op log and pending-put markers after a completed
+    /// reintegration, then compacts. Dirty-object deltas survive (objects
+    /// that conflicted are still dirty).
+    pub fn reset_session(&self) -> Result<()> {
+        let mut mirror = self.mirror.lock();
+        mirror.ops.clear();
+        mirror.pending_puts.clear();
+        self.compact_locked(&mut mirror)
+    }
+
+    /// Folds the WAL into a fresh snapshot and truncates it.
+    pub fn compact(&self) -> Result<()> {
+        let mut mirror = self.mirror.lock();
+        self.compact_locked(&mut mirror)
+    }
+
+    /// WAL counters (appends, syncs, bytes) for benches and tests.
+    pub fn wal_stats(&self) -> &WalStats {
+        self.wal.stats()
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_len(&self) -> Result<u64> {
+        self.wal.len()
+    }
+
+    fn log(&self, record: WalRecord) -> Result<()> {
+        let mut mirror = self.mirror.lock();
+        self.wal.append(&record.encode())?;
+        mirror.apply(&record);
+        mirror.records_since_compact += 1;
+        if self.compact_every > 0 && mirror.records_since_compact >= self.compact_every {
+            self.compact_locked(&mut mirror)?;
+        }
+        Ok(())
+    }
+
+    fn compact_locked(&self, mirror: &mut Mirror) -> Result<()> {
+        let mut bytes = Vec::new();
+        for record in mirror.snapshot_records() {
+            let payload = record.encode();
+            let len = payload.len() as u32;
+            bytes.extend_from_slice(&len.to_le_bytes());
+            bytes.extend_from_slice(&obiwan_wire::crc32(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        // Snapshot becomes durable before the WAL is dropped; a crash
+        // between the two replays both (snapshot then stale WAL), which is
+        // idempotent because later records supersede earlier ones.
+        self.storage.replace(SNAP_FILE, &bytes)?;
+        self.wal.reset()?;
+        mirror.records_since_compact = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use bytes::Bytes;
+
+    fn oid(site: u32, n: u64) -> ObjId {
+        ObjId::new(SiteId::new(site), n)
+    }
+
+    fn rs(site: u32, n: u64, version: u64, byte: u8) -> ReplicaState {
+        ReplicaState {
+            id: oid(site, n),
+            class: "Counter".into(),
+            version,
+            state: Bytes::from(vec![byte; 4]),
+        }
+    }
+
+    fn open(mem: &Arc<MemStorage>) -> (Arc<Durable>, RecoveredState) {
+        Durable::open(
+            mem.clone() as Arc<dyn Storage>,
+            DurableOptions {
+                group_commit: 4,
+                compact_every: 0,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_log_recovers_empty() {
+        let mem = Arc::new(MemStorage::new());
+        let (_d, recovered) = open(&mem);
+        assert!(recovered.is_empty());
+        assert_eq!(recovered.next_request_seq, 0);
+    }
+
+    #[test]
+    fn dirty_then_confirm_leaves_nothing_pending() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
+            d.log_put_intent(oid(2, 5), 31).unwrap();
+            d.log_confirm(oid(2, 5), 11).unwrap();
+            d.commit().unwrap();
+        }
+        let (_d, recovered) = open(&mem);
+        assert!(recovered.dirty.is_empty(), "confirmed put leaves no dirty state");
+        assert!(recovered.pending_puts.is_empty());
+        // Seq 31 was seen, so the restored counter must clear it + skip.
+        assert!(recovered.next_request_seq > 31 + SEQ_EPOCH_SKIP - 1);
+    }
+
+    #[test]
+    fn any_surviving_history_forces_a_fresh_seq_epoch() {
+        // Deltas and ops never carry request seqs, but their presence
+        // proves a previous life ran — and it issued lookups/gets whose
+        // seqs were never logged. The restored counter must skip ahead or
+        // the provider's reply cache answers new requests with stale
+        // cached replies.
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
+            d.commit().unwrap();
+        }
+        let (_d, recovered) = open(&mem);
+        assert!(
+            recovered.next_request_seq >= SEQ_EPOCH_SKIP,
+            "got {}",
+            recovered.next_request_seq
+        );
+    }
+
+    #[test]
+    fn abandoned_put_drops_the_intent_but_keeps_the_dirty_delta() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
+            d.log_put_intent(oid(2, 5), 31).unwrap();
+            // The master rejected the put: the seq is spent but the state
+            // was never applied, so the delta must stay recoverable.
+            d.log_put_abandoned(oid(2, 5)).unwrap();
+        }
+        let (_d, recovered) = open(&mem);
+        assert!(recovered.pending_puts.is_empty(), "spent seq must not be reused");
+        assert!(recovered.dirty.contains_key(&oid(2, 5)), "rejected put stays dirty");
+        // Seq 31 was still burned; the restored counter clears it.
+        assert!(recovered.next_request_seq > 31);
+    }
+
+    #[test]
+    fn unconfirmed_intent_survives_with_its_seq() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
+            d.log_put_intent(oid(2, 5), 31).unwrap();
+            // Crash before confirm: intent was fsynced by log_put_intent.
+        }
+        let (_d, recovered) = open(&mem);
+        assert_eq!(recovered.pending_puts.get(&oid(2, 5)), Some(&31));
+        assert_eq!(recovered.dirty.len(), 1);
+        let (provider, state) = &recovered.dirty[&oid(2, 5)];
+        assert_eq!(*provider, SiteId::new(2));
+        assert_eq!(state.version, 10);
+    }
+
+    #[test]
+    fn later_deltas_supersede_earlier_ones() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
+            d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xBB)).unwrap();
+            d.commit().unwrap();
+        }
+        let (_d, recovered) = open(&mem);
+        assert_eq!(recovered.dirty.len(), 1);
+        assert_eq!(recovered.dirty[&oid(2, 5)].1.state.as_ref(), &[0xBB; 4]);
+    }
+
+    #[test]
+    fn clean_record_drops_the_dirty_delta() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
+            d.log_clean(oid(2, 5)).unwrap();
+            d.commit().unwrap();
+        }
+        let (_d, recovered) = open(&mem);
+        assert!(recovered.dirty.is_empty());
+    }
+
+    #[test]
+    fn ops_and_client_state_recover_in_order() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            d.log_client_state(40, 32).unwrap();
+            d.log_op(oid(2, 5), "add", &[ObiValue::I64(1)], true).unwrap();
+            d.log_op(oid(2, 5), "add", &[ObiValue::I64(2)], false).unwrap();
+            d.commit().unwrap();
+        }
+        let (_d, recovered) = open(&mem);
+        assert_eq!(recovered.ops.len(), 2);
+        assert_eq!(recovered.ops[0].args, vec![ObiValue::I64(1)]);
+        assert!(!recovered.ops[1].succeeded);
+        assert_eq!(recovered.horizon, 32);
+        assert_eq!(recovered.next_request_seq, 40 + SEQ_EPOCH_SKIP);
+    }
+
+    #[test]
+    fn compaction_preserves_recovery_and_shrinks_the_wal() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            for i in 0..50 {
+                d.log_dirty(SiteId::new(2), rs(2, 5, 10 + i, i as u8)).unwrap();
+            }
+            d.log_op(oid(2, 5), "add", &[], true).unwrap();
+            d.log_client_state(9, 4).unwrap();
+            let before = d.wal_len().unwrap();
+            d.compact().unwrap();
+            let after = d.wal_len().unwrap();
+            assert_eq!(after, 0, "WAL truncated after snapshot");
+            assert!(before > 0);
+        }
+        let (_d, recovered) = open(&mem);
+        assert_eq!(recovered.dirty.len(), 1, "52 records folded to 1 delta + op + state");
+        assert_eq!(recovered.dirty[&oid(2, 5)].1.version, 59);
+        assert_eq!(recovered.ops.len(), 1);
+        assert_eq!(recovered.horizon, 4);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_record_count() {
+        let mem = Arc::new(MemStorage::new());
+        let (d, _) = Durable::open(
+            mem.clone() as Arc<dyn Storage>,
+            DurableOptions {
+                group_commit: 1,
+                compact_every: 10,
+            },
+        )
+        .unwrap();
+        for i in 0..25 {
+            d.log_dirty(SiteId::new(2), rs(2, 5, i, 0)).unwrap();
+        }
+        // 25 records at compact_every=10: two compactions, 5 records left.
+        let left = d.wal_len().unwrap();
+        assert!(left > 0 && mem.len(SNAP_FILE).unwrap() > 0);
+        let (_d2, recovered) = open(&mem);
+        assert_eq!(recovered.dirty[&oid(2, 5)].1.version, 24);
+    }
+
+    #[test]
+    fn reset_session_clears_ops_but_keeps_dirty_state() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
+            d.log_op(oid(2, 5), "add", &[], true).unwrap();
+            d.log_put_intent(oid(2, 5), 3).unwrap();
+            d.reset_session().unwrap();
+        }
+        let (_d, recovered) = open(&mem);
+        assert!(recovered.ops.is_empty());
+        assert!(recovered.pending_puts.is_empty());
+        assert_eq!(recovered.dirty.len(), 1, "conflicted dirty state survives");
+    }
+
+    #[test]
+    fn crash_mid_append_truncates_and_recovers_prefix() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            for i in 0..10 {
+                d.log_dirty(SiteId::new(2), rs(2, i, 1, i as u8)).unwrap();
+            }
+            d.commit().unwrap();
+        }
+        let full = mem.len(WAL_FILE).unwrap();
+        // Chop mid-record: some prefix of records survives, tail truncated.
+        mem.crash_keeping(WAL_FILE, full - 5);
+        let (_d, recovered) = open(&mem);
+        assert!(recovered.truncated_bytes > 0);
+        assert_eq!(recovered.dirty.len(), 9, "last record torn, first 9 intact");
+    }
+
+    #[test]
+    fn storage_failure_during_log_surfaces() {
+        let mem = Arc::new(MemStorage::new());
+        let (d, _) = open(&mem);
+        mem.fail_after(0);
+        let err = d.log_clean(oid(1, 1)).unwrap_err();
+        assert!(matches!(err, obiwan_util::ObiError::Storage(_)), "{err}");
+    }
+}

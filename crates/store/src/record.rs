@@ -1,0 +1,239 @@
+//! Typed WAL record payloads.
+//!
+//! Each [`WalRecord`] is one logical durability event; it encodes to the
+//! payload bytes of one [`crate::wal`] frame using the `obiwan-wire`
+//! codec (tag byte + fields). Snapshots use the same record vocabulary,
+//! so there is exactly one decode path for both files.
+//!
+//! The record set mirrors what a mobile site must not lose across a crash:
+//!
+//! * [`WalRecord::ObjectDelta`] — the serialized state of a replica that
+//!   went dirty (an incremental delta in the log-structured sense: later
+//!   deltas for the same object supersede earlier ones).
+//! * [`WalRecord::Op`] — one journaled `DisconnectedSession` invocation.
+//! * [`WalRecord::PutIntent`] — "about to send `put` for `id` as request
+//!   `seq`". Written and fsynced *before* the RPC leaves, so a replayed
+//!   reintegration reuses the same request id and the server's ReplyCache
+//!   deduplicates it (exactly-once).
+//! * [`WalRecord::PutConfirmed`] — the put was acknowledged at `version`;
+//!   the object is clean and its delta/intent records are superseded.
+//! * [`WalRecord::PutAbandoned`] — the put was *definitively rejected*
+//!   (an application-level error, not a connectivity failure). The master
+//!   processed the request and cached the rejection, so the intent's seq
+//!   is spent: reusing it would replay the cached error forever. The
+//!   replica stays dirty; only the pending intent is dropped.
+//! * [`WalRecord::Clean`] — the replica was refreshed from the master
+//!   (conflict resolution or explicit refresh); pending deltas are moot.
+//! * [`WalRecord::ClientState`] — RMI client watermark: next request
+//!   sequence number and the settled reply horizon.
+
+use bytes::Bytes;
+use obiwan_util::{ObiError, ObjId, Result, SiteId};
+use obiwan_wire::{Decoder, Encoder, ObiValue, ReplicaState};
+
+/// One durability event. See the module docs for the lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A replica of an object mastered at `provider` went dirty with the
+    /// given serialized state.
+    ObjectDelta {
+        provider: SiteId,
+        state: ReplicaState,
+    },
+    /// One journaled disconnected-session invocation.
+    Op {
+        target: ObjId,
+        method: String,
+        args: Vec<ObiValue>,
+        succeeded: bool,
+    },
+    /// A `put` for `id` is about to be sent as request `seq`.
+    PutIntent { id: ObjId, seq: u64 },
+    /// The `put` for `id` was acknowledged; the replica is clean at
+    /// `version`.
+    PutConfirmed { id: ObjId, version: u64 },
+    /// The `put` for `id` was definitively rejected; its request seq is
+    /// spent but the replica remains dirty.
+    PutAbandoned { id: ObjId },
+    /// The replica of `id` was refreshed from its master; it is clean.
+    Clean { id: ObjId },
+    /// RMI client watermark state.
+    ClientState { next_seq: u64, horizon: u64 },
+}
+
+impl WalRecord {
+    /// Encodes this record to a WAL frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            WalRecord::ObjectDelta { provider, state } => {
+                enc.put_u8(0);
+                enc.put_site(*provider);
+                enc.put_obj_id(state.id);
+                enc.put_str(&state.class);
+                enc.put_varint(state.version);
+                enc.put_bytes(&state.state);
+            }
+            WalRecord::Op {
+                target,
+                method,
+                args,
+                succeeded,
+            } => {
+                enc.put_u8(1);
+                enc.put_obj_id(*target);
+                enc.put_str(method);
+                enc.put_varint(args.len() as u64);
+                for a in args {
+                    enc.put_value(a);
+                }
+                enc.put_u8(u8::from(*succeeded));
+            }
+            WalRecord::PutIntent { id, seq } => {
+                enc.put_u8(2);
+                enc.put_obj_id(*id);
+                enc.put_varint(*seq);
+            }
+            WalRecord::PutConfirmed { id, version } => {
+                enc.put_u8(3);
+                enc.put_obj_id(*id);
+                enc.put_varint(*version);
+            }
+            WalRecord::Clean { id } => {
+                enc.put_u8(4);
+                enc.put_obj_id(*id);
+            }
+            WalRecord::ClientState { next_seq, horizon } => {
+                enc.put_u8(5);
+                enc.put_varint(*next_seq);
+                enc.put_varint(*horizon);
+            }
+            WalRecord::PutAbandoned { id } => {
+                enc.put_u8(6);
+                enc.put_obj_id(*id);
+            }
+        }
+        enc.finish().to_vec()
+    }
+
+    /// Decodes a WAL frame payload. A CRC-valid payload that fails here is
+    /// format skew, not a torn tail, and recovery reports it as an error.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord> {
+        let mut dec = Decoder::new(payload);
+        let record = match dec.take_u8()? {
+            0 => {
+                let provider = dec.take_site()?;
+                let id = dec.take_obj_id()?;
+                let class = dec.take_str()?;
+                let version = dec.take_varint()?;
+                let state = Bytes::copy_from_slice(dec.take_bytes_ref()?);
+                WalRecord::ObjectDelta {
+                    provider,
+                    state: ReplicaState {
+                        id,
+                        class,
+                        version,
+                        state,
+                    },
+                }
+            }
+            1 => {
+                let target = dec.take_obj_id()?;
+                let method = dec.take_str()?;
+                let n = dec.take_varint()? as usize;
+                let mut args = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    args.push(dec.take_value()?);
+                }
+                let succeeded = dec.take_u8()? != 0;
+                WalRecord::Op {
+                    target,
+                    method,
+                    args,
+                    succeeded,
+                }
+            }
+            2 => WalRecord::PutIntent {
+                id: dec.take_obj_id()?,
+                seq: dec.take_varint()?,
+            },
+            3 => WalRecord::PutConfirmed {
+                id: dec.take_obj_id()?,
+                version: dec.take_varint()?,
+            },
+            4 => WalRecord::Clean {
+                id: dec.take_obj_id()?,
+            },
+            5 => WalRecord::ClientState {
+                next_seq: dec.take_varint()?,
+                horizon: dec.take_varint()?,
+            },
+            6 => WalRecord::PutAbandoned {
+                id: dec.take_obj_id()?,
+            },
+            tag => {
+                return Err(ObiError::Decode(format!("unknown WAL record tag {tag}")))
+            }
+        };
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(site: u32, n: u64) -> ObjId {
+        ObjId::new(SiteId::new(site), n)
+    }
+
+    #[test]
+    fn all_records_round_trip() {
+        let records = vec![
+            WalRecord::ObjectDelta {
+                provider: SiteId::new(3),
+                state: ReplicaState {
+                    id: oid(3, 7),
+                    class: "Counter".into(),
+                    version: 42,
+                    state: Bytes::from_static(b"\x01\x02\x03"),
+                },
+            },
+            WalRecord::Op {
+                target: oid(3, 7),
+                method: "add".into(),
+                args: vec![ObiValue::I64(5), ObiValue::Str("x".into())],
+                succeeded: true,
+            },
+            WalRecord::Op {
+                target: oid(1, 1),
+                method: "fail".into(),
+                args: vec![],
+                succeeded: false,
+            },
+            WalRecord::PutIntent { id: oid(3, 7), seq: 19 },
+            WalRecord::PutConfirmed { id: oid(3, 7), version: 43 },
+            WalRecord::Clean { id: oid(2, 9) },
+            WalRecord::ClientState { next_seq: 77, horizon: 70 },
+            WalRecord::PutAbandoned { id: oid(3, 7) },
+        ];
+        for r in records {
+            let bytes = r.encode();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_a_decode_error() {
+        let err = WalRecord::decode(&[200]).unwrap_err();
+        assert!(matches!(err, ObiError::Decode(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_payload_is_a_decode_error() {
+        let full = WalRecord::PutIntent { id: oid(1, 2), seq: 3 }.encode();
+        for cut in 0..full.len() {
+            assert!(WalRecord::decode(&full[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

@@ -51,6 +51,11 @@ pub enum ObiError {
     StaleProvider(ObjId),
     /// An application-level error raised inside an invoked method.
     Application(String),
+    /// The durable storage backend failed (write error, out of space, or a
+    /// simulated crash in fault-injection tests). Distinct from
+    /// [`ObiError::Internal`]: storage failures are environmental and the
+    /// in-memory state is still consistent — only durability is degraded.
+    Storage(String),
     /// Internal invariant violation; indicates a platform bug.
     Internal(String),
 }
@@ -88,6 +93,7 @@ impl fmt::Display for ObiError {
             ObiError::NotReplicated(o) => write!(f, "object {o} has no local replica"),
             ObiError::StaleProvider(o) => write!(f, "provider for {o} is stale"),
             ObiError::Application(m) => write!(f, "application error: {m}"),
+            ObiError::Storage(m) => write!(f, "storage error: {m}"),
             ObiError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -4,10 +4,13 @@
 //! instrumented operation opens a named [`SpanGuard`] and the guard's drop
 //! records one completed [`SpanEvent`] — name, virtual-clock start/end,
 //! nesting depth and optional [`SiteId`]/[`ObjId`]/[`RequestId`] context —
-//! into a process-global ring buffer. A demand round-trip therefore
-//! decomposes into nested spans (`obi.invoke` → `obi.fault` →
-//! `rpc.round_trip` → `net.call` → `rpc.handle` …) that can be exported as
-//! JSON for offline inspection.
+//! into a per-site ring buffer (one extra ring for untagged spans). A
+//! demand round-trip therefore decomposes into nested spans (`obi.invoke`
+//! → `obi.fault` → `rpc.round_trip` → `net.call` → `rpc.handle` …) that
+//! can be exported as JSON for offline inspection. Rings are per site so a
+//! chatty site in a large world overwrites its *own* history, never
+//! another site's; a single global sequence number still totally orders
+//! spans across rings.
 //!
 //! Gating mirrors the `lockcheck` convention (see [`crate::sync`]):
 //!
@@ -16,13 +19,14 @@
 //!   exist. `cargo build --release` pays nothing.
 //! * With `feature = "trace"` (enabled by the root package's
 //!   dev-dependencies, so every `cargo test` run traces): spans are
-//!   recorded into a fixed-capacity ring that overwrites its oldest entry
-//!   on overflow, counting what it discarded. The hot path never
-//!   allocates — the ring is preallocated, span names are `&'static str`,
-//!   and context ids are `Copy`.
+//!   recorded into fixed-capacity per-site rings, each overwriting its own
+//!   oldest entry on overflow and counting what it discarded. The hot path
+//!   never allocates once a site's ring is warm — rings are preallocated
+//!   at [`RING_CAPACITY`], span names are `&'static str`, and context ids
+//!   are `Copy`.
 //!
-//! The ring is process-global and tests share it; suites that assert on
-//! trace contents serialize themselves and call [`clear`] first.
+//! The ring set is process-global and tests share it; suites that assert
+//! on trace contents serialize themselves and call [`clear`] first.
 
 use crate::clock::Clock;
 use crate::ids::{ObjId, RequestId, SiteId};
@@ -35,7 +39,9 @@ pub const fn trace_enabled() -> bool {
     cfg!(feature = "trace")
 }
 
-/// Number of spans the ring retains before overwriting the oldest.
+/// Number of spans each per-site ring retains before overwriting its own
+/// oldest entry. Untagged spans share one additional ring of the same
+/// capacity.
 pub const RING_CAPACITY: usize = 4096;
 
 /// One completed span.
@@ -76,56 +82,73 @@ mod imp {
     use std::cell::Cell;
     use std::sync::OnceLock;
 
-    // Deliberately `parking_lot`, not the `crate::sync` facade: the ring is
-    // a leaf lock touched from inside arbitrary lock contexts, and it must
-    // not feed the lockcheck order graph (or recurse into itself when the
-    // detector's own locks are traced).
+    // Deliberately `parking_lot`, not the `crate::sync` facade: the rings
+    // are a leaf lock touched from inside arbitrary lock contexts, and it
+    // must not feed the lockcheck order graph (or recurse into itself when
+    // the detector's own locks are traced).
     use parking_lot::Mutex;
+    use std::collections::BTreeMap;
 
-    pub(super) struct Ring {
+    /// One site's span history. Entries arrive in global-seq order, so
+    /// once full, the oldest entry always sits at the write cursor.
+    #[derive(Default)]
+    struct Ring {
         buf: Vec<SpanEvent>,
-        next_seq: u64,
+        write: usize,
         dropped: u64,
     }
 
     impl Ring {
-        pub(super) fn record(&mut self, mut ev: SpanEvent) {
-            ev.seq = self.next_seq;
-            self.next_seq += 1;
+        fn record(&mut self, ev: SpanEvent) {
             if self.buf.len() < super::RING_CAPACITY {
                 self.buf.push(ev);
             } else {
-                self.buf[(ev.seq % super::RING_CAPACITY as u64) as usize] = ev;
+                self.buf[self.write] = ev;
+                self.write = (self.write + 1) % super::RING_CAPACITY;
                 self.dropped += 1;
             }
         }
+    }
+
+    /// All rings, keyed by site (None = untagged spans), sharing one
+    /// global sequence counter so cross-ring order is total.
+    #[derive(Default)]
+    pub(super) struct Rings {
+        by_site: BTreeMap<Option<u32>, Ring>,
+        next_seq: u64,
+    }
+
+    impl Rings {
+        pub(super) fn record(&mut self, mut ev: SpanEvent) {
+            ev.seq = self.next_seq;
+            self.next_seq += 1;
+            let key = ev.site.map(|s| s.as_u32());
+            self.by_site.entry(key).or_default().record(ev);
+        }
 
         pub(super) fn ordered(&self) -> Vec<SpanEvent> {
-            let mut out = self.buf.clone();
+            let mut out: Vec<SpanEvent> = self
+                .by_site
+                .values()
+                .flat_map(|r| r.buf.iter().copied())
+                .collect();
             out.sort_by_key(|e| e.seq);
             out
         }
 
         pub(super) fn clear(&mut self) {
-            self.buf.clear();
+            self.by_site.clear();
             self.next_seq = 0;
-            self.dropped = 0;
         }
 
         pub(super) fn dropped(&self) -> u64 {
-            self.dropped
+            self.by_site.values().map(|r| r.dropped).sum()
         }
     }
 
-    pub(super) fn ring() -> &'static Mutex<Ring> {
-        static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
-        RING.get_or_init(|| {
-            Mutex::new(Ring {
-                buf: Vec::with_capacity(super::RING_CAPACITY),
-                next_seq: 0,
-                dropped: 0,
-            })
-        })
+    pub(super) fn ring() -> &'static Mutex<Rings> {
+        static RINGS: OnceLock<Mutex<Rings>> = OnceLock::new();
+        RINGS.get_or_init(|| Mutex::new(Rings::default()))
     }
 
     thread_local! {
@@ -488,6 +511,43 @@ mod tests {
             "unexpected tail: …{}",
             &json[json.len().saturating_sub(60)..]
         );
+    }
+
+    #[test]
+    fn a_flooding_site_does_not_evict_other_sites_spans() {
+        let _serial = lock();
+        clear();
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        let quiet = SiteId::new(3);
+        let noisy = SiteId::new(7);
+        // A few early spans from the quiet site…
+        for i in 0..3u64 {
+            let _s = span(&clock, "test.quiet").with_site(quiet).with_value(i);
+        }
+        // …then a flood from the noisy site that overflows its own ring,
+        // plus some untagged spans, which have their own ring too.
+        let extra = 10u64;
+        for i in 0..(RING_CAPACITY as u64 + extra) {
+            let _s = span(&clock, "test.noisy").with_site(noisy).with_value(i);
+        }
+        let _untagged = span(&clock, "test.untagged");
+        drop(_untagged);
+        let evs = events();
+        let quiet_spans: Vec<_> = evs.iter().filter(|e| e.site == Some(quiet)).collect();
+        assert_eq!(quiet_spans.len(), 3, "flood must not evict the quiet site");
+        assert_eq!(
+            quiet_spans.iter().map(|e| e.value).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        let noisy_spans: Vec<_> = evs.iter().filter(|e| e.site == Some(noisy)).collect();
+        assert_eq!(noisy_spans.len(), RING_CAPACITY);
+        assert_eq!(noisy_spans[0].value, extra, "noisy ring dropped its own oldest");
+        assert_eq!(dropped(), extra);
+        assert_eq!(evs.iter().filter(|e| e.site.is_none()).count(), 1);
+        // The global sequence stays total across rings.
+        for w in evs.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
     }
 
     #[test]

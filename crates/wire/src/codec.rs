@@ -259,6 +259,10 @@ impl Encoder {
                 self.put_u8(15);
                 self.put_str(m);
             }
+            ObiError::Storage(m) => {
+                self.put_u8(17);
+                self.put_str(m);
+            }
             other => {
                 // `ObiError` is non_exhaustive; future variants degrade to an
                 // internal error carrying their rendering.
@@ -479,6 +483,7 @@ impl<'a> Decoder<'a> {
             16 => ObiError::Timeout {
                 to: self.take_site()?,
             },
+            17 => ObiError::Storage(self.take_str()?),
             tag => return Err(Self::err(format!("unknown error tag {tag}"))),
         })
     }
@@ -591,6 +596,7 @@ mod tests {
             ObiError::Application("a".into()),
             ObiError::Internal("i".into()),
             ObiError::Timeout { to: s2 },
+            ObiError::Storage("wal append failed".into()),
         ];
         for e in errors {
             let mut enc = Encoder::new();

@@ -33,10 +33,12 @@
 //! ```
 
 pub mod codec;
+pub mod crc;
 pub mod message;
 pub mod value;
 
 pub use codec::{Decoder, Encoder};
+pub use crc::crc32;
 pub use message::{
     FrontierEdge, Message, NameOp, ReplicaBatch, ReplicaState, WireMode,
 };

@@ -20,6 +20,8 @@
 //!   relaxed transactions.
 //! * [`mobility`] — connectivity management, hoarding, disconnected operation
 //!   logs with reintegration, and mobile agents.
+//! * [`store`] — the durability layer: a CRC-framed write-ahead log with
+//!   group commit, compacting snapshots, and crash recovery.
 //! * [`util`] — ids, errors, clocks, metrics.
 //!
 //! # Quickstart
@@ -56,6 +58,7 @@ pub use obiwan_core as core;
 pub use obiwan_mobility as mobility;
 pub use obiwan_net as net;
 pub use obiwan_rmi as rmi;
+pub use obiwan_store as store;
 pub use obiwan_util as util;
 pub use obiwan_wire as wire;
 

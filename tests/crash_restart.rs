@@ -1,0 +1,391 @@
+//! Crash/restart chaos: SIGKILL-equivalent drops at arbitrary WAL offsets
+//! mid-disconnection and mid-put, followed by restart, recovery, and
+//! reintegration.
+//!
+//! Whatever the crash point, the invariants must hold:
+//!
+//! * recovery never errors — a torn tail is truncated, not guessed at;
+//! * the recovered state is an exact record prefix: the master ends up at
+//!   the value of the last durable delta, never more, never less;
+//! * no lost dirty replica — if any delta survived, reintegration pushes it;
+//! * no double-apply — a put whose confirmation was lost in the crash is
+//!   replayed with its persisted request seq, and the provider's reply
+//!   cache answers it without re-executing.
+
+use obiwan::core::demo::Counter;
+use obiwan::core::{ObiValue, ObiWorld, ObjRef, ReplicationMode};
+use obiwan::mobility::session::DisconnectedSession;
+use obiwan::store::{Durable, DurableOptions, MemStorage, Storage, WAL_FILE};
+use obiwan::util::SiteId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One disconnected-session scenario over a durable client site.
+struct Rig {
+    world: ObiWorld,
+    client: SiteId,
+    server: SiteId,
+    master: ObjRef,
+    replica: ObjRef,
+    storage: Arc<MemStorage>,
+}
+
+/// Builds the rig: a counter mastered at the server, replicated at the
+/// client, with a fresh in-memory durability log attached to the client.
+fn build() -> Rig {
+    let mut world = ObiWorld::loopback();
+    let client = world.add_site("pda");
+    let server = world.add_site("server");
+    let master = world.site(server).create(Counter::new(0));
+    world.site(server).export(master, "c").unwrap();
+    let remote = world.site(client).lookup("c").unwrap();
+    let replica = world
+        .site(client)
+        .get(&remote, ReplicationMode::incremental(1))
+        .unwrap();
+    let storage = Arc::new(MemStorage::new());
+    let (durable, recovered) = Durable::open(
+        storage.clone() as Arc<dyn Storage>,
+        DurableOptions::default(),
+    )
+    .unwrap();
+    assert!(recovered.is_empty());
+    world.site(client).attach_durability(durable);
+    Rig {
+        world,
+        client,
+        server,
+        master,
+        replica,
+        storage,
+    }
+}
+
+impl Rig {
+    /// Journals `ops` increments through a disconnected session, each one
+    /// writing its dirty delta and op record through to the WAL.
+    fn disconnected_adds(&self, ops: usize) -> DisconnectedSession {
+        self.world.disconnect(self.client);
+        let mut session = DisconnectedSession::new();
+        for _ in 0..ops {
+            session
+                .invoke(
+                    self.world.site(self.client),
+                    self.replica,
+                    "add",
+                    ObiValue::I64(1),
+                )
+                .unwrap();
+        }
+        self.durable().commit().unwrap();
+        session
+    }
+
+    fn durable(&self) -> Arc<Durable> {
+        self.world.site(self.client).durability().unwrap().clone()
+    }
+
+    /// The crash: truncate the WAL to its first `keep` bytes (sync state
+    /// ignored, like a power loss), drop the process, and bring up a fresh
+    /// one over the surviving storage. Returns the resumed session.
+    fn crash_and_restart(&mut self, keep: u64) -> DisconnectedSession {
+        self.storage.crash_keeping(WAL_FILE, keep);
+        self.world.restart_site(self.client);
+        let (durable, recovered) = Durable::open(
+            self.storage.clone() as Arc<dyn Storage>,
+            DurableOptions::default(),
+        )
+        .unwrap();
+        let process = self.world.site(self.client);
+        process.attach_durability(durable);
+        let restored = process.recover_from(&recovered).unwrap();
+        assert_eq!(restored, recovered.dirty.len(), "every dirty replica restores");
+        DisconnectedSession::resume(&recovered)
+    }
+
+    fn master_value(&self) -> i64 {
+        match self
+            .world
+            .site(self.server)
+            .invoke(self.master, "read", ObiValue::Null)
+            .unwrap()
+        {
+            ObiValue::I64(v) => v,
+            other => panic!("counter read returned {other:?}"),
+        }
+    }
+
+    fn client_value(&self) -> i64 {
+        match self
+            .world
+            .site(self.client)
+            .invoke(self.replica, "read", ObiValue::Null)
+            .unwrap()
+        {
+            ObiValue::I64(v) => v,
+            other => panic!("counter read returned {other:?}"),
+        }
+    }
+}
+
+/// Crash mid-disconnection at *every* WAL byte offset: the recovered state
+/// must always be a record prefix of the session, and reintegration must
+/// push exactly that prefix — monotone in the crash point, complete at the
+/// full log, zero when nothing survived.
+#[test]
+fn every_crash_offset_mid_disconnection_reintegrates_a_prefix() {
+    const OPS: usize = 3;
+    let wal_len = {
+        let rig = build();
+        rig.disconnected_adds(OPS);
+        rig.durable().wal_len().unwrap()
+    };
+    assert!(wal_len > 0, "the session must have journaled something");
+    let mut last_pushed = 0i64;
+    for keep in 0..=wal_len {
+        let mut rig = build();
+        rig.disconnected_adds(OPS);
+        let session = rig.crash_and_restart(keep);
+        rig.world.reconnect(rig.client);
+        let report = session.reintegrate(rig.world.site(rig.client));
+        let value = rig.master_value();
+        if session.touched().is_empty() {
+            assert!(report.outcomes.is_empty());
+            assert_eq!(value, 0, "keep={keep}: nothing recovered, nothing pushed");
+        } else {
+            assert!(report.is_clean(), "keep={keep}: {report:?}");
+            assert_eq!(report.pushed(), 1, "keep={keep}");
+            assert_eq!(
+                value,
+                rig.client_value(),
+                "keep={keep}: master and recovered replica agree"
+            );
+            assert!(
+                (1..=OPS as i64).contains(&value),
+                "keep={keep}: pushed value {value} outside the session's range"
+            );
+        }
+        assert!(
+            value >= last_pushed,
+            "keep={keep}: longer surviving log pushed less ({value} < {last_pushed})"
+        );
+        last_pushed = value;
+    }
+    assert_eq!(
+        last_pushed, OPS as i64,
+        "an untouched log must recover the whole session"
+    );
+    obiwan::util::sync::assert_no_lock_order_violations();
+}
+
+/// Crash mid-put at every offset between "intent durable" and "confirmation
+/// durable": the server already executed the put, so the replay must reuse
+/// the persisted request seq and be answered from the reply cache — master
+/// version unchanged — while a crash that tore even the intent falls back
+/// to a fresh put of the same state. Either way the value is applied
+/// exactly once.
+#[test]
+fn put_replay_after_crash_is_answered_from_the_reply_cache() {
+    let (intent_base, wal_after_put) = {
+        let rig = build();
+        rig.disconnected_adds(1);
+        let base = rig.durable().wal_len().unwrap();
+        rig.world.reconnect(rig.client);
+        rig.world.site(rig.client).put(rig.replica).unwrap();
+        (base, rig.durable().wal_len().unwrap())
+    };
+    assert!(wal_after_put > intent_base, "the put must journal intent + confirm");
+    let mut cache_hits = 0u64;
+    for keep in intent_base..wal_after_put {
+        let mut rig = build();
+        rig.disconnected_adds(1);
+        rig.world.reconnect(rig.client);
+        rig.world.site(rig.client).put(rig.replica).unwrap();
+        assert_eq!(rig.master_value(), 1);
+        let version_after_put = rig
+            .world
+            .site(rig.server)
+            .meta_of(rig.master)
+            .unwrap()
+            .version;
+        let cached_before = rig
+            .world
+            .site(rig.server)
+            .metrics()
+            .snapshot()
+            .cached_replies;
+
+        let session = rig.crash_and_restart(keep);
+        // The op record precedes the put protocol in the log, so the
+        // resumed session always knows the object was touched.
+        assert_eq!(session.touched(), vec![rig.replica.id()]);
+        let intent_survived = rig
+            .durable()
+            .pending_put_seq(rig.replica.id())
+            .is_some();
+        let dirty_restored = rig
+            .world
+            .site(rig.client)
+            .meta_of(rig.replica)
+            .is_some_and(|m| m.dirty);
+        let report = session.reintegrate(rig.world.site(rig.client));
+        assert!(report.is_clean(), "keep={keep}: {report:?}");
+
+        assert_eq!(rig.master_value(), 1, "keep={keep}: applied exactly once");
+        let cached_delta = rig
+            .world
+            .site(rig.server)
+            .metrics()
+            .snapshot()
+            .cached_replies
+            - cached_before;
+        let version_now = rig
+            .world
+            .site(rig.server)
+            .meta_of(rig.master)
+            .unwrap()
+            .version;
+        if intent_survived {
+            // Same request id as the pre-crash put: the reply cache answers
+            // it and the master is not re-executed.
+            assert_eq!(cached_delta, 1, "keep={keep}: replay must hit the cache");
+            assert_eq!(
+                version_now, version_after_put,
+                "keep={keep}: a cached reply must not bump the version"
+            );
+            cache_hits += 1;
+        } else if dirty_restored {
+            // The intent was torn too: a fresh put (fresh seq, past the
+            // epoch skip) re-writes the same state. Idempotent on value,
+            // visible on version.
+            assert_eq!(cached_delta, 0, "keep={keep}");
+            assert_eq!(version_now, version_after_put + 1, "keep={keep}");
+        } else {
+            // The confirmation itself survived: the delta is settled and
+            // reintegration has nothing to push.
+            assert!(report.outcomes.is_empty(), "keep={keep}: {report:?}");
+            assert_eq!(cached_delta, 0, "keep={keep}");
+            assert_eq!(version_now, version_after_put, "keep={keep}");
+        }
+    }
+    assert!(
+        cache_hits > 0,
+        "some offset must leave the intent durable but the confirm torn"
+    );
+    obiwan::util::sync::assert_no_lock_order_violations();
+}
+
+/// Restart in the middle of a conflict story: offline edits survive the
+/// crash, the master moves on meanwhile, and the resumed session's journal
+/// still drives `resolve_replay_local` to an exactly-once merge.
+#[test]
+fn replay_after_restart_resolves_conflicts_exactly_once() {
+    use obiwan::consistency::OptimisticDetect;
+    let mut rig = build();
+    rig.world
+        .site(rig.server)
+        .set_policy(Box::new(OptimisticDetect::new()));
+    rig.disconnected_adds(2);
+    // Crash keeping everything: the journal itself survives intact.
+    let wal_len = rig.durable().wal_len().unwrap();
+    let session = rig.crash_and_restart(wal_len);
+    assert_eq!(session.len(), 2, "both ops resume from the journal");
+    // The master moved on while the client was down.
+    rig.world
+        .site(rig.server)
+        .invoke(rig.master, "incr", ObiValue::Null)
+        .unwrap();
+    rig.world.reconnect(rig.client);
+    let report = session.reintegrate(rig.world.site(rig.client));
+    assert_eq!(report.conflicts(), vec![rig.replica.id()]);
+    // Replay the recovered journal over the refreshed state.
+    session
+        .resolve_replay_local(rig.world.site(rig.client), rig.replica.id())
+        .unwrap();
+    assert_eq!(
+        rig.master_value(),
+        3,
+        "1 (concurrent incr) + 2 (replayed ops), each applied once"
+    );
+    obiwan::util::sync::assert_no_lock_order_violations();
+}
+
+/// Case count mirrors tests/chaos.rs: 48 by default, `PROPTEST_CASES` in CI.
+fn configured_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(configured_cases()))]
+
+    /// The random dimension: any op count, any crash fraction, crash
+    /// before or after reconnecting. Recovery must never error, never
+    /// over-push, and a second crash-free reintegration must converge.
+    ///
+    /// The master runs `OptimisticDetect`: a crash that keeps a stale
+    /// delta but loses the put intent replays under a *fresh* seq (the
+    /// reply cache cannot vouch for it), and only version detection stops
+    /// that stale state from rolling the master back. Pushes whose intent
+    /// survived dedupe through the reply cache as usual.
+    #[test]
+    fn random_crash_points_recover_exactly_once(
+        ops in 1usize..5,
+        keep_pct in 0u64..=100,
+        crash_after_reconnect in proptest::bool::ANY,
+    ) {
+        let mut rig = build();
+        rig.world
+            .site(rig.server)
+            .set_policy(Box::new(obiwan::consistency::OptimisticDetect::new()));
+        rig.disconnected_adds(ops);
+        if crash_after_reconnect {
+            rig.world.reconnect(rig.client);
+            rig.world.site(rig.client).put(rig.replica).unwrap();
+        }
+        let wal_len = rig.durable().wal_len().unwrap();
+        let keep = wal_len * keep_pct / 100;
+        let session = rig.crash_and_restart(keep);
+        rig.world.reconnect(rig.client);
+        let report = session.reintegrate(rig.world.site(rig.client));
+        let expected_max = ops as i64;
+        let value = rig.master_value();
+        prop_assert!(
+            (0..=expected_max).contains(&value),
+            "master at {} after {} ops, keep {}/{}",
+            value, ops, keep, wal_len
+        );
+        let had_conflict = !report.conflicts().is_empty();
+        if crash_after_reconnect {
+            // The full session was pushed before the crash; whatever the
+            // crash point, replaying must not move the master's value.
+            // Either the surviving intent dedupes through the reply cache,
+            // or the stale delta goes out under a fresh seq and version
+            // detection rejects it — never a rollback, never double-apply.
+            prop_assert_eq!(value, expected_max);
+        } else {
+            // Mid-disconnection crash: the master never moved, so the
+            // recovered prefix is always based on the current version.
+            prop_assert!(!had_conflict, "unexpected conflicts: {:?}", report);
+        }
+        for (_, outcome) in &report.outcomes {
+            prop_assert!(
+                !matches!(outcome, obiwan::mobility::session::ReintegrationOutcome::Unreachable),
+                "reconnected reintegration must reach the master"
+            );
+        }
+        // A second pass converges: nothing left to push, except a stale
+        // conflicted replica, which stays dirty (and stays rejected) until
+        // the application resolves it.
+        let again = session.reintegrate(rig.world.site(rig.client));
+        if had_conflict {
+            prop_assert_eq!(again.conflicts(), report.conflicts());
+        } else {
+            prop_assert!(again.outcomes.is_empty(), "dirty state must drain: {:?}", again);
+        }
+        prop_assert_eq!(rig.master_value(), value);
+        obiwan::util::sync::assert_no_lock_order_violations();
+    }
+}

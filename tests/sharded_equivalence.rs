@@ -59,7 +59,7 @@ enum Op {
 /// Index `k` → an id from the universe: even picks a local id, odd a
 /// remote one, so every op class can hit both kinds.
 fn pick(k: u64) -> ObjId {
-    if k % 2 == 0 {
+    if k.is_multiple_of(2) {
         ObjId::new(SITE, k / 2 % IDS + 1)
     } else {
         ObjId::new(REMOTE, k / 2 % IDS + 1)

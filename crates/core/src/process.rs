@@ -27,7 +27,7 @@ use obiwan_net::Transport;
 use obiwan_rmi::{
     BreakerState, Deadline, RemoteRef, RetryPolicy, RmiClient, RmiServer, RmiService,
 };
-use obiwan_store::{Durable, RecoveredState};
+use obiwan_store::{state_fingerprint, Durable, RecoveredState};
 use obiwan_util::trace;
 use obiwan_util::{
     Clock, ClusterId, CostModel, LatencyKind, Metrics, ObiError, ObjId, RequestId, Result, SiteId,
@@ -173,8 +173,8 @@ struct ProcessShared {
     /// Write-through durability, attached at most once
     /// ([`ObiProcess::attach_durability`]). All `log_*` calls happen with
     /// no shard guard held (enforced by the `no-io-under-shard-guard`
-    /// lint): an fsync under a shard guard would serialize the striped
-    /// table.
+    /// lint) and with the process lock released: an fsync under either
+    /// would serialize the striped table or every invocation on the site.
     durable: std::sync::OnceLock<Arc<Durable>>,
 }
 
@@ -460,9 +460,19 @@ fn materialize_batch_inner(
 }
 
 /// Applies post-invocation bookkeeping: bump master versions, mark replicas
-/// dirty, and queue notifications to subscribers.
-fn finish_invocation(inner: &mut ProcessInner, shared: &ProcessShared, modified: &[ObjId]) {
+/// dirty, and queue notifications to subscribers. Returns the replicas
+/// that went dirty, `(id, provider)` each, so the caller can append their
+/// deltas to the durability log — *after* releasing the process lock: the
+/// append can trigger a group fsync, and a stalled disk must slow this one
+/// caller, not every invocation on the site.
+#[must_use = "the dirty list must be logged via log_dirty_deltas after the lock drops"]
+fn finish_invocation(
+    inner: &mut ProcessInner,
+    shared: &ProcessShared,
+    modified: &[ObjId],
+) -> Vec<(ObjId, SiteId)> {
     let mut seen = std::collections::HashSet::new();
+    let mut dirtied = Vec::new();
     for &id in modified {
         if !seen.insert(id) {
             continue;
@@ -482,27 +492,33 @@ fn finish_invocation(inner: &mut ProcessInner, shared: &ProcessShared, modified:
             }
             ReplicaKind::Replica { provider } => {
                 shared.space.update_meta(id, |m| m.dirty = true);
-                log_dirty_delta(shared, id, provider);
+                dirtied.push((id, provider));
             }
         }
     }
+    dirtied
 }
 
-/// Appends the replica's serialized state to the durability log (when one
-/// is attached). Called after every shard guard has been released: the
-/// state is re-read under a fresh short guard, and the WAL append (which
-/// can trigger a group fsync) happens guard-free.
+/// Appends each replica's serialized state to the durability log (when one
+/// is attached). Called with the process lock and every shard guard
+/// released: the state is re-read under a fresh short guard, and the WAL
+/// append (which can trigger a group fsync) happens guard-free.
 ///
 /// Best-effort by design: the in-memory replica is the source of truth and
 /// stays dirty, so a failed append costs durability of this delta, not
 /// correctness — the next mutation or the put path's strict intent logging
 /// retries the state.
-fn log_dirty_delta(shared: &ProcessShared, id: ObjId, provider: SiteId) {
+fn log_dirty_deltas(shared: &ProcessShared, dirtied: &[(ObjId, SiteId)]) {
+    if dirtied.is_empty() {
+        return;
+    }
     let Some(durable) = shared.durable.get() else {
         return;
     };
-    if let Ok(state) = replica_state_of(&shared.space, id) {
-        let _ = durable.log_dirty(provider, state);
+    for &(id, provider) in dirtied {
+        if let Ok(state) = replica_state_of(&shared.space, id) {
+            let _ = durable.log_dirty(provider, state);
+        }
     }
 }
 
@@ -1089,6 +1105,7 @@ impl ObiProcess {
         // freshly faulted object must degrade to an error, not a livelock.
         let mut attempts = 0;
         loop {
+            let mut dirtied: Vec<(ObjId, SiteId)> = Vec::new();
             let outcome = self.with_inner(|inner| {
                 Ok(match self.shared.space.resolve(target.id()) {
                     Resolution::Proxy(proxy) => InvokeOutcome::Fault(proxy),
@@ -1103,11 +1120,12 @@ impl ObiProcess {
                             &mut modified,
                             0,
                         );
-                        finish_invocation(inner, &self.shared, &modified);
+                        dirtied = finish_invocation(inner, &self.shared, &modified);
                         InvokeOutcome::Done(result)
                     }
                 })
             })?;
+            log_dirty_deltas(&self.shared, &dirtied);
             match outcome {
                 InvokeOutcome::Done(result) => return result,
                 InvokeOutcome::Fault(proxy) => {
@@ -1213,17 +1231,34 @@ impl ObiProcess {
         self.shared
             .clock
             .charge_cpu(self.shared.costs.serialize(entry.state.len()));
-        // With durability attached, the put intent (object + request seq)
-        // is forced to the log *before* the RPC leaves. A crash after this
-        // point replays the put under the same request id, and the master's
-        // reply cache deduplicates it — exactly-once across restarts.
+        // With durability attached, the put intent (object + request seq +
+        // state fingerprint) is forced to the log *before* the RPC leaves.
+        // A crash after this point replays the put under the same request
+        // id, and the master's reply cache deduplicates it — exactly-once
+        // across restarts.
+        let fingerprint = state_fingerprint(&entry);
         let request = match self.shared.durable.get() {
             Some(durable) => {
-                let seq = match durable.pending_put_seq(target.id()) {
-                    Some(seq) => seq, // crash replay: reuse the logged id
+                let seq = match durable.pending_put(target.id()) {
+                    // Replay of the exact state the intent covered (crash
+                    // recovery, or a retry after a connectivity failure):
+                    // reuse the logged id so the master dedupes it.
+                    Some(pending) if pending.fingerprint == fingerprint => pending.seq,
+                    // The replica was mutated again after the intent was
+                    // logged. Its seq may already be spent at the master
+                    // (the old state applied, the reply lost), and reusing
+                    // it would serve the cached ack WITHOUT applying this
+                    // state — silently dropping it. Retire the stale
+                    // intent and cover the current state with a fresh one.
+                    Some(_) => {
+                        durable.log_put_abandoned(target.id())?;
+                        let request = self.shared.client.reserve_request();
+                        durable.log_put_intent(target.id(), request.seq(), fingerprint)?;
+                        request.seq()
+                    }
                     None => {
                         let request = self.shared.client.reserve_request();
-                        durable.log_put_intent(target.id(), request.seq())?;
+                        durable.log_put_intent(target.id(), request.seq(), fingerprint)?;
                         request.seq()
                     }
                 };
@@ -1257,7 +1292,7 @@ impl ObiProcess {
             .first()
             .ok_or_else(|| ObiError::Internal("empty put reply".into()))?;
         if let Some(durable) = self.shared.durable.get() {
-            durable.log_confirm(target.id(), version)?;
+            durable.log_confirm(target.id(), version, fingerprint)?;
             // Refresh the persisted client watermark alongside: recovery
             // restores the request counter and reply horizon from it.
             durable.log_client_state(
@@ -1266,9 +1301,16 @@ impl ObiProcess {
             )?;
         }
         self.with_inner(|_inner| {
+            // The ack covers exactly the state we serialized. Clear dirty
+            // only if the replica still holds that state — a mutation that
+            // raced the RPC must stay dirty, or it would never be pushed.
+            let unchanged = replica_state_of(&self.shared.space, target.id())
+                .is_ok_and(|now| state_fingerprint(&now) == fingerprint);
             self.shared.space.update_meta(target.id(), |meta| {
                 meta.version = version;
-                meta.dirty = false;
+                if unchanged {
+                    meta.dirty = false;
+                }
                 meta.stale = false;
             });
             Ok(())
@@ -1307,19 +1349,31 @@ impl ObiProcess {
         })?;
         let total: usize = entries.iter().map(|e| e.state.len()).sum();
         self.shared.clock.charge_cpu(self.shared.costs.serialize(total));
+        let sent: std::collections::BTreeMap<ObjId, u64> = entries
+            .iter()
+            .map(|e| (e.id, state_fingerprint(e)))
+            .collect();
         let versions = self.shared.client.put(provider, entries)?;
         if let Some(durable) = self.shared.durable.get() {
             // Cluster puts are not in the disconnected replay path, so no
             // intent record — but confirmed members' deltas are superseded.
             for &(id, version) in &versions {
-                durable.log_confirm(id, version)?;
+                if let Some(&fingerprint) = sent.get(&id) {
+                    durable.log_confirm(id, version, fingerprint)?;
+                }
             }
         }
         self.with_inner(|_inner| {
             for &(id, version) in &versions {
+                // As in `put_inner`: only the state the ack covered is
+                // clean; a member mutated during the RPC stays dirty.
+                let unchanged = replica_state_of(&self.shared.space, id)
+                    .is_ok_and(|now| Some(state_fingerprint(&now)) == sent.get(&id).copied());
                 self.shared.space.update_meta(id, |meta| {
                     meta.version = version;
-                    meta.dirty = false;
+                    if unchanged {
+                        meta.dirty = false;
+                    }
                     meta.stale = false;
                 });
             }
@@ -1786,12 +1840,15 @@ impl RmiService for ProcessService {
         method: &str,
         args: ObiValue,
     ) -> Result<ObiValue> {
-        self.with_inner(|inner| {
+        let mut dirtied: Vec<(ObjId, SiteId)> = Vec::new();
+        let result = self.with_inner(|inner| {
             let mut modified = Vec::new();
             let result = invoke_inner(inner, &self.shared, target, method, &args, &mut modified, 0);
-            finish_invocation(inner, &self.shared, &modified);
+            dirtied = finish_invocation(inner, &self.shared, &modified);
             result
-        })
+        });
+        log_dirty_deltas(&self.shared, &dirtied);
+        result
     }
 
     fn get(&self, _from: SiteId, target: ObjId, mode: WireMode) -> Result<ReplicaBatch> {

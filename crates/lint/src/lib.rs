@@ -671,18 +671,25 @@ fn single_shard_guard(p: &Prepared) -> Vec<Diagnostic> {
 // Rule: no-io-under-shard-guard
 // ---------------------------------------------------------------------------
 
-/// Method-call tokens that reach the durability layer: raw WAL appends and
-/// fsyncs, the group-commit flush, and the `Durable::log_*` write-through
-/// hooks that wrap them.
+/// Method-call tokens that reach the durability layer: the `Durable::log_*`
+/// write-through hooks (names unambiguous enough to match on any receiver)
+/// plus raw append/sync/commit calls qualified by a WAL/storage/durability
+/// receiver — a bare `.append(` would flag every `Vec::append` under a
+/// shard guard.
 const WAL_IO_TOKENS: &[&str] = &[
     ".log_dirty(",
     ".log_op(",
     ".log_put_intent(",
+    ".log_put_abandoned(",
     ".log_confirm(",
     ".log_clean(",
-    ".append(",
-    ".sync(",
-    ".commit(",
+    ".log_client_state(",
+    "wal.append(",
+    "wal.sync(",
+    "wal.commit(",
+    "storage.append(",
+    "storage.sync(",
+    "durable.commit(",
 ];
 
 /// Storage latency must never sit inside a shard critical section: a WAL

@@ -334,7 +334,26 @@ impl Space {
     assert_eq!(diags[0].line, 5);
     assert!(diags[0].message.contains("`g`"));
     assert!(diags[0].message.contains("line 4"));
-    assert!(diags[0].message.contains("`.append(`"));
+    assert!(diags[0].message.contains("`wal.append(`"));
+}
+
+#[test]
+fn vec_append_under_shard_guard_is_not_durability_io() {
+    // Only receiver-qualified append/sync/commit count as WAL I/O; a plain
+    // `Vec::append` (or any unrelated `.commit()`) under a shard guard is
+    // the shard's own business.
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn collect(s: &Space, a: ObjId, out: &mut Vec<ObjId>) {
+    let g = s.shard(a).write();
+    let mut batch = g.touched_ids();
+    out.append(&mut batch);
+    g.txn().commit();
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
 }
 
 #[test]
@@ -395,10 +414,10 @@ fn allow_comment_suppresses_no_io_under_shard_guard() {
     let f = lib(
         "crates/demo/src/lib.rs",
         r#"
-fn f(s: &Space, d: &Durable, a: ObjId) {
+fn f(s: &Space, durable: &Durable, a: ObjId) {
     let g = s.shard(a).write();
     // lint:allow(no-io-under-shard-guard) fixture: documented deliberate hold
-    d.commit();
+    durable.commit();
 }
 "#,
     );

@@ -35,3 +35,9 @@ pub fn log_outside_the_shard_guard(s: &Space, d: &Durable, a: ObjId) {
     d.log_dirty(a, state);
     d.commit();
 }
+
+pub fn vec_append_under_shard_guard(s: &Space, a: ObjId, out: &mut Vec<ObjId>) {
+    let g = s.shard(a).write();
+    let mut batch = g.touched_ids();
+    out.append(&mut batch);
+}

@@ -18,12 +18,20 @@
 //!    re-demanded from its master, so losing it costs a round trip, not
 //!    data. The recovered state therefore contains exactly the replicas
 //!    whose local updates had not reached their masters.
-//! 2. **Put intents are durable before the RPC leaves.** A `PutIntent`
-//!    record carries the request sequence number the `put` will use; it is
-//!    fsynced before the message is sent. Replaying reintegration after a
-//!    crash reuses that sequence number, so the master's ReplyCache either
-//!    serves the cached reply (the put had been applied) or admits it as
-//!    new — applied exactly once either way.
+//! 2. **Put intents are durable before the RPC leaves, and a seq is only
+//!    ever reused for the exact state it covered.** A `PutIntent` record
+//!    carries the request sequence number the `put` will use plus a
+//!    fingerprint of the state it sends; it is fsynced before the message
+//!    is sent. Replaying reintegration after a crash reuses that sequence
+//!    number *only while the replica still holds that state*, so the
+//!    master's ReplyCache either serves the cached reply (the put had been
+//!    applied) or admits it as new — applied exactly once either way. If
+//!    the replica was mutated again before the retry (offline edits after
+//!    a recovered intent, or between a connectivity failure and the next
+//!    push), the old seq may already be spent at the master with the OLD
+//!    state: reusing it would serve the cached ack without applying the
+//!    new state, silently dropping it. The put path instead retires the
+//!    stale intent (`PutAbandoned`) and logs a fresh one.
 //! 3. **Recovered request sequence numbers never collide with pre-crash
 //!    ones.** Requests other than puts (demands, refreshes) consume
 //!    sequence numbers without logging them, so recovery advances the
@@ -33,7 +41,7 @@
 //!    A record lost from the tail means the corresponding state change is
 //!    re-done (a put retried, an op re-journaled) — never half-applied.
 
-use crate::record::WalRecord;
+use crate::record::{state_fingerprint, WalRecord};
 use crate::storage::Storage;
 use crate::wal::{self, Wal, WalOptions, WalStats};
 use obiwan_util::sync::Mutex;
@@ -71,6 +79,16 @@ impl Default for DurableOptions {
     }
 }
 
+/// A durable-but-unconfirmed put: the request sequence number the put
+/// uses and the fingerprint of the serialized state that seq covers
+/// ([`state_fingerprint`]). The seq may be reused only for that exact
+/// state; any other state needs a fresh seq (recovery invariant 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingPut {
+    pub seq: u64,
+    pub fingerprint: u64,
+}
+
 /// One journaled disconnected-session invocation, as recovered.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveredOp {
@@ -90,8 +108,9 @@ pub struct RecoveredState {
     /// The journaled op log, in original order.
     pub ops: Vec<RecoveredOp>,
     /// Puts whose intent was durable but whose confirmation was not:
-    /// object → the request sequence number the put used (or will use).
-    pub pending_puts: BTreeMap<ObjId, u64>,
+    /// object → the request seq the put used (or will use) and the
+    /// fingerprint of the state that seq covers.
+    pub pending_puts: BTreeMap<ObjId, PendingPut>,
     /// Restored RMI request counter (already epoch-skipped; invariant 3).
     pub next_request_seq: u64,
     /// Restored reply horizon for the client's `HorizonTracker`.
@@ -118,7 +137,7 @@ impl RecoveredState {
 struct Mirror {
     dirty: BTreeMap<ObjId, (SiteId, ReplicaState)>,
     ops: Vec<RecoveredOp>,
-    pending_puts: BTreeMap<ObjId, u64>,
+    pending_puts: BTreeMap<ObjId, PendingPut>,
     client: Option<(u64, u64)>, // (next_seq, horizon)
     records_since_compact: u64,
     max_seen_seq: u64,
@@ -141,13 +160,29 @@ impl Mirror {
                 args: args.clone(),
                 succeeded: *succeeded,
             }),
-            WalRecord::PutIntent { id, seq } => {
-                self.pending_puts.insert(*id, *seq);
+            WalRecord::PutIntent { id, seq, fingerprint } => {
+                self.pending_puts.insert(
+                    *id,
+                    PendingPut {
+                        seq: *seq,
+                        fingerprint: *fingerprint,
+                    },
+                );
                 self.max_seen_seq = self.max_seen_seq.max(*seq);
             }
-            WalRecord::PutConfirmed { id, .. } => {
+            WalRecord::PutConfirmed { id, fingerprint, .. } => {
                 self.pending_puts.remove(id);
-                self.dirty.remove(id);
+                // The ack covers one exact state. A delta that no longer
+                // fingerprints to it was logged by a mutation racing the
+                // RPC — that state is still unsent and must stay
+                // recoverable.
+                if self
+                    .dirty
+                    .get(id)
+                    .is_some_and(|(_, s)| state_fingerprint(s) == *fingerprint)
+                {
+                    self.dirty.remove(id);
+                }
             }
             WalRecord::PutAbandoned { id } => {
                 // The seq is spent (the master cached a rejection for it)
@@ -176,8 +211,12 @@ impl Mirror {
                 state: state.clone(),
             });
         }
-        for (id, seq) in &self.pending_puts {
-            out.push(WalRecord::PutIntent { id: *id, seq: *seq });
+        for (id, pending) in &self.pending_puts {
+            out.push(WalRecord::PutIntent {
+                id: *id,
+                seq: pending.seq,
+                fingerprint: pending.fingerprint,
+            });
         }
         for op in &self.ops {
             out.push(WalRecord::Op {
@@ -284,26 +323,30 @@ impl Durable {
         })
     }
 
-    /// Logs the intent to send a `put` for `id` as request `seq`, then
-    /// forces the record durable. Must return `Ok` before the RPC leaves
-    /// (recovery invariant 2).
-    pub fn log_put_intent(&self, id: ObjId, seq: u64) -> Result<()> {
-        self.log(WalRecord::PutIntent { id, seq })?;
+    /// Logs the intent to send a `put` for `id` as request `seq` carrying
+    /// the state fingerprinted by `fingerprint`, then forces the record
+    /// durable. Must return `Ok` before the RPC leaves (recovery
+    /// invariant 2).
+    pub fn log_put_intent(&self, id: ObjId, seq: u64, fingerprint: u64) -> Result<()> {
+        self.log(WalRecord::PutIntent { id, seq, fingerprint })?;
         self.wal.commit()
     }
 
-    /// Logs that the put for `id` was acknowledged at `version`.
-    pub fn log_confirm(&self, id: ObjId, version: u64) -> Result<()> {
-        self.log(WalRecord::PutConfirmed { id, version })
+    /// Logs that the put for `id` was acknowledged at `version`;
+    /// `fingerprint` names the state the ack covered, so the mirror only
+    /// retires a dirty delta that still matches it.
+    pub fn log_confirm(&self, id: ObjId, version: u64, fingerprint: u64) -> Result<()> {
+        self.log(WalRecord::PutConfirmed { id, version, fingerprint })
     }
 
-    /// Logs that the put for `id` was *definitively rejected* (an
-    /// application-level reply, not a connectivity failure). The master
-    /// processed the request and its reply cache now holds the rejection,
-    /// so the pending intent's seq is spent — a later put must use a
-    /// fresh request id or it would be answered with the cached error.
-    /// The replica stays dirty. Forced durable immediately, like the
-    /// intent it cancels.
+    /// Logs that the pending put intent for `id` must never be retried
+    /// under its request seq: either the master *definitively rejected*
+    /// the put (its reply cache holds the rejection, so reusing the seq
+    /// would replay the cached error), or the replica's state changed
+    /// since the intent was logged (the seq may be spent at the master
+    /// with the OLD state, so reusing it would ack the new state without
+    /// applying it). The replica stays dirty either way. Forced durable
+    /// immediately, like the intent it cancels.
     pub fn log_put_abandoned(&self, id: ObjId) -> Result<()> {
         self.log(WalRecord::PutAbandoned { id })?;
         self.wal.commit()
@@ -324,10 +367,11 @@ impl Durable {
         self.wal.commit()
     }
 
-    /// The request sequence number of a durable-but-unconfirmed put intent
-    /// for `id`, if one exists. The put path reuses it so a crash-replayed
-    /// `put` carries the same request id as the original attempt.
-    pub fn pending_put_seq(&self, id: ObjId) -> Option<u64> {
+    /// The durable-but-unconfirmed put intent for `id`, if one exists. The
+    /// put path reuses its seq — but only while the replica still holds
+    /// the state the intent fingerprints — so a crash-replayed `put`
+    /// carries the same request id as the original attempt.
+    pub fn pending_put(&self, id: ObjId) -> Option<PendingPut> {
         self.mirror.lock().pending_puts.get(&id).copied()
     }
 
@@ -430,9 +474,10 @@ mod tests {
         let mem = Arc::new(MemStorage::new());
         {
             let (d, _) = open(&mem);
+            let fp = state_fingerprint(&rs(2, 5, 10, 0xAA));
             d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
-            d.log_put_intent(oid(2, 5), 31).unwrap();
-            d.log_confirm(oid(2, 5), 11).unwrap();
+            d.log_put_intent(oid(2, 5), 31, fp).unwrap();
+            d.log_confirm(oid(2, 5), 11, fp).unwrap();
             d.commit().unwrap();
         }
         let (_d, recovered) = open(&mem);
@@ -468,8 +513,9 @@ mod tests {
         let mem = Arc::new(MemStorage::new());
         {
             let (d, _) = open(&mem);
+            let fp = state_fingerprint(&rs(2, 5, 10, 0xAA));
             d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
-            d.log_put_intent(oid(2, 5), 31).unwrap();
+            d.log_put_intent(oid(2, 5), 31, fp).unwrap();
             // The master rejected the put: the seq is spent but the state
             // was never applied, so the delta must stay recoverable.
             d.log_put_abandoned(oid(2, 5)).unwrap();
@@ -482,20 +528,48 @@ mod tests {
     }
 
     #[test]
-    fn unconfirmed_intent_survives_with_its_seq() {
+    fn unconfirmed_intent_survives_with_its_seq_and_fingerprint() {
         let mem = Arc::new(MemStorage::new());
+        let fp = state_fingerprint(&rs(2, 5, 10, 0xAA));
         {
             let (d, _) = open(&mem);
             d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
-            d.log_put_intent(oid(2, 5), 31).unwrap();
+            d.log_put_intent(oid(2, 5), 31, fp).unwrap();
             // Crash before confirm: intent was fsynced by log_put_intent.
         }
-        let (_d, recovered) = open(&mem);
-        assert_eq!(recovered.pending_puts.get(&oid(2, 5)), Some(&31));
+        let (d2, recovered) = open(&mem);
+        let pending = PendingPut { seq: 31, fingerprint: fp };
+        assert_eq!(recovered.pending_puts.get(&oid(2, 5)), Some(&pending));
+        assert_eq!(d2.pending_put(oid(2, 5)), Some(pending));
         assert_eq!(recovered.dirty.len(), 1);
         let (provider, state) = &recovered.dirty[&oid(2, 5)];
         assert_eq!(*provider, SiteId::new(2));
         assert_eq!(state.version, 10);
+    }
+
+    #[test]
+    fn confirm_for_a_superseded_delta_keeps_the_newer_state() {
+        // A mutation raced the put RPC: its delta (0xBB) landed after the
+        // intent but before the confirmation, which acks the OLD state
+        // (0xAA). The newer, unsent state must survive a crash.
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            let sent = rs(2, 5, 10, 0xAA);
+            let fp = state_fingerprint(&sent);
+            d.log_dirty(SiteId::new(2), sent).unwrap();
+            d.log_put_intent(oid(2, 5), 31, fp).unwrap();
+            d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xBB)).unwrap();
+            d.log_confirm(oid(2, 5), 11, fp).unwrap();
+            d.commit().unwrap();
+        }
+        let (_d, recovered) = open(&mem);
+        assert!(recovered.pending_puts.is_empty(), "the intent itself is settled");
+        assert_eq!(
+            recovered.dirty[&oid(2, 5)].1.state.as_ref(),
+            &[0xBB; 4],
+            "the unsent newer delta survives the stale confirm"
+        );
     }
 
     #[test]
@@ -594,7 +668,8 @@ mod tests {
             let (d, _) = open(&mem);
             d.log_dirty(SiteId::new(2), rs(2, 5, 10, 0xAA)).unwrap();
             d.log_op(oid(2, 5), "add", &[], true).unwrap();
-            d.log_put_intent(oid(2, 5), 3).unwrap();
+            d.log_put_intent(oid(2, 5), 3, state_fingerprint(&rs(2, 5, 10, 0xAA)))
+                .unwrap();
             d.reset_session().unwrap();
         }
         let (_d, recovered) = open(&mem);

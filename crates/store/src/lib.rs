@@ -23,8 +23,9 @@ pub mod storage;
 pub mod wal;
 
 pub use durable::{
-    Durable, DurableOptions, RecoveredOp, RecoveredState, SEQ_EPOCH_SKIP, SNAP_FILE, WAL_FILE,
+    Durable, DurableOptions, PendingPut, RecoveredOp, RecoveredState, SEQ_EPOCH_SKIP, SNAP_FILE,
+    WAL_FILE,
 };
-pub use record::WalRecord;
+pub use record::{state_fingerprint, WalRecord};
 pub use storage::{FileStorage, MemStorage, Storage};
 pub use wal::{replay, Replay, Wal, WalOptions, WalStats};

@@ -12,11 +12,17 @@
 //!   deltas for the same object supersede earlier ones).
 //! * [`WalRecord::Op`] — one journaled `DisconnectedSession` invocation.
 //! * [`WalRecord::PutIntent`] — "about to send `put` for `id` as request
-//!   `seq`". Written and fsynced *before* the RPC leaves, so a replayed
+//!   `seq`, carrying the state whose fingerprint is `fingerprint`".
+//!   Written and fsynced *before* the RPC leaves, so a replayed
 //!   reintegration reuses the same request id and the server's ReplyCache
-//!   deduplicates it (exactly-once).
+//!   deduplicates it (exactly-once). The fingerprint ties the seq to the
+//!   exact state it covered: a retry whose state has since changed must
+//!   NOT reuse the seq (the cached reply would ack without applying), so
+//!   the put path retires the stale intent and takes a fresh one.
 //! * [`WalRecord::PutConfirmed`] — the put was acknowledged at `version`;
-//!   the object is clean and its delta/intent records are superseded.
+//!   the intent is settled, and the dirty delta is superseded *if it still
+//!   fingerprints to the state the ack covered* (a delta logged by a
+//!   mutation racing the RPC stays recoverable).
 //! * [`WalRecord::PutAbandoned`] — the put was *definitively rejected*
 //!   (an application-level error, not a connectivity failure). The master
 //!   processed the request and cached the rejection, so the intent's seq
@@ -29,7 +35,18 @@
 
 use bytes::Bytes;
 use obiwan_util::{ObiError, ObjId, Result, SiteId};
-use obiwan_wire::{Decoder, Encoder, ObiValue, ReplicaState};
+use obiwan_wire::{crc32, Decoder, Encoder, ObiValue, ReplicaState};
+
+/// Fingerprint of the serialized state a put carries: CRC of the state
+/// bytes in the high word, length/version mixed into the low word. Two
+/// puts of the same replica carry the same fingerprint iff they carry the
+/// same bytes — the encoder is deterministic (`ObiValue::Map` preserves
+/// order), so "same fingerprint" means "same state" for retry purposes.
+pub fn state_fingerprint(state: &ReplicaState) -> u64 {
+    let crc = u64::from(crc32(&state.state));
+    let mix = (state.state.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ state.version;
+    (crc << 32) ^ mix
+}
 
 /// One durability event. See the module docs for the lifecycle.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,11 +64,12 @@ pub enum WalRecord {
         args: Vec<ObiValue>,
         succeeded: bool,
     },
-    /// A `put` for `id` is about to be sent as request `seq`.
-    PutIntent { id: ObjId, seq: u64 },
-    /// The `put` for `id` was acknowledged; the replica is clean at
-    /// `version`.
-    PutConfirmed { id: ObjId, version: u64 },
+    /// A `put` for `id` is about to be sent as request `seq`, carrying the
+    /// state fingerprinted by `fingerprint` (see [`state_fingerprint`]).
+    PutIntent { id: ObjId, seq: u64, fingerprint: u64 },
+    /// The `put` for `id` was acknowledged at `version`; `fingerprint`
+    /// names the state the ack covered.
+    PutConfirmed { id: ObjId, version: u64, fingerprint: u64 },
     /// The `put` for `id` was definitively rejected; its request seq is
     /// spent but the replica remains dirty.
     PutAbandoned { id: ObjId },
@@ -89,15 +107,17 @@ impl WalRecord {
                 }
                 enc.put_u8(u8::from(*succeeded));
             }
-            WalRecord::PutIntent { id, seq } => {
+            WalRecord::PutIntent { id, seq, fingerprint } => {
                 enc.put_u8(2);
                 enc.put_obj_id(*id);
                 enc.put_varint(*seq);
+                enc.put_varint(*fingerprint);
             }
-            WalRecord::PutConfirmed { id, version } => {
+            WalRecord::PutConfirmed { id, version, fingerprint } => {
                 enc.put_u8(3);
                 enc.put_obj_id(*id);
                 enc.put_varint(*version);
+                enc.put_varint(*fingerprint);
             }
             WalRecord::Clean { id } => {
                 enc.put_u8(4);
@@ -156,10 +176,12 @@ impl WalRecord {
             2 => WalRecord::PutIntent {
                 id: dec.take_obj_id()?,
                 seq: dec.take_varint()?,
+                fingerprint: dec.take_varint()?,
             },
             3 => WalRecord::PutConfirmed {
                 id: dec.take_obj_id()?,
                 version: dec.take_varint()?,
+                fingerprint: dec.take_varint()?,
             },
             4 => WalRecord::Clean {
                 id: dec.take_obj_id()?,
@@ -211,8 +233,8 @@ mod tests {
                 args: vec![],
                 succeeded: false,
             },
-            WalRecord::PutIntent { id: oid(3, 7), seq: 19 },
-            WalRecord::PutConfirmed { id: oid(3, 7), version: 43 },
+            WalRecord::PutIntent { id: oid(3, 7), seq: 19, fingerprint: 0xDEAD_BEEF },
+            WalRecord::PutConfirmed { id: oid(3, 7), version: 43, fingerprint: 0xDEAD_BEEF },
             WalRecord::Clean { id: oid(2, 9) },
             WalRecord::ClientState { next_seq: 77, horizon: 70 },
             WalRecord::PutAbandoned { id: oid(3, 7) },
@@ -231,9 +253,23 @@ mod tests {
 
     #[test]
     fn truncated_payload_is_a_decode_error() {
-        let full = WalRecord::PutIntent { id: oid(1, 2), seq: 3 }.encode();
+        let full = WalRecord::PutIntent { id: oid(1, 2), seq: 3, fingerprint: 9 }.encode();
         for cut in 0..full.len() {
             assert!(WalRecord::decode(&full[..cut]).is_err(), "cut={cut}");
         }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states_and_is_stable() {
+        let s1 = ReplicaState {
+            id: oid(1, 1),
+            class: "Counter".into(),
+            version: 7,
+            state: Bytes::from_static(b"\x01\x02\x03"),
+        };
+        let mut s2 = s1.clone();
+        s2.state = Bytes::from_static(b"\x01\x02\x04");
+        assert_eq!(state_fingerprint(&s1), state_fingerprint(&s1.clone()));
+        assert_ne!(state_fingerprint(&s1), state_fingerprint(&s2));
     }
 }

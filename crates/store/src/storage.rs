@@ -285,10 +285,11 @@ impl Storage for FileStorage {
         // Drop any cached handle: it points at the old inode.
         self.handles.lock().remove(name);
         std::fs::rename(&tmp, &path).map_err(|e| io_err("rename", e))?;
-        // Durability of the rename itself needs the directory fsynced.
-        if let Ok(dir) = std::fs::File::open(&self.root) {
-            let _ = dir.sync_data();
-        }
+        // Durability of the rename itself needs the directory fsynced —
+        // compaction truncates the WAL as soon as replace() returns Ok, so
+        // a swallowed failure here could lose the snapshot AND the log.
+        let dir = std::fs::File::open(&self.root).map_err(|e| io_err("open dir", e))?;
+        dir.sync_data().map_err(|e| io_err("sync dir", e))?;
         Ok(())
     }
 }

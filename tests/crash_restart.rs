@@ -13,12 +13,19 @@
 //!   cache answers it without re-executing.
 
 use obiwan::core::demo::Counter;
-use obiwan::core::{ObiValue, ObiWorld, ObjRef, ReplicationMode};
+use obiwan::core::{ObiValue, ObiWorld, ObjRef, ReplicationMode, RetryPolicy};
 use obiwan::mobility::session::DisconnectedSession;
+use obiwan::net::LinkModel;
 use obiwan::store::{Durable, DurableOptions, MemStorage, Storage, WAL_FILE};
 use obiwan::util::SiteId;
 use proptest::prelude::*;
 use std::sync::Arc;
+
+fn set_link(world: &ObiWorld, a: SiteId, b: SiteId, model: LinkModel) {
+    world
+        .transport()
+        .with_topology_mut(|t| t.set_link_symmetric(a, b, model));
+}
 
 /// One disconnected-session scenario over a durable client site.
 struct Rig {
@@ -221,7 +228,7 @@ fn put_replay_after_crash_is_answered_from_the_reply_cache() {
         assert_eq!(session.touched(), vec![rig.replica.id()]);
         let intent_survived = rig
             .durable()
-            .pending_put_seq(rig.replica.id())
+            .pending_put(rig.replica.id())
             .is_some();
         let dirty_restored = rig
             .world
@@ -272,6 +279,116 @@ fn put_replay_after_crash_is_answered_from_the_reply_cache() {
         cache_hits > 0,
         "some offset must leave the intent durable but the confirm torn"
     );
+    obiwan::util::sync::assert_no_lock_order_violations();
+}
+
+/// A put whose reply is lost leaves its intent pending with the seq spent
+/// at the master. If the replica is mutated again before the retry, the
+/// retry must NOT reuse that seq — the master's reply cache would serve
+/// the cached ack without applying the newer state, and the client would
+/// mark it clean, silently dropping it. The stale intent is retired and
+/// the new state goes out under a fresh seq.
+#[test]
+fn retry_after_reply_loss_with_new_mutations_takes_a_fresh_seq() {
+    let rig = build();
+    rig.world.transport().reseed(7);
+    rig.world
+        .site(rig.client)
+        .invoke(rig.replica, "add", ObiValue::I64(1))
+        .unwrap();
+    // Every reply is lost: the master executes the put, the client sees
+    // only a connectivity failure.
+    set_link(
+        &rig.world,
+        rig.client,
+        rig.server,
+        LinkModel::ideal().with_reply_loss(1.0),
+    );
+    rig.world.site(rig.client).set_rpc_policy(RetryPolicy {
+        max_retries: 2,
+        ..RetryPolicy::default()
+    });
+    let err = rig.world.site(rig.client).put(rig.replica).unwrap_err();
+    assert!(err.is_connectivity(), "{err}");
+    assert_eq!(rig.master_value(), 1, "the master applied the lost-reply put");
+    let stale = rig
+        .durable()
+        .pending_put(rig.replica.id())
+        .expect("a connectivity failure keeps the intent pending");
+
+    // Mutate again before retrying, then heal the link and push.
+    rig.world
+        .site(rig.client)
+        .invoke(rig.replica, "add", ObiValue::I64(1))
+        .unwrap();
+    set_link(&rig.world, rig.client, rig.server, LinkModel::ideal());
+    rig.world.site(rig.client).put(rig.replica).unwrap();
+
+    assert_eq!(rig.master_value(), 2, "newer state applied, not cache-acked away");
+    assert_eq!(rig.client_value(), 2);
+    let settled = rig.durable().pending_put(rig.replica.id());
+    assert_ne!(settled.map(|p| p.seq), Some(stale.seq), "spent seq not reused");
+    assert!(settled.is_none(), "fresh intent confirmed and settled");
+    assert!(
+        rig.world
+            .site(rig.client)
+            .meta_of(rig.replica)
+            .is_some_and(|m| !m.dirty),
+        "acked state matches the replica, so it is clean"
+    );
+    obiwan::util::sync::assert_no_lock_order_violations();
+}
+
+/// The post-crash flavour of the same bug: a recovered put intent plus new
+/// offline mutations. Reintegration must push the merged offline state
+/// under a fresh seq instead of letting the reply cache ack it away.
+#[test]
+fn recovered_intent_with_new_offline_mutations_is_not_marked_clean() {
+    let mut rig = build();
+    rig.world.transport().reseed(7);
+    rig.disconnected_adds(1);
+    rig.world.reconnect(rig.client);
+    set_link(
+        &rig.world,
+        rig.client,
+        rig.server,
+        LinkModel::ideal().with_reply_loss(1.0),
+    );
+    rig.world.site(rig.client).set_rpc_policy(RetryPolicy {
+        max_retries: 2,
+        ..RetryPolicy::default()
+    });
+    let err = rig.world.site(rig.client).put(rig.replica).unwrap_err();
+    assert!(err.is_connectivity(), "{err}");
+    assert_eq!(rig.master_value(), 1);
+
+    // Crash keeping the whole log: the pending intent survives recovery.
+    let wal_len = rig.durable().wal_len().unwrap();
+    let mut session = rig.crash_and_restart(wal_len);
+    assert!(rig.durable().pending_put(rig.replica.id()).is_some());
+
+    // More offline work after the restart, then reintegrate over a healed
+    // link. The pushed state differs from what the recovered intent
+    // covered, so it must not ride the spent seq.
+    rig.world.disconnect(rig.client);
+    session
+        .invoke(
+            rig.world.site(rig.client),
+            rig.replica,
+            "add",
+            ObiValue::I64(1),
+        )
+        .unwrap();
+    set_link(&rig.world, rig.client, rig.server, LinkModel::ideal());
+    rig.world.reconnect(rig.client);
+    let report = session.reintegrate(rig.world.site(rig.client));
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(
+        rig.master_value(),
+        2,
+        "post-crash offline mutation must reach the master"
+    );
+    assert_eq!(rig.client_value(), 2);
     obiwan::util::sync::assert_no_lock_order_violations();
 }
 

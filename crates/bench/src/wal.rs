@@ -164,6 +164,7 @@ pub fn recovery_bench(cfg: &WalConfig) -> Vec<RecoveryPoint> {
                     DurableOptions {
                         group_commit: 64,
                         compact_every: 0,
+                        checkpoint_every_rpcs: 0,
                     },
                 )
                 .expect("open fresh");
@@ -181,6 +182,7 @@ pub fn recovery_bench(cfg: &WalConfig) -> Vec<RecoveryPoint> {
                 DurableOptions {
                     group_commit: 64,
                     compact_every: 0,
+                    checkpoint_every_rpcs: 0,
                 },
             )
             .expect("reopen");

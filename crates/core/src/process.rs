@@ -1181,7 +1181,25 @@ impl ObiProcess {
     /// "at any time, both replicas, the master and the local, can be freely
     /// invoked" (§2.1).
     pub fn invoke_rmi(&self, target: &RemoteRef, method: &str, args: ObiValue) -> Result<ObiValue> {
-        self.shared.client.invoke(target, method, args)
+        let reply = self.shared.client.invoke(target, method, args)?;
+        self.note_rpc_checkpoint()?;
+        Ok(reply)
+    }
+
+    /// Counts one confirmed non-put RPC toward the durability layer's
+    /// periodic `ClientState` checkpoint (see
+    /// `DurableOptions::checkpoint_every_rpcs`). Puts refresh the persisted
+    /// watermark on their own confirm path; invokes burn request seqs
+    /// invisibly, so without this an RPC-heavy life between puts would lean
+    /// on `SEQ_EPOCH_SKIP` alone to keep recovered seqs collision-free.
+    fn note_rpc_checkpoint(&self) -> Result<()> {
+        if let Some(durable) = self.shared.durable.get() {
+            durable.note_confirmed_rpc(
+                self.shared.client.request_seq(),
+                self.shared.client.horizon_tracker().horizon(),
+            )?;
+        }
+        Ok(())
     }
 
     // -- update traffic -------------------------------------------------------

@@ -1,0 +1,380 @@
+//! A hand-rolled Rust lexer — the single place where strings, raw strings,
+//! char literals, comments and nested block comments are understood.
+//!
+//! Everything above this layer (the line rules, the item model, the lock
+//! graph) consumes [`Token`]s or the [`masked_lines`] projection; nothing
+//! else in the crate ever re-derives "is this byte inside a string?".
+//!
+//! Guarantees (property-tested in `src/proptests.rs`):
+//!
+//! * [`lex`] never panics, for any input;
+//! * token spans are adjacent and exhaustive: concatenating
+//!   `&src[t.start..t.end]` over all tokens reproduces the input byte-for-
+//!   byte;
+//! * every span lies on `char` boundaries.
+//!
+//! The lexer is deliberately *lossless and forgiving*: unterminated strings
+//! or comments extend to end of input instead of erroring, because the
+//! analyzer must degrade gracefully on mid-edit source.
+
+/// Token classification. Everything the rules care about is either a
+/// comment (for `lint:allow`), a literal (to be masked), or code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Spaces, tabs, newlines, carriage returns.
+    Whitespace,
+    /// `// …` up to (not including) the newline.
+    LineComment,
+    /// `/* … */`, nesting handled; unterminated runs to end of input.
+    BlockComment,
+    /// `"…"` with escapes; may span lines; unterminated runs to EOI.
+    Str,
+    /// `r"…"`, `r#"…"#`, … (any hash depth); `b`-prefixed too.
+    RawStr,
+    /// `'x'`, `'\n'`, `'\u{1F4A9}'`.
+    Char,
+    /// `'ident` (no closing quote): a lifetime or loop label.
+    Lifetime,
+    /// Identifier or keyword (including `r#ident` raw identifiers).
+    Ident,
+    /// Numeric literal (integers, floats, suffixes — one blob).
+    Number,
+    /// Any single other character (operators, brackets, `;`, …).
+    Punct,
+}
+
+/// One lexeme: classification plus byte span plus the 1-based line its
+/// first byte sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Kind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into a lossless token stream. Never panics; see module docs
+/// for the invariants.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::with_capacity(src.len() / 4 + 8),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always advance");
+            self.out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances over exactly one `char`, maintaining the line counter.
+    fn bump_char(&mut self) {
+        let b = self.bytes[self.pos];
+        if b == b'\n' {
+            self.line += 1;
+        }
+        if b < 0x80 {
+            self.pos += 1;
+        } else {
+            // Multi-byte UTF-8: skip the continuation bytes.
+            let mut n = self.pos + 1;
+            while n < self.bytes.len() && (self.bytes[n] & 0xC0) == 0x80 {
+                n += 1;
+            }
+            self.pos = n;
+        }
+    }
+
+    fn next_kind(&mut self) -> Kind {
+        let b = self.bytes[self.pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                    self.bump_char();
+                }
+                Kind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|c| c != b'\n') {
+                    self.bump_char();
+                }
+                Kind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' if self.raw_string_ahead() => self.raw_string(),
+            b'b' if self.peek(1) == Some(b'"') => {
+                self.bump_char(); // the b prefix, then the plain string
+                self.string()
+            }
+            _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                // `r#ident` raw identifiers (raw *strings* were ruled out
+                // above).
+                if b == b'r' && self.peek(1) == Some(b'#') {
+                    self.bump_char();
+                    self.bump_char();
+                }
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+                {
+                    self.bump_char();
+                }
+                Kind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                // One blob: digits, radix prefixes, `_`, `.` in floats,
+                // exponents, suffixes. Precision beyond "this is a number"
+                // is not needed; `1.method()` never lexes the dot into the
+                // number because we only take a `.` when a digit follows.
+                while let Some(c) = self.peek(0) {
+                    if c == b'_' || c.is_ascii_alphanumeric() {
+                        self.bump_char();
+                    } else if c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                        self.bump_char();
+                    } else {
+                        break;
+                    }
+                }
+                Kind::Number
+            }
+            _ => {
+                self.bump_char();
+                Kind::Punct
+            }
+        }
+    }
+
+    fn block_comment(&mut self) -> Kind {
+        self.bump_char(); // '/'
+        self.bump_char(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 && self.pos < self.bytes.len() {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_char();
+                    self.bump_char();
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_char();
+                    self.bump_char();
+                }
+                _ => self.bump_char(),
+            }
+        }
+        Kind::BlockComment
+    }
+
+    fn string(&mut self) -> Kind {
+        self.bump_char(); // opening '"'
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => {
+                    self.bump_char();
+                    if self.pos < self.bytes.len() {
+                        self.bump_char();
+                    }
+                }
+                b'"' => {
+                    self.bump_char();
+                    return Kind::Str;
+                }
+                _ => self.bump_char(),
+            }
+        }
+        Kind::Str // unterminated: runs to end of input
+    }
+
+    /// At a `r` or `b`: does a raw string (`r"`, `r#"`, `br#"` …) start
+    /// here?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = self.pos;
+        if self.bytes.get(i) == Some(&b'b') {
+            i += 1;
+        }
+        if self.bytes.get(i) != Some(&b'r') {
+            return false;
+        }
+        i += 1;
+        while self.bytes.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.bytes.get(i) == Some(&b'"')
+    }
+
+    fn raw_string(&mut self) -> Kind {
+        if self.peek(0) == Some(b'b') {
+            self.bump_char();
+        }
+        self.bump_char(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump_char();
+        }
+        self.bump_char(); // opening '"'
+        while let Some(c) = self.peek(0) {
+            self.bump_char();
+            if c == b'"' {
+                let closed = (0..hashes).all(|k| self.peek(k) == Some(b'#'));
+                if closed {
+                    for _ in 0..hashes {
+                        self.bump_char();
+                    }
+                    return Kind::RawStr;
+                }
+            }
+        }
+        Kind::RawStr // unterminated
+    }
+
+    fn char_or_lifetime(&mut self) -> Kind {
+        // A quote is a char literal if it closes: `'x'`, `'\…'`; otherwise
+        // it introduces a lifetime/label (`'a`, `'static`, `'_`).
+        self.bump_char(); // opening '\''
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump_char();
+                if self.pos < self.bytes.len() {
+                    self.bump_char(); // the escaped char
+                }
+                while let Some(c) = self.peek(0) {
+                    self.bump_char();
+                    if c == b'\'' {
+                        break;
+                    }
+                }
+                Kind::Char
+            }
+            Some(c) if c != b'\'' => {
+                // One char then ideally a closing quote. `'a'` → Char;
+                // `'a` / `'static` → Lifetime.
+                let ident_start = c == b'_' || c.is_ascii_alphabetic() || c >= 0x80;
+                self.bump_char();
+                if self.peek(0) == Some(b'\'') && !(ident_start && self.ident_continues(1)) {
+                    self.bump_char();
+                    return Kind::Char;
+                }
+                if self.peek(0) == Some(b'\'') {
+                    // `'a'` where `a` is also an ident char: still a char
+                    // literal (lifetimes are never immediately re-quoted).
+                    self.bump_char();
+                    return Kind::Char;
+                }
+                if ident_start {
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+                    {
+                        self.bump_char();
+                    }
+                    Kind::Lifetime
+                } else {
+                    // `'+` or similar malformed input: degrade to Punct-ish
+                    // lifetime, never panic.
+                    Kind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `''` — empty char literal (malformed); consume the quote.
+                self.bump_char();
+                Kind::Char
+            }
+            None => Kind::Lifetime, // lone trailing quote
+        }
+    }
+
+    fn ident_continues(&self, ahead: usize) -> bool {
+        self.peek(ahead)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+    }
+}
+
+/// Projects the token stream onto per-line "code only" text: comments,
+/// string/raw-string literals and char literals are blanked to spaces
+/// (newlines preserved), everything else is copied verbatim. Line structure
+/// is preserved exactly — every output line has the same char count as its
+/// source line — so `masked[i]` aligns with source line `i + 1` and column
+/// positions stay meaningful.
+///
+/// This is the projection the per-line rules consume; unlike the old
+/// line-oriented `sanitize()`, a string literal spanning lines (legal Rust)
+/// is masked on every line it covers.
+pub fn masked_lines(src: &str, tokens: &[Token]) -> Vec<String> {
+    let mut out = String::with_capacity(src.len());
+    for t in tokens {
+        let text = t.text(src);
+        match t.kind {
+            Kind::LineComment
+            | Kind::BlockComment
+            | Kind::Str
+            | Kind::RawStr
+            | Kind::Char => blank_preserving_newlines(text, &mut out),
+            _ => out.push_str(text),
+        }
+    }
+    out.lines().map(str::to_owned).collect()
+}
+
+fn blank_preserving_newlines(text: &str, out: &mut String) {
+    for c in text.chars() {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+}
+
+/// Iterator helper: indices of non-trivia tokens (everything except
+/// whitespace and comments), in order. The model and the analyses walk
+/// these.
+pub fn significant(tokens: &[Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                Kind::Whitespace | Kind::LineComment | Kind::BlockComment
+            )
+        })
+        .map(|(i, _)| i)
+        .collect()
+}

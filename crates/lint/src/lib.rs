@@ -15,23 +15,38 @@
 //! | `metrics-coverage`           | every counter in `util::metrics` is incremented somewhere |
 //! | `error-variant-coverage`     | every `ObiError` variant is constructed somewhere    |
 //! | `no-unwrap-on-lock-or-decode`| no `unwrap()`/`expect()` on lock or decode results outside tests |
+//! | `lock-order-cycle`           | no A→B/B→A lock-class inversion anywhere in the static lock-order graph |
+//! | `wal-intent-lifecycle`       | every path past `log_put_intent` retires the intent or hands the seq upward |
+//! | `allow-without-rationale`    | every `lint:allow` carries a rationale after the `(rule)` closer |
 //!
 //! A finding on line `N` is suppressed when line `N` or `N-1` carries a
-//! `// lint:allow(<rule-id>)` comment. Allows are per-rule, never blanket.
+//! `// lint:allow(<rule-id>)` comment. Allows are per-rule, never blanket,
+//! and must state *why* (enforced by `allow-without-rationale`).
 //!
-//! Being a token scanner, the analyzer is deliberately *under*-approximate:
-//! it reasons about guards bound by simple `let g = x.lock();` statements and
-//! same-expression chains, not about guards smuggled through function
-//! parameters or non-trivial patterns. That bias is intentional — every
-//! diagnostic it produces is worth reading, and the dynamic `lockcheck`
-//! detector in `obiwan-util` covers the flows the scanner cannot see.
+//! Since the token-stream port, the crate is layered (see DESIGN.md §4f):
+//! [`lexer`] produces a lossless token stream (strings/comments/char
+//! literals decided once, correctly), [`model`] recovers fn bodies, impl
+//! blocks and test regions, [`callgraph`] resolves calls by name across the
+//! workspace, and [`lockgraph`]/[`lifecycle`] run the two interprocedural
+//! analyses on top. The per-line rules consume [`lexer::masked_lines`],
+//! which kills the string/comment false-positive class the old `sanitize()`
+//! line heuristics were prone to (e.g. tokens inside multi-line string
+//! literals, which plain strings *can* be in Rust).
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// All rule identifiers, as used in diagnostics and `lint:allow(...)`.
+pub mod callgraph;
+pub mod lexer;
+pub mod lifecycle;
+pub mod lockgraph;
+pub mod model;
+
+use callgraph::Unit;
+
+/// All rule identifiers, as used in diagnostics and `lint:allow(...)` markers.
 pub const RULE_GUARD_ACROSS_TRANSPORT: &str = "guard-across-transport";
 pub const RULE_SINGLE_SHARD_GUARD: &str = "single-shard-guard";
 pub const RULE_NO_IO_UNDER_SHARD_GUARD: &str = "no-io-under-shard-guard";
@@ -39,6 +54,9 @@ pub const RULE_WIRE_TAG_COVERAGE: &str = "wire-tag-coverage";
 pub const RULE_METRICS_COVERAGE: &str = "metrics-coverage";
 pub const RULE_ERROR_VARIANT_COVERAGE: &str = "error-variant-coverage";
 pub const RULE_NO_UNWRAP: &str = "no-unwrap-on-lock-or-decode";
+pub const RULE_LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
+pub const RULE_WAL_INTENT_LIFECYCLE: &str = "wal-intent-lifecycle";
+pub const RULE_ALLOW_AUDIT: &str = "allow-without-rationale";
 
 /// Method-call tokens that acquire a lock guard. Empty parens are part of
 /// the token so `stream.write_all(..)` or `file.read(&mut buf)` never match.
@@ -96,9 +114,11 @@ impl SourceFile {
 }
 
 /// Walks the workspace collecting every `.rs` file the rules should see:
-/// `crates/*` (except `crates/lint` itself, whose source is made of rule
-/// tokens), the root package's `src/`, plus `tests/`, `examples/` and
-/// `benches/`. `vendor/` and `target/` are never scanned.
+/// `crates/*` (including `crates/lint` itself — the analyzer is
+/// self-hosting now that allows and literals are decided on the token
+/// stream), the root package's `src/`, plus `tests/`, `examples/` and
+/// `benches/`. `vendor/`, `target/` and `fixtures/` trees (seeded-violation
+/// test data) are never scanned.
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
     for top in ["crates", "src", "tests", "examples", "benches"] {
@@ -118,10 +138,11 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name == "vendor" || name.starts_with('.') {
-                continue;
-            }
-            if path == root.join("crates").join("lint") {
+            if name == "target"
+                || name == "vendor"
+                || name == "fixtures"
+                || name.starts_with('.')
+            {
                 continue;
             }
             walk(root, &path, out)?;
@@ -139,23 +160,42 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
     Ok(())
 }
 
+/// Parses every file once into the shared token/model representation the
+/// rules consume.
+fn parse_units(files: &[SourceFile]) -> Vec<Unit> {
+    files
+        .iter()
+        .map(|f| Unit::parse(PathBuf::from(&f.path), f.path.clone(), f.text.clone()))
+        .collect()
+}
+
 /// Runs every rule over `files`, drops `lint:allow`-suppressed findings, and
 /// returns the rest ordered by (file, line).
 pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
-    let prepared: Vec<Prepared> = files.iter().map(Prepared::new).collect();
+    let units = parse_units(files);
+    let prepared: Vec<Prepared> = units.iter().map(Prepared::new).collect();
     let mut diags = Vec::new();
     for p in &prepared {
         diags.extend(guard_across_transport(p));
         diags.extend(single_shard_guard(p));
         diags.extend(no_io_under_shard_guard(p));
         diags.extend(no_unwrap_on_lock_or_decode(p));
+        diags.extend(allow_without_rationale(p));
     }
     diags.extend(wire_tag_coverage(&prepared));
     diags.extend(metrics_coverage(&prepared));
     diags.extend(error_variant_coverage(&prepared));
+    diags.extend(lockgraph::build(&units).cycle_diagnostics());
+    diags.extend(lifecycle::check(&units));
     diags.retain(|d| !is_allowed(&prepared, d));
     diags.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     diags
+}
+
+/// Builds the static lock-order graph for `files` (the `LOCK_GRAPH.json`
+/// payload; see [`lockgraph`]).
+pub fn lock_graph(files: &[SourceFile]) -> lockgraph::LockGraph {
+    lockgraph::build(&parse_units(files))
 }
 
 /// Convenience: scan + check.
@@ -179,27 +219,58 @@ pub fn default_root() -> PathBuf {
 // Preprocessing
 // ---------------------------------------------------------------------------
 
-/// A file plus its comment/string-stripped lines and test-module mask.
+/// One `lint:allow(<rule>)` marker, extracted from a comment token. An
+/// allow suppresses findings on its own line and the line below.
+struct Allow {
+    rule: String,
+    /// 1-based line of the `lint:allow` text itself.
+    line: usize,
+    /// Whether rationale text follows the `(rule)` closer.
+    has_rationale: bool,
+}
+
+/// A file plus its literal-masked lines, test mask, and extracted allows —
+/// the view the per-line rules consume. Derived entirely from the [`lexer`]
+/// token stream and the [`model`] item model.
 struct Prepared {
     path: String,
-    /// Raw lines (for `lint:allow` lookup).
-    raw: Vec<String>,
-    /// Lines with comments and string/char literal contents blanked out.
+    /// Lines with comments and string/char literal contents blanked out
+    /// (line structure preserved; see [`lexer::masked_lines`]).
     code: Vec<String>,
-    /// `true` for lines inside a `#[cfg(test)] mod` block.
+    /// `true` for lines inside a `#[cfg(test)] mod` block or a
+    /// `#[test]`-attributed fn.
     in_test_mod: Vec<bool>,
+    allows: Vec<Allow>,
 }
 
 impl Prepared {
-    fn new(file: &SourceFile) -> Self {
-        let raw: Vec<String> = file.text.lines().map(str::to_owned).collect();
-        let code = sanitize(&file.text);
-        let in_test_mod = test_mod_mask(&code);
+    fn new(unit: &Unit) -> Self {
+        let code = lexer::masked_lines(&unit.src, &unit.tokens);
+        let mut in_test_mod = vec![false; code.len()];
+        let mut mark = |a: u32, b: u32| {
+            let a = a.saturating_sub(1) as usize;
+            for idx in a..(b as usize).min(in_test_mod.len()) {
+                in_test_mod[idx] = true;
+            }
+        };
+        for &(a, b) in &unit.model.test_regions {
+            mark(a, b);
+        }
+        for f in &unit.model.fns {
+            if f.in_test {
+                let end = unit
+                    .tokens
+                    .get(f.body.1)
+                    .map(|t| t.line)
+                    .unwrap_or(u32::MAX);
+                mark(f.line, end);
+            }
+        }
         Prepared {
-            path: file.path.clone(),
-            raw,
+            path: unit.rel.clone(),
             code,
             in_test_mod,
+            allows: extract_allows(&unit.src, &unit.tokens),
         }
     }
 
@@ -214,207 +285,43 @@ impl Prepared {
     }
 }
 
-/// Blanks out comments and the contents of string/char literals, preserving
-/// line structure so token offsets stay meaningful.
-fn sanitize(text: &str) -> Vec<String> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum St {
-        Code,
-        Block(u32),
-        Str,
-        RawStr(u32),
-    }
-    let mut st = St::Code;
+/// Extracts `lint:allow(<rule>)` markers from comment tokens. Allows are
+/// recognized *only* in comments — a `lint:allow(` inside a string literal
+/// (this crate's own source is full of them) is data, not a suppression.
+fn extract_allows(src: &str, tokens: &[lexer::Token]) -> Vec<Allow> {
+    const NEEDLE: &str = "lint:allow(";
     let mut out = Vec::new();
-    for line in text.lines() {
-        let mut buf = String::with_capacity(line.len());
-        let chars: Vec<char> = line.chars().collect();
-        let mut i = 0;
-        while i < chars.len() {
-            let c = chars[i];
-            match st {
-                St::Block(depth) => {
-                    if c == '*' && chars.get(i + 1) == Some(&'/') {
-                        st = if depth == 1 { St::Code } else { St::Block(depth - 1) };
-                        buf.push_str("  ");
-                        i += 2;
-                        continue;
-                    }
-                    if c == '/' && chars.get(i + 1) == Some(&'*') {
-                        st = St::Block(depth + 1);
-                        buf.push_str("  ");
-                        i += 2;
-                        continue;
-                    }
-                    buf.push(' ');
-                    i += 1;
-                }
-                St::Str => {
-                    if c == '\\' {
-                        buf.push_str("  ");
-                        i += 2;
-                        continue;
-                    }
-                    if c == '"' {
-                        st = St::Code;
-                        buf.push('"');
-                    } else {
-                        buf.push(' ');
-                    }
-                    i += 1;
-                }
-                St::RawStr(hashes) => {
-                    if c == '"' {
-                        let close = (0..hashes as usize)
-                            .all(|k| chars.get(i + 1 + k) == Some(&'#'));
-                        if close {
-                            st = St::Code;
-                            buf.push('"');
-                            for _ in 0..hashes {
-                                buf.push(' ');
-                            }
-                            i += 1 + hashes as usize;
-                            continue;
-                        }
-                    }
-                    buf.push(' ');
-                    i += 1;
-                }
-                St::Code => {
-                    if c == '/' && chars.get(i + 1) == Some(&'/') {
-                        break; // line comment: drop the rest of the line
-                    }
-                    if c == '/' && chars.get(i + 1) == Some(&'*') {
-                        st = St::Block(1);
-                        buf.push_str("  ");
-                        i += 2;
-                        continue;
-                    }
-                    if c == 'r'
-                        && !prev_is_ident(&chars, i)
-                        && raw_str_hashes(&chars, i).is_some()
-                    {
-                        let hashes = raw_str_hashes(&chars, i).unwrap();
-                        st = St::RawStr(hashes);
-                        buf.push('"');
-                        for _ in 0..(1 + hashes as usize) {
-                            buf.push(' ');
-                        }
-                        i += 2 + hashes as usize;
-                        continue;
-                    }
-                    if c == '"' {
-                        st = St::Str;
-                        buf.push('"');
-                        i += 1;
-                        continue;
-                    }
-                    if c == '\'' {
-                        if let Some(len) = char_literal_len(&chars, i) {
-                            buf.push('\'');
-                            for _ in 0..len - 1 {
-                                buf.push(' ');
-                            }
-                            i += len;
-                            continue;
-                        }
-                        // Lifetime marker: keep as-is.
-                        buf.push('\'');
-                        i += 1;
-                        continue;
-                    }
-                    buf.push(c);
-                    i += 1;
-                }
-            }
+    for t in tokens {
+        if !matches!(t.kind, lexer::Kind::LineComment | lexer::Kind::BlockComment) {
+            continue;
         }
-        if st == St::Str {
-            // Plain string literals cannot span lines unless escaped; treat
-            // a trailing escape as continuing.
-            if !line.trim_end().ends_with('\\') {
-                st = St::Code;
-            }
+        let text = t.text(src);
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(NEEDLE) {
+            let rule_start = from + pos + NEEDLE.len();
+            let Some(close) = text[rule_start..].find(')') else {
+                break;
+            };
+            let rule = text[rule_start..rule_start + close].trim().to_string();
+            let line = t.line as usize + text[..from + pos].matches('\n').count();
+            let after = &text[rule_start + close + 1..];
+            let rationale_region = match after.find(NEEDLE) {
+                Some(next) => &after[..next],
+                None => after,
+            };
+            let has_rationale = rationale_region
+                .trim_end_matches("*/")
+                .chars()
+                .any(|c| c.is_alphanumeric());
+            out.push(Allow {
+                rule,
+                line,
+                has_rationale,
+            });
+            from = rule_start + close + 1;
         }
-        out.push(buf);
     }
     out
-}
-
-fn prev_is_ident(chars: &[char], i: usize) -> bool {
-    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
-}
-
-/// If `chars[i..]` starts a raw string (`r"`, `r#"`, ...), returns the hash
-/// count.
-fn raw_str_hashes(chars: &[char], i: usize) -> Option<u32> {
-    debug_assert_eq!(chars[i], 'r');
-    let mut j = i + 1;
-    let mut hashes = 0u32;
-    while chars.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    (chars.get(j) == Some(&'"')).then_some(hashes)
-}
-
-/// If `chars[i..]` (starting at `'`) is a char literal, returns its total
-/// length including quotes; `None` for lifetimes.
-fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
-    debug_assert_eq!(chars[i], '\'');
-    match chars.get(i + 1)? {
-        '\\' => {
-            // Escaped: scan to the closing quote.
-            let mut j = i + 2;
-            while j < chars.len() && chars[j] != '\'' {
-                j += 1;
-            }
-            (j < chars.len()).then_some(j - i + 1)
-        }
-        _ => (chars.get(i + 2) == Some(&'\'')).then_some(3),
-    }
-}
-
-/// Marks lines belonging to `#[cfg(test)] mod … { … }` blocks.
-fn test_mod_mask(code: &[String]) -> Vec<bool> {
-    let mut mask = vec![false; code.len()];
-    let mut depth: i32 = 0;
-    let mut pending_attr = false;
-    // (depth the test mod opened at) for the innermost active test mod.
-    let mut test_open: Option<i32> = None;
-    for (idx, line) in code.iter().enumerate() {
-        let trimmed = line.trim();
-        if let Some(open) = test_open {
-            mask[idx] = true;
-            depth += brace_delta(line);
-            if depth <= open {
-                test_open = None;
-            }
-            continue;
-        }
-        if trimmed.contains("#[cfg(test)]") {
-            pending_attr = true;
-            depth += brace_delta(line);
-            continue;
-        }
-        if pending_attr {
-            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
-                let open = depth;
-                mask[idx] = true;
-                depth += brace_delta(line);
-                if depth > open {
-                    test_open = Some(open);
-                }
-                pending_attr = false;
-                continue;
-            }
-            // Other attributes may sit between #[cfg(test)] and `mod`.
-            if !trimmed.starts_with("#[") && !trimmed.is_empty() {
-                pending_attr = false;
-            }
-        }
-        depth += brace_delta(line);
-    }
-    mask
 }
 
 fn brace_delta(code_line: &str) -> i32 {
@@ -433,19 +340,37 @@ fn find_token(line: &str, tokens: &[&'static str]) -> Option<&'static str> {
     tokens.iter().copied().find(|t| line.contains(t))
 }
 
-/// `lint:allow(rule)` on the diagnostic's line or the line above suppresses
-/// it.
+/// `lint:allow(rule)` in a comment on the diagnostic's line or the line
+/// above suppresses it.
 fn is_allowed(prepared: &[Prepared], d: &Diagnostic) -> bool {
-    let needle = format!("lint:allow({})", d.rule);
-    prepared
+    prepared.iter().find(|p| p.path == d.file).is_some_and(|p| {
+        p.allows
+            .iter()
+            .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Rule: allow-without-rationale
+// ---------------------------------------------------------------------------
+
+/// Every `lint:allow` is a hole in an invariant; a hole with no explanation
+/// cannot be audited. Text after the `(rule)` closer is the rationale.
+fn allow_without_rationale(p: &Prepared) -> Vec<Diagnostic> {
+    p.allows
         .iter()
-        .find(|p| p.path == d.file)
-        .is_some_and(|p| {
-            let idx = d.line.saturating_sub(1);
-            let here = p.raw.get(idx).is_some_and(|l| l.contains(&needle));
-            let above = idx > 0 && p.raw[idx - 1].contains(&needle);
-            here || above
+        .filter(|a| !a.has_rationale)
+        .map(|a| Diagnostic {
+            file: p.path.clone(),
+            line: a.line,
+            rule: RULE_ALLOW_AUDIT,
+            message: format!(
+                "`lint:allow({})` has no rationale — state why the `{}` \
+                 invariant holds here, after the closing paren",
+                a.rule, a.rule
+            ),
         })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -1114,5 +1039,7 @@ fn error_variant_coverage(prepared: &[Prepared]) -> Vec<Diagnostic> {
     diags
 }
 
+#[cfg(test)]
+mod proptests;
 #[cfg(test)]
 mod tests;

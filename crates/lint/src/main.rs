@@ -5,25 +5,66 @@
 //! cargo run -p obiwan-lint            # analyze the containing workspace
 //! cargo run -p obiwan-lint -- <dir>   # analyze another tree (used by CI
 //!                                     # and the fixture tests)
+//! cargo run -p obiwan-lint -- --emit-lock-graph LOCK_GRAPH.json
+//!                                     # also write the static lock graph
+//! cargo run -p obiwan-lint -- --budget-ms 5000
+//!                                     # fail if the full run exceeds 5 s
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(obiwan_lint::default_root);
-    let diags = match obiwan_lint::run(&root) {
-        Ok(d) => d,
+    let mut root: Option<PathBuf> = None;
+    let mut emit: Option<PathBuf> = None;
+    let mut budget_ms: Option<u128> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--emit-lock-graph" => match args.next() {
+                Some(p) => emit = Some(PathBuf::from(p)),
+                None => return usage("--emit-lock-graph needs a path"),
+            },
+            "--budget-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => budget_ms = Some(ms),
+                None => return usage("--budget-ms needs a number"),
+            },
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => return usage("at most one root directory"),
+        }
+    }
+    let root = root.unwrap_or_else(obiwan_lint::default_root);
+
+    let started = Instant::now();
+    let files = match obiwan_lint::scan_workspace(&root) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("obiwan-lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let diags = obiwan_lint::check(&files);
+    if let Some(path) = emit {
+        let json = obiwan_lint::lock_graph(&files).to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("obiwan-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("obiwan-lint: lock graph written to {}", path.display());
+    }
+    let elapsed = started.elapsed();
+
     for d in &diags {
         println!("{d}");
+    }
+    if let Some(budget) = budget_ms {
+        let spent = elapsed.as_millis();
+        if spent > budget {
+            eprintln!("obiwan-lint: took {spent} ms, over the {budget} ms budget");
+            return ExitCode::from(2);
+        }
+        println!("obiwan-lint: completed in {spent} ms (budget {budget} ms)");
     }
     if diags.is_empty() {
         println!("obiwan-lint: clean ({})", root.display());
@@ -32,4 +73,11 @@ fn main() -> ExitCode {
         println!("obiwan-lint: {} violation(s)", diags.len());
         ExitCode::FAILURE
     }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "obiwan-lint: {err}\nusage: obiwan-lint [ROOT] [--emit-lock-graph PATH] [--budget-ms N]"
+    );
+    ExitCode::from(2)
 }

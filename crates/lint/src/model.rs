@@ -1,0 +1,387 @@
+//! Lightweight item model: which functions exist, where their bodies are,
+//! which `impl` block they sit in, and which regions are test code.
+//!
+//! This is not a parser — it is a single forward walk over the token
+//! stream tracking brace structure. It recovers exactly the facts the
+//! interprocedural analyses need:
+//!
+//! * every `fn` with a body: name, enclosing `impl` type (if any), the
+//!   token range of the body, signature line;
+//! * test regions: `#[cfg(test)] mod … { … }` blocks and `#[test]` /
+//!   `#[cfg(test)]`-attributed functions.
+//!
+//! Soundness caveats are documented in DESIGN.md §4f: resolution is purely
+//! name-based (no types, no trait dispatch), and `macro_rules!` templates
+//! are walked as ordinary code (their token spans are what `#[track_caller]`
+//! reports for macro-expanded acquisitions, so treating them as code keeps
+//! the static lock graph aligned with runtime sites).
+
+use crate::lexer::{Kind, Token};
+
+/// One function (or method) with a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare name (`put_inner`, `lock_pair`, …).
+    pub name: String,
+    /// Enclosing `impl` type name, if inside an `impl` block.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body **contents**: `body.0` is the index of
+    /// the opening `{`, `body.1` the index of its matching `}` (both in the
+    /// full token slice the model was built from).
+    pub body: (usize, usize),
+    /// True when this fn is test code: inside a `#[cfg(test)] mod`, or
+    /// carrying a `#[test]` / `#[cfg(test)]` attribute itself.
+    pub in_test: bool,
+    /// True when the *return type* (after `->`) mentions a `*Guard*` type —
+    /// the only fns whose acquisitions can outlive their own call statement
+    /// (the lock graph's virtual-hold mechanism keys on this). Parameters
+    /// don't count: `fn reindex(&self, g: &mut ShardGuard)` borrows a
+    /// guard, it does not hand a new one back.
+    pub returns_guard: bool,
+}
+
+/// The item model of one file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    pub fns: Vec<FnItem>,
+    /// Line ranges (1-based, inclusive) that are test code.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl FileModel {
+    /// Whether the 1-based `line` lies in a test region.
+    pub fn line_in_test(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&line))
+    }
+}
+
+/// Builds the item model for one tokenized file.
+pub fn build(src: &str, tokens: &[Token]) -> FileModel {
+    let sig: Vec<usize> = crate::lexer::significant(tokens);
+    let mut model = FileModel::default();
+
+    // Context stack entry: what the brace at this depth belongs to.
+    #[derive(Debug)]
+    enum Ctx {
+        Impl(String),
+        TestMod,
+        Other,
+    }
+    let mut stack: Vec<Ctx> = Vec::new();
+    // Attributes seen since the last item/statement boundary.
+    let mut pending_attrs: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < sig.len() {
+        let t = &tokens[sig[i]];
+        match t.kind {
+            Kind::Punct => {
+                let c = t.text(src);
+                match c {
+                    "#" => {
+                        // `#[ … ]` (or `#![ … ]`): record the attribute text.
+                        if let Some((attr, next)) = attribute_text(src, tokens, &sig, i) {
+                            pending_attrs.push(attr);
+                            i = next;
+                            continue;
+                        }
+                        i += 1;
+                    }
+                    "{" => {
+                        stack.push(Ctx::Other);
+                        pending_attrs.clear();
+                        i += 1;
+                    }
+                    "}" => {
+                        if let Some(Ctx::TestMod) = stack.last() {
+                            // close handled below via region tracking
+                        }
+                        if let Some(ctx) = stack.pop() {
+                            if let Ctx::TestMod = ctx {
+                                // The region end was recorded when opened.
+                            }
+                        }
+                        pending_attrs.clear();
+                        i += 1;
+                    }
+                    ";" => {
+                        pending_attrs.clear();
+                        i += 1;
+                    }
+                    _ => {
+                        i += 1;
+                    }
+                }
+            }
+            Kind::Ident => match t.text(src) {
+                "impl" => {
+                    let (ty, open) = impl_header(src, tokens, &sig, i);
+                    match open {
+                        Some(open_idx) => {
+                            stack.push(Ctx::Impl(ty.unwrap_or_default()));
+                            pending_attrs.clear();
+                            i = open_idx + 1;
+                        }
+                        None => i += 1,
+                    }
+                }
+                "mod" => {
+                    let is_test = pending_attrs.iter().any(|a| a.contains("cfg(test)"));
+                    // `mod name ;` (out-of-line) or `mod name { … }`.
+                    let mut j = i + 1;
+                    // skip the name
+                    if j < sig.len() && tokens[sig[j]].kind == Kind::Ident {
+                        j += 1;
+                    }
+                    match sig.get(j).map(|&k| tokens[k].text(src)) {
+                        Some("{") => {
+                            if is_test {
+                                let close = matching_brace(src, tokens, &sig, j);
+                                let start_line = t.line;
+                                let end_line = close
+                                    .map(|c| tokens[sig[c]].line)
+                                    .unwrap_or(u32::MAX);
+                                model.test_regions.push((start_line, end_line));
+                                stack.push(Ctx::TestMod);
+                            } else {
+                                stack.push(Ctx::Other);
+                            }
+                            pending_attrs.clear();
+                            i = j + 1;
+                        }
+                        _ => {
+                            pending_attrs.clear();
+                            i = j;
+                        }
+                    }
+                }
+                "fn" => {
+                    let fn_line = t.line;
+                    let is_test_fn = pending_attrs
+                        .iter()
+                        .any(|a| a.contains("cfg(test)") || a == "test");
+                    pending_attrs.clear();
+                    let Some(&name_idx) = sig.get(i + 1) else {
+                        i += 1;
+                        continue;
+                    };
+                    if tokens[name_idx].kind != Kind::Ident {
+                        i += 1;
+                        continue;
+                    }
+                    let name = tokens[name_idx].text(src).to_string();
+                    // Scan for the body `{` (or a `;` for body-less trait
+                    // items) at bracket depth 0 of the signature.
+                    let mut depth = 0i32;
+                    let mut j = i + 2;
+                    let mut body = None;
+                    while let Some(&k) = sig.get(j) {
+                        let tt = &tokens[k];
+                        if tt.kind == Kind::Punct {
+                            match tt.text(src) {
+                                "(" | "[" => depth += 1,
+                                ")" | "]" => depth -= 1,
+                                "{" if depth <= 0 => {
+                                    body = Some(j);
+                                    break;
+                                }
+                                ";" if depth <= 0 => break,
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                    match body {
+                        Some(open) => {
+                            let close = matching_brace(src, tokens, &sig, open)
+                                .unwrap_or(sig.len() - 1);
+                            let in_test = is_test_fn
+                                || stack.iter().any(|c| matches!(c, Ctx::TestMod));
+                            let impl_type = stack.iter().rev().find_map(|c| match c {
+                                Ctx::Impl(ty) if !ty.is_empty() => Some(ty.clone()),
+                                _ => None,
+                            });
+                            let arrow = (i + 2..open.saturating_sub(1)).find(|&q| {
+                                tokens[sig[q]].text(src) == "-"
+                                    && tokens[sig[q + 1]].text(src) == ">"
+                            });
+                            let returns_guard = arrow.is_some_and(|a| {
+                                (a + 2..open).any(|q| {
+                                    let tt = &tokens[sig[q]];
+                                    tt.kind == Kind::Ident
+                                        && tt.text(src).contains("Guard")
+                                })
+                            });
+                            model.fns.push(FnItem {
+                                name,
+                                impl_type,
+                                line: fn_line,
+                                body: (sig[open], sig[close]),
+                                in_test,
+                                returns_guard,
+                            });
+                            // Continue scanning *inside* the body too:
+                            // nested fns and closures contain items the
+                            // analyses may care about; the simple stack
+                            // keeps contexts straight.
+                            stack.push(Ctx::Other);
+                            i = open + 1;
+                        }
+                        None => i = j + 1,
+                    }
+                }
+                _ => {
+                    // An ident that is not an item keyword consumes any
+                    // stale attributes (e.g. `#[derive(..)] struct S;`).
+                    if !matches!(t.text(src), "pub" | "unsafe" | "const" | "async" | "extern")
+                    {
+                        pending_attrs.clear();
+                    }
+                    i += 1;
+                }
+            },
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    model
+}
+
+/// At `sig[i]` == `#`: returns the attribute's inner text (tokens between
+/// `[` and its matching `]`, concatenated) and the sig-index just past it.
+fn attribute_text(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    i: usize,
+) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    // optional `!` for inner attributes
+    if sig
+        .get(j)
+        .is_some_and(|&k| tokens[k].text(src) == "!")
+    {
+        j += 1;
+    }
+    if !sig
+        .get(j)
+        .is_some_and(|&k| tokens[k].text(src) == "[")
+    {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut text = String::new();
+    while let Some(&k) = sig.get(j) {
+        let t = &tokens[k];
+        if t.kind == Kind::Punct {
+            match t.text(src) {
+                "[" => {
+                    depth += 1;
+                    if depth == 1 {
+                        j += 1;
+                        continue;
+                    }
+                }
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((text, j + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if depth >= 1 {
+            text.push_str(t.text(src));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// For `impl … {`: returns the implemented type's name (last path ident of
+/// the self-type — the segment after `for` when present) and the sig-index
+/// of the opening `{`.
+fn impl_header(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    i: usize,
+) -> (Option<String>, Option<usize>) {
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut after_for = false;
+    let mut last_ident: Option<String> = None;
+    let mut last_ident_after_for: Option<String> = None;
+    while let Some(&k) = sig.get(j) {
+        let t = &tokens[k];
+        match t.kind {
+            Kind::Punct => match t.text(src) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle <= 0 => {
+                    let ty = last_ident_after_for.or(last_ident);
+                    return (ty, Some(j));
+                }
+                ";" => return (None, None),
+                _ => {}
+            },
+            Kind::Ident => {
+                let text = t.text(src);
+                match text {
+                    "for" if angle <= 0 => after_for = true,
+                    "where" if angle <= 0 => {
+                        // Idents after `where` are bounds, not the type.
+                        // Freeze what we have by pretending we are deep in
+                        // generics.
+                        angle += 1_000;
+                    }
+                    _ if angle <= 0 => {
+                        if after_for {
+                            last_ident_after_for = Some(text.to_string());
+                        } else {
+                            last_ident = Some(text.to_string());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, None)
+}
+
+/// From `sig[open]` == `{`: sig-index of the matching `}`.
+pub fn matching_brace(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    open: usize,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while let Some(&k) = sig.get(j) {
+        let t = &tokens[k];
+        if t.kind == Kind::Punct {
+            match t.text(src) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}

@@ -1,0 +1,120 @@
+//! Property tests for the lexer's lossless-stream guarantees (see the
+//! [`crate::lexer`] module docs): no panics on arbitrary input, adjacent and
+//! exhaustive spans on `char` boundaries, reconstruction by concatenation,
+//! and a masking projection that preserves line structure exactly.
+
+use crate::lexer::{self, Kind};
+use proptest::prelude::*;
+
+/// Arbitrary source text, two ways: raw char soup (the vendored proptest
+/// has no `any::<String>()`, so strings are built from `any::<char>()`),
+/// and concatenations of a Rust-flavored alphabet chosen to hit the lexer's
+/// tricky states — quote/hash openers, escapes, comment markers, multibyte
+/// chars. `\r` is filtered only to keep the line-count property simple
+/// (`str::lines` strips `\r` from line ends; masking turns a literal's
+/// `\r` into a space).
+const RUSTY: &[&str] = &[
+    "\"", "'", "r#\"", "\"#", "#", "\\", "\\\"", "//", "/*", "*/", "\n",
+    "b\"", "r\"", "b'", "fn", "{", "}", "(", ")", ";", "ident", "0x1f",
+    "1.5e3", "'a", "'x'", "é", "💥", " ", "r#fn", "lock",
+];
+
+fn arbitrary_source() -> impl Strategy<Value = String> {
+    let rusty = (0usize..RUSTY.len()).prop_map(|i| RUSTY[i]);
+    prop_oneof![
+        proptest::collection::vec(any::<char>(), 0..200)
+            .prop_map(|cs| cs.into_iter().filter(|&c| c != '\r').collect()),
+        proptest::collection::vec(rusty, 0..60).prop_map(|ps| ps.concat()),
+    ]
+}
+
+proptest! {
+    /// `lex` terminates without panicking and its spans tile the input:
+    /// adjacent, exhaustive, on char boundaries, and concatenating every
+    /// token's text reproduces the source byte-for-byte.
+    #[test]
+    fn spans_tile_the_input(src in arbitrary_source()) {
+        let tokens = lexer::lex(&src);
+        let mut pos = 0;
+        for t in &tokens {
+            prop_assert_eq!(t.start, pos, "gap or overlap at byte {}", pos);
+            prop_assert!(t.end > t.start, "empty token at byte {}", pos);
+            prop_assert!(src.is_char_boundary(t.start));
+            prop_assert!(src.is_char_boundary(t.end));
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len(), "tokens do not reach end of input");
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    /// Line numbers are monotone and consistent with the newlines actually
+    /// present in the source before each token.
+    #[test]
+    fn line_numbers_are_consistent(src in arbitrary_source()) {
+        let tokens = lexer::lex(&src);
+        for t in &tokens {
+            let expected = 1 + src[..t.start].matches('\n').count() as u32;
+            prop_assert_eq!(t.line, expected);
+        }
+    }
+
+    /// The masked projection used by the per-line rules preserves line
+    /// structure exactly: same line count as the source, and each masked
+    /// line has the same char count as its source line — so `masked[i]`
+    /// aligns with source line `i + 1` and columns stay meaningful.
+    #[test]
+    fn masking_preserves_line_structure(src in arbitrary_source()) {
+        let tokens = lexer::lex(&src);
+        let masked = lexer::masked_lines(&src, &tokens);
+        let src_lines: Vec<&str> = src.lines().collect();
+        prop_assert_eq!(masked.len(), src_lines.len());
+        for (m, s) in masked.iter().zip(&src_lines) {
+            prop_assert_eq!(m.chars().count(), s.chars().count());
+        }
+    }
+
+    /// Masking only blanks literal/comment interiors — every non-space
+    /// output char exists identically in the source line, and nothing
+    /// inside a string/char/comment token survives.
+    #[test]
+    fn masking_never_invents_code(src in arbitrary_source()) {
+        let tokens = lexer::lex(&src);
+        let masked = lexer::masked_lines(&src, &tokens);
+        let src_lines: Vec<&str> = src.lines().collect();
+        for (m, s) in masked.iter().zip(&src_lines) {
+            for (mc, sc) in m.chars().zip(s.chars()) {
+                prop_assert!(mc == sc || mc == ' ');
+            }
+        }
+    }
+
+    /// `significant` yields strictly increasing indices and never a
+    /// whitespace or comment token.
+    #[test]
+    fn significant_skips_trivia_in_order(src in arbitrary_source()) {
+        let tokens = lexer::lex(&src);
+        let sig = lexer::significant(&tokens);
+        let mut prev: Option<usize> = None;
+        for &i in &sig {
+            prop_assert!(prev.map_or(true, |p| i > p));
+            prop_assert!(!matches!(
+                tokens[i].kind,
+                Kind::Whitespace | Kind::LineComment | Kind::BlockComment
+            ));
+            prev = Some(i);
+        }
+    }
+
+    /// The item model is total: it never panics on arbitrary input, and
+    /// every fn body range it reports is a well-formed token-index pair.
+    #[test]
+    fn model_is_total_on_arbitrary_input(src in arbitrary_source()) {
+        let tokens = lexer::lex(&src);
+        let m = crate::model::build(&src, &tokens);
+        for f in &m.fns {
+            prop_assert!(f.body.0 <= f.body.1);
+            prop_assert!(f.body.1 < tokens.len());
+        }
+    }
+}

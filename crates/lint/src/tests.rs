@@ -157,7 +157,7 @@ fn f(s: &S) {
         r#"
 fn f(s: &S) {
     let guard = s.state.lock();
-    // lint:allow(guard-across-transport)
+    // lint:allow(guard-across-transport) fixture: hold is deliberate here
     s.transport.call(1);
 }
 "#,
@@ -172,7 +172,7 @@ fn allow_for_a_different_rule_does_not_suppress() {
         r#"
 fn f(s: &S) {
     let guard = s.state.lock();
-    s.transport.call(1); // lint:allow(no-unwrap-on-lock-or-decode)
+    s.transport.call(1); // lint:allow(no-unwrap-on-lock-or-decode) wrong rule on purpose
 }
 "#,
     );
@@ -705,6 +705,545 @@ impl ObiError {
     let diags = check(&[err, user]);
     assert_eq!(rules_fired(&diags), vec![RULE_ERROR_VARIANT_COVERAGE]);
     assert!(diags[0].message.contains("`NeverUsed`"));
+}
+
+// -- lock-order-cycle --------------------------------------------------------
+
+#[test]
+fn interprocedural_lock_inversion_is_flagged_at_the_first_site() {
+    // Neither fn acquires both locks directly — the AB/BA pair only exists
+    // through the call graph.
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl Registry {
+    pub fn flush(&self) {
+        let meta = self.meta.lock();
+        self.touch_data();
+        meta.mark();
+    }
+
+    fn touch_data(&self) {
+        self.data.lock().mark();
+    }
+
+    pub fn reindex(&self) {
+        let data = self.data.lock();
+        self.touch_meta();
+        data.mark();
+    }
+
+    fn touch_meta(&self) {
+        self.meta.lock().mark();
+    }
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_LOCK_ORDER_CYCLE]);
+    assert_eq!(diags[0].line, 4);
+    assert!(diags[0].message.contains("Registry::meta"));
+    assert!(diags[0].message.contains("Registry::data"));
+    assert!(diags[0].message.contains("crates/demo/src/lib.rs:4"));
+}
+
+#[test]
+fn consistent_lock_order_is_clean() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl Registry {
+    pub fn flush(&self) {
+        let meta = self.meta.lock();
+        self.touch_data();
+        meta.mark();
+    }
+
+    fn touch_data(&self) {
+        self.data.lock().mark();
+    }
+
+    pub fn reindex(&self) {
+        let meta = self.meta.lock();
+        self.touch_data();
+        meta.mark();
+    }
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn allow_on_the_anchor_line_suppresses_lock_order_cycle() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl Registry {
+    pub fn flush(&self) {
+        // lint:allow(lock-order-cycle) runtime order is fixed by an index comparison
+        let meta = self.meta.lock();
+        self.touch_data();
+        meta.mark();
+    }
+
+    fn touch_data(&self) {
+        self.data.lock().mark();
+    }
+
+    pub fn reindex(&self) {
+        let data = self.data.lock();
+        self.touch_meta();
+        data.mark();
+    }
+
+    fn touch_meta(&self) {
+        self.meta.lock().mark();
+    }
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn spawned_closures_are_a_thread_barrier_not_a_hold() {
+    // `start` holds `meta` textually "across" the spawn, but the closure
+    // body runs on another thread with an empty held set — without the
+    // barrier this would pair with `opposite` into a false AB/BA cycle.
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl Hub {
+    pub fn start(&self) {
+        let g = self.meta.lock();
+        spawn(move || {
+            self.data.lock().touch();
+        });
+        g.mark();
+    }
+
+    pub fn opposite(&self) {
+        let d = self.data.lock();
+        self.grab_meta();
+        d.mark();
+    }
+
+    fn grab_meta(&self) {
+        self.meta.lock().mark();
+    }
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn guard_returning_callee_holds_its_lock_in_the_caller() {
+    // `enter` returns a guard, so its acquisition outlives the call and is
+    // held across `touch_aux` — that direction plus `opposite` is a real
+    // interprocedural inversion the virtual-hold mechanism must see.
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl P {
+    fn enter(&self) -> SpaceGuard<'_> {
+        self.inner.lock()
+    }
+
+    pub fn use_both(&self) {
+        let g = self.enter();
+        self.touch_aux();
+        g.mark();
+    }
+
+    fn touch_aux(&self) {
+        self.aux.lock().mark();
+    }
+
+    pub fn opposite(&self) {
+        let a = self.aux.lock();
+        self.grab_inner();
+        a.mark();
+    }
+
+    fn grab_inner(&self) {
+        self.inner.lock().mark();
+    }
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_LOCK_ORDER_CYCLE]);
+    assert!(diags[0].message.contains("P::inner"));
+    assert!(diags[0].message.contains("P::aux"));
+}
+
+#[test]
+fn data_returning_callee_releases_its_locks_at_the_call() {
+    // `peek_class` let-binds a read guard internally, but returns plain
+    // data: by the time `combine` takes `other`, the classes lock is gone
+    // (the expire-at-`)` mechanism). Only the `opposite` direction exists,
+    // so no cycle.
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl Reg {
+    fn peek_class(&self) -> u32 {
+        let g = self.classes.read();
+        g.val()
+    }
+
+    pub fn combine(&self) -> u32 {
+        self.peek_class() + self.other.lock().val()
+    }
+
+    pub fn opposite(&self) {
+        let o = self.other.lock();
+        let v = self.peek_class();
+        o.put(v);
+    }
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn callee_statement_temps_are_not_held_around_block_heads() {
+    // `flag_now`'s read guard never escapes its own statement in the
+    // callee, so it is not held inside the `if` block — without the
+    // escaping-guard refinement this fabricated classes -> other, closing
+    // a false cycle against `opposite`.
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl Sp {
+    fn flag_now(&self) -> bool {
+        self.classes.read().flagged()
+    }
+
+    pub fn gate(&self) {
+        if self.flag_now() {
+            self.other.lock().mark();
+        }
+    }
+
+    pub fn opposite(&self) {
+        let o = self.other.lock();
+        self.peek();
+        o.mark();
+    }
+
+    fn peek(&self) {
+        self.classes.read().mark();
+    }
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn lock_graph_export_contains_sites_and_edges() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"impl R {
+    pub fn outer(&self) {
+        let g = self.meta.lock();
+        self.inner_take();
+        g.mark();
+    }
+
+    fn inner_take(&self) {
+        self.data.lock().mark();
+    }
+}
+"#,
+    );
+    let g = lock_graph(&[f]);
+    assert_eq!(g.sites.len(), 2);
+    assert_eq!(g.edges.len(), 1);
+    let json = g.to_json();
+    assert!(
+        json.contains("\"edge\": \"crates/demo/src/lib.rs:3 -> crates/demo/src/lib.rs:9\""),
+        "unexpected export:\n{json}"
+    );
+    assert!(json.contains("\"class\": \"R::meta\""));
+    assert!(json.contains("\"class\": \"R::data\""));
+}
+
+// -- wal-intent-lifecycle ----------------------------------------------------
+
+#[test]
+fn unretired_intent_at_the_tail_exit_is_flagged() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+pub fn put(d: &Durable, id: ObjId, state: Frame) -> Status {
+    let seq = d.log_put_intent(id, state.frame_bytes());
+    apply_locally(id, state);
+    let _ = seq;
+    Status::Done
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_WAL_INTENT_LIFECYCLE]);
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].message.contains("unretired intent"));
+}
+
+#[test]
+fn early_return_before_the_confirm_is_flagged() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+pub fn put(d: &Durable, id: ObjId, state: Frame) -> Status {
+    let seq = d.log_put_intent(id, state.frame_bytes());
+    if throttled() {
+        return Status::Busy;
+    }
+    d.log_confirm(seq);
+    Status::Done
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_WAL_INTENT_LIFECYCLE]);
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn confirm_abandon_err_and_handoff_exits_are_sanctioned() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+pub fn confirms(d: &Durable, id: ObjId, state: Frame) -> Status {
+    let seq = d.log_put_intent(id, state.frame_bytes());
+    d.log_confirm(seq);
+    Status::Done
+}
+
+pub fn abandons(d: &Durable, id: ObjId, state: Frame) -> Status {
+    let seq = d.log_put_intent(id, state.frame_bytes());
+    if !apply_checked(id, state) {
+        d.log_put_abandoned(seq);
+        return Status::Failed;
+    }
+    d.log_confirm(seq);
+    Status::Done
+}
+
+pub fn errs(d: &Durable, id: ObjId, state: Frame) -> Result<Status, WalError> {
+    let seq = d.log_put_intent(id, state.frame_bytes())?;
+    if state.oversized() {
+        return Err(WalError::Oversized);
+    }
+    d.log_confirm(seq);
+    Ok(Status::Done)
+}
+
+pub fn hands_off(d: &Durable, id: ObjId, state: Frame) -> PendingPut {
+    let seq = d.log_put_intent(id, state.frame_bytes());
+    PendingPut { id, seq }
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn intent_definition_and_test_code_are_exempt_from_lifecycle() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+impl Durable {
+    pub fn log_put_intent(&self, id: ObjId, state: &[u8]) -> u64 {
+        self.wal.append_intent(id, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn leaky_on_purpose(d: &Durable) {
+        let seq = d.log_put_intent(1, &[]);
+        let _ = seq;
+    }
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+#[test]
+fn allow_suppresses_wal_intent_lifecycle() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+pub fn pinned(d: &Durable, id: ObjId) {
+    // lint:allow(wal-intent-lifecycle) recovery table parks the seq at append time
+    let seq = d.log_put_intent(id, frame());
+    let _ = seq;
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+// -- allow-without-rationale -------------------------------------------------
+
+#[test]
+fn bare_allow_is_flagged_but_still_suppresses_its_target() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let guard = s.state.lock();
+    // lint:allow(guard-across-transport)
+    s.transport.call(1);
+}
+"#,
+    );
+    let diags = check(&[f]);
+    assert_eq!(rules_fired(&diags), vec![RULE_ALLOW_AUDIT]);
+    assert_eq!(diags[0].line, 4);
+    assert!(diags[0].message.contains("guard-across-transport"));
+}
+
+#[test]
+fn rationale_after_the_closing_paren_satisfies_the_audit() {
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        r#"
+fn f(s: &S) {
+    let guard = s.state.lock();
+    /* lint:allow(guard-across-transport) handler never re-enters this lock */
+    s.transport.call(1);
+}
+"#,
+    );
+    assert!(check(&[f]).is_empty());
+}
+
+// -- item model --------------------------------------------------------------
+
+#[test]
+fn returns_guard_keys_on_the_return_type_not_parameters() {
+    let src = r#"
+impl Space {
+    pub fn enter(&self) -> ShardGuard<'_> { self.inner.lock() }
+    pub fn reindex(&self, g: &mut ShardGuard<'_>) { g.mark(); }
+    pub fn count(&self) -> usize { self.inner.lock().len() }
+}
+"#;
+    let tokens = lexer::lex(src);
+    let m = model::build(src, &tokens);
+    let rg: Vec<(&str, bool)> = m
+        .fns
+        .iter()
+        .map(|f| (f.name.as_str(), f.returns_guard))
+        .collect();
+    assert_eq!(
+        rg,
+        vec![("enter", true), ("reindex", false), ("count", false)]
+    );
+}
+
+#[test]
+fn model_recovers_impls_nested_test_mods_and_fn_bodies() {
+    let src = r#"
+impl Wal {
+    pub fn append(&mut self, frame: &[u8]) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn appends() {
+        let w = Wal::default();
+    }
+}
+
+pub fn free_standing() {}
+"#;
+    let tokens = lexer::lex(src);
+    let m = model::build(src, &tokens);
+    let names: Vec<(&str, Option<&str>, bool)> = m
+        .fns
+        .iter()
+        .map(|f| (f.name.as_str(), f.impl_type.as_deref(), f.in_test))
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            ("append", Some("Wal"), false),
+            ("appends", None, true),
+            ("free_standing", None, false),
+        ]
+    );
+    assert!(m.line_in_test(12));
+    assert!(!m.line_in_test(3));
+}
+
+// -- call graph --------------------------------------------------------------
+
+#[test]
+fn short_receivers_prefer_same_file_definitions() {
+    let parse = |rel: &str, src: &str| {
+        callgraph::Unit::parse(std::path::PathBuf::from(rel), rel.into(), src.into())
+    };
+    let sim = parse(
+        "crates/net/src/sim.rs",
+        r#"
+impl SimTransport {
+    pub fn disconnect(&self) { self.topology.write().cut(); }
+    pub fn drive(&self) { helper(|t| t.disconnect()); }
+}
+"#,
+    );
+    let tcp = parse(
+        "crates/net/src/tcp.rs",
+        r#"
+impl TcpTransport {
+    pub fn disconnect(&self) { self.sessions.lock().cut(); }
+}
+"#,
+    );
+    let other = parse("crates/core/src/lib.rs", "pub fn unrelated() {}\n");
+    let units = vec![sim, tcp, other];
+    let graph = callgraph::CallGraph::build(&units);
+    let targets = graph.by_name.get("disconnect").expect("two defs");
+    let q = callgraph::Qualifier::Named("t".into());
+
+    // `|t| t.disconnect()` in sim.rs resolves to sim.rs's definition only.
+    let picked = callgraph::filter_targets(&units, 0, Some("SimTransport"), &q, targets);
+    assert_eq!(picked.len(), 1);
+    assert_eq!(picked[0].0, 0);
+    // The same shape in tcp.rs picks tcp.rs's definition.
+    let picked = callgraph::filter_targets(&units, 1, Some("TcpTransport"), &q, targets);
+    assert_eq!(picked.len(), 1);
+    assert_eq!(picked[0].0, 1);
+    // A file defining no candidate falls back to all of them.
+    let picked = callgraph::filter_targets(&units, 2, None, &q, targets);
+    assert_eq!(picked.len(), 2);
+}
+
+// -- removed false positives -------------------------------------------------
+
+#[test]
+fn multiline_string_literals_do_not_fabricate_guards() {
+    // The pre-token-stream linter sanitized line by line, so the interior
+    // of a multi-line string literal (legal Rust) looked like code — this
+    // exact shape used to flag guard-across-transport. The lexer masks it.
+    let f = lib(
+        "crates/demo/src/lib.rs",
+        "fn f(s: &S) {\n    let doc = \"\n    let guard = s.state.lock();\n    s.transport.call(1, 2, guard.frame());\n    \";\n    s.log(doc);\n}\n",
+    );
+    assert!(check(&[f]).is_empty());
 }
 
 // -- output format -----------------------------------------------------------

@@ -52,7 +52,31 @@ fn bad_tree_fails_with_file_line_diagnostics() {
         stdout.contains("crates/demo/src/lib.rs:34: [no-io-under-shard-guard]"),
         "missing same-statement io diagnostic in:\n{stdout}"
     );
-    assert!(stdout.contains("7 violation(s)"), "count in:\n{stdout}");
+    // The bare allow suppresses its guard-across-transport finding but is
+    // itself flagged by the audit rule.
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:39: [allow-without-rationale]"),
+        "missing allow-audit diagnostic in:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("crates/demo/src/lib.rs:40:"),
+        "the bare allow must still suppress its target finding in:\n{stdout}"
+    );
+    // Interprocedural seeds: the AB/BA inversion only exists through the
+    // call graph, and both unretired-intent shapes anchor at the intent.
+    assert!(
+        stdout.contains("crates/demo/src/locks.rs:9: [lock-order-cycle]"),
+        "missing lock-order-cycle diagnostic in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/demo/src/intent.rs:6: [wal-intent-lifecycle]"),
+        "missing tail-exit intent diagnostic in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/demo/src/intent.rs:13: [wal-intent-lifecycle]"),
+        "missing early-return intent diagnostic in:\n{stdout}"
+    );
+    assert!(stdout.contains("11 violation(s)"), "count in:\n{stdout}");
 }
 
 #[test]

@@ -1,0 +1,19 @@
+//! Seeded `wal-intent-lifecycle` violations: one intent is dropped on the
+//! floor before the tail exit, another before an early `return`. Neither
+//! path confirms, abandons, nor hands the pending seq upward.
+
+pub fn put_forgets_retirement(d: &Durable, id: ObjId, state: Frame) -> Status {
+    let seq = d.log_put_intent(id, state.frame_bytes());
+    apply_locally(id, state);
+    let _ = seq;
+    Status::Done
+}
+
+pub fn put_early_return_skips_confirm(d: &Durable, id: ObjId, state: Frame) -> Status {
+    let seq = d.log_put_intent(id, state.frame_bytes());
+    if throttled() {
+        return Status::Busy;
+    }
+    d.log_confirm(seq);
+    Status::Done
+}

@@ -1,0 +1,27 @@
+//! Seeded interprocedural lock-order inversion: `flush` holds `meta` while
+//! its callee acquires `data`, and `reindex` holds `data` while its callee
+//! acquires `meta` — the AB/BA pair `lock-order-cycle` must flag. Neither
+//! function acquires both locks directly; the cycle only exists through the
+//! call graph.
+
+impl Registry {
+    pub fn flush(&self) {
+        let meta = self.meta.lock();
+        self.touch_data();
+        meta.mark_flushed();
+    }
+
+    fn touch_data(&self) {
+        self.data.lock().clear();
+    }
+
+    pub fn reindex(&self) {
+        let data = self.data.lock();
+        self.touch_meta();
+        data.rebuild();
+    }
+
+    fn touch_meta(&self) {
+        self.meta.lock().bump_epoch();
+    }
+}

@@ -1,0 +1,35 @@
+//! Compliant `wal-intent-lifecycle` shapes: confirm on the happy path,
+//! abandon on failure, `Err`-shaped early exits (recovery replays or
+//! abandons a pending intent with full knowledge), and handing the pending
+//! put upward so the caller inherits the retirement obligation.
+
+pub fn put_confirms(d: &Durable, id: ObjId, state: Frame) -> Status {
+    let seq = d.log_put_intent(id, state.frame_bytes());
+    apply_locally(id, state);
+    d.log_confirm(seq);
+    Status::Done
+}
+
+pub fn put_abandons_on_failure(d: &Durable, id: ObjId, state: Frame) -> Status {
+    let seq = d.log_put_intent(id, state.frame_bytes());
+    if !apply_checked(id, state) {
+        d.log_put_abandoned(seq);
+        return Status::Failed;
+    }
+    d.log_confirm(seq);
+    Status::Done
+}
+
+pub fn put_propagates_errors(d: &Durable, id: ObjId, state: Frame) -> Result<Status, WalError> {
+    let seq = d.log_put_intent(id, state.frame_bytes())?;
+    if state.oversized() {
+        return Err(WalError::Oversized);
+    }
+    d.log_confirm(seq);
+    Ok(Status::Done)
+}
+
+pub fn put_hands_off(d: &Durable, id: ObjId, state: Frame) -> PendingPut {
+    let seq = d.log_put_intent(id, state.frame_bytes());
+    PendingPut { id, seq }
+}

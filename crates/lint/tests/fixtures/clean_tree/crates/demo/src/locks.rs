@@ -1,0 +1,21 @@
+//! Consistent-order counterpart of the bad tree's seeded inversion: every
+//! path acquires `meta` before `data`, so the static lock-order graph has
+//! edges in one direction only and `lock-order-cycle` stays quiet.
+
+impl Registry {
+    pub fn flush(&self) {
+        let meta = self.meta.lock();
+        self.touch_data();
+        meta.mark_flushed();
+    }
+
+    fn touch_data(&self) {
+        self.data.lock().clear();
+    }
+
+    pub fn reindex(&self) {
+        let meta = self.meta.lock();
+        self.touch_data();
+        meta.bump_epoch();
+    }
+}

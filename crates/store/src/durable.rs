@@ -68,6 +68,14 @@ pub struct DurableOptions {
     /// Compact (snapshot + truncate WAL) once this many records have been
     /// appended since the last snapshot. `0` disables auto-compaction.
     pub compact_every: u64,
+    /// Log a `ClientState` checkpoint once this many confirmed RPCs have
+    /// been counted via [`Durable::note_confirmed_rpc`] since the last
+    /// checkpoint. Requests other than puts burn sequence numbers without
+    /// logging them (recovery invariant 3), so between checkpoints the
+    /// restored counter relies on [`SEQ_EPOCH_SKIP`] alone; this bounds
+    /// the unlogged drift of an RPC-heavy life to N instead of a whole
+    /// session. `0` disables periodic checkpoints.
+    pub checkpoint_every_rpcs: u64,
 }
 
 impl Default for DurableOptions {
@@ -75,6 +83,7 @@ impl Default for DurableOptions {
         DurableOptions {
             group_commit: 8,
             compact_every: 1024,
+            checkpoint_every_rpcs: 64,
         }
     }
 }
@@ -140,6 +149,7 @@ struct Mirror {
     pending_puts: BTreeMap<ObjId, PendingPut>,
     client: Option<(u64, u64)>, // (next_seq, horizon)
     records_since_compact: u64,
+    rpcs_since_checkpoint: u64,
     max_seen_seq: u64,
 }
 
@@ -236,6 +246,7 @@ pub struct Durable {
     wal: Wal,
     mirror: Mutex<Mirror>,
     compact_every: u64,
+    checkpoint_every_rpcs: u64,
 }
 
 impl Durable {
@@ -293,6 +304,7 @@ impl Durable {
             storage,
             mirror: Mutex::new(mirror),
             compact_every: opts.compact_every,
+            checkpoint_every_rpcs: opts.checkpoint_every_rpcs,
         });
         Ok((durable, recovered))
     }
@@ -362,6 +374,29 @@ impl Durable {
         self.log(WalRecord::ClientState { next_seq, horizon })
     }
 
+    /// Counts one confirmed RPC against the periodic-checkpoint budget;
+    /// every `checkpoint_every_rpcs`-th call logs a `ClientState` record
+    /// carrying the watermark passed in. Returns whether a checkpoint was
+    /// written.
+    ///
+    /// Puts persist the watermark on their own confirm path; this exists
+    /// for the RPCs that don't (invokes, demands, refreshes), so a long
+    /// RPC-heavy life between puts keeps its unlogged seq drift bounded by
+    /// N rather than leaning on [`SEQ_EPOCH_SKIP`] for the whole session.
+    pub fn note_confirmed_rpc(&self, next_seq: u64, horizon: u64) -> Result<bool> {
+        if self.checkpoint_every_rpcs == 0 {
+            return Ok(false);
+        }
+        let mut mirror = self.mirror.lock();
+        mirror.rpcs_since_checkpoint += 1;
+        if mirror.rpcs_since_checkpoint < self.checkpoint_every_rpcs {
+            return Ok(false);
+        }
+        mirror.rpcs_since_checkpoint = 0;
+        self.log_locked(&mut mirror, WalRecord::ClientState { next_seq, horizon })?;
+        Ok(true)
+    }
+
     /// Forces all buffered records durable now (group commit cut short).
     pub fn commit(&self) -> Result<()> {
         self.wal.commit()
@@ -403,11 +438,18 @@ impl Durable {
 
     fn log(&self, record: WalRecord) -> Result<()> {
         let mut mirror = self.mirror.lock();
+        self.log_locked(&mut mirror, record)
+    }
+
+    /// Append + mirror under an already-held mirror guard (the lock is not
+    /// re-entrant, so paths that inspect the mirror before logging go
+    /// through here).
+    fn log_locked(&self, mirror: &mut Mirror, record: WalRecord) -> Result<()> {
         self.wal.append(&record.encode())?;
         mirror.apply(&record);
         mirror.records_since_compact += 1;
         if self.compact_every > 0 && mirror.records_since_compact >= self.compact_every {
-            self.compact_locked(&mut mirror)?;
+            self.compact_locked(mirror)?;
         }
         Ok(())
     }
@@ -456,6 +498,7 @@ mod tests {
             DurableOptions {
                 group_commit: 4,
                 compact_every: 0,
+                checkpoint_every_rpcs: 0,
             },
         )
         .unwrap()
@@ -648,6 +691,7 @@ mod tests {
             DurableOptions {
                 group_commit: 1,
                 compact_every: 10,
+                checkpoint_every_rpcs: 0,
             },
         )
         .unwrap();
@@ -659,6 +703,49 @@ mod tests {
         assert!(left > 0 && mem.len(SNAP_FILE).unwrap() > 0);
         let (_d2, recovered) = open(&mem);
         assert_eq!(recovered.dirty[&oid(2, 5)].1.version, 24);
+    }
+
+    #[test]
+    fn every_nth_confirmed_rpc_checkpoints_the_client_watermark() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = Durable::open(
+                mem.clone() as Arc<dyn Storage>,
+                DurableOptions {
+                    group_commit: 1,
+                    compact_every: 0,
+                    checkpoint_every_rpcs: 4,
+                },
+            )
+            .unwrap();
+            // Three RPCs: under budget, nothing logged.
+            for seq in 1..=3 {
+                assert!(!d.note_confirmed_rpc(seq, 0).unwrap());
+            }
+            assert_eq!(d.wal_len().unwrap(), 0, "no checkpoint before the 4th RPC");
+            // The 4th writes the checkpoint with the watermark it was given.
+            assert!(d.note_confirmed_rpc(44, 40).unwrap());
+            // The counter resets: three more stay quiet, the next fires.
+            for seq in 45..=47 {
+                assert!(!d.note_confirmed_rpc(seq, 40).unwrap());
+            }
+            assert!(d.note_confirmed_rpc(88, 80).unwrap());
+        }
+        let (_d, recovered) = open(&mem);
+        // Recovery restores the *latest* checkpointed watermark, epoch-
+        // skipped as usual (invariant 3).
+        assert_eq!(recovered.next_request_seq, 88 + SEQ_EPOCH_SKIP);
+        assert_eq!(recovered.horizon, 80);
+    }
+
+    #[test]
+    fn zero_disables_periodic_checkpoints() {
+        let mem = Arc::new(MemStorage::new());
+        let (d, _) = open(&mem); // the test helper opens with 0
+        for seq in 1..=100 {
+            assert!(!d.note_confirmed_rpc(seq, 0).unwrap());
+        }
+        assert_eq!(d.wal_len().unwrap(), 0);
     }
 
     #[test]

@@ -230,6 +230,34 @@ pub fn violations() -> Vec<Violation> {
     with_state(|st| st.violations.clone())
 }
 
+/// Snapshot of every held → acquired edge observed so far, as
+/// `(held "file:line", acquired "file:line")` pairs, sorted and
+/// deduplicated.
+///
+/// `Location::file()` yields workspace-relative paths for workspace code,
+/// the same `file:line` site form the static lock graph exported by
+/// `obiwan-lint --emit-lock-graph` uses — which is what lets
+/// [`crate::sync::assert_observed_edges_in_static_graph`] compare the two
+/// records with plain string equality.
+pub fn observed_edges() -> Vec<(String, String)> {
+    with_state(|st| {
+        let mut out: Vec<(String, String)> = st
+            .edges
+            .values()
+            .flat_map(HashMap::values)
+            .map(|e| {
+                (
+                    format!("{}:{}", e.held_site.file(), e.held_site.line()),
+                    format!("{}:{}", e.acquire_site.file(), e.acquire_site.line()),
+                )
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    })
+}
+
 /// Panics with every recorded violation if any lock-order inversion has been
 /// observed. Call at the end of an integration/chaos test.
 pub fn assert_no_violations() {

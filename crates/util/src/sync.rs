@@ -41,6 +41,95 @@ pub fn assert_no_lock_order_violations() {
     crate::lockcheck::assert_no_violations();
 }
 
+/// Asserts every held → acquired lock edge the runtime detector has
+/// observed between *library* sites appears in the committed static lock
+/// graph (`LOCK_GRAPH.json` at the workspace root, exported by
+/// `obiwan-lint --emit-lock-graph`).
+///
+/// This is the runtime ⊆ static cross-check: the static analysis claims to
+/// over-approximate every ordering the library can exhibit, and the chaos /
+/// integration suites end by holding it to that claim. Two edge families
+/// are exempt by construction:
+///
+/// * edges with either site outside the statically analyzed scope — test
+///   binaries and benches create their own locks (including deliberately
+///   seeded inversions in `tests/lockcheck_detector.rs`), and the graph
+///   only covers `crates/*/src` and `src/`, minus `crates/bench` and
+///   `crates/lint` (see `is_lib_rel` in the lint crate);
+/// * same-site edges — one textual site acquiring two sibling locks (the
+///   [`lock_many`] loop). The static graph records the site but never a
+///   self-edge, so these only require the site itself to be known.
+///
+/// Like [`assert_no_lock_order_violations`], this is meaningful only when
+/// [`lockcheck_enabled`] is true; otherwise no edges were recorded and it
+/// trivially passes.
+pub fn assert_observed_edges_in_static_graph() {
+    let observed = crate::lockcheck::observed_edges();
+    if observed.is_empty() {
+        return;
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../LOCK_GRAPH.json");
+    let graph = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {path}: {e}; regenerate with \
+             `cargo run -p obiwan-lint -- --emit-lock-graph LOCK_GRAPH.json`"
+        )
+    });
+
+    // The export is one `{"site": "file:line", ...}` / `{"edge": "a -> b",
+    // ...}` object per line precisely so consumers can use plain string
+    // extraction instead of a vendored JSON parser.
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let rest = &line[line.find(&format!("\"{key}\": \""))? + key.len() + 5..];
+        rest.split('"').next()
+    }
+    let mut sites = std::collections::HashSet::new();
+    let mut edges = std::collections::HashSet::new();
+    for line in graph.lines() {
+        if let Some(s) = field(line, "site") {
+            sites.insert(s.to_string());
+        }
+        if let Some(e) = field(line, "edge") {
+            edges.insert(e.to_string());
+        }
+    }
+
+    // Mirrors `is_lib_rel` in `crates/lint/src/lockgraph.rs`.
+    fn in_static_scope(site: &str) -> bool {
+        let file = site.rsplit_once(':').map_or(site, |(f, _)| f);
+        ((file.starts_with("crates/") && file.contains("/src/")) || file.starts_with("src/"))
+            && !file.starts_with("crates/bench/")
+            && !file.starts_with("crates/lint/")
+    }
+
+    let mut missing = Vec::new();
+    for (held, acquired) in observed {
+        if !in_static_scope(&held) || !in_static_scope(&acquired) {
+            continue;
+        }
+        if held == acquired {
+            if !sites.contains(&held) {
+                missing.push(format!("{held} (same-site sibling acquisition, site unknown)"));
+            }
+            continue;
+        }
+        let key = format!("{held} -> {acquired}");
+        if !edges.contains(&key) {
+            missing.push(key);
+        }
+    }
+    if !missing.is_empty() {
+        panic!(
+            "{} runtime lock edge(s) missing from the static graph ({path}):\n  {}\n\
+             either the static analysis lost an edge (fix crates/lint) or the \
+             committed graph is stale (regenerate with \
+             `cargo run -p obiwan-lint -- --emit-lock-graph LOCK_GRAPH.json`)",
+            missing.len(),
+            missing.join("\n  ")
+        );
+    }
+}
+
 /// Write-locks two locks from the same indexed family (e.g. two shards of a
 /// striped table) in **index order**, returning the guards in argument
 /// order.
@@ -54,7 +143,11 @@ pub fn lock_pair<'a, T>(
     (ib, b): (usize, &'a RwLock<T>),
 ) -> (RwLockWriteGuard<'a, T>, RwLockWriteGuard<'a, T>) {
     assert_ne!(ia, ib, "lock_pair needs two distinct indices");
+    // The two branches acquire a/b in opposite textual order on purpose:
+    // the `ia < ib` comparison makes the runtime order always
+    // ascending-by-index, which a name-based analysis cannot see.
     if ia < ib {
+        // lint:allow(lock-order-cycle) runtime order is index-ascending by the branch condition above
         let ga = a.write();
         let gb = b.write();
         (ga, gb)

@@ -286,6 +286,7 @@ proptest! {
         // Every lock taken during the run fed the lock-order graph; any
         // inversion the interleaving exposed is a latent deadlock.
         obiwan::util::sync::assert_no_lock_order_violations();
+        obiwan::util::sync::assert_observed_edges_in_static_graph();
     }
 }
 
@@ -331,4 +332,5 @@ fn a_known_nasty_sequence() {
     }
     chaos.check_convergence();
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }

@@ -117,6 +117,7 @@ fn duplicate_increments_racing_across_workers_apply_exactly_once() {
     let snap = rig.provider.metrics().snapshot();
     assert_eq!(snap.cached_replies, ROUNDS * (RACERS as u64 - 1));
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
     rig.mem.shutdown();
 }
 
@@ -159,6 +160,7 @@ fn duplicate_put_write_backs_leave_one_state() {
         ObiValue::I64(42)
     );
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
     rig.mem.shutdown();
 }
 
@@ -207,5 +209,6 @@ fn distinct_requests_across_workers_all_apply() {
     let snap = rig.provider.metrics().snapshot();
     assert_eq!(snap.cached_replies, 0, "no duplicates were sent");
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
     rig.mem.shutdown();
 }

@@ -212,6 +212,7 @@ fn local_invocation_completes_while_a_fault_is_in_flight() {
     assert!(snap.lmi_count >= 2, "lmi_count = {}", snap.lmi_count);
     assert!(snap.fault_nanos > 0 || snap.demand_round_trips > 0);
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }
 
 #[test]
@@ -248,4 +249,5 @@ fn concurrent_faults_from_two_threads_both_resolve() {
         .collect();
     assert_eq!(values, vec![ObiValue::I64(10), ObiValue::I64(20)]);
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }

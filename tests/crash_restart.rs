@@ -16,7 +16,7 @@ use obiwan::core::demo::Counter;
 use obiwan::core::{ObiValue, ObiWorld, ObjRef, ReplicationMode, RetryPolicy};
 use obiwan::mobility::session::DisconnectedSession;
 use obiwan::net::LinkModel;
-use obiwan::store::{Durable, DurableOptions, MemStorage, Storage, WAL_FILE};
+use obiwan::store::{Durable, DurableOptions, MemStorage, Storage, SEQ_EPOCH_SKIP, WAL_FILE};
 use obiwan::util::SiteId;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -40,6 +40,12 @@ struct Rig {
 /// Builds the rig: a counter mastered at the server, replicated at the
 /// client, with a fresh in-memory durability log attached to the client.
 fn build() -> Rig {
+    build_with(DurableOptions::default())
+}
+
+/// [`build`], with explicit durability tuning (checkpoint cadence tests
+/// need a denominator small enough to hit inside a short test).
+fn build_with(opts: DurableOptions) -> Rig {
     let mut world = ObiWorld::loopback();
     let client = world.add_site("pda");
     let server = world.add_site("server");
@@ -51,11 +57,8 @@ fn build() -> Rig {
         .get(&remote, ReplicationMode::incremental(1))
         .unwrap();
     let storage = Arc::new(MemStorage::new());
-    let (durable, recovered) = Durable::open(
-        storage.clone() as Arc<dyn Storage>,
-        DurableOptions::default(),
-    )
-    .unwrap();
+    let (durable, recovered) =
+        Durable::open(storage.clone() as Arc<dyn Storage>, opts).unwrap();
     assert!(recovered.is_empty());
     world.site(client).attach_durability(durable);
     Rig {
@@ -183,6 +186,7 @@ fn every_crash_offset_mid_disconnection_reintegrates_a_prefix() {
         "an untouched log must recover the whole session"
     );
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }
 
 /// Crash mid-put at every offset between "intent durable" and "confirmation
@@ -280,6 +284,7 @@ fn put_replay_after_crash_is_answered_from_the_reply_cache() {
         "some offset must leave the intent durable but the confirm torn"
     );
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }
 
 /// A put whose reply is lost leaves its intent pending with the seq spent
@@ -337,6 +342,7 @@ fn retry_after_reply_loss_with_new_mutations_takes_a_fresh_seq() {
         "acked state matches the replica, so it is clean"
     );
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }
 
 /// The post-crash flavour of the same bug: a recovered put intent plus new
@@ -390,6 +396,7 @@ fn recovered_intent_with_new_offline_mutations_is_not_marked_clean() {
     );
     assert_eq!(rig.client_value(), 2);
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }
 
 /// Restart in the middle of a conflict story: offline edits survive the
@@ -425,6 +432,65 @@ fn replay_after_restart_resolves_conflicts_exactly_once() {
         "1 (concurrent incr) + 2 (replayed ops), each applied once"
     );
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
+}
+
+/// A long RPC-heavy life between puts: invokes burn request seqs with no
+/// per-request log record, so only the periodic `ClientState` checkpoints
+/// (every N confirmed RPCs, here N = 4) keep the persisted watermark near
+/// the live counter. After a crash the restored counter must clear every
+/// seq the pre-crash life used — post-restart requests have to be new to
+/// the master's reply cache, not answered from stale cached replies.
+#[test]
+fn rpc_heavy_life_is_checkpointed_every_n_confirmed_rpcs() {
+    let mut rig = build_with(DurableOptions {
+        group_commit: 1,
+        compact_every: 0,
+        checkpoint_every_rpcs: 4,
+    });
+    let remote = rig.world.site(rig.client).lookup("c").unwrap();
+    for i in 1..=10i64 {
+        let got = rig
+            .world
+            .site(rig.client)
+            .invoke_rmi(&remote, "add", ObiValue::I64(1))
+            .unwrap();
+        assert_eq!(got, ObiValue::I64(i));
+    }
+
+    // Crash keeping the whole log. Without the periodic checkpoints the
+    // WAL would be empty here — no put ever ran — and recovery would hand
+    // back a fresh low counter colliding with the ten spent seqs.
+    let wal_len = rig.durable().wal_len().unwrap();
+    assert!(wal_len > 0, "checkpoints must have reached the WAL");
+    rig.storage.crash_keeping(WAL_FILE, wal_len);
+    rig.world.restart_site(rig.client);
+    let (durable, recovered) = Durable::open(
+        rig.storage.clone() as Arc<dyn Storage>,
+        DurableOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        recovered.wal_records, 2,
+        "ten confirmed RPCs at N = 4 checkpoint exactly twice"
+    );
+    assert!(recovered.next_request_seq >= SEQ_EPOCH_SKIP);
+    let process = rig.world.site(rig.client);
+    process.attach_durability(durable);
+    process.recover_from(&recovered).unwrap();
+
+    // The restored counter cleared the checkpointed watermark, and the
+    // epoch skip covers the ≤ N seqs burned after the last checkpoint:
+    // fresh requests are new to the reply cache and execute for real.
+    let remote = process.lookup("c").unwrap();
+    assert_eq!(
+        process.invoke_rmi(&remote, "add", ObiValue::I64(1)).unwrap(),
+        ObiValue::I64(11),
+        "post-restart RPC must execute, not replay a stale cached reply"
+    );
+    assert_eq!(rig.master_value(), 11);
+    obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }
 
 /// Case count mirrors tests/chaos.rs: 48 by default, `PROPTEST_CASES` in CI.
@@ -504,5 +570,6 @@ proptest! {
         }
         prop_assert_eq!(rig.master_value(), value);
         obiwan::util::sync::assert_no_lock_order_violations();
+        obiwan::util::sync::assert_observed_edges_in_static_graph();
     }
 }

@@ -116,6 +116,7 @@ fn mixed_workload_under_loss_and_duplication_is_exactly_once() {
     assert!(world.site(c).metrics().snapshot().rpc_retries > 0);
     assert!(world.site(p).metrics().snapshot().cached_replies > 0);
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }
 
 #[test]
@@ -185,6 +186,7 @@ fn partitioned_peer_fails_fast_via_open_breaker_then_recovers() {
     assert_eq!(world.site(c).put(local).unwrap(), 2);
     let _ = ctrs;
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }
 
 #[test]
@@ -234,4 +236,5 @@ fn get_many_under_loss_installs_each_batch_exactly_once() {
         );
     }
     obiwan::util::sync::assert_no_lock_order_violations();
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }

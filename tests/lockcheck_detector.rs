@@ -68,4 +68,9 @@ fn seeded_inversion_is_detected_and_names_both_sites() {
     // The full report names both sites for the human reading the panic.
     assert!(v.message.contains(&format!("{here}:{second_line}:")));
     assert!(v.message.contains(&format!("{here}:{first_line}:")));
+
+    // The seeded inversion lives entirely at `tests/` sites, which the
+    // runtime ⊆ static cross-check exempts by construction — so it must
+    // pass even in the binary that deliberately records an inversion.
+    obiwan::util::sync::assert_observed_edges_in_static_graph();
 }

@@ -26,8 +26,15 @@ use std::time::Duration;
 /// Payload size used by both benches, bytes.
 pub const PAYLOAD_BYTES: usize = 64;
 
-/// Incremental steps the demand bench sweeps.
-pub const DEMAND_STEPS: [usize; 3] = [1, 10, 50];
+/// Incremental steps the demand bench sweeps. 100 and 250 exercise the
+/// streaming reply path well past one chunk (8 objects per frame).
+pub const DEMAND_STEPS: [usize; 5] = [1, 10, 50, 100, 250];
+
+/// Payload sizes the demand bench sweeps at [`PAYLOAD_SWEEP_STEP`].
+pub const PAYLOAD_SWEEP: [usize; 3] = [64, 256, 1024];
+
+/// Incremental step held fixed for the payload sweep.
+pub const PAYLOAD_SWEEP_STEP: usize = 50;
 
 /// Calls per RPC scenario.
 pub const RPC_CALLS: usize = 300;
@@ -63,42 +70,54 @@ impl DemandPoint {
     }
 }
 
-/// Walks the paper's list once per step in [`DEMAND_STEPS`], reading the
-/// per-site latency recorders and counters after each walk.
+/// One full list walk at `step` with `payload`-byte nodes, reading the
+/// per-site latency recorders and counters afterwards.
+fn demand_walk(step: usize, payload: usize) -> DemandPoint {
+    let w = payload_list(LIST_LEN, payload);
+    let site = w.world.site(w.consumer);
+    let before = site.metrics().snapshot();
+    let root = site
+        .get(&w.head, ReplicationMode::incremental(step))
+        .expect("initial get");
+    let mut cur = root;
+    let mut invocations = 0u64;
+    loop {
+        let out = site.invoke(cur, "touch", ObiValue::Null).expect("touch");
+        invocations += 1;
+        match out.as_ref_id() {
+            Some(id) => cur = id.into(),
+            None => break,
+        }
+    }
+    let delta = site.metrics().snapshot().since(&before);
+    let latency = site.metrics().latency_snapshot();
+    DemandPoint {
+        step,
+        elapsed: w.world.clock().elapsed(),
+        invocations,
+        // The initial `get` is a demand round-trip too, but not an
+        // object fault; count it on both sides of the ratio.
+        object_faults: delta.object_faults + 1,
+        round_trips: delta.demand_round_trips,
+        demand: latency.demand,
+        invoke: latency.invoke,
+    }
+}
+
+/// Walks the paper's list once per step in [`DEMAND_STEPS`].
 pub fn demand_bench() -> Vec<DemandPoint> {
     DEMAND_STEPS
         .iter()
-        .map(|&step| {
-            let w = payload_list(LIST_LEN, PAYLOAD_BYTES);
-            let site = w.world.site(w.consumer);
-            let before = site.metrics().snapshot();
-            let root = site
-                .get(&w.head, ReplicationMode::incremental(step))
-                .expect("initial get");
-            let mut cur = root;
-            let mut invocations = 0u64;
-            loop {
-                let out = site.invoke(cur, "touch", ObiValue::Null).expect("touch");
-                invocations += 1;
-                match out.as_ref_id() {
-                    Some(id) => cur = id.into(),
-                    None => break,
-                }
-            }
-            let delta = site.metrics().snapshot().since(&before);
-            let latency = site.metrics().latency_snapshot();
-            DemandPoint {
-                step,
-                elapsed: w.world.clock().elapsed(),
-                invocations,
-                // The initial `get` is a demand round-trip too, but not an
-                // object fault; count it on both sides of the ratio.
-                object_faults: delta.object_faults + 1,
-                round_trips: delta.demand_round_trips,
-                demand: latency.demand,
-                invoke: latency.invoke,
-            }
-        })
+        .map(|&step| demand_walk(step, PAYLOAD_BYTES))
+        .collect()
+}
+
+/// Walks the list at [`PAYLOAD_SWEEP_STEP`] once per payload size in
+/// [`PAYLOAD_SWEEP`]; returns `(payload_bytes, point)` pairs.
+pub fn demand_payload_sweep() -> Vec<(usize, DemandPoint)> {
+    PAYLOAD_SWEEP
+        .iter()
+        .map(|&payload| (payload, demand_walk(PAYLOAD_SWEEP_STEP, payload)))
         .collect()
 }
 
@@ -195,12 +214,34 @@ fn num(v: f64) -> String {
     format!("{v:.4}")
 }
 
-/// `BENCH_demand.json` contents (schema `obiwan-bench-demand/1`).
+fn demand_point_json(p: &DemandPoint) -> String {
+    format!(
+        "{{\"step\": {}, \"elapsed_ms\": {}, \"invocations\": {}, \"ops_per_sec\": {}, \
+         \"object_faults\": {}, \"demand_round_trips\": {}, \"round_trips_per_batch\": {}, \
+         \"demand_p50_ms\": {}, \"demand_p99_ms\": {}, \
+         \"invoke_p50_ms\": {}, \"invoke_p99_ms\": {}}}",
+        p.step,
+        num(ms(p.elapsed)),
+        p.invocations,
+        num(p.ops_per_sec()),
+        p.object_faults,
+        p.round_trips,
+        num(p.round_trips_per_batch()),
+        num(ms(p.demand.quantile(0.5))),
+        num(ms(p.demand.quantile(0.99))),
+        num(ms(p.invoke.quantile(0.5))),
+        num(ms(p.invoke.quantile(0.99))),
+    )
+}
+
+/// `BENCH_demand.json` contents (schema `obiwan-bench-demand/2`: adds the
+/// payload sweep and the 100/250 streaming steps).
 pub fn bench_demand_json() -> String {
     let points = demand_bench();
+    let sweep = demand_payload_sweep();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"obiwan-bench-demand/1\",\n");
+    out.push_str("  \"schema\": \"obiwan-bench-demand/2\",\n");
     out.push_str("  \"clock\": \"virtual\",\n");
     let _ = writeln!(
         out,
@@ -208,25 +249,22 @@ pub fn bench_demand_json() -> String {
     );
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
+        let _ = write!(out, "    {}", demand_point_json(p));
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"payload_sweep_step\": {PAYLOAD_SWEEP_STEP},"
+    );
+    out.push_str("  \"payload_sweep\": [\n");
+    for (i, (payload, p)) in sweep.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"step\": {}, \"elapsed_ms\": {}, \"invocations\": {}, \"ops_per_sec\": {}, \
-             \"object_faults\": {}, \"demand_round_trips\": {}, \"round_trips_per_batch\": {}, \
-             \"demand_p50_ms\": {}, \"demand_p99_ms\": {}, \
-             \"invoke_p50_ms\": {}, \"invoke_p99_ms\": {}}}",
-            p.step,
-            num(ms(p.elapsed)),
-            p.invocations,
-            num(p.ops_per_sec()),
-            p.object_faults,
-            p.round_trips,
-            num(p.round_trips_per_batch()),
-            num(ms(p.demand.quantile(0.5))),
-            num(ms(p.demand.quantile(0.99))),
-            num(ms(p.invoke.quantile(0.5))),
-            num(ms(p.invoke.quantile(0.99))),
+            "    {{\"payload_bytes\": {payload}, \"point\": {}}}",
+            demand_point_json(p)
         );
-        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -290,9 +328,59 @@ mod tests {
             assert!(p.round_trips_per_batch() >= 0.99, "{}", p.round_trips_per_batch());
         }
         // Bigger steps mean fewer round-trips and more throughput.
-        assert!(points[0].round_trips > points[1].round_trips);
-        assert!(points[1].round_trips > points[2].round_trips);
-        assert!(points[2].ops_per_sec() > points[0].ops_per_sec());
+        for w in points.windows(2) {
+            assert!(
+                w[0].round_trips > w[1].round_trips,
+                "step {} -> {}: round trips must shrink",
+                w[0].step,
+                w[1].step
+            );
+        }
+        assert!(points.last().unwrap().ops_per_sec() > points[0].ops_per_sec());
+    }
+
+    /// The tentpole property: streaming the reply keeps the caller-visible
+    /// tail flat as the batch grows. One chunk materializes inside the
+    /// fault window regardless of step, so the step-50 p99 stays within 2x
+    /// of step 10 — and each batch still costs one round trip.
+    #[test]
+    fn streaming_keeps_big_step_tails_near_the_small_step_tail() {
+        let points = demand_bench();
+        let p99_at = |step: usize| {
+            points
+                .iter()
+                .find(|p| p.step == step)
+                .expect("step present")
+                .invoke
+                .quantile(0.99)
+        };
+        assert!(
+            p99_at(50) <= 2 * p99_at(10),
+            "invoke p99 step 50 ({:?}) > 2x step 10 ({:?})",
+            p99_at(50),
+            p99_at(10)
+        );
+        for p in &points {
+            let r = p.round_trips_per_batch();
+            assert!(
+                (0.99..=1.05).contains(&r),
+                "step {}: {r} round trips per batch",
+                p.step
+            );
+        }
+    }
+
+    #[test]
+    fn payload_sweep_covers_every_size_at_the_fixed_step() {
+        let sweep = demand_payload_sweep();
+        assert_eq!(sweep.len(), PAYLOAD_SWEEP.len());
+        for ((payload, point), expect) in sweep.iter().zip(PAYLOAD_SWEEP) {
+            assert_eq!(*payload, expect);
+            assert_eq!(point.step, PAYLOAD_SWEEP_STEP);
+            assert_eq!(point.invocations, LIST_LEN as u64);
+        }
+        // Bigger payloads cost serialize/install time: the walk slows down.
+        assert!(sweep[0].1.elapsed < sweep.last().unwrap().1.elapsed);
     }
 
     #[test]

@@ -425,13 +425,21 @@ mod tests {
     fn fig5_series_shows_steps_at_batch_boundaries() {
         let series = fig5_series(64, 100);
         assert_eq!(series.len(), LIST_LEN);
-        // The jump into invocation 101 (fault) dwarfs the step from 101
-        // to 102 (plain LMI).
+        // Step 100 exceeds the reply chunk size, so the batch boundary is
+        // a two-invocation ramp: invocation 101 takes the fault (round
+        // trip + first chunk installed inline), invocation 102 pumps the
+        // parked tail chunks, and from 103 on the walk is plain LMI.
         let fault_jump = series[100].cumulative - series[99].cumulative;
-        let smooth = series[101].cumulative - series[100].cumulative;
+        let pump = series[101].cumulative - series[100].cumulative;
+        let smooth = series[103].cumulative - series[102].cumulative;
         assert!(
             fault_jump > smooth * 100,
             "fault {fault_jump:?} vs smooth {smooth:?}"
+        );
+        assert!(
+            pump > fault_jump,
+            "materializing the 92-object parked tail ({pump:?}) is the bulk \
+             of the batch, deferred out of the fault window ({fault_jump:?})"
         );
     }
 

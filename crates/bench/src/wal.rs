@@ -96,7 +96,7 @@ pub struct RecoveryPoint {
     /// WAL bytes on "disk" at open time.
     pub wal_bytes: u64,
     /// Dirty replicas in the recovered state (bounded by
-    /// [`RECOVERY_OBJECTS`]: later deltas supersede earlier ones).
+    /// `RECOVERY_OBJECTS`: later deltas supersede earlier ones).
     pub dirty_objects: usize,
     /// Wall-clock time for the open (replay + mirror rebuild).
     pub elapsed: Duration,

@@ -1,6 +1,6 @@
 //! The per-site OBIWAN runtime: [`ObiProcess`] and its service endpoint.
 //!
-//! An `ObiProcess` ties together one [`ObjectSpace`], one
+//! An `ObiProcess` ties together one [`crate::space::ObjectSpace`], one
 //! [`RmiClient`], the proxy-in table for objects it
 //! provides, and a [`ConsistencyHook`]. Its public API is the programmer's
 //! view of OBIWAN:
@@ -26,6 +26,7 @@ use crate::space::{GcStats, ObjectEntry, ObjectMeta, ReplicaKind, Resolution, Sp
 use obiwan_net::Transport;
 use obiwan_rmi::{
     BreakerState, Deadline, RemoteRef, RetryPolicy, RmiClient, RmiServer, RmiService,
+    STREAM_CHUNK_OBJECTS,
 };
 use obiwan_store::{state_fingerprint, Durable, RecoveredState};
 use obiwan_util::trace;
@@ -145,6 +146,16 @@ struct ProcessInner {
     cluster_roots: HashMap<ClusterId, ObjId>,
 }
 
+/// One streamed reply chunk parked for deferred materialization (see
+/// [`ProcessShared::pending_chunks`]).
+struct PendingChunk {
+    batch: ReplicaBatch,
+    provider: SiteId,
+    mode: WireMode,
+    /// Position in its stream, carried into the `obi.pump_chunk` span.
+    chunk_index: u32,
+}
+
 struct ProcessShared {
     site: SiteId,
     ns_site: SiteId,
@@ -165,6 +176,15 @@ struct ProcessShared {
     /// arrival order is preserved so an `UpdatePush` following an
     /// `Invalidate` for the same object lands after it, never before.
     inbox: Mutex<VecDeque<(SiteId, Message)>>,
+    /// Chunks after the first of each streamed fault reply, parked here
+    /// (already decoded off the wire) instead of being materialized inside
+    /// the fault window: [`ObiProcess::pump_pending_chunks`] installs them
+    /// at the top of the next public operation, *before* its latency window
+    /// opens, so a large batch's proxy-pair bill never lands in the
+    /// caller-visible tail. Its own lock class, and deliberately a leaf:
+    /// both push (the stream callback) and pop (the pump) release it before
+    /// touching the process lock, a shard, or the transport.
+    pending_chunks: Mutex<VecDeque<PendingChunk>>,
     client: RmiClient,
     clock: Clock,
     costs: CostModel,
@@ -616,6 +636,7 @@ impl ObiProcess {
                 exports: RwLock::new(HashMap::new()),
                 cluster_seq: AtomicU64::new(1),
                 inbox: Mutex::new(VecDeque::new()),
+                pending_chunks: Mutex::new(VecDeque::new()),
                 client,
                 clock,
                 costs,
@@ -855,6 +876,7 @@ impl ObiProcess {
     /// Connectivity errors surface unchanged so the caller can fall back to
     /// an existing (possibly stale) replica.
     pub fn get(&self, remote: &RemoteRef, mode: ReplicationMode) -> Result<ObjRef> {
+        self.pump_pending_chunks();
         if remote.host() == self.shared.site {
             return Ok(ObjRef::new(remote.id()));
         }
@@ -868,7 +890,7 @@ impl ObiProcess {
     /// Caps the bytes of replica state this process keeps. When a batch
     /// pushes past the budget, least-recently-used clean replicas revert to
     /// proxy-outs and fault back in on next use (see
-    /// [`ObjectSpace::evict_replicas_to`]). `None` disables the budget.
+    /// [`crate::space::ObjectSpace::evict_replicas_to`]). `None` disables the budget.
     ///
     /// This serves the paper's "info-appliances with limited memory"
     /// scenario (§2.1): small devices can walk graphs far larger than their
@@ -923,6 +945,7 @@ impl ObiProcess {
     /// Like every prefetch path, the lock is dropped during network waits
     /// and batches are installed through the guarded materializer.
     pub fn prefetch_batched(&self, root: ObjRef, objects: usize, batch: usize) -> Result<usize> {
+        self.pump_pending_chunks();
         let batch = batch.max(1);
         // One deadline budget covers the whole sweep: every round-trip of
         // the pipeline draws from the same per-operation budget instead of
@@ -953,6 +976,7 @@ impl ObiProcess {
     /// arrived or the frontier is exhausted. Use this to warm the whole
     /// working set rather than one root's reachable graph.
     pub fn prefetch_frontier(&self, objects: usize, batch: usize) -> Result<usize> {
+        self.pump_pending_chunks();
         let batch = batch.max(1);
         let deadline = self.demand_deadline();
         let mut seen: HashSet<ObjId> = HashSet::new();
@@ -1033,16 +1057,44 @@ impl ObiProcess {
         let mut inserted = 0usize;
         let mut discovered: Vec<ObjId> = Vec::new();
         for (provider, (targets, own_step)) in grouped {
-            let mode = WireMode::Incremental {
-                batch: own_step.max(spread),
-            };
+            let step = own_step.max(spread);
+            let mode = WireMode::Incremental { batch: step };
             let swizzled = targets.len();
-            let reply = self
-                .shared
-                .client
-                .get_many_with_deadline(provider, targets, mode, Some(deadline))?;
-            discovered.extend(reply.frontier.iter().map(|e| e.target));
-            inserted += self.absorb_prefetched(&reply, provider, mode, swizzled)?;
+            if step > STREAM_CHUNK_OBJECTS {
+                // Large batches stream: each chunk is absorbed as it lands,
+                // pipelined with the provider still slicing the rest.
+                // Prefetch is bulk work, not a caller-visible latency window,
+                // so chunks install inline rather than parking for a pump.
+                let mut absorb_err: Option<ObiError> = None;
+                self.shared.client.get_many_stream_with_deadline(
+                    provider,
+                    targets,
+                    mode,
+                    Some(deadline),
+                    &mut |index, batch| {
+                        discovered.extend(batch.frontier.iter().map(|e| e.target));
+                        let sw = if index == 0 { swizzled } else { 0 };
+                        match self.absorb_prefetched(&batch, provider, mode, sw) {
+                            Ok(n) => inserted += n,
+                            Err(e) => {
+                                if absorb_err.is_none() {
+                                    absorb_err = Some(e);
+                                }
+                            }
+                        }
+                    },
+                )?;
+                if let Some(e) = absorb_err {
+                    return Err(e);
+                }
+            } else {
+                let reply = self
+                    .shared
+                    .client
+                    .get_many_with_deadline(provider, targets, mode, Some(deadline))?;
+                discovered.extend(reply.frontier.iter().map(|e| e.target));
+                inserted += self.absorb_prefetched(&reply, provider, mode, swizzled)?;
+            }
         }
         for proxy in solo {
             let remote = RemoteRef::new(proxy.target, proxy.provider);
@@ -1087,6 +1139,10 @@ impl ObiProcess {
     /// proceed while this one waits on the provider. Nested faults — raised
     /// inside a method body, which owns the lock — still resolve under it.
     pub fn invoke(&self, target: ObjRef, method: &str, args: ObiValue) -> Result<ObiValue> {
+        // Install chunks parked by an earlier streamed fault *before* this
+        // invocation's latency window opens: their cost is real but must
+        // not land in the caller-visible tail.
+        self.pump_pending_chunks();
         let _span = trace::span(&self.shared.clock, "obi.invoke")
             .with_site(self.shared.site)
             .with_obj(target.id());
@@ -1146,7 +1202,14 @@ impl ObiProcess {
     /// Resolves one top-level fault with the process lock released during
     /// the network wait. The time blocked on the provider is recorded in
     /// the `fault_nanos` metric.
+    ///
+    /// Batches larger than [`STREAM_CHUNK_OBJECTS`] arrive as a chunk
+    /// stream ([`resolve_fault_streaming`](Self::resolve_fault_streaming));
+    /// smaller ones keep the cheaper one-shot exchange.
     fn resolve_fault_unlocked(&self, proxy: &ProxyOut) -> Result<()> {
+        if matches!(proxy.mode, WireMode::Incremental { batch } if batch > STREAM_CHUNK_OBJECTS) {
+            return self.resolve_fault_streaming(proxy);
+        }
         let _span = trace::span(&self.shared.clock, "obi.fault")
             .with_site(self.shared.site)
             .with_obj(proxy.target);
@@ -1169,6 +1232,93 @@ impl ObiProcess {
             self.shared.metrics.incr_proxies_reclaimed();
             Ok(())
         })
+    }
+
+    /// Streamed top-level fault resolution: the provider slices the batch
+    /// into chunk frames, and only chunk 0 — which carries the faulted root
+    /// the blocked invocation is waiting on — is materialized inside the
+    /// fault window. Every later chunk is parked in `pending_chunks` as it
+    /// arrives and installed by [`ObiProcess::pump_pending_chunks`] before
+    /// the *next* operation's latency window opens. The caller-visible
+    /// fault cost is thereby one chunk's materialization regardless of the
+    /// batch step — the whole point of the streaming reply protocol.
+    fn resolve_fault_streaming(&self, proxy: &ProxyOut) -> Result<()> {
+        let _span = trace::span(&self.shared.clock, "obi.fault")
+            .with_site(self.shared.site)
+            .with_obj(proxy.target);
+        let deadline = self.demand_deadline();
+        let provider = proxy.provider;
+        let mode = proxy.mode;
+        let start = self.shared.clock.virtual_nanos();
+        let mut inline_result: Result<()> = Ok(());
+        let streamed = self.shared.client.get_many_stream_with_deadline(
+            provider,
+            vec![proxy.target],
+            mode,
+            Some(deadline),
+            &mut |index, batch| {
+                if index == 0 {
+                    // Re-acquire the process lock only for the root's
+                    // chunk; chunk k+1 keeps flowing while this installs.
+                    inline_result = self.with_inner(|inner| {
+                        materialize_batch_guarded(inner, &self.shared, &batch, provider, mode)?;
+                        self.shared.clock.charge_cpu(self.shared.costs.swizzle);
+                        self.shared.metrics.incr_proxies_reclaimed();
+                        Ok(())
+                    });
+                } else {
+                    self.shared.pending_chunks.lock().push_back(PendingChunk {
+                        batch,
+                        provider,
+                        mode,
+                        chunk_index: index,
+                    });
+                }
+            },
+        );
+        let waited = self.shared.clock.virtual_nanos().saturating_sub(start);
+        self.shared.metrics.add_fault_nanos(waited);
+        self.shared
+            .metrics
+            .record_latency(LatencyKind::Demand, Duration::from_nanos(waited));
+        streamed?;
+        inline_result
+    }
+
+    /// Materializes every reply chunk parked by a streamed fault, oldest
+    /// first. Runs at the top of each public operation — before its latency
+    /// window opens — so deferred chunks are installed on the process's own
+    /// time, never inside a caller-visible tail. Also safe to call directly
+    /// (e.g. from an idle loop). Returns how many chunks were installed.
+    pub fn pump_pending_chunks(&self) -> usize {
+        let mut pumped = 0usize;
+        loop {
+            // Pop with the queue lock alone, then release it before taking
+            // the process lock: the queue stays a leaf in the lock order.
+            let Some(chunk) = self.shared.pending_chunks.lock().pop_front() else {
+                break;
+            };
+            let mut span = trace::span(&self.shared.clock, "obi.pump_chunk")
+                .with_site(self.shared.site)
+                .with_obj(chunk.batch.root);
+            span.set_value(chunk.chunk_index as u64);
+            // A failed install (registry mismatch after a class was
+            // swapped, say) drops the chunk: its objects simply fault again
+            // later, exactly as if the chunk had been lost on the wire.
+            let installed = self.with_inner(|inner| {
+                materialize_batch_guarded(
+                    inner,
+                    &self.shared,
+                    &chunk.batch,
+                    chunk.provider,
+                    chunk.mode,
+                )
+            });
+            if installed.is_ok() {
+                pumped += 1;
+            }
+        }
+        pumped
     }
 
     /// One deadline budget for one user-facing demand operation (a fault,
@@ -1216,6 +1366,7 @@ impl ObiProcess {
     /// * [`ObiError::NotReplicated`] / [`ObiError::BadArguments`] — no such
     ///   local replica / target is a master.
     pub fn put(&self, target: ObjRef) -> Result<u64> {
+        self.pump_pending_chunks();
         let _span = trace::span(&self.shared.clock, "obi.put")
             .with_site(self.shared.site)
             .with_obj(target.id());
@@ -1339,6 +1490,7 @@ impl ObiProcess {
     /// Writes a whole cluster back to its provider in one `put` (the only
     /// way to update cluster members).
     pub fn put_cluster(&self, cluster: ClusterId) -> Result<Vec<(ObjId, u64)>> {
+        self.pump_pending_chunks();
         let (provider, entries) = self.with_inner(|_inner| {
             let space = &self.shared.space;
             let members: Vec<ObjId> = space
@@ -1403,6 +1555,7 @@ impl ObiProcess {
     /// Writes every dirty replica back to its master; returns how many
     /// objects were pushed. Dirty cluster members are pushed cluster-wise.
     pub fn put_all_dirty(&self) -> Result<usize> {
+        self.pump_pending_chunks();
         let (dirty_plain, dirty_clusters) = self.with_inner(|_inner| {
             let mut plain = Vec::new();
             let mut clusters = std::collections::BTreeSet::new();
@@ -1436,6 +1589,7 @@ impl ObiProcess {
     /// Re-fetches a replica's state from its master, discarding local
     /// modifications (`IProvide::get` on an existing replica).
     pub fn refresh(&self, target: ObjRef) -> Result<()> {
+        self.pump_pending_chunks();
         let _span = trace::span(&self.shared.clock, "obi.refresh")
             .with_site(self.shared.site)
             .with_obj(target.id());
@@ -1518,6 +1672,7 @@ impl ObiProcess {
     /// new cluster generation); the old id stops resolving. Returns the new
     /// id and the number of members refreshed.
     pub fn refresh_cluster(&self, cluster: ClusterId) -> Result<(ClusterId, usize)> {
+        self.pump_pending_chunks();
         let (provider, root, size) = self.with_inner(|inner| {
             let space = &self.shared.space;
             let members = space
@@ -1666,7 +1821,7 @@ impl ObiProcess {
     }
 
     /// Runs the space's mark-and-sweep (see
-    /// [`ObjectSpace::collect_garbage`]); reclaimed proxies are counted in
+    /// [`crate::space::ObjectSpace::collect_garbage`]); reclaimed proxies are counted in
     /// this process's metrics.
     pub fn collect_garbage(&self, collect_replicas: bool) -> GcStats {
         self.with_inner(|_inner| {
@@ -2059,6 +2214,61 @@ mod tests {
             assert!(world.site(s1).is_replicated(*r));
         }
         // Tail has no frontier; no proxies remain.
+        assert_eq!(world.site(s1).proxy_count(), 0);
+    }
+
+    #[test]
+    fn streamed_fault_parks_tail_chunks_for_the_pump() {
+        let (world, s1, _s2, refs) = list_world(30);
+        let remote = world.site(s1).lookup("head").unwrap();
+        world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(20))
+            .unwrap();
+        // Touching the frontier proxy streams the remaining 10 objects:
+        // chunk 0 (8 objects) installs inline inside the fault window, the
+        // tail chunk parks for the next operation's pump.
+        world
+            .site(s1)
+            .invoke(refs[20], "touch", ObiValue::Null)
+            .unwrap();
+        for r in &refs[20..28] {
+            assert!(world.site(s1).is_replicated(*r));
+        }
+        assert!(!world.site(s1).is_replicated(refs[28]));
+        let pumped = world.site(s1).pump_pending_chunks();
+        assert_eq!(pumped, 1);
+        for r in &refs[20..] {
+            assert!(world.site(s1).is_replicated(*r));
+        }
+        let snap = world.site(s1).metrics().snapshot();
+        assert_eq!(snap.demand_chunks, 2);
+        assert_eq!(snap.replicas_created, 30);
+        // Exactly one streamed round trip resolved the fault.
+        assert_eq!(snap.stream_resumes, 0);
+    }
+
+    #[test]
+    fn public_operations_pump_parked_chunks_before_their_own_window() {
+        let (world, s1, _s2, refs) = list_world(30);
+        let remote = world.site(s1).lookup("head").unwrap();
+        world
+            .site(s1)
+            .get(&remote, ReplicationMode::incremental(20))
+            .unwrap();
+        world
+            .site(s1)
+            .invoke(refs[20], "touch", ObiValue::Null)
+            .unwrap();
+        assert!(!world.site(s1).is_replicated(refs[28]));
+        // Any public entry point drains the queue before doing its work.
+        world
+            .site(s1)
+            .invoke(refs[0], "touch", ObiValue::Null)
+            .unwrap();
+        for r in &refs {
+            assert!(world.site(s1).is_replicated(*r));
+        }
         assert_eq!(world.site(s1).proxy_count(), 0);
     }
 

@@ -1,9 +1,9 @@
-//! The striped object table: [`ObjectSpace`] semantics behind per-shard
+//! The striped object table: [`crate::space::ObjectSpace`] semantics behind per-shard
 //! locks.
 //!
 //! [`ShardedSpace`] splits the slot table into N shards keyed by a
 //! deterministic hash of the [`ObjId`], each behind its own
-//! [`RwLock`](obiwan_util::sync::RwLock) from the workspace lock facade (so
+//! [`obiwan_util::sync::RwLock`] from the workspace lock facade (so
 //! the `lockcheck` detector sees every acquisition). Single-object
 //! operations — resolve, invoke take/restore, replica materialization —
 //! touch exactly one shard, which is what lets many reader threads serve
@@ -19,7 +19,7 @@
 //!   [`obiwan_util::sync::lock_many`], the one sanctioned multi-guard path,
 //!   which also acquires in index order.
 //!
-//! Observational equivalence with the unsharded [`ObjectSpace`] is a tested
+//! Observational equivalence with the unsharded [`crate::space::ObjectSpace`] is a tested
 //! property (`tests/sharded_equivalence.rs`): for any single-threaded op
 //! sequence both tables report the same resolutions, demand batches,
 //! frontier pops, eviction choices and GC stats. The global frontier FIFO is

@@ -39,7 +39,15 @@ use std::path::PathBuf;
 
 /// Method names that mark a transport boundary; never followed (see module
 /// docs — justified by the `guard-across-transport` invariant).
-pub const TRANSPORT_CUT: &[&str] = &["call", "cast", "send", "recv", "handle"];
+pub const TRANSPORT_CUT: &[&str] = &[
+    "call",
+    "cast",
+    "send",
+    "recv",
+    "handle",
+    "call_stream",
+    "handle_stream",
+];
 
 /// Lock-acquisition method names; these are acquire *events*, not calls to
 /// resolve (the lock graph consumes them directly).

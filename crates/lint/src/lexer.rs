@@ -165,9 +165,10 @@ impl<'a> Lexer<'a> {
                 // is not needed; `1.method()` never lexes the dot into the
                 // number because we only take a `.` when a digit follows.
                 while let Some(c) = self.peek(0) {
-                    if c == b'_' || c.is_ascii_alphanumeric() {
-                        self.bump_char();
-                    } else if c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    if c == b'_'
+                        || c.is_ascii_alphanumeric()
+                        || (c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                    {
                         self.bump_char();
                     } else {
                         break;

@@ -71,7 +71,15 @@ const ACQUIRE_TOKENS: &[&str] = &[
 
 /// Method-call tokens that cross a transport / dispatch boundary: a blocking
 /// round trip, a one-way send, or handing a frame to arbitrary handler code.
-const TRANSPORT_TOKENS: &[&str] = &[".call(", ".cast(", ".send(", ".recv(", ".handle("];
+const TRANSPORT_TOKENS: &[&str] = &[
+    ".call(",
+    ".cast(",
+    ".send(",
+    ".recv(",
+    ".handle(",
+    ".call_stream(",
+    ".handle_stream(",
+];
 
 /// One analyzer finding.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -44,9 +44,13 @@
 //!   runtime held-stack is per-thread), and sites that only occur under a
 //!   nested spawn are excluded from the enclosing fn's TA.
 //! * **escaping guards** — only guards that outlive their own statement
-//!   (let-bound, or alive when a block head opens) count as held across a
-//!   callee that can re-enter caller code through a callback; a pure
-//!   statement temp is gone by then.
+//!   (let-bound, or alive when a block head opens) *and* whose fn can
+//!   surface them at callback time — by returning the guard (`enter`,
+//!   `lock_many`) or invoking a closure/fn parameter itself (`with_inner`'s
+//!   `f(…)`) — count as held across a callee that can re-enter caller code
+//!   through a callback. A pure statement temp is gone by then, and a
+//!   lock-update-return fn (`CircuitBreaker::admit`) releases before any
+//!   foreign callback can run.
 //!
 //! Lock *classes* (used for cycle detection only; the JSON subset check
 //! matches raw file:line sites) are named from the receiver chain:
@@ -55,7 +59,7 @@
 //! edges are exempt from the cycle rule — ordering within an indexed family
 //! (shard stripes) is `single-shard-guard`'s business.
 
-use crate::callgraph::{self, CallGraph, FnId, Unit, ACQUIRE_METHODS};
+use crate::callgraph::{self, CallGraph, FnId, Qualifier, Unit, ACQUIRE_METHODS};
 use crate::lexer::Kind;
 use crate::{Diagnostic, RULE_LOCK_ORDER_CYCLE};
 use std::collections::{HashMap, HashSet};
@@ -107,6 +111,11 @@ pub fn build(units: &[Unit]) -> LockGraph {
     Builder::new(units).run()
 }
 
+/// One statement-scoped acquisition during the held-set walk:
+/// `(site, promote, hold, expire)` — see the comment at `stmt` in
+/// [`Builder::walk`] for what each flag means.
+type StmtSite = (usize, bool, bool, Option<usize>);
+
 struct Builder<'a> {
     units: &'a [Unit],
     graph: CallGraph,
@@ -116,10 +125,14 @@ struct Builder<'a> {
     sites: Vec<Site>,
     intern: HashMap<(String, u32, String), usize>,
     edges: HashSet<(usize, usize)>,
-    /// Sites whose guard ever escapes its own statement (let-bound, or
-    /// alive when a block opens). Only these can still be held when a
-    /// callee re-enters caller code through a callback; a pure statement
-    /// temp (`self.classes.read().get(c).cloned()…`) is gone by then.
+    /// Sites whose guard can still be held when a callee re-enters caller
+    /// code through a callback: the guard escapes its own statement
+    /// (let-bound, or alive when a block opens) *and* its fn can actually
+    /// surface it at callback time — by returning the guard (`enter`) or by
+    /// invoking a closure/fn parameter itself (`with_inner`'s `f(…)`). A
+    /// pure statement temp is gone by then, and a fn like
+    /// `CircuitBreaker::admit` that locks, updates and returns plain data
+    /// can never hold its guard while someone else's callback runs.
     escaping: HashSet<usize>,
 }
 
@@ -346,9 +359,48 @@ impl<'a> Builder<'a> {
     /// its own statement — chain-terminal `let`-bound acquisitions, and
     /// acquisitions still live when a block opens (match scrutinees;
     /// `if`-head temps are over-approximated the same way).
+    /// Whether fn `i`'s body contains a bare call (no receiver or path
+    /// qualifier) that resolves to no workspace free fn — the shape of a
+    /// closure or fn-parameter invocation (`f(…)`, `sink(…)`, `drop(g)`).
+    fn invokes_callback(&self, i: usize) -> bool {
+        let id = self.fns[i];
+        let (u, f) = self.unit_of(i);
+        let nested = self.nested_ranges(i);
+        callgraph::calls_in_range(u, f.body.0, f.body.1)
+            .iter()
+            .any(|call| {
+                if call.qualifier != Qualifier::None {
+                    return false;
+                }
+                if nested.iter().any(|&(a, b)| call.token >= a && call.token <= b) {
+                    return false;
+                }
+                match self.graph.by_name.get(call.name) {
+                    None => true,
+                    Some(targets) => callgraph::filter_targets(
+                        self.units,
+                        id.0,
+                        f.impl_type.as_deref(),
+                        &call.qualifier,
+                        targets,
+                    )
+                    .is_empty(),
+                }
+            })
+    }
+
     fn escape_pass(&mut self, i: usize) {
         let id = self.fns[i];
         let (u, f) = self.unit_of(i);
+        // Gate: a guard escapes to callback scope only if this fn can still
+        // be holding it while foreign code runs — it returns the guard
+        // (`enter`, `lock_many`) or invokes a closure/fn parameter itself
+        // (`with_inner`'s `f(…)`). A fn that locks, updates and returns
+        // plain data (`CircuitBreaker::admit`) releases before any callback
+        // elsewhere can observe it, however the guard is bound locally.
+        if !f.returns_guard && !self.invokes_callback(i) {
+            return;
+        }
         let (body0, body1) = f.body;
         let nested = self.nested_ranges(i);
         let sig_len = u.sig.len();
@@ -468,7 +520,7 @@ impl<'a> Builder<'a> {
         // Statement state saved at each `{` and restored at its `}` — an
         // inner block's `;`s must not clear the outer statement's
         // temporaries (`let g = match m.lock() { … };`).
-        let mut saved: Vec<(Vec<(usize, bool, bool, Option<usize>)>, bool)> = Vec::new();
+        let mut saved: Vec<(Vec<StmtSite>, bool)> = Vec::new();
         // Per-statement held sites, each with two liveness flags and an
         // expiry:
         //
@@ -486,7 +538,7 @@ impl<'a> Builder<'a> {
         //   returns, i.e. at its closing `)`: in
         //   `self.registry.decode(x).and(create(y))`, `decode`'s internal
         //   read lock is not held during `create`.
-        let mut stmt: Vec<(usize, bool, bool, Option<usize>)> = Vec::new();
+        let mut stmt: Vec<StmtSite> = Vec::new();
         let mut stmt_is_let = false;
         let mut new_stmt = true;
 
@@ -501,7 +553,7 @@ impl<'a> Builder<'a> {
                 p += 1;
                 continue;
             }
-            stmt.retain(|&(_, _, _, expire)| expire.map_or(true, |x| k <= x));
+            stmt.retain(|&(_, _, _, expire)| expire.is_none_or(|x| k <= x));
             let t = &u.tokens[k];
             let txt = t.text(&u.src);
             if new_stmt {

@@ -97,14 +97,9 @@ pub fn build(src: &str, tokens: &[Token]) -> FileModel {
                         i += 1;
                     }
                     "}" => {
-                        if let Some(Ctx::TestMod) = stack.last() {
-                            // close handled below via region tracking
-                        }
-                        if let Some(ctx) = stack.pop() {
-                            if let Ctx::TestMod = ctx {
-                                // The region end was recorded when opened.
-                            }
-                        }
+                        // A TestMod region's end was recorded when it was
+                        // opened, so closing a scope only pops the context.
+                        stack.pop();
                         pending_attrs.clear();
                         i += 1;
                     }
@@ -268,9 +263,9 @@ fn attribute_text(
     {
         j += 1;
     }
-    if !sig
+    if sig
         .get(j)
-        .is_some_and(|&k| tokens[k].text(src) == "[")
+        .is_none_or(|&k| tokens[k].text(src) != "[")
     {
         return None;
     }

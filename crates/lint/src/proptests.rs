@@ -97,7 +97,7 @@ proptest! {
         let sig = lexer::significant(&tokens);
         let mut prev: Option<usize> = None;
         for &i in &sig {
-            prop_assert!(prev.map_or(true, |p| i > p));
+            prop_assert!(prev.is_none_or(|p| i > p));
             prop_assert!(!matches!(
                 tokens[i].kind,
                 Kind::Whitespace | Kind::LineComment | Kind::BlockComment

@@ -43,6 +43,16 @@ pub struct LinkModel {
     /// Probability in `[0, 1]` that a one-way frame is held back and
     /// delivered after later traffic (reordering).
     pub reorder: f64,
+    /// Independent loss probability in `[0, 1]` applied to each
+    /// intermediate *chunk* frame of a streamed reply. The terminal frame
+    /// uses `loss`/`reply_loss` like any other reply; dropping chunks
+    /// leaves a hole the client must resume across.
+    pub chunk_loss: f64,
+    /// Probability in `[0, 1]` that a delivered reply chunk arrives twice.
+    pub chunk_duplicate: f64,
+    /// Probability in `[0, 1]` that a reply chunk is held back and
+    /// delivered after the following chunk (pairwise reordering).
+    pub chunk_reorder: f64,
 }
 
 impl Default for LinkModel {
@@ -62,6 +72,9 @@ impl LinkModel {
             reply_loss: 0.0,
             duplicate: 0.0,
             reorder: 0.0,
+            chunk_loss: 0.0,
+            chunk_duplicate: 0.0,
+            chunk_reorder: 0.0,
         }
     }
 
@@ -100,6 +113,27 @@ impl LinkModel {
     /// `[0, 1]`).
     pub fn with_reorder(mut self, reorder: f64) -> Self {
         self.reorder = reorder.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the given per-chunk loss probability (clamped
+    /// to `[0, 1]`).
+    pub fn with_chunk_loss(mut self, chunk_loss: f64) -> Self {
+        self.chunk_loss = chunk_loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the given per-chunk duplication probability
+    /// (clamped to `[0, 1]`).
+    pub fn with_chunk_duplicate(mut self, chunk_duplicate: f64) -> Self {
+        self.chunk_duplicate = chunk_duplicate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the given per-chunk reordering probability
+    /// (clamped to `[0, 1]`).
+    pub fn with_chunk_reorder(mut self, chunk_reorder: f64) -> Self {
+        self.chunk_reorder = chunk_reorder.clamp(0.0, 1.0);
         self
     }
 
@@ -144,6 +178,24 @@ impl LinkModel {
     /// Samples whether a one-way frame is reordered (held back).
     pub fn reorders(&self, rng: &mut DetRng) -> bool {
         self.reorder > 0.0 && rng.chance(self.reorder)
+    }
+
+    /// Samples whether a streamed reply chunk is lost. As with
+    /// [`LinkModel::drops_reply`], a zero probability never consumes rng
+    /// state, so chunk faults on one link cannot perturb another link's
+    /// samples.
+    pub fn drops_chunk(&self, rng: &mut DetRng) -> bool {
+        self.chunk_loss > 0.0 && rng.chance(self.chunk_loss)
+    }
+
+    /// Samples whether a delivered reply chunk is duplicated.
+    pub fn duplicates_chunk(&self, rng: &mut DetRng) -> bool {
+        self.chunk_duplicate > 0.0 && rng.chance(self.chunk_duplicate)
+    }
+
+    /// Samples whether a reply chunk is held back past its successor.
+    pub fn reorders_chunk(&self, rng: &mut DetRng) -> bool {
+        self.chunk_reorder > 0.0 && rng.chance(self.chunk_reorder)
     }
 }
 
@@ -411,6 +463,42 @@ mod tests {
         let drops = (0..10_000).filter(|_| lossy.drops_reply(&mut rng)).count();
         assert!((2500..3500).contains(&drops), "drops = {drops}");
         assert_eq!(LinkModel::ideal().with_reply_loss(3.0).reply_loss, 1.0);
+    }
+
+    #[test]
+    fn chunk_faults_sample_independently_and_clamp() {
+        // Zero-probability chunk knobs never consume rng state: a stream
+        // with no chunk faults must leave every other sample untouched.
+        let mut rng = DetRng::new(13);
+        let clean = LinkModel::ideal();
+        assert!(!clean.drops_chunk(&mut rng));
+        assert!(!clean.duplicates_chunk(&mut rng));
+        assert!(!clean.reorders_chunk(&mut rng));
+        let mut rng2 = DetRng::new(13);
+        assert_eq!(rng.next_below(1000), rng2.next_below(1000));
+
+        let faulty = LinkModel::ideal()
+            .with_chunk_loss(1.0)
+            .with_chunk_duplicate(1.0)
+            .with_chunk_reorder(1.0);
+        let mut rng = DetRng::new(5);
+        assert!(faulty.drops_chunk(&mut rng));
+        assert!(faulty.duplicates_chunk(&mut rng));
+        assert!(faulty.reorders_chunk(&mut rng));
+        assert_eq!(LinkModel::ideal().with_chunk_loss(9.0).chunk_loss, 1.0);
+        assert_eq!(
+            LinkModel::ideal().with_chunk_duplicate(-1.0).chunk_duplicate,
+            0.0
+        );
+        assert_eq!(LinkModel::ideal().with_chunk_reorder(2.0).chunk_reorder, 1.0);
+
+        // Rates track their nominal probability, and the chunk path stays
+        // independent of the frame-level knobs.
+        let lossy = LinkModel::ideal().with_chunk_loss(0.3);
+        assert_eq!(lossy.loss, 0.0, "frame path stays clean");
+        let mut rng = DetRng::new(11);
+        let drops = (0..10_000).filter(|_| lossy.drops_chunk(&mut rng)).count();
+        assert!((2500..3500).contains(&drops), "drops = {drops}");
     }
 
     #[test]

@@ -24,10 +24,24 @@ enum Envelope {
         frame: Bytes,
         reply: Sender<Option<Bytes>>,
     },
+    /// A streaming request: the worker pushes every intermediate chunk and
+    /// then the terminal reply through one channel, so the caller drains
+    /// frames in order while the handler keeps producing — true
+    /// cross-thread pipelining.
+    Stream {
+        from: SiteId,
+        frame: Bytes,
+        tx: Sender<StreamFrame>,
+    },
     OneWay {
         from: SiteId,
         frame: Bytes,
     },
+}
+
+enum StreamFrame {
+    Chunk(Bytes),
+    Done(Option<Bytes>),
 }
 
 struct SiteHandle {
@@ -187,6 +201,12 @@ impl MemTransport {
                                 // Caller may have timed out; ignore send failure.
                                 let _ = reply.send(out);
                             }
+                            Envelope::Stream { from, frame, tx } => {
+                                let out = handler.handle_stream(from, frame, &mut |chunk| {
+                                    let _ = tx.send(StreamFrame::Chunk(chunk));
+                                });
+                                let _ = tx.send(StreamFrame::Done(out));
+                            }
                             Envelope::OneWay { from, frame } => {
                                 handler.handle(from, frame);
                             }
@@ -260,6 +280,62 @@ impl MemTransport {
         Ok(())
     }
 
+    /// Chunk leg: like [`MemTransport::traverse`] for one streamed reply
+    /// frame, sampling the per-chunk fault knobs. Returns `None` when the
+    /// chunk is lost; on delivery, whether it arrives duplicated and
+    /// whether it is held back past its successor.
+    fn traverse_chunk(&self, from: SiteId, to: SiteId, bytes: usize) -> Option<(bool, bool)> {
+        let (delay, lost, dup, hold) = {
+            let topology = self.inner.topology.read();
+            if !topology.is_up(from, to) {
+                self.inner.trace.record(NetEvent {
+                    at_nanos: 0,
+                    from,
+                    to,
+                    bytes,
+                    kind: NetEventKind::Refused,
+                    is_reply: true,
+                });
+                return None;
+            }
+            let link = topology.link(from, to);
+            let mut rng = self.inner.rng.lock();
+            (
+                link.transfer_time(bytes, &mut rng),
+                link.drops(&mut rng) || link.drops_chunk(&mut rng),
+                link.duplicates_chunk(&mut rng),
+                link.reorders_chunk(&mut rng),
+            )
+        };
+        if self.inner.delay_scale > 0.0 {
+            std::thread::sleep(delay.mul_f64(self.inner.delay_scale));
+        }
+        self.inner.metrics.incr_messages_sent();
+        self.inner.metrics.add_bytes_sent(bytes as u64);
+        if lost {
+            self.inner.trace.record(NetEvent {
+                at_nanos: 0,
+                from,
+                to,
+                bytes,
+                kind: NetEventKind::Dropped,
+                is_reply: true,
+            });
+            return None;
+        }
+        self.inner.metrics.incr_messages_received();
+        self.inner.metrics.add_bytes_received(bytes as u64);
+        self.inner.trace.record(NetEvent {
+            at_nanos: 0,
+            from,
+            to,
+            bytes,
+            kind: NetEventKind::Delivered,
+            is_reply: true,
+        });
+        Some((dup, hold))
+    }
+
     fn sender_for(&self, site: SiteId) -> Result<Sender<Envelope>> {
         self.inner
             .sites
@@ -304,6 +380,60 @@ impl Transport for MemTransport {
             })?;
         self.traverse(to, from, reply.len(), true)?;
         Ok(reply)
+    }
+
+    fn call_stream(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        frame: Bytes,
+        on_frame: &mut dyn FnMut(Bytes),
+    ) -> Result<Bytes> {
+        let tx = self.sender_for(to)?;
+        self.traverse(from, to, frame.len(), false)?;
+        let (stream_tx, stream_rx) = unbounded();
+        tx.send(Envelope::Stream {
+            from,
+            frame,
+            tx: stream_tx,
+        })
+        .map_err(|_| ObiError::SiteUnreachable(to))?;
+        // Drain frames as the remote worker produces them: the caller
+        // processes chunk k here while the handler builds k+1 over there.
+        let mut held: Option<Bytes> = None;
+        loop {
+            match stream_rx.recv_timeout(self.inner.call_timeout) {
+                Ok(StreamFrame::Chunk(chunk)) => {
+                    let Some((dup, hold)) = self.traverse_chunk(to, from, chunk.len()) else {
+                        continue; // lost chunk: the hole surfaces at the terminal
+                    };
+                    if hold {
+                        if let Some(prev) = held.replace(chunk) {
+                            on_frame(prev);
+                        }
+                    } else {
+                        on_frame(chunk.clone());
+                        if dup {
+                            on_frame(chunk);
+                        }
+                        if let Some(prev) = held.take() {
+                            on_frame(prev);
+                        }
+                    }
+                }
+                Ok(StreamFrame::Done(out)) => {
+                    if let Some(prev) = held.take() {
+                        on_frame(prev);
+                    }
+                    let reply = out.ok_or_else(|| {
+                        ObiError::Internal(format!("site {to} produced no reply to a request"))
+                    })?;
+                    self.traverse(to, from, reply.len(), true)?;
+                    return Ok(reply);
+                }
+                Err(_) => return Err(ObiError::SiteUnreachable(to)),
+            }
+        }
     }
 
     fn cast(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<()> {
@@ -423,6 +553,93 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
+        net.shutdown();
+    }
+
+    #[test]
+    fn call_stream_pipelines_chunks_across_threads() {
+        use std::sync::Barrier;
+        // The handler refuses to emit chunk 2 until the caller has consumed
+        // chunk 1: only genuine pipelining (handler and caller running
+        // concurrently, frames crossing mid-stream) can finish.
+        let rendezvous = Arc::new(Barrier::new(2));
+        let r2 = rendezvous.clone();
+        struct Lockstep(Arc<Barrier>);
+        impl MessageHandler for Lockstep {
+            fn handle(&self, _from: SiteId, frame: Bytes) -> Option<Bytes> {
+                Some(frame)
+            }
+            fn handle_stream(
+                &self,
+                _from: SiteId,
+                frame: Bytes,
+                sink: &mut dyn FnMut(Bytes),
+            ) -> Option<Bytes> {
+                sink(Bytes::from_static(b"1"));
+                self.0.wait(); // blocks until the caller has chunk 1
+                sink(Bytes::from_static(b"2"));
+                Some(frame)
+            }
+        }
+        let net = MemTransport::new();
+        net.register(s(2), Arc::new(Lockstep(r2)));
+        let mut seen = Vec::new();
+        let reply = net
+            .call_stream(s(1), s(2), Bytes::from_static(b"done"), &mut |c| {
+                seen.push(c[0]);
+                if seen.len() == 1 {
+                    rendezvous.wait();
+                }
+            })
+            .unwrap();
+        assert_eq!(&reply[..], b"done");
+        assert_eq!(seen, vec![b'1', b'2']);
+        net.shutdown();
+    }
+
+    #[test]
+    fn call_stream_on_a_plain_handler_degrades_to_one_shot() {
+        let net = MemTransport::new();
+        net.register(s(2), Arc::new(Echo));
+        let mut chunks = 0usize;
+        let reply = net
+            .call_stream(s(1), s(2), Bytes::from_static(b"x"), &mut |_| chunks += 1)
+            .unwrap();
+        assert_eq!(&reply[..], b"x");
+        assert_eq!(chunks, 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn chunk_loss_drops_stream_frames_but_not_the_terminal() {
+        use crate::link::LinkModel;
+        struct Chunky;
+        impl MessageHandler for Chunky {
+            fn handle(&self, _from: SiteId, frame: Bytes) -> Option<Bytes> {
+                Some(frame)
+            }
+            fn handle_stream(
+                &self,
+                _from: SiteId,
+                frame: Bytes,
+                sink: &mut dyn FnMut(Bytes),
+            ) -> Option<Bytes> {
+                for i in 0..50u8 {
+                    sink(Bytes::from(vec![i]));
+                }
+                Some(frame)
+            }
+        }
+        let topology = Topology::uniform(LinkModel::ideal().with_chunk_loss(0.4));
+        let net = MemTransport::with_options(topology, 0.0, Duration::from_secs(5));
+        net.register(s(2), Arc::new(Chunky));
+        let mut delivered = 0usize;
+        let reply = net.call_stream(s(1), s(2), Bytes::from_static(b"t"), &mut |_| {
+            delivered += 1
+        });
+        assert!(reply.is_ok(), "terminal is not subject to chunk loss");
+        assert!(delivered < 50, "some chunks must drop");
+        assert!(delivered > 10, "most of the stream still lands: {delivered}");
         net.shutdown();
     }
 

@@ -259,6 +259,61 @@ impl SimTransport {
         Ok(dup)
     }
 
+    /// Charges one streamed reply chunk's physics and samples its fault
+    /// lottery. Returns `None` when the chunk is lost (or the link went
+    /// down mid-stream); on delivery, whether the chunk arrives duplicated
+    /// and whether it is held back past its successor.
+    fn traverse_chunk(&self, from: SiteId, to: SiteId, bytes: usize) -> Option<(bool, bool)> {
+        self.apply_due_changes();
+        let (delay, lost, dup, hold) = {
+            let topology = self.inner.topology.read();
+            if !topology.is_up(from, to) {
+                self.inner.trace.record(NetEvent {
+                    at_nanos: self.inner.clock.virtual_nanos(),
+                    from,
+                    to,
+                    bytes,
+                    kind: NetEventKind::Refused,
+                    is_reply: true,
+                });
+                return None;
+            }
+            let link = topology.link(from, to);
+            let mut rng = self.inner.rng.lock();
+            (
+                link.transfer_time(bytes, &mut rng),
+                link.drops(&mut rng) || link.drops_chunk(&mut rng),
+                link.duplicates_chunk(&mut rng),
+                link.reorders_chunk(&mut rng),
+            )
+        };
+        self.inner.clock.charge(delay);
+        self.inner.metrics.incr_messages_sent();
+        self.inner.metrics.add_bytes_sent(bytes as u64);
+        if lost {
+            self.inner.trace.record(NetEvent {
+                at_nanos: self.inner.clock.virtual_nanos(),
+                from,
+                to,
+                bytes,
+                kind: NetEventKind::Dropped,
+                is_reply: true,
+            });
+            return None;
+        }
+        self.inner.metrics.incr_messages_received();
+        self.inner.metrics.add_bytes_received(bytes as u64);
+        self.inner.trace.record(NetEvent {
+            at_nanos: self.inner.clock.virtual_nanos(),
+            from,
+            to,
+            bytes,
+            kind: NetEventKind::Delivered,
+            is_reply: true,
+        });
+        Some((dup, hold))
+    }
+
     /// Samples the reorder lottery for a one-way frame `from -> to`.
     fn should_reorder(&self, from: SiteId, to: SiteId) -> bool {
         let topology = self.inner.topology.read();
@@ -300,6 +355,62 @@ impl Transport for SimTransport {
         let reply = handler.handle(from, frame).ok_or_else(|| {
             ObiError::Internal(format!("site {to} produced no reply to a request"))
         })?;
+        self.traverse(to, from, reply.len(), true)?;
+        self.flush_reordered();
+        Ok(reply)
+    }
+
+    fn call_stream(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        frame: Bytes,
+        on_frame: &mut dyn FnMut(Bytes),
+    ) -> Result<Bytes> {
+        let mut span = obiwan_util::trace::span(&self.inner.clock, "net.call").with_site(from);
+        span.set_value(frame.len() as u64);
+        let handler = self.handler_for(to)?;
+        let dup = self.traverse(from, to, frame.len(), false)?;
+        if dup {
+            // The duplicated request opens a whole stream whose frames a
+            // synchronous caller never reads: they evaporate into a null
+            // sink, but the handler still runs — the reply-cache dedup
+            // hazard, stream edition.
+            let _ = handler.handle_stream(from, frame.clone(), &mut |_| {});
+        }
+        // Each chunk rides the reply link with its own fault lottery; at
+        // most one chunk is held back at a time, delivering after its
+        // successor (pairwise reordering, like the one-way `held` queue).
+        let mut held: Option<Bytes> = None;
+        let reply = {
+            let mut sink = |chunk: Bytes| {
+                let Some((dup, hold)) = self.traverse_chunk(to, from, chunk.len()) else {
+                    return; // lost: the hole surfaces at the terminal frame
+                };
+                if hold {
+                    if let Some(prev) = held.replace(chunk) {
+                        on_frame(prev);
+                    }
+                } else {
+                    on_frame(chunk.clone());
+                    if dup {
+                        on_frame(chunk);
+                    }
+                    if let Some(prev) = held.take() {
+                        on_frame(prev);
+                    }
+                }
+            };
+            handler.handle_stream(from, frame, &mut sink)
+        }
+        .ok_or_else(|| {
+            ObiError::Internal(format!("site {to} produced no reply to a request"))
+        })?;
+        // A chunk still held when the stream closes arrives before the
+        // terminal frame (nothing later remains to overtake it).
+        if let Some(prev) = held.take() {
+            on_frame(prev);
+        }
         self.traverse(to, from, reply.len(), true)?;
         self.flush_reordered();
         Ok(reply)
@@ -634,6 +745,152 @@ mod tests {
         assert_eq!(hits.load(Ordering::SeqCst), 2, "duplicate must arrive");
         net.cast(s(1), s(2), Bytes::from_static(b"y")).unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    /// Streams `n` one-byte chunks (values `0..n`) then echoes the request
+    /// as the terminal reply.
+    struct ChunkEcho(u8);
+    impl MessageHandler for ChunkEcho {
+        fn handle(&self, _from: SiteId, frame: Bytes) -> Option<Bytes> {
+            Some(frame)
+        }
+        fn handle_stream(
+            &self,
+            _from: SiteId,
+            frame: Bytes,
+            sink: &mut dyn FnMut(Bytes),
+        ) -> Option<Bytes> {
+            for i in 0..self.0 {
+                sink(Bytes::from(vec![i]));
+            }
+            Some(frame)
+        }
+    }
+
+    #[test]
+    fn call_stream_delivers_chunks_in_order_then_the_terminal() {
+        let net = transport();
+        net.register(s(2), Arc::new(ChunkEcho(4)));
+        let mut chunks = Vec::new();
+        let reply = net
+            .call_stream(s(1), s(2), Bytes::from_static(b"done"), &mut |c| {
+                chunks.push(c[0])
+            })
+            .unwrap();
+        assert_eq!(&reply[..], b"done");
+        assert_eq!(chunks, vec![0, 1, 2, 3]);
+        // Request leg + 4 chunk legs + terminal leg, >= 1 ms latency each.
+        assert!(net.clock().elapsed() >= Duration::from_millis(6));
+    }
+
+    #[test]
+    fn default_call_stream_on_plain_handlers_yields_no_chunks() {
+        let net = transport();
+        net.register(s(2), Arc::new(Echo));
+        let mut chunks = 0usize;
+        let reply = net
+            .call_stream(s(1), s(2), Bytes::from_static(b"x"), &mut |_| chunks += 1)
+            .unwrap();
+        assert_eq!(&reply[..], b"x");
+        assert_eq!(chunks, 0);
+    }
+
+    #[test]
+    fn chunk_loss_leaves_holes_but_the_terminal_arrives() {
+        let net = transport();
+        net.register(s(2), Arc::new(ChunkEcho(100)));
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(
+                s(1),
+                s(2),
+                crate::link::LinkModel::ideal().with_chunk_loss(0.3),
+            );
+        });
+        net.reseed(11);
+        let mut delivered = 0usize;
+        let reply = net.call_stream(s(1), s(2), Bytes::from_static(b"t"), &mut |_| {
+            delivered += 1
+        });
+        assert!(reply.is_ok(), "terminal frame is not subject to chunk loss");
+        assert!(delivered < 100, "some chunks must drop");
+        assert!(delivered > 40, "most chunks still arrive: {delivered}");
+    }
+
+    #[test]
+    fn chunk_duplication_delivers_copies_back_to_back() {
+        let net = transport();
+        net.register(s(2), Arc::new(ChunkEcho(3)));
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(
+                s(1),
+                s(2),
+                crate::link::LinkModel::ideal().with_chunk_duplicate(1.0),
+            );
+        });
+        let mut chunks = Vec::new();
+        net.call_stream(s(1), s(2), Bytes::from_static(b"t"), &mut |c| {
+            chunks.push(c[0])
+        })
+        .unwrap();
+        assert_eq!(chunks, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn chunk_reordering_swaps_neighbors_but_loses_nothing() {
+        let net = transport();
+        net.register(s(2), Arc::new(ChunkEcho(6)));
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(
+                s(1),
+                s(2),
+                crate::link::LinkModel::ideal().with_chunk_reorder(0.5),
+            );
+        });
+        net.reseed(3);
+        let mut chunks = Vec::new();
+        net.call_stream(s(1), s(2), Bytes::from_static(b"t"), &mut |c| {
+            chunks.push(c[0])
+        })
+        .unwrap();
+        // Every chunk arrives exactly once, just not necessarily in order.
+        let mut sorted = chunks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        assert_ne!(chunks, sorted, "seed 3 must actually reorder something");
+    }
+
+    #[test]
+    fn duplicated_stream_request_runs_the_handler_twice() {
+        let net = transport();
+        let streams = Arc::new(AtomicUsize::new(0));
+        let streams2 = streams.clone();
+        struct Counting(Arc<AtomicUsize>);
+        impl MessageHandler for Counting {
+            fn handle(&self, _from: SiteId, frame: Bytes) -> Option<Bytes> {
+                Some(frame)
+            }
+            fn handle_stream(
+                &self,
+                _from: SiteId,
+                frame: Bytes,
+                sink: &mut dyn FnMut(Bytes),
+            ) -> Option<Bytes> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                sink(Bytes::from_static(b"c"));
+                Some(frame)
+            }
+        }
+        net.register(s(2), Arc::new(Counting(streams2)));
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(s(1), s(2), crate::link::LinkModel::ideal().with_duplicate(1.0));
+        });
+        let mut chunks = 0usize;
+        net.call_stream(s(1), s(2), Bytes::from_static(b"x"), &mut |_| chunks += 1)
+            .unwrap();
+        // Both executions ran (exactly the reply-cache hazard), but only the
+        // second stream's chunk reached the caller.
+        assert_eq!(streams.load(Ordering::SeqCst), 2);
+        assert_eq!(chunks, 1);
     }
 
     #[test]

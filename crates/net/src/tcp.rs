@@ -18,6 +18,11 @@
 //! and a call's reply is `len(u32 BE) payload` on the same connection.
 //! Frames above [`MAX_FRAME`] are rejected on both sides.
 //!
+//! A *streaming* call (`kind = 3`) answers with a sequence of kind-tagged
+//! reply frames on the same connection — `frame_kind(u8: 2=chunk, 3=done)
+//! len(u32 BE) payload` — so the caller consumes intermediate chunks as the
+//! handler produces them and the `done` frame closes the exchange.
+//!
 //! The [`Topology`] still applies: administrative disconnections are
 //! enforced at the sender *and* receiver, so tests can cut a site off
 //! without tearing sockets down.
@@ -55,6 +60,12 @@ fn classify_io(kind: std::io::ErrorKind, to: SiteId) -> ObiError {
 const MAGIC: u8 = 0xB1;
 const KIND_CALL: u8 = 1;
 const KIND_CAST: u8 = 2;
+/// Request kind opening a streamed reply sequence.
+const KIND_STREAM_CALL: u8 = 3;
+/// Reply-frame kind: one intermediate chunk of a streamed reply.
+const FRAME_CHUNK: u8 = 2;
+/// Reply-frame kind: the terminal reply closing a streamed exchange.
+const FRAME_DONE: u8 = 3;
 
 struct ListenerHandle {
     addr: SocketAddr,
@@ -294,6 +305,33 @@ impl TcpTransport {
         self.inner.metrics.add_bytes_received(u64::from(len));
         Ok(Bytes::from(payload))
     }
+
+    /// Reads one kind-tagged reply frame of a streamed exchange.
+    fn read_stream_frame(&self, stream: &mut TcpStream, to: SiteId) -> Result<(u8, Bytes)> {
+        let mut header = [0u8; 5];
+        stream
+            .read_exact(&mut header)
+            .map_err(|e| classify_io(e.kind(), to))?;
+        let frame_kind = header[0];
+        if frame_kind != FRAME_CHUNK && frame_kind != FRAME_DONE {
+            return Err(ObiError::Decode(format!(
+                "bad stream frame kind {frame_kind}"
+            )));
+        }
+        let len = u32::from_be_bytes(header[1..5].try_into().expect("4-byte slice"));
+        if len > MAX_FRAME {
+            return Err(ObiError::Decode(format!(
+                "stream frame of {len} bytes exceeds MAX_FRAME"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        stream
+            .read_exact(&mut payload)
+            .map_err(|e| classify_io(e.kind(), to))?;
+        self.inner.metrics.incr_messages_received();
+        self.inner.metrics.add_bytes_received(u64::from(len));
+        Ok((frame_kind, Bytes::from(payload)))
+    }
 }
 
 /// Reads one request frame; `Ok(None)` on clean EOF.
@@ -357,6 +395,31 @@ fn serve_connection(inner: &Arc<TcpInner>, site: SiteId, mut stream: TcpStream) 
             kind: NetEventKind::Delivered,
             is_reply: false,
         });
+        if kind == KIND_STREAM_CALL {
+            // Streamed reply: every chunk goes out as it is produced, then
+            // the terminal `done` frame. A failed write poisons the
+            // connection; remaining frames are skipped and the caller maps
+            // the broken stream to an I/O error and retries.
+            let mut failed = false;
+            let reply = handler.handle_stream(from, Bytes::from(payload), &mut |chunk| {
+                if failed {
+                    return;
+                }
+                if write_stream_frame(&mut stream, FRAME_CHUNK, &chunk).is_err() {
+                    failed = true;
+                } else {
+                    inner.metrics.incr_messages_sent();
+                    inner.metrics.add_bytes_sent(chunk.len() as u64);
+                }
+            });
+            let reply = reply.unwrap_or_default();
+            if failed || write_stream_frame(&mut stream, FRAME_DONE, &reply).is_err() {
+                return;
+            }
+            inner.metrics.incr_messages_sent();
+            inner.metrics.add_bytes_sent(reply.len() as u64);
+            continue;
+        }
         let reply = handler.handle(from, Bytes::from(payload));
         if kind == KIND_CALL {
             let reply = reply.unwrap_or_default();
@@ -373,6 +436,16 @@ fn serve_connection(inner: &Arc<TcpInner>, site: SiteId, mut stream: TcpStream) 
             inner.metrics.add_bytes_sent(reply.len() as u64);
         }
     }
+}
+
+/// Writes one kind-tagged reply frame of a streamed exchange.
+fn write_stream_frame(stream: &mut TcpStream, frame_kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    let mut header = [0u8; 5];
+    header[0] = frame_kind;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    stream
+        .write_all(&header)
+        .and_then(|()| stream.write_all(payload))
 }
 
 impl Transport for TcpTransport {
@@ -434,6 +507,28 @@ impl Transport for TcpTransport {
                 Ok(reply)
             }
             Err(e) => Err(e), // poisoned connection is dropped, not pooled
+        }
+    }
+
+    fn call_stream(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        frame: Bytes,
+        on_frame: &mut dyn FnMut(Bytes),
+    ) -> Result<Bytes> {
+        self.check_up(from, to)?;
+        let mut stream = self.checkout(to)?;
+        self.send_frame(&mut stream, KIND_STREAM_CALL, from, &frame, to)?;
+        loop {
+            match self.read_stream_frame(&mut stream, to) {
+                Ok((FRAME_DONE, payload)) => {
+                    self.checkin(to, stream);
+                    return Ok(payload);
+                }
+                Ok((_, payload)) => on_frame(payload),
+                Err(e) => return Err(e), // poisoned connection is dropped
+            }
         }
     }
 
@@ -505,6 +600,57 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
+        net.shutdown();
+    }
+
+    #[test]
+    fn call_stream_delivers_chunks_then_terminal_over_sockets() {
+        struct Chunky;
+        impl MessageHandler for Chunky {
+            fn handle(&self, _from: SiteId, frame: Bytes) -> Option<Bytes> {
+                Some(frame)
+            }
+            fn handle_stream(
+                &self,
+                _from: SiteId,
+                frame: Bytes,
+                sink: &mut dyn FnMut(Bytes),
+            ) -> Option<Bytes> {
+                for i in 0..5u8 {
+                    sink(Bytes::from(vec![i; 3]));
+                }
+                Some(frame)
+            }
+        }
+        let net = TcpTransport::new();
+        net.register(s(2), Arc::new(Chunky));
+        let mut chunks = Vec::new();
+        let reply = net
+            .call_stream(s(1), s(2), Bytes::from_static(b"term"), &mut |c| {
+                chunks.push(c)
+            })
+            .unwrap();
+        assert_eq!(&reply[..], b"term");
+        assert_eq!(chunks.len(), 5);
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(&c[..], &[i as u8; 3]);
+        }
+        // The pooled connection survives the stream: a plain call reuses it.
+        let reply = net.call(s(1), s(2), Bytes::from_static(b"again")).unwrap();
+        assert_eq!(&reply[..], b"again");
+        net.shutdown();
+    }
+
+    #[test]
+    fn call_stream_on_plain_handler_sends_only_the_done_frame() {
+        let net = TcpTransport::new();
+        net.register(s(2), Arc::new(Echo));
+        let mut chunks = 0usize;
+        let reply = net
+            .call_stream(s(1), s(2), Bytes::from_static(b"x"), &mut |_| chunks += 1)
+            .unwrap();
+        assert_eq!(&reply[..], b"x");
+        assert_eq!(chunks, 0);
         net.shutdown();
     }
 

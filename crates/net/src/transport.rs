@@ -12,6 +12,23 @@ use std::sync::Arc;
 pub trait MessageHandler: Send + Sync {
     /// Handles a frame arriving from `from`, optionally producing a reply.
     fn handle(&self, from: SiteId, frame: Bytes) -> Option<Bytes>;
+
+    /// Handles a frame that may produce a *stream* of reply frames before
+    /// the final one: intermediate frames go through `sink` (in order), and
+    /// the return value is the terminal reply, exactly as for
+    /// [`MessageHandler::handle`].
+    ///
+    /// The default ignores the sink and degrades to the one-shot path, so
+    /// handlers that never stream need no changes.
+    fn handle_stream(
+        &self,
+        from: SiteId,
+        frame: Bytes,
+        sink: &mut dyn FnMut(Bytes),
+    ) -> Option<Bytes> {
+        let _ = sink;
+        self.handle(from, frame)
+    }
 }
 
 impl<F> MessageHandler for F
@@ -54,6 +71,26 @@ pub trait Transport: Send + Sync {
     /// [`ObiError::MessageLost`]: obiwan_util::ObiError::MessageLost
     fn call(&self, from: SiteId, to: SiteId, frame: Bytes) -> Result<Bytes>;
 
+    /// Streaming request/response: like [`Transport::call`], but the remote
+    /// handler may emit intermediate reply frames, each delivered to
+    /// `on_frame` in arrival order before the terminal reply is returned.
+    ///
+    /// Intermediate frames ride the same reply link and are subject to the
+    /// transport's fault model (loss/duplication/reordering of individual
+    /// chunks); callers own reassembly. The default degrades to the
+    /// one-shot [`Transport::call`], which never invokes `on_frame` — the
+    /// correct behavior for transports that have no streaming path.
+    fn call_stream(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        frame: Bytes,
+        on_frame: &mut dyn FnMut(Bytes),
+    ) -> Result<Bytes> {
+        let _ = on_frame;
+        self.call(from, to, frame)
+    }
+
     /// One-way send (invalidations, update pushes). Delivery is best-effort
     /// on lossy links; an `Ok` return means the frame was accepted for
     /// delivery, not that it arrived.
@@ -79,5 +116,17 @@ mod tests {
     fn handler_trait_is_object_safe() {
         fn _takes(_: &dyn MessageHandler) {}
         fn _takes_transport(_: &dyn Transport) {}
+    }
+
+    #[test]
+    fn default_handle_stream_degrades_to_one_shot() {
+        let h: Arc<dyn MessageHandler> =
+            Arc::new(|_from: SiteId, frame: Bytes| -> Option<Bytes> { Some(frame) });
+        let mut chunks = Vec::new();
+        let out = h.handle_stream(SiteId::new(1), Bytes::from_static(b"y"), &mut |c| {
+            chunks.push(c)
+        });
+        assert_eq!(out.unwrap(), Bytes::from_static(b"y"));
+        assert!(chunks.is_empty(), "one-shot handlers emit no chunks");
     }
 }

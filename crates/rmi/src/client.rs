@@ -13,6 +13,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Objects per chunk frame on the streaming demand path
+/// ([`RmiClient::get_many_stream`]).
+///
+/// Small enough that the first chunk materializes within one link delay of
+/// arriving, large enough that per-frame overhead stays a rounding error on
+/// paper-testbed batches. Callers stream only when a batch exceeds this, so
+/// small batches keep the cheaper one-shot exchange.
+pub const STREAM_CHUNK_OBJECTS: u32 = 8;
+
 /// Issues OBIWAN requests from one site and correlates their replies.
 ///
 /// One client exists per site; it plays the role of every generated RMI stub
@@ -368,6 +377,174 @@ impl RmiClient {
         }
     }
 
+    /// Streaming `get_many`: the provider's merged batch arrives as a
+    /// sequence of chunk frames, each delivered to `on_chunk` (in chunk
+    /// order, exactly once) as it comes off the wire — so the caller can
+    /// materialize chunk *k* while chunk *k + 1* is still in flight.
+    ///
+    /// Costs one demand round-trip however many chunks (and resumes) the
+    /// stream takes. Individual chunks lost, duplicated, or reordered by
+    /// the transport are reassembled here: out-of-order chunks park in a
+    /// bounded buffer, duplicates are dropped, and a stream whose terminal
+    /// frame reveals holes (or never arrives) is *resumed* — the same
+    /// request id is re-sent with `resume_from` at the reassembly frontier,
+    /// so the provider re-streams only the missing suffix.
+    pub fn get_many_stream(
+        &self,
+        host: SiteId,
+        targets: Vec<ObjId>,
+        mode: WireMode,
+        on_chunk: &mut dyn FnMut(u32, ReplicaBatch),
+    ) -> Result<()> {
+        self.get_many_stream_with_deadline(host, targets, mode, None, on_chunk)
+    }
+
+    /// [`RmiClient::get_many_stream`] under an explicit deadline budget
+    /// (`None` uses the policy default) bounding the whole stream,
+    /// resumes included.
+    pub fn get_many_stream_with_deadline(
+        &self,
+        host: SiteId,
+        targets: Vec<ObjId>,
+        mode: WireMode,
+        deadline: Option<Deadline>,
+        on_chunk: &mut dyn FnMut(u32, ReplicaBatch),
+    ) -> Result<()> {
+        let request = self.next_request();
+        self.metrics.incr_demand_round_trips();
+        let mut span = trace::span(&self.clock, "rpc.round_trip")
+            .with_site(self.site)
+            .with_req(request);
+        let policy = *self.policy.lock();
+        let deadline =
+            deadline.unwrap_or_else(|| Deadline::after(&self.clock, policy.call_budget));
+        if !self.breaker.admit(host, self.now_nanos()) {
+            self.metrics.incr_breaker_fast_fails();
+            return Err(ObiError::SiteUnreachable(host));
+        }
+        self.clock.charge_cpu(self.costs.rmi_dispatch);
+        // Reassembly state lives *outside* the attempt loop: chunks already
+        // delivered stay delivered across resumes, and `next_expected` is
+        // exactly the `resume_from` a retry asks the provider for.
+        let mut next_expected: u32 = 0;
+        let mut parked: std::collections::BTreeMap<u32, ReplicaBatch> =
+            std::collections::BTreeMap::new();
+        let mut attempt = 0u64;
+        let mut backoff = policy.base_backoff;
+        let outcome = loop {
+            let frame = Message::GetManyStreamRequest {
+                request,
+                targets: targets.clone(),
+                mode,
+                chunk: STREAM_CHUNK_OBJECTS,
+                resume_from: next_expected,
+            }
+            .encode();
+            self.clock.charge_cpu(self.costs.serialize(frame.len()));
+            self.metrics.add_bytes_sent(frame.len() as u64);
+            let call = self.transport.call_stream(self.site, host, frame, &mut |raw| {
+                self.metrics.add_bytes_received(raw.len() as u64);
+                self.clock.charge_cpu(self.costs.serialize(raw.len()));
+                let Ok(Message::GetManyChunk {
+                    request: id,
+                    chunk_index,
+                    batch,
+                    ..
+                }) = Message::decode(&raw)
+                else {
+                    // An undecodable or foreign frame is a lost chunk: the
+                    // hole surfaces at the terminal and the resume heals it.
+                    return;
+                };
+                if id != request
+                    || chunk_index < next_expected
+                    || parked.contains_key(&chunk_index)
+                {
+                    // Stray correlation or duplicate delivery: drop.
+                    return;
+                }
+                parked.insert(chunk_index, batch);
+                // Deliver the now-contiguous prefix in order.
+                while let Some(batch) = parked.remove(&next_expected) {
+                    let index = next_expected;
+                    next_expected += 1;
+                    self.metrics.incr_demand_chunks();
+                    let mut chunk_span = trace::span(&self.clock, "rpc.chunk")
+                        .with_site(self.site)
+                        .with_req(request);
+                    chunk_span.set_value(index as u64);
+                    on_chunk(index, batch);
+                }
+            });
+            let failure = match call {
+                Ok(reply) => {
+                    self.clock.charge_cpu(self.costs.serialize(reply.len()));
+                    self.metrics.add_bytes_received(reply.len() as u64);
+                    match Message::decode(&reply) {
+                        Ok(Message::GetManyDone {
+                            request: id,
+                            total_chunks,
+                            result,
+                        }) => {
+                            if let Err(e) = self.check_correlation(request, Some(id)) {
+                                break Err(e);
+                            }
+                            match result {
+                                Ok(()) if next_expected >= total_chunks => break Ok(()),
+                                // Lost chunks left a hole below the
+                                // terminal's count: resume, don't restart.
+                                Ok(()) => None,
+                                Err(e) => break Err(e),
+                            }
+                        }
+                        // A transport with no streaming path degrades to the
+                        // one-shot merged reply: accept it as the whole
+                        // stream in one implicit chunk.
+                        Ok(Message::GetManyReply { request: id, result })
+                            if next_expected == 0 =>
+                        {
+                            if let Err(e) = self.check_correlation(request, Some(id)) {
+                                break Err(e);
+                            }
+                            match result {
+                                Ok(batch) => {
+                                    self.metrics.incr_demand_chunks();
+                                    on_chunk(0, batch);
+                                    break Ok(());
+                                }
+                                Err(e) => break Err(e),
+                            }
+                        }
+                        Ok(other) => break Err(unexpected("GetManyDone", &other)),
+                        Err(e) => break Err(e),
+                    }
+                }
+                Err(e @ (ObiError::MessageLost { .. } | ObiError::Timeout { .. })) => Some(e),
+                Err(e) => break Err(e),
+            };
+            if attempt >= policy.max_retries {
+                break Err(failure
+                    .unwrap_or(ObiError::Timeout { to: host }));
+            }
+            if deadline.expired(&self.clock) {
+                break Err(ObiError::Timeout { to: host });
+            }
+            attempt += 1;
+            self.metrics.incr_rpc_retries();
+            self.metrics.incr_stream_resumes();
+            backoff = policy.next_backoff(backoff, &mut self.backoff_rng.lock());
+            self.backoff_sleep(backoff.min(deadline.remaining(&self.clock)));
+        };
+        span.set_value(attempt);
+        match &outcome {
+            Ok(_) => self.breaker.on_success(host),
+            Err(e) if e.is_connectivity() => self.breaker.on_failure(host, self.now_nanos()),
+            Err(_) => {}
+        }
+        self.settle(host, request);
+        outcome
+    }
+
     /// `put`: send replica state back to the master site.
     pub fn put(&self, host: SiteId, entries: Vec<ReplicaState>) -> Result<Vec<(ObjId, u64)>> {
         self.put_with_request(host, entries, self.next_request())
@@ -591,7 +768,7 @@ mod retry_tests {
     use crate::fault::{BreakerConfig, CircuitBreaker, ANNOUNCE_EVERY};
     use crate::server::{EchoService, RmiServer};
     use crate::service::RmiService;
-    use obiwan_net::{conditions, LinkModel, SimTransport};
+    use obiwan_net::{conditions, LinkModel, MessageHandler, SimTransport};
     use obiwan_util::ClockMode;
 
     /// `invoke` returns the number of times the service has executed, so
@@ -752,6 +929,187 @@ mod retry_tests {
             server.replies().len(),
             rounds
         );
+    }
+
+    /// A provider answering `get_many` with `objects` replicas and a
+    /// one-edge frontier, counting executions.
+    #[derive(Debug)]
+    struct BatchService {
+        objects: usize,
+        calls: AtomicU64,
+    }
+
+    impl RmiService for BatchService {
+        fn invoke(
+            &self,
+            _from: SiteId,
+            _target: ObjId,
+            _method: &str,
+            _args: ObiValue,
+        ) -> Result<ObiValue> {
+            Ok(ObiValue::Null)
+        }
+
+        fn get_many(
+            &self,
+            _from: SiteId,
+            targets: &[ObjId],
+            _mode: WireMode,
+        ) -> Result<ReplicaBatch> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            Ok(ReplicaBatch {
+                root: targets[0],
+                replicas: (0..self.objects)
+                    .map(|i| ReplicaState {
+                        id: ObjId::new(SiteId::new(2), i as u64 + 1),
+                        class: "Node".into(),
+                        version: 1,
+                        state: bytes::Bytes::from_static(b"s"),
+                    })
+                    .collect(),
+                frontier: vec![obiwan_wire::FrontierEdge {
+                    target: ObjId::new(SiteId::new(2), 900),
+                    class: "Node".into(),
+                }],
+                cluster: None,
+            })
+        }
+    }
+
+    fn stream_rig(
+        objects: usize,
+        link: LinkModel,
+        seed: u64,
+    ) -> (RmiClient, Arc<SimTransport>, Arc<BatchService>) {
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        let net = Arc::new(SimTransport::new(clock.clone(), conditions::paper_lan()));
+        net.reseed(seed);
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(SiteId::new(1), SiteId::new(2), link);
+        });
+        let svc = Arc::new(BatchService {
+            objects,
+            calls: AtomicU64::new(0),
+        });
+        net.register(SiteId::new(2), Arc::new(RmiServer::new(svc.clone())));
+        let client = RmiClient::new(SiteId::new(1), net.clone(), clock, CostModel::free());
+        (client, net, svc)
+    }
+
+    fn collect_chunks(
+        client: &RmiClient,
+        objects_expected: usize,
+    ) -> (Vec<u32>, Vec<u64>, usize) {
+        let mut indices = Vec::new();
+        let mut ids = Vec::new();
+        let mut frontier_edges = 0usize;
+        client
+            .get_many_stream(
+                SiteId::new(2),
+                vec![ObjId::new(SiteId::new(2), 1)],
+                WireMode::Incremental {
+                    batch: objects_expected as u32,
+                },
+                &mut |index, batch| {
+                    indices.push(index);
+                    ids.extend(batch.replicas.iter().map(|r| r.id.local()));
+                    frontier_edges += batch.frontier.len();
+                },
+            )
+            .expect("stream should complete");
+        (indices, ids, frontier_edges)
+    }
+
+    #[test]
+    fn streamed_get_many_delivers_every_chunk_in_order_for_one_round_trip() {
+        let (client, _net, svc) = stream_rig(20, LinkModel::ideal(), 5);
+        let (indices, ids, frontier_edges) = collect_chunks(&client, 20);
+        assert_eq!(indices, vec![0, 1, 2], "20 objects at 8/chunk is 3 chunks");
+        assert_eq!(ids, (1..=20).collect::<Vec<u64>>(), "in order, no gaps");
+        assert_eq!(frontier_edges, 1, "frontier arrives exactly once");
+        assert_eq!(svc.calls.load(Ordering::Relaxed), 1);
+        let snap = client.metrics().snapshot();
+        assert_eq!(snap.demand_round_trips, 1, "one batch, one logical exchange");
+        assert_eq!(snap.demand_chunks, 3);
+        assert_eq!(snap.stream_resumes, 0);
+    }
+
+    #[test]
+    fn streamed_get_many_resumes_across_chunk_loss_without_double_delivery() {
+        let (client, _net, svc) = stream_rig(
+            64,
+            LinkModel::ideal().with_chunk_loss(0.3),
+            11,
+        );
+        client.set_retries(50);
+        let (indices, ids, frontier_edges) = collect_chunks(&client, 64);
+        // Exactly-once reassembly: every chunk delivered once, in order,
+        // despite 30% of individual chunk frames vanishing.
+        assert_eq!(indices, (0..8).collect::<Vec<u32>>());
+        assert_eq!(ids, (1..=64).collect::<Vec<u64>>());
+        assert_eq!(frontier_edges, 1);
+        let snap = client.metrics().snapshot();
+        assert_eq!(snap.demand_round_trips, 1, "resumes are not new round-trips");
+        assert!(
+            snap.stream_resumes > 0,
+            "30% chunk loss over 8 chunks must force at least one resume"
+        );
+        assert_eq!(snap.rpc_retries, snap.stream_resumes);
+        // Each resume re-executes the (read-only) provider service.
+        assert_eq!(
+            svc.calls.load(Ordering::Relaxed),
+            1 + snap.stream_resumes
+        );
+    }
+
+    #[test]
+    fn streamed_get_many_survives_chunk_duplication_and_reordering() {
+        let (client, _net, _svc) = stream_rig(
+            40,
+            LinkModel::ideal()
+                .with_chunk_duplicate(0.4)
+                .with_chunk_reorder(0.4),
+            23,
+        );
+        let (indices, ids, _) = collect_chunks(&client, 40);
+        assert_eq!(indices, (0..5).collect::<Vec<u32>>());
+        assert_eq!(ids, (1..=40).collect::<Vec<u64>>());
+        assert_eq!(client.metrics().snapshot().demand_chunks, 5);
+    }
+
+    #[test]
+    fn streamed_get_many_degrades_to_one_shot_on_plain_handlers() {
+        let (client, net, svc) = stream_rig(20, LinkModel::ideal(), 5);
+        // Re-register site 2 behind a closure handler: its default
+        // `handle_stream` never streams, so the server pump answers the
+        // stream request with a one-shot merged reply.
+        let server = Arc::new(RmiServer::new(svc.clone()));
+        net.register(
+            SiteId::new(2),
+            Arc::new(move |from: SiteId, frame: bytes::Bytes| server.handle(from, frame)),
+        );
+        let (indices, ids, frontier_edges) = collect_chunks(&client, 20);
+        assert_eq!(indices, vec![0], "the whole batch arrives as one chunk");
+        assert_eq!(ids, (1..=20).collect::<Vec<u64>>());
+        assert_eq!(frontier_edges, 1);
+        assert_eq!(client.metrics().snapshot().demand_chunks, 1);
+    }
+
+    #[test]
+    fn streamed_get_many_surfaces_provider_errors() {
+        let (client, net, _svc) = stream_rig(4, LinkModel::ideal(), 5);
+        // A provider with no objects behind an EchoService: `get_many`
+        // reports NoSuchObject through the stream terminal.
+        net.register(SiteId::new(3), Arc::new(RmiServer::new(Arc::new(EchoService))));
+        let err = client
+            .get_many_stream(
+                SiteId::new(3),
+                vec![ObjId::new(SiteId::new(3), 1)],
+                WireMode::Incremental { batch: 4 },
+                &mut |_, _| panic!("no chunks on a failed stream"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ObiError::NoSuchObject(_)));
     }
 
     #[test]

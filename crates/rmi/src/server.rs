@@ -5,8 +5,8 @@ use crate::service::RmiService;
 use bytes::Bytes;
 use obiwan_net::MessageHandler;
 use obiwan_util::trace;
-use obiwan_util::{Clock, ClockMode, Metrics, SiteId};
-use obiwan_wire::{Message, ObiValue};
+use obiwan_util::{Clock, ClockMode, Metrics, ObjId, RequestId, SiteId};
+use obiwan_wire::{Message, ObiValue, ReplicaBatch, WireMode};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -115,6 +115,18 @@ impl RmiServer {
                 request,
                 result: self.service.get_many(from, &targets, mode),
             }),
+            // A stream request arriving through the one-shot pump (a
+            // transport without a streaming path) degrades to the merged
+            // reply; the client accepts it as a single implicit chunk.
+            Message::GetManyStreamRequest {
+                request,
+                targets,
+                mode,
+                ..
+            } => Some(Message::GetManyReply {
+                request,
+                result: self.service.get_many(from, &targets, mode),
+            }),
             Message::PutRequest { request, entries } => Some(Message::PutReply {
                 request,
                 result: self.service.put(from, entries),
@@ -148,15 +160,170 @@ impl RmiServer {
             Message::InvokeReply { .. }
             | Message::GetReply { .. }
             | Message::GetManyReply { .. }
+            | Message::GetManyChunk { .. }
+            | Message::GetManyDone { .. }
             | Message::PutReply { .. }
             | Message::NameReply { .. }
             | Message::Ack { .. }
             | Message::Pong { .. } => None,
         }
     }
+
+    /// Executes one streamed `get_many`: slices the merged batch into
+    /// [`Message::GetManyChunk`] frames pushed through `sink` (skipping
+    /// indices below `resume_from`), and returns the encoded
+    /// [`Message::GetManyDone`] terminal.
+    ///
+    /// The [`RmiService::get_many`] call releases every shard guard before
+    /// returning its batch, so no lock is ever held across a `sink` send.
+    /// Only the *terminal* frame enters the [`ReplyCache`] — caching whole
+    /// batches per request id would multiply the cache's footprint by the
+    /// batch size. A retransmitted or resumed request id therefore
+    /// re-executes the (read-only) `get_many` and re-slices fresh chunks:
+    /// sound because the client's version-guarded materialization makes
+    /// chunk re-delivery idempotent, and necessary so a resume actually
+    /// receives the suffix it is missing rather than a chunkless cached
+    /// terminal.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_get_many(
+        &self,
+        from: SiteId,
+        request: RequestId,
+        targets: &[ObjId],
+        mode: WireMode,
+        chunk: u32,
+        resume_from: u32,
+        sink: &mut dyn FnMut(Bytes),
+    ) -> Bytes {
+        let mut span = trace::span(&self.clock, "rpc.handle").with_req(request);
+        let cache_key = Some(request).filter(|id| id.origin() == from);
+        let mut executor = false;
+        if let Some(id) = cache_key {
+            match self.replies.begin(id) {
+                Admit::Execute => executor = true,
+                // Already answered once: count the elided execution, then
+                // stream afresh anyway (see above — the resume needs live
+                // chunks, which the cache deliberately does not hold).
+                Admit::Cached(_) => {
+                    self.metrics.incr_cached_replies();
+                    span.set_value(1);
+                }
+                Admit::Wait(rx) => match rx.recv_timeout(Self::IN_FLIGHT_WAIT) {
+                    // A concurrent duplicate parks for the executor's
+                    // terminal and answers with it, chunkless: the client
+                    // that cares will resume and hit the Cached arm above.
+                    Ok(Some(frame)) => {
+                        self.metrics.incr_cached_replies();
+                        span.set_value(1);
+                        return frame;
+                    }
+                    Ok(None) => {
+                        return Message::Ack {
+                            request,
+                            result: Err(obiwan_util::ObiError::Internal(
+                                "request produced no reply".into(),
+                            )),
+                        }
+                        .encode();
+                    }
+                    // Executor vanished (handler panic): run it ourselves,
+                    // uncached.
+                    Err(_) => {}
+                },
+            }
+        }
+        let per_chunk = chunk.max(1) as usize;
+        let terminal = match self.service.get_many(from, targets, mode) {
+            Ok(batch) => {
+                let ReplicaBatch {
+                    root,
+                    replicas,
+                    frontier,
+                    cluster,
+                } = batch;
+                let mut slices: Vec<ReplicaBatch> = replicas
+                    .chunks(per_chunk)
+                    .map(|s| ReplicaBatch {
+                        root,
+                        replicas: s.to_vec(),
+                        frontier: Vec::new(),
+                        cluster,
+                    })
+                    .collect();
+                // An empty batch still streams one (empty) chunk so the
+                // frontier below has a frame to ride on.
+                if slices.is_empty() {
+                    slices.push(ReplicaBatch {
+                        root,
+                        replicas: Vec::new(),
+                        frontier: Vec::new(),
+                        cluster,
+                    });
+                }
+                let total_chunks = slices.len() as u32;
+                if let Some(last) = slices.last_mut() {
+                    last.frontier = frontier;
+                }
+                for (index, batch) in slices.into_iter().enumerate() {
+                    if (index as u32) < resume_from {
+                        continue;
+                    }
+                    sink(
+                        Message::GetManyChunk {
+                            request,
+                            chunk_index: index as u32,
+                            total_hint: total_chunks,
+                            batch,
+                        }
+                        .encode(),
+                    );
+                }
+                Message::GetManyDone {
+                    request,
+                    total_chunks,
+                    result: Ok(()),
+                }
+            }
+            Err(e) => Message::GetManyDone {
+                request,
+                total_chunks: 0,
+                result: Err(e),
+            },
+        };
+        let frame = terminal.encode();
+        if executor {
+            if let Some(id) = cache_key {
+                self.replies.complete(id, Some(frame.clone()));
+            }
+        }
+        frame
+    }
 }
 
 impl MessageHandler for RmiServer {
+    fn handle_stream(
+        &self,
+        from: SiteId,
+        frame: Bytes,
+        sink: &mut dyn FnMut(Bytes),
+    ) -> Option<Bytes> {
+        // Only stream requests take the chunked path; every other frame —
+        // including undecodable garbage — goes through the one-shot pump.
+        if let Ok(Message::GetManyStreamRequest {
+            request,
+            targets,
+            mode,
+            chunk,
+            resume_from,
+        }) = Message::decode(&frame)
+        {
+            return Some(
+                self.stream_get_many(from, request, &targets, mode, chunk, resume_from, sink),
+            );
+        }
+        self.handle(from, frame)
+    }
+
     fn handle(&self, from: SiteId, frame: Bytes) -> Option<Bytes> {
         match Message::decode(&frame) {
             Ok(Message::AckHorizon { up_to }) => {
@@ -517,6 +684,192 @@ mod tests {
         }
         // 20 rounds x 3 losing duplicates, all served without execution.
         assert_eq!(s.metrics().snapshot().cached_replies, 60);
+    }
+
+    /// A provider service answering `get_many` with a fixed-size batch and
+    /// a two-edge frontier, counting executions so tests can see when a
+    /// stream re-ran it.
+    #[derive(Debug)]
+    struct BatchService {
+        objects: usize,
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl BatchService {
+        fn new(objects: usize) -> Self {
+            BatchService {
+                objects,
+                calls: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl crate::service::RmiService for BatchService {
+        fn invoke(
+            &self,
+            _from: SiteId,
+            _target: ObjId,
+            _method: &str,
+            _args: ObiValue,
+        ) -> obiwan_util::Result<ObiValue> {
+            Ok(ObiValue::Null)
+        }
+
+        fn get_many(
+            &self,
+            _from: SiteId,
+            targets: &[ObjId],
+            _mode: WireMode,
+        ) -> obiwan_util::Result<ReplicaBatch> {
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let root = targets.first().copied().unwrap_or_else(oid);
+            Ok(ReplicaBatch {
+                root,
+                replicas: (0..self.objects)
+                    .map(|i| obiwan_wire::ReplicaState {
+                        id: ObjId::new(SiteId::new(2), i as u64 + 1),
+                        class: "Node".into(),
+                        version: 1,
+                        state: Bytes::from_static(b"s"),
+                    })
+                    .collect(),
+                frontier: vec![
+                    obiwan_wire::FrontierEdge {
+                        target: ObjId::new(SiteId::new(2), 900),
+                        class: "Node".into(),
+                    },
+                    obiwan_wire::FrontierEdge {
+                        target: ObjId::new(SiteId::new(2), 901),
+                        class: "Node".into(),
+                    },
+                ],
+                cluster: None,
+            })
+        }
+    }
+
+    fn stream_frame(seq: u64, chunk: u32, resume_from: u32) -> Bytes {
+        Message::GetManyStreamRequest {
+            request: RequestId::new(SiteId::new(1), seq),
+            targets: vec![oid()],
+            mode: obiwan_wire::WireMode::Incremental { batch: 8 },
+            chunk,
+            resume_from,
+        }
+        .encode()
+    }
+
+    fn collect_stream(s: &RmiServer, frame: Bytes) -> (Vec<Message>, Message) {
+        let mut chunks = Vec::new();
+        let terminal = s
+            .handle_stream(SiteId::new(1), frame, &mut |raw| {
+                chunks.push(Message::decode(&raw).unwrap());
+            })
+            .expect("stream requests always answer");
+        (chunks, Message::decode(&terminal).unwrap())
+    }
+
+    #[test]
+    fn stream_request_slices_chunks_with_the_frontier_on_the_last() {
+        let s = RmiServer::new(Arc::new(BatchService::new(20)));
+        let (chunks, terminal) = collect_stream(&s, stream_frame(1, 8, 0));
+        // 20 objects at 8 per chunk: 8 + 8 + 4.
+        assert_eq!(chunks.len(), 3);
+        for (i, c) in chunks.iter().enumerate() {
+            match c {
+                Message::GetManyChunk {
+                    chunk_index,
+                    total_hint,
+                    batch,
+                    ..
+                } => {
+                    assert_eq!(*chunk_index, i as u32);
+                    assert_eq!(*total_hint, 3);
+                    let want = if i == 2 { 4 } else { 8 };
+                    assert_eq!(batch.replicas.len(), want, "chunk {i}");
+                    if i == 2 {
+                        assert_eq!(batch.frontier.len(), 2, "frontier rides the last chunk");
+                    } else {
+                        assert!(batch.frontier.is_empty(), "chunk {i} must carry no frontier");
+                    }
+                }
+                other => panic!("unexpected stream frame {other:?}"),
+            }
+        }
+        match terminal {
+            Message::GetManyDone {
+                total_chunks,
+                result,
+                ..
+            } => {
+                assert_eq!(total_chunks, 3);
+                assert!(result.is_ok());
+            }
+            other => panic!("unexpected terminal {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resumed_stream_sends_only_the_missing_suffix() {
+        let svc = Arc::new(BatchService::new(20));
+        let s = RmiServer::new(svc.clone());
+        let (first, _) = collect_stream(&s, stream_frame(1, 8, 0));
+        assert_eq!(first.len(), 3);
+        // The retry (same id, resume_from 2) hits the reply cache — an
+        // elided *cached* execution — but still re-streams fresh frames for
+        // the suffix, because the cache holds only the terminal.
+        let (resumed, terminal) = collect_stream(&s, stream_frame(1, 8, 2));
+        assert_eq!(resumed.len(), 1, "only chunk 2 is re-sent");
+        assert!(matches!(
+            resumed[0],
+            Message::GetManyChunk { chunk_index: 2, .. }
+        ));
+        assert!(matches!(
+            terminal,
+            Message::GetManyDone { total_chunks: 3, result: Ok(()), .. }
+        ));
+        assert_eq!(s.metrics().snapshot().cached_replies, 1);
+        assert_eq!(svc.calls.load(std::sync::atomic::Ordering::Relaxed), 2);
+        // Only the terminal was cached: one entry however many chunks flowed.
+        assert_eq!(s.replies().len(), 1);
+    }
+
+    #[test]
+    fn empty_batch_streams_one_chunk_carrying_the_frontier() {
+        let s = RmiServer::new(Arc::new(BatchService::new(0)));
+        let (chunks, terminal) = collect_stream(&s, stream_frame(1, 8, 0));
+        assert_eq!(chunks.len(), 1);
+        match &chunks[0] {
+            Message::GetManyChunk { batch, total_hint, .. } => {
+                assert!(batch.replicas.is_empty());
+                assert_eq!(batch.frontier.len(), 2);
+                assert_eq!(*total_hint, 1);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+        assert!(matches!(
+            terminal,
+            Message::GetManyDone { total_chunks: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn non_stream_frames_fall_through_handle_stream_unchanged() {
+        let s = server();
+        let mut chunks = Vec::new();
+        let reply = s
+            .handle_stream(
+                SiteId::new(1),
+                Message::Ping { request: rid() }.encode(),
+                &mut |raw| chunks.push(raw),
+            )
+            .unwrap();
+        assert!(chunks.is_empty());
+        assert_eq!(
+            Message::decode(&reply).unwrap(),
+            Message::Pong { request: rid() }
+        );
     }
 
     /// `rpc.handle` spans record even on a server that was never given a

@@ -121,8 +121,15 @@ impl Histogram {
         }
     }
 
-    /// The `q`-quantile (`0.0 ..= 1.0`), as an upper bound of the bucket
-    /// holding it. `quantile(0.5)` is the median, `quantile(0.99)` the p99.
+    /// The `q`-quantile (`0.0 ..= 1.0`), interpolated by rank position
+    /// inside the bucket holding it. `quantile(0.5)` is the median,
+    /// `quantile(0.99)` the p99.
+    ///
+    /// The bucket's span is first clipped to the observed `[min, max]`, so
+    /// a distribution narrower than one ~7% bucket still resolves distinct
+    /// quantiles instead of collapsing every `q` onto the bucket's upper
+    /// bound (clamped to `max`) — the failure mode that made 20-sample
+    /// latency reports claim `p50 == p99`.
     ///
     /// Exact extremes are returned for `q = 0` and `q = 1`.
     pub fn quantile(&self, q: f64) -> Duration {
@@ -139,10 +146,23 @@ impl Histogram {
         let rank = (q * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (idx, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return Self::bucket_upper(idx).min(self.max).max(self.min);
+            if count == 0 {
+                continue;
             }
+            if seen + count >= rank {
+                let lower = if idx == 0 {
+                    Duration::ZERO
+                } else {
+                    Self::bucket_upper(idx - 1)
+                };
+                let lo = lower.max(self.min).as_nanos() as f64;
+                let hi = Self::bucket_upper(idx).min(self.max).as_nanos() as f64;
+                let frac = (rank - seen) as f64 / count as f64;
+                let est = lo + (hi - lo).max(0.0) * frac;
+                return duration_from_nanos_u128(est as u128)
+                    .clamp(self.min, self.max);
+            }
+            seen += count;
         }
         self.max
     }
@@ -282,6 +302,26 @@ mod tests {
         assert_eq!(a.min(), b.min());
         assert_eq!(a.max(), b.max());
         assert_eq!(a.quantile(0.5), b.quantile(0.5));
+    }
+
+    /// Regression: `quantile` returned the holding bucket's upper bound
+    /// clamped to the extremes, so a small sample set narrower than one
+    /// ~7% bucket — the shape of a 20-iteration latency benchmark —
+    /// reported every quantile as `max`, i.e. `p50 == p99`.
+    #[test]
+    fn small_sample_quantiles_interpolate_within_a_bucket() {
+        // 20 distinct samples inside one log bucket (94.9–101.7 ms).
+        let mut h = Histogram::new();
+        for i in 0..20u64 {
+            h.record(Duration::from_micros(100_000 + i * 75));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 < p99, "p50 {p50:?} must sit below p99 {p99:?}");
+        assert!(p50 >= h.min() && p99 <= h.max());
+        // The median estimate lands inside the sample spread, not on max.
+        assert!(p50 < Duration::from_micros(101_000));
+        assert!(p99 > Duration::from_micros(101_000));
     }
 
     /// Merge-of-many invariants: totals and sums add up, and every

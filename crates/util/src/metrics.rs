@@ -211,6 +211,11 @@ counters! {
     incr_breaker_fast_fails, add_breaker_fast_fails, breaker_fast_fails;
     /// Duplicate requests answered from the server-side reply cache.
     incr_cached_replies, add_cached_replies, cached_replies;
+    /// Reply chunks delivered (in order) to the streaming demand path.
+    incr_demand_chunks, add_demand_chunks, demand_chunks;
+    /// Streamed `get_many` calls resumed mid-batch after a lost chunk,
+    /// lost terminal, or timeout (`resume_from` re-sends of one request id).
+    incr_stream_resumes, add_stream_resumes, stream_resumes;
 }
 
 impl Metrics {

@@ -307,6 +307,40 @@ pub enum Message {
         request: RequestId,
         result: std::result::Result<ReplicaBatch, ObiError>,
     },
+    /// Streaming variant of [`Message::GetManyRequest`]: the provider
+    /// answers with a sequence of [`Message::GetManyChunk`] frames (each a
+    /// slice of the merged batch, `chunk` objects per frame) closed by one
+    /// [`Message::GetManyDone`]. A retry of the same request sets
+    /// `resume_from` to the first chunk index the client has not yet
+    /// materialized, so a resumed stream re-sends only the missing suffix.
+    GetManyStreamRequest {
+        request: RequestId,
+        targets: Vec<ObjId>,
+        mode: WireMode,
+        /// Objects per chunk frame (≥ 1).
+        chunk: u32,
+        /// First chunk index the provider should send (0 on first attempt).
+        resume_from: u32,
+    },
+    /// One slice of a streamed batch. The batch carried here holds the
+    /// chunk's replicas; the frontier rides on the final chunk only.
+    GetManyChunk {
+        request: RequestId,
+        /// Zero-based position of this slice in the stream.
+        chunk_index: u32,
+        /// Total number of chunks the provider intends to send (fixed for
+        /// the lifetime of one stream attempt).
+        total_hint: u32,
+        batch: ReplicaBatch,
+    },
+    /// Terminal frame of a streamed batch: carries the authoritative chunk
+    /// count so the client can detect holes, or the error that aborted the
+    /// stream.
+    GetManyDone {
+        request: RequestId,
+        total_chunks: u32,
+        result: std::result::Result<(), ObiError>,
+    },
     /// `IProvideRemote::put` — write replica state back to the master site.
     PutRequest {
         request: RequestId,
@@ -369,6 +403,9 @@ const MSG_PONG: u8 = 14;
 const MSG_GET_MANY_REQ: u8 = 15;
 const MSG_GET_MANY_REP: u8 = 16;
 const MSG_ACK_HORIZON: u8 = 17;
+const MSG_GET_MANY_STREAM_REQ: u8 = 18;
+const MSG_GET_MANY_CHUNK: u8 = 19;
+const MSG_GET_MANY_DONE: u8 = 20;
 
 /// Approximate frame size of a batch, used to pre-size encoders so hot
 /// replies do not grow their buffer repeatedly.
@@ -396,10 +433,12 @@ impl Message {
         match self {
             Message::GetReply { result: Ok(batch), .. }
             | Message::GetManyReply { result: Ok(batch), .. } => 16 + batch_size_hint(batch),
+            Message::GetManyChunk { batch, .. } => 32 + batch_size_hint(batch),
             Message::PutRequest { entries, .. } | Message::UpdatePush { entries } => {
                 entries_size_hint(entries)
             }
-            Message::GetManyRequest { targets, .. } => 24 + targets.len() * 12,
+            Message::GetManyRequest { targets, .. }
+            | Message::GetManyStreamRequest { targets, .. } => 24 + targets.len() * 12,
             _ => 64,
         }
     }
@@ -470,6 +509,51 @@ impl Message {
                         enc.put_u8(0);
                         batch.encode(&mut enc);
                     }
+                    Err(e) => {
+                        enc.put_u8(1);
+                        enc.put_error(e);
+                    }
+                }
+            }
+            Message::GetManyStreamRequest {
+                request,
+                targets,
+                mode,
+                chunk,
+                resume_from,
+            } => {
+                enc.put_u8(MSG_GET_MANY_STREAM_REQ);
+                enc.put_request_id(*request);
+                enc.put_varint(targets.len() as u64);
+                for t in targets {
+                    enc.put_obj_id(*t);
+                }
+                mode.encode(&mut enc);
+                enc.put_varint(u64::from(*chunk));
+                enc.put_varint(u64::from(*resume_from));
+            }
+            Message::GetManyChunk {
+                request,
+                chunk_index,
+                total_hint,
+                batch,
+            } => {
+                enc.put_u8(MSG_GET_MANY_CHUNK);
+                enc.put_request_id(*request);
+                enc.put_varint(u64::from(*chunk_index));
+                enc.put_varint(u64::from(*total_hint));
+                batch.encode(&mut enc);
+            }
+            Message::GetManyDone {
+                request,
+                total_chunks,
+                result,
+            } => {
+                enc.put_u8(MSG_GET_MANY_DONE);
+                enc.put_request_id(*request);
+                enc.put_varint(u64::from(*total_chunks));
+                match result {
+                    Ok(()) => enc.put_u8(0),
                     Err(e) => {
                         enc.put_u8(1);
                         enc.put_error(e);
@@ -624,6 +708,44 @@ impl Message {
                 };
                 Message::GetManyReply { request, result }
             }
+            MSG_GET_MANY_STREAM_REQ => {
+                let request = dec.take_request_id()?;
+                let n = dec.take_varint()? as usize;
+                let mut targets = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    targets.push(dec.take_obj_id()?);
+                }
+                let mode = WireMode::decode(dec)?;
+                let chunk = dec.take_varint()? as u32;
+                let resume_from = dec.take_varint()? as u32;
+                Message::GetManyStreamRequest {
+                    request,
+                    targets,
+                    mode,
+                    chunk,
+                    resume_from,
+                }
+            }
+            MSG_GET_MANY_CHUNK => Message::GetManyChunk {
+                request: dec.take_request_id()?,
+                chunk_index: dec.take_varint()? as u32,
+                total_hint: dec.take_varint()? as u32,
+                batch: ReplicaBatch::decode(dec)?,
+            },
+            MSG_GET_MANY_DONE => {
+                let request = dec.take_request_id()?;
+                let total_chunks = dec.take_varint()? as u32;
+                let result = match dec.take_u8()? {
+                    0 => Ok(()),
+                    1 => Err(dec.take_error()?),
+                    tag => return Err(ObiError::Decode(format!("bad result flag {tag}"))),
+                };
+                Message::GetManyDone {
+                    request,
+                    total_chunks,
+                    result,
+                }
+            }
             MSG_PUT_REQ => {
                 let request = dec.take_request_id()?;
                 let n = dec.take_varint()? as usize;
@@ -706,6 +828,9 @@ impl Message {
             | Message::GetReply { request, .. }
             | Message::GetManyRequest { request, .. }
             | Message::GetManyReply { request, .. }
+            | Message::GetManyStreamRequest { request, .. }
+            | Message::GetManyChunk { request, .. }
+            | Message::GetManyDone { request, .. }
             | Message::PutRequest { request, .. }
             | Message::PutReply { request, .. }
             | Message::NameRequest { request, .. }
@@ -727,6 +852,7 @@ impl Message {
             Message::InvokeRequest { .. }
                 | Message::GetRequest { .. }
                 | Message::GetManyRequest { .. }
+                | Message::GetManyStreamRequest { .. }
                 | Message::PutRequest { .. }
                 | Message::NameRequest { .. }
                 | Message::Subscribe { .. }
@@ -829,6 +955,36 @@ mod tests {
                 request: rid(8),
                 result: Err(ObiError::NoSuchObject(oid(3))),
             },
+            Message::GetManyStreamRequest {
+                request: rid(9),
+                targets: vec![oid(1), oid(2)],
+                mode: WireMode::Incremental { batch: 16 },
+                chunk: 8,
+                resume_from: 0,
+            },
+            Message::GetManyStreamRequest {
+                request: rid(9),
+                targets: vec![],
+                mode: WireMode::Transitive,
+                chunk: 1,
+                resume_from: 3,
+            },
+            Message::GetManyChunk {
+                request: rid(9),
+                chunk_index: 2,
+                total_hint: 5,
+                batch: sample_batch(),
+            },
+            Message::GetManyDone {
+                request: rid(9),
+                total_chunks: 5,
+                result: Ok(()),
+            },
+            Message::GetManyDone {
+                request: rid(9),
+                total_chunks: 0,
+                result: Err(ObiError::NoSuchObject(oid(3))),
+            },
             Message::PutRequest {
                 request: rid(4),
                 entries: vec![sample_state(5)],
@@ -929,6 +1085,32 @@ mod tests {
         assert_eq!(Message::Ping { request: rid(3) }.request_id(), Some(rid(3)));
         assert!(!Message::AckHorizon { up_to: 9 }.is_request());
         assert_eq!(Message::AckHorizon { up_to: 9 }.request_id(), None);
+        // Stream frames: only the request opens a stream; chunk and done
+        // frames are replies correlated through the same id.
+        let stream_req = Message::GetManyStreamRequest {
+            request: rid(9),
+            targets: vec![oid(1)],
+            mode: WireMode::Incremental { batch: 4 },
+            chunk: 2,
+            resume_from: 0,
+        };
+        assert!(stream_req.is_request());
+        assert_eq!(stream_req.request_id(), Some(rid(9)));
+        let chunk = Message::GetManyChunk {
+            request: rid(9),
+            chunk_index: 0,
+            total_hint: 1,
+            batch: sample_batch(),
+        };
+        assert!(!chunk.is_request());
+        assert_eq!(chunk.request_id(), Some(rid(9)));
+        let done = Message::GetManyDone {
+            request: rid(9),
+            total_chunks: 1,
+            result: Ok(()),
+        };
+        assert!(!done.is_request());
+        assert_eq!(done.request_id(), Some(rid(9)));
     }
 
     #[test]

@@ -133,6 +133,61 @@ fn trace_export_json_carries_the_demand_spans() {
 }
 
 #[test]
+fn streamed_demand_emits_per_chunk_spans_inside_the_round_trip() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let r = rig();
+    let site = r.world.site(r.consumer);
+    let root = site
+        .get(&r.head, ReplicationMode::incremental(10))
+        .expect("get");
+    let mut cur = root;
+    loop {
+        let out = site.invoke(cur, "touch", ObiValue::Null).expect("touch");
+        match out.as_ref_id() {
+            Some(id) => cur = id.into(),
+            None => break,
+        }
+    }
+
+    let events = trace::events();
+    let chunks: Vec<_> = events.iter().filter(|e| e.name == "rpc.chunk").collect();
+    let pumps: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "obi.pump_chunk")
+        .collect();
+    // Step 10 exceeds the 8-object chunk size, so each of the nine walk
+    // faults streams its batch as two chunks (8 + 2).
+    assert_eq!(chunks.len(), 18, "two rpc.chunk spans per streamed fault");
+    // Chunk spans carry their stream position...
+    assert!(chunks.iter().any(|c| c.value == 0));
+    assert!(chunks.iter().any(|c| c.value == 1));
+    // ...and nest inside the fault's round trip: every fault span sits at
+    // depth 1 under its invoke, its round trip at depth 2, and the chunk
+    // deliveries deeper still.
+    for f in events.iter().filter(|e| e.name == "obi.fault") {
+        for c in &chunks {
+            assert!(
+                c.depth > f.depth + 1,
+                "rpc.chunk (depth {}) must nest below the round trip inside \
+                 the fault (depth {})",
+                c.depth,
+                f.depth
+            );
+        }
+    }
+    // Each fault's tail chunk parks and is pumped at the head of a later
+    // public operation, outside any invoke's latency window: nine root-level
+    // obi.pump_chunk spans, each naming its chunk index and root object.
+    assert_eq!(pumps.len(), 9, "one pumped tail chunk per streamed fault");
+    for p in &pumps {
+        assert_eq!(p.value, 1, "the parked chunk is stream position 1");
+        assert_eq!(p.depth, 0, "pumps run outside the invoke span");
+        assert!(p.obj.is_some(), "pump spans name the batch root");
+        assert_eq!(p.site, Some(r.consumer));
+    }
+}
+
+#[test]
 fn batched_demand_emits_one_round_trip_per_batch() {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let r = rig();

@@ -125,6 +125,53 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     cluster: None,
                 }),
             }),
+        (
+            arb_request_id(),
+            proptest::collection::vec(arb_obj_id(), 0..8),
+            arb_mode(),
+            1u32..64,
+            0u32..16,
+        )
+            .prop_map(|(request, targets, mode, chunk, resume_from)| {
+                Message::GetManyStreamRequest {
+                    request,
+                    targets,
+                    mode,
+                    chunk,
+                    resume_from,
+                }
+            }),
+        (
+            arb_request_id(),
+            0u32..16,
+            0u32..16,
+            arb_obj_id(),
+            proptest::collection::vec(arb_replica_state(), 0..5),
+            proptest::collection::vec((arb_obj_id(), "[A-Z][a-z]{0,10}"), 0..5),
+        )
+            .prop_map(|(request, chunk_index, total_hint, root, replicas, frontier)| {
+                Message::GetManyChunk {
+                    request,
+                    chunk_index,
+                    total_hint,
+                    batch: ReplicaBatch {
+                        root,
+                        replicas,
+                        frontier: frontier
+                            .into_iter()
+                            .map(|(target, class)| FrontierEdge { target, class })
+                            .collect(),
+                        cluster: None,
+                    },
+                }
+            }),
+        (arb_request_id(), 0u32..16).prop_map(|(request, total_chunks)| {
+            Message::GetManyDone {
+                request,
+                total_chunks,
+                result: Ok(()),
+            }
+        }),
         proptest::collection::vec(arb_obj_id(), 0..10)
             .prop_map(|objects| Message::Invalidate { objects }),
         arb_request_id().prop_map(|request| Message::Ping { request }),

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run -p obiwan-bench --bin figures -- [e1|fig4|fig5|fig6|verify|bench|scale|wal|all]
+//! cargo run -p obiwan-bench --bin figures -- [e1|fig4|fig5|fig6|verify|bench|scale|churn|wal|all]
 //! ```
 //!
 //! `bench` writes the machine-readable perf trajectory (`BENCH_demand.json`
@@ -10,7 +10,9 @@
 //! wall-clock time); `scale smoke` runs the reduced CI-sized world.
 //! `wal` writes `BENCH_wal.json` (WAL append throughput vs group-commit
 //! size and recovery time vs log length); `wal smoke` runs the reduced
-//! sweep.
+//! sweep. `churn` writes `BENCH_churn.json` (live join + mastership
+//! handoff under loss, virtual time); `churn smoke` runs the CI-sized
+//! world.
 //!
 //! All numbers are deterministic virtual-time milliseconds on the
 //! paper-testbed model (10 Mb/s LAN, LMI ≈ 2 µs, RMI ≈ 2.8 ms).
@@ -235,6 +237,22 @@ fn main() {
             let path = obiwan_bench::write_scale_file(&cwd, &cfg).expect("write BENCH_scale.json");
             println!("wrote {}", path.display());
         }
+        "churn" => {
+            let cfg = match std::env::args().nth(2).as_deref() {
+                Some("smoke") => obiwan_bench::ChurnConfig::smoke(),
+                _ => obiwan_bench::ChurnConfig::full(),
+            };
+            println!(
+                "churn: {} sites, {} counters, {} ticks, loss {} (virtual time)",
+                cfg.sites,
+                cfg.counters,
+                cfg.total_ticks(),
+                cfg.loss
+            );
+            let cwd = std::env::current_dir().expect("cwd");
+            let path = obiwan_bench::write_churn_file(&cwd, &cfg).expect("write BENCH_churn.json");
+            println!("wrote {}", path.display());
+        }
         "wal" => {
             let cfg = match std::env::args().nth(2).as_deref() {
                 Some("smoke") => obiwan_bench::WalConfig::smoke(),
@@ -266,7 +284,7 @@ fn main() {
             ok = print_verify();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected e1|fig4|fig5|fig6|e6|e7|csv|verify|bench|scale|wal|all");
+            eprintln!("unknown experiment `{other}`; expected e1|fig4|fig5|fig6|e6|e7|csv|verify|bench|scale|churn|wal|all");
             std::process::exit(2);
         }
     }

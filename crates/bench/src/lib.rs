@@ -16,6 +16,7 @@
 //! wins, by what factor, where crossovers fall) are reproducible on any
 //! machine.
 
+pub mod churn;
 pub mod emit;
 pub mod experiments;
 pub mod report;
@@ -26,6 +27,9 @@ pub mod workload;
 pub use emit::{
     bench_demand_json, bench_rpc_json, demand_bench, rpc_bench, write_bench_files, DemandPoint,
     RpcScenario,
+};
+pub use churn::{
+    bench_churn_json, churn_bench, write_churn_file, ChurnConfig, ChurnReport, ChurnTick,
 };
 pub use scale::{bench_scale_json, scale_bench, write_scale_file, ScaleConfig, ScalePoint};
 pub use wal::{

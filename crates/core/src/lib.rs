@@ -88,7 +88,7 @@ pub use world::{ObiWorld, NAME_SERVER_SITE};
 pub use obiwan_rmi::{BreakerConfig, BreakerState, Deadline, RetryPolicy};
 pub use obiwan_store::{Durable, DurableOptions, RecoveredState};
 pub use obiwan_util::{ObiError, Result};
-pub use obiwan_wire::ObiValue;
+pub use obiwan_wire::{JoinInfo, ObiValue};
 
 /// Implemented by `obi_class!`-generated types: materialization from
 /// serialized state.

@@ -174,6 +174,24 @@ impl ObiWorld {
         self.site(site)
     }
 
+    /// Removes `site` from the world entirely: its process (with all
+    /// in-memory state) is dropped and its transport registration removed,
+    /// so frames addressed to it fail like any unreachable site. This is
+    /// the world-side half of a departure — call
+    /// [`ObiProcess::leave`](crate::ObiProcess::leave) first for a graceful
+    /// one, or skip it to model a crash-leave. Site ids are never reused;
+    /// a returning site joins as a new one via [`ObiWorld::add_site`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the site was not created by this world.
+    pub fn retire_site(&mut self, site: SiteId) {
+        assert!(self.processes.contains_key(&site), "unknown site {site}");
+        self.processes.remove(&site);
+        self.site_names.remove(&site);
+        self.transport.deregister(site);
+    }
+
     /// The process running at `site`.
     ///
     /// # Panics

@@ -8,7 +8,7 @@
 
 use obiwan_core::{BreakerState, ObiProcess};
 use obiwan_util::SiteId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 /// Observed health of a link to one peer.
@@ -50,6 +50,11 @@ impl LinkHealth {
 pub struct ConnectivityMonitor {
     degraded_threshold: Duration,
     last_seen: HashMap<SiteId, LinkHealth>,
+    /// Peers that left the world. A retired peer is not a failed peer: it
+    /// never gets pinged (no probe budget spent on a site that told us it
+    /// was going), never counts as a failure, and drops out of the
+    /// disconnected list so sweep loops don't keep chasing it.
+    retired: HashSet<SiteId>,
     probes: u64,
     failures: u64,
 }
@@ -61,9 +66,33 @@ impl ConnectivityMonitor {
         ConnectivityMonitor {
             degraded_threshold,
             last_seen: HashMap::new(),
+            retired: HashSet::new(),
             probes: 0,
             failures: 0,
         }
+    }
+
+    /// Marks `peer` as departed (a graceful leave, or a crash-leave
+    /// confirmed out of band): its probe history is forgotten and later
+    /// [`ConnectivityMonitor::probe`] calls classify it as
+    /// [`LinkHealth::Disconnected`] without pinging or counting toward the
+    /// probe and failure totals.
+    pub fn retire_peer(&mut self, peer: SiteId) {
+        self.retired.insert(peer);
+        self.last_seen.remove(&peer);
+    }
+
+    /// Re-admits a previously retired peer (it rejoined the world); the
+    /// next probe measures it from a clean slate.
+    pub fn readmit_peer(&mut self, peer: SiteId) {
+        self.retired.remove(&peer);
+    }
+
+    /// Peers currently marked as departed, sorted.
+    pub fn retired_peers(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self.retired.iter().copied().collect();
+        v.sort();
+        v
     }
 
     /// Probes `peer` from `process` and records the result.
@@ -79,6 +108,9 @@ impl ConnectivityMonitor {
     /// which classifies as [`LinkHealth::Degraded`] until the breaker is
     /// confirmed closed.
     pub fn probe(&mut self, process: &ObiProcess, peer: SiteId) -> LinkHealth {
+        if self.retired.contains(&peer) {
+            return LinkHealth::Disconnected;
+        }
         self.probes += 1;
         let half_open = process.breaker_state(peer) == BreakerState::HalfOpen;
         let before = process.clock().elapsed();
@@ -211,6 +243,33 @@ mod tests {
         world.site(s1).clock().charge(BreakerConfig::default().cooldown);
         assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Degraded);
         assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Connected);
+    }
+
+    #[test]
+    fn retired_peers_stop_consuming_probe_budget() {
+        let mut world = ObiWorld::loopback();
+        let s1 = world.add_site("S1");
+        let s2 = world.add_site("S2");
+        let mut m = ConnectivityMonitor::new(Duration::from_secs(1));
+        assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Connected);
+        // s2 leaves gracefully. Before this fix the monitor kept pinging
+        // the dead address forever, burning a probe (and, disconnected, a
+        // failure) per sweep.
+        m.retire_peer(s2);
+        assert_eq!(m.last_health(s2), None, "history is forgotten");
+        assert_eq!(m.retired_peers(), vec![s2]);
+        let probes_before = m.probe_count();
+        for _ in 0..10 {
+            assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Disconnected);
+        }
+        assert_eq!(m.probe_count(), probes_before, "no probe budget spent");
+        assert_eq!(m.failure_count(), 0);
+        assert!(m.disconnected_peers().is_empty(), "not chased as failed");
+        // The site rejoins (new incarnation, same id): one readmit and the
+        // monitor measures it fresh.
+        m.readmit_peer(s2);
+        assert_eq!(m.probe(world.site(s1), s2), LinkHealth::Connected);
+        assert_eq!(m.probe_count(), probes_before + 1);
     }
 
     #[test]

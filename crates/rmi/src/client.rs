@@ -7,7 +7,7 @@ use obiwan_util::trace;
 use obiwan_util::{
     Clock, ClockMode, CostModel, DetRng, Metrics, ObiError, ObjId, RequestId, Result, SiteId,
 };
-use obiwan_wire::{Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
+use obiwan_wire::{JoinInfo, Message, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
 use obiwan_util::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -662,6 +662,58 @@ impl RmiClient {
         self.transport.cast(self.site, to, frame)
     }
 
+    /// Membership join: asks the admission authority at `to` (normally the
+    /// name-server site) to enroll this site, returning the world view it
+    /// needs to bootstrap. Retried like any request; admission is
+    /// idempotent, so a lost ack is harmless.
+    pub fn join(&self, to: SiteId) -> Result<JoinInfo> {
+        let request = self.next_request();
+        let reply = self.round_trip(to, &Message::JoinRequest { request })?;
+        match reply {
+            Message::JoinAck { request: id, result } => {
+                self.check_correlation(request, Some(id))?;
+                result
+            }
+            other => Err(unexpected("JoinAck", &other)),
+        }
+    }
+
+    /// Mastership handoff: installs `entries` (the closure rooted at
+    /// `root`) at `to` and asks it to take over as master, returning the
+    /// root's installed version. The same request id rides every retry, and
+    /// the successor installs idempotently, so a handoff retried through
+    /// loss never yields two masters.
+    pub fn handoff(
+        &self,
+        to: SiteId,
+        root: ObjId,
+        entries: Vec<ReplicaState>,
+    ) -> Result<u64> {
+        let request = self.next_request();
+        let reply = self.round_trip(
+            to,
+            &Message::HandoffRequest {
+                request,
+                root,
+                entries,
+            },
+        )?;
+        match reply {
+            Message::HandoffAck { request: id, result } => {
+                self.check_correlation(request, Some(id))?;
+                result
+            }
+            other => Err(unexpected("HandoffAck", &other)),
+        }
+    }
+
+    /// One-way: notify `to` that `site` has left the world.
+    pub fn send_leave(&self, to: SiteId, site: SiteId) -> Result<()> {
+        let frame = Message::Leave { site }.encode();
+        self.clock.charge_cpu(self.costs.serialize(frame.len()));
+        self.transport.cast(self.site, to, frame)
+    }
+
     /// Round-trip connectivity probe.
     pub fn ping(&self, to: SiteId) -> Result<()> {
         let request = self.next_request();
@@ -1110,6 +1162,38 @@ mod retry_tests {
             )
             .unwrap_err();
         assert!(matches!(err, ObiError::NoSuchObject(_)));
+    }
+
+    #[test]
+    fn join_and_leave_enroll_exactly_once_through_loss() {
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        let net = Arc::new(SimTransport::new(clock.clone(), conditions::paper_lan()));
+        net.reseed(7);
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(
+                SiteId::new(1),
+                SiteId::new(0),
+                LinkModel::ideal().with_loss(0.3),
+            );
+        });
+        let ns = Arc::new(crate::NameServerService::new(crate::NameServer::new()));
+        ns.registry()
+            .bind("root", ObjId::new(SiteId::new(0), 1))
+            .unwrap();
+        net.register(SiteId::new(0), Arc::new(RmiServer::new(ns.clone())));
+        let client = RmiClient::new(SiteId::new(1), net.clone(), clock, CostModel::free());
+        client.set_retries(20);
+        let info = client.join(SiteId::new(0)).expect("join retries through loss");
+        assert!(info.peers.is_empty());
+        assert_eq!(info.names.len(), 1);
+        assert_eq!(ns.registry().roster(), vec![SiteId::new(1)]);
+        // Leave is a one-way cast: fire it over a clean link and observe
+        // the roster shrink.
+        net.with_topology_mut(|t| {
+            t.set_link_symmetric(SiteId::new(1), SiteId::new(0), LinkModel::ideal());
+        });
+        client.send_leave(SiteId::new(0), SiteId::new(1)).unwrap();
+        assert!(ns.registry().roster().is_empty());
     }
 
     #[test]

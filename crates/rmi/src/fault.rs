@@ -261,6 +261,20 @@ impl CircuitBreaker {
             }
         }
     }
+
+    /// Forgets everything about `peer` (a graceful leave): its entry is
+    /// removed rather than kept open forever. A later call involving the
+    /// same site id (a rejoin) starts from a fresh closed breaker.
+    pub fn retire_peer(&self, peer: SiteId) {
+        self.peers.lock().remove(&peer);
+    }
+
+    /// Number of peers the breaker currently tracks. Retired peers do not
+    /// count; without retirement this grows monotonically with every peer
+    /// ever contacted.
+    pub fn tracked_peers(&self) -> usize {
+        self.peers.lock().len()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -274,11 +288,19 @@ struct CachedReply {
 }
 
 #[derive(Debug)]
+struct PendingSlot {
+    /// One sender per duplicate that arrived while the first copy was
+    /// still running.
+    waiters: Vec<Sender<Option<Bytes>>>,
+    /// Clock reading when the slot was admitted, for the age-based reap.
+    began_at_nanos: u64,
+}
+
+#[derive(Debug)]
 struct ReplyCacheInner {
     entries: HashMap<(SiteId, u64), CachedReply>,
-    /// Request ids currently executing; the waiter list holds one sender
-    /// per duplicate that arrived while the first copy was still running.
-    pending: HashMap<(SiteId, u64), Vec<Sender<Option<Bytes>>>>,
+    /// Request ids currently executing.
+    pending: HashMap<(SiteId, u64), PendingSlot>,
     stamp: u64,
 }
 
@@ -369,7 +391,10 @@ impl ReplyCache {
     /// misses; concurrent duplicates get [`Admit::Wait`] and park until the
     /// executor publishes via [`ReplyCache::complete`]. An id already
     /// answered gets [`Admit::Cached`] (refreshing its LRU stamp).
-    pub fn begin(&self, id: RequestId) -> Admit {
+    ///
+    /// `now_nanos` timestamps the in-flight slot so [`ReplyCache::reap_pending`]
+    /// can reclaim it if the executor dies without ever publishing.
+    pub fn begin(&self, id: RequestId, now_nanos: u64) -> Admit {
         let key = (id.origin(), id.seq());
         let mut inner = self.inner.lock();
         inner.stamp += 1;
@@ -378,15 +403,62 @@ impl ReplyCache {
             entry.stamp = stamp;
             return Admit::Cached(entry.frame.clone());
         }
-        if let Some(waiters) = inner.pending.get_mut(&key) {
+        if let Some(slot) = inner.pending.get_mut(&key) {
             // Capacity 1: `complete` sends exactly one value per waiter and
             // never blocks doing so.
             let (tx, rx) = bounded(1);
-            waiters.push(tx);
+            slot.waiters.push(tx);
             return Admit::Wait(rx);
         }
-        inner.pending.insert(key, Vec::new());
+        inner.pending.insert(
+            key,
+            PendingSlot {
+                waiters: Vec::new(),
+                began_at_nanos: now_nanos,
+            },
+        );
         Admit::Execute
+    }
+
+    /// Reclaims in-flight slots older than `max_age` at clock reading
+    /// `now_nanos`, waking their parked duplicates with `None` (they answer
+    /// generically and the client retries afresh). Returns how many slots
+    /// were reaped.
+    ///
+    /// In-flight slots are deliberately immune to LRU eviction, so an
+    /// executor that dies without publishing — a client killed mid-stream,
+    /// a handler panic — would otherwise leak its slot forever. The age
+    /// bound should comfortably exceed any client's retry deadline horizon:
+    /// past it, no legitimate retransmission of the id is coming, so the
+    /// slot can only be garbage.
+    pub fn reap_pending(&self, now_nanos: u64, max_age: Duration) -> usize {
+        let max_age = max_age.as_nanos() as u64;
+        let reaped: Vec<PendingSlot> = {
+            let mut inner = self.inner.lock();
+            let dead: Vec<(SiteId, u64)> = inner
+                .pending
+                .iter()
+                .filter(|(_, slot)| {
+                    now_nanos.saturating_sub(slot.began_at_nanos) > max_age
+                })
+                .map(|(k, _)| *k)
+                .collect();
+            dead.iter()
+                .filter_map(|k| inner.pending.remove(k))
+                .collect()
+        };
+        let count = reaped.len();
+        for slot in reaped {
+            for waiter in slot.waiters {
+                let _ = waiter.send(None);
+            }
+        }
+        count
+    }
+
+    /// Number of in-flight (admitted, not yet completed) slots.
+    pub fn pending_len(&self) -> usize {
+        self.inner.lock().pending.len()
     }
 
     /// Publishes the outcome of an execution admitted by
@@ -396,7 +468,11 @@ impl ReplyCache {
         let key = (id.origin(), id.seq());
         let waiters = {
             let mut inner = self.inner.lock();
-            let waiters = inner.pending.remove(&key).unwrap_or_default();
+            let waiters = inner
+                .pending
+                .remove(&key)
+                .map(|slot| slot.waiters)
+                .unwrap_or_default();
             if let Some(frame) = &frame {
                 inner.stamp += 1;
                 let stamp = inner.stamp;
@@ -614,6 +690,23 @@ mod tests {
     }
 
     #[test]
+    fn retired_peer_is_forgotten_and_rejoins_closed() {
+        let br = CircuitBreaker::default();
+        for _ in 0..5 {
+            br.on_failure(s(2), 0);
+        }
+        br.on_failure(s(3), 0);
+        assert_eq!(br.state(s(2), 0), BreakerState::Open);
+        assert_eq!(br.tracked_peers(), 2);
+        br.retire_peer(s(2));
+        assert_eq!(br.tracked_peers(), 1);
+        // A rejoin under the same site id starts from a clean slate: the
+        // old open state must not haunt the new incarnation.
+        assert_eq!(br.state(s(2), 0), BreakerState::Closed);
+        assert!(br.admit(s(2), 0));
+    }
+
+    #[test]
     fn reply_cache_hits_and_lru_evicts() {
         let cache = ReplyCache::new(2);
         let id = |n| RequestId::new(s(1), n);
@@ -676,9 +769,9 @@ mod tests {
     fn begin_admits_one_executor_and_caches_its_reply() {
         let cache = ReplyCache::new(8);
         let id = RequestId::new(s(1), 1);
-        assert!(matches!(cache.begin(id), Admit::Execute));
+        assert!(matches!(cache.begin(id, 0), Admit::Execute));
         // A duplicate arriving mid-execution parks instead of executing.
-        let waiter = match cache.begin(id) {
+        let waiter = match cache.begin(id, 0) {
             Admit::Wait(rx) => rx,
             other => panic!("duplicate admitted as {other:?}"),
         };
@@ -688,7 +781,7 @@ mod tests {
             Some(Bytes::from_static(b"r"))
         );
         // After completion the id is a plain cache hit.
-        match cache.begin(id) {
+        match cache.begin(id, 0) {
             Admit::Cached(frame) => assert_eq!(frame, Bytes::from_static(b"r")),
             other => panic!("settled id admitted as {other:?}"),
         }
@@ -699,12 +792,12 @@ mod tests {
     fn complete_without_reply_wakes_waiters_and_caches_nothing() {
         let cache = ReplyCache::new(8);
         let id = RequestId::new(s(1), 7);
-        assert!(matches!(cache.begin(id), Admit::Execute));
-        let a = match cache.begin(id) {
+        assert!(matches!(cache.begin(id, 0), Admit::Execute));
+        let a = match cache.begin(id, 0) {
             Admit::Wait(rx) => rx,
             other => panic!("{other:?}"),
         };
-        let b = match cache.begin(id) {
+        let b = match cache.begin(id, 0) {
             Admit::Wait(rx) => rx,
             other => panic!("{other:?}"),
         };
@@ -713,7 +806,7 @@ mod tests {
         assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), None);
         assert!(cache.is_empty());
         // The slot is released: the next arrival executes afresh.
-        assert!(matches!(cache.begin(id), Admit::Execute));
+        assert!(matches!(cache.begin(id, 0), Admit::Execute));
         cache.complete(id, None);
     }
 
@@ -723,17 +816,47 @@ mod tests {
     fn pending_slots_survive_lru_pressure() {
         let cache = ReplyCache::new(2);
         let inflight = RequestId::new(s(1), 100);
-        assert!(matches!(cache.begin(inflight), Admit::Execute));
+        assert!(matches!(cache.begin(inflight, 0), Admit::Execute));
         for seq in 1..=10 {
             let id = RequestId::new(s(2), seq);
-            assert!(matches!(cache.begin(id), Admit::Execute));
+            assert!(matches!(cache.begin(id, 0), Admit::Execute));
             cache.complete(id, Some(Bytes::from_static(b"x")));
         }
         assert_eq!(cache.len(), 2, "LRU bound holds for completed entries");
         // The in-flight slot is still registered: duplicates still park.
-        assert!(matches!(cache.begin(inflight), Admit::Wait(_)));
+        assert!(matches!(cache.begin(inflight, 0), Admit::Wait(_)));
         cache.complete(inflight, Some(Bytes::from_static(b"y")));
-        assert!(matches!(cache.begin(inflight), Admit::Cached(_)));
+        assert!(matches!(cache.begin(inflight, 0), Admit::Cached(_)));
+    }
+
+    /// Regression: a client that dies mid-stream leaves a `begin`ed slot
+    /// behind (the executor never reaches the terminal `complete`). Pending
+    /// slots are immune to LRU by design, so without an age-based reap the
+    /// slot — and its `(origin, seq)` admission — leaks forever.
+    #[test]
+    fn reap_pending_reclaims_abandoned_slots_and_wakes_waiters() {
+        let cache = ReplyCache::new(8);
+        let leaked = RequestId::new(s(1), 9);
+        let young = RequestId::new(s(1), 10);
+        assert!(matches!(cache.begin(leaked, 0), Admit::Execute));
+        let orphan = match cache.begin(leaked, 0) {
+            Admit::Wait(rx) => rx,
+            other => panic!("{other:?}"),
+        };
+        let max_age = Duration::from_secs(60);
+        let later = max_age.as_nanos() as u64 + 1;
+        assert!(matches!(cache.begin(young, later), Admit::Execute));
+        // Nothing is old enough at t=max_age; the leaked slot is at t>max_age.
+        assert_eq!(cache.reap_pending(max_age.as_nanos() as u64, max_age), 0);
+        assert_eq!(cache.reap_pending(later, max_age), 1);
+        assert_eq!(cache.pending_len(), 1, "young slot survives the reap");
+        // Parked duplicates of the reaped slot are woken empty-handed so
+        // they re-execute instead of hanging for a reply that never comes.
+        assert_eq!(orphan.recv_timeout(Duration::from_secs(1)).unwrap(), None);
+        // The reclaimed id is admitted afresh.
+        assert!(matches!(cache.begin(leaked, later), Admit::Execute));
+        cache.complete(leaked, None);
+        cache.complete(young, None);
     }
 
     #[test]

@@ -8,9 +8,9 @@
 
 use crate::service::RmiService;
 use obiwan_util::{ObiError, ObjId, Result, SiteId};
-use obiwan_wire::{NameOp, ObiValue};
+use obiwan_wire::{JoinInfo, NameOp, ObiValue};
 use obiwan_util::sync::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A thread-safe name-to-object registry.
 ///
@@ -31,6 +31,10 @@ use std::collections::BTreeMap;
 #[derive(Debug, Default)]
 pub struct NameServer {
     bindings: RwLock<BTreeMap<String, ObjId>>,
+    // The membership roster: sites currently in the world. The name server
+    // doubles as the admission authority because it is the one address
+    // every site already knows.
+    roster: RwLock<BTreeSet<SiteId>>,
 }
 
 impl NameServer {
@@ -100,6 +104,41 @@ impl NameServer {
         self.bindings.read().is_empty()
     }
 
+    /// All bindings as `(name, target)` pairs, sorted by name — the
+    /// bootstrap catalog handed to a joining site.
+    pub fn bindings(&self) -> Vec<(String, ObjId)> {
+        self.bindings
+            .read()
+            .iter()
+            .map(|(n, t)| (n.clone(), *t))
+            .collect()
+    }
+
+    /// Admits `site` to the roster and returns the world view it needs to
+    /// bootstrap: every *other* member plus the bound-name catalog.
+    /// Idempotent — a joiner retrying under loss gets the same answer.
+    pub fn join_site(&self, site: SiteId) -> JoinInfo {
+        // Catalog first, roster second: never hold both locks at once.
+        let names = self.bindings();
+        let mut roster = self.roster.write();
+        roster.insert(site);
+        JoinInfo {
+            peers: roster.iter().copied().filter(|s| *s != site).collect(),
+            names,
+        }
+    }
+
+    /// Removes `site` from the roster. Idempotent; unknown sites are a
+    /// no-op (a crash-leave may race its own graceful leave).
+    pub fn leave_site(&self, site: SiteId) {
+        self.roster.write().remove(&site);
+    }
+
+    /// The current roster, sorted.
+    pub fn roster(&self) -> Vec<SiteId> {
+        self.roster.read().iter().copied().collect()
+    }
+
     /// Answers a wire-level [`NameOp`].
     pub fn handle_op(&self, op: NameOp) -> Result<ObiValue> {
         match op {
@@ -141,6 +180,14 @@ impl NameServerService {
 impl RmiService for NameServerService {
     fn name_op(&self, _from: SiteId, op: NameOp) -> Result<ObiValue> {
         self.inner.handle_op(op)
+    }
+
+    fn join(&self, from: SiteId) -> Result<JoinInfo> {
+        Ok(self.inner.join_site(from))
+    }
+
+    fn leave_notice(&self, _from: SiteId, site: SiteId) {
+        self.inner.leave_site(site);
     }
 }
 
@@ -227,6 +274,36 @@ mod tests {
         assert!(svc
             .invoke(SiteId::new(1), oid(1), "m", ObiValue::Null)
             .is_err());
+    }
+
+    #[test]
+    fn join_returns_peers_and_catalog_and_is_idempotent() {
+        let ns = NameServer::new();
+        ns.bind("root", oid(7)).unwrap();
+        let a = SiteId::new(10);
+        let b = SiteId::new(11);
+        let first = ns.join_site(a);
+        assert!(first.peers.is_empty(), "the first member sees no peers");
+        assert_eq!(first.names, vec![("root".to_string(), oid(7))]);
+        let second = ns.join_site(b);
+        assert_eq!(second.peers, vec![a]);
+        // A lost JoinAck makes the joiner retry: same answer, no dup entry.
+        let retried = ns.join_site(b);
+        assert_eq!(retried.peers, vec![a]);
+        assert_eq!(ns.roster(), vec![a, b]);
+        ns.leave_site(b);
+        ns.leave_site(b); // idempotent
+        assert_eq!(ns.roster(), vec![a]);
+    }
+
+    #[test]
+    fn service_admits_joins_and_processes_leave_notices() {
+        let svc = NameServerService::new(NameServer::new());
+        let info = svc.join(SiteId::new(5)).unwrap();
+        assert!(info.peers.is_empty());
+        assert_eq!(svc.registry().roster(), vec![SiteId::new(5)]);
+        svc.leave_notice(SiteId::new(5), SiteId::new(5));
+        assert!(svc.registry().roster().is_empty());
     }
 
     #[test]

@@ -45,6 +45,13 @@ impl RmiServer {
     /// handler), so generous is fine.
     const IN_FLIGHT_WAIT: Duration = Duration::from_secs(5);
 
+    /// Age past which a still-pending reply slot is presumed abandoned (its
+    /// executor died, or a streaming client vanished before the terminal
+    /// frame) and reclaimed. Twice the default client call budget: any
+    /// legitimate retry of the id has long since given up by then, so no
+    /// live waiter can be stranded by the reap.
+    const PENDING_REAP_AGE: Duration = Duration::from_secs(60);
+
     /// Wraps a service in a message pump with default reply-cache bounds.
     pub fn new(service: Arc<dyn RmiService>) -> Self {
         Self::with_metrics(service, Metrics::new())
@@ -86,6 +93,15 @@ impl RmiServer {
     /// The reply cache backing exactly-once retries.
     pub fn replies(&self) -> &ReplyCache {
         &self.replies
+    }
+
+    /// Reaps pending slots older than [`RmiServer::PENDING_REAP_AGE`].
+    /// Piggy-backed on frame arrival so an idle server costs nothing.
+    fn reap_abandoned_slots(&self, now_nanos: u64) {
+        let reaped = self.replies.reap_pending(now_nanos, Self::PENDING_REAP_AGE);
+        if reaped > 0 {
+            self.metrics.add_pending_slots_reaped(reaped as u64);
+        }
     }
 
     fn dispatch(&self, from: SiteId, msg: Message) -> Option<Message> {
@@ -144,6 +160,25 @@ impl RmiServer {
                 result: self.service.subscribe(from, object, push),
             }),
             Message::Ping { request } => Some(Message::Pong { request }),
+            // Membership: the joiner's identity is the transport-level
+            // `from` (like `Ping`), so a relayed frame cannot enroll a
+            // third party.
+            Message::JoinRequest { request } => Some(Message::JoinAck {
+                request,
+                result: self.service.join(from),
+            }),
+            Message::HandoffRequest {
+                request,
+                root,
+                entries,
+            } => Some(Message::HandoffAck {
+                request,
+                result: self.service.handoff(from, root, entries),
+            }),
+            Message::Leave { site } => {
+                self.service.leave_notice(from, site);
+                None
+            }
             Message::Invalidate { objects } => {
                 self.service.invalidate(from, objects);
                 None
@@ -165,7 +200,9 @@ impl RmiServer {
             | Message::PutReply { .. }
             | Message::NameReply { .. }
             | Message::Ack { .. }
-            | Message::Pong { .. } => None,
+            | Message::Pong { .. }
+            | Message::JoinAck { .. }
+            | Message::HandoffAck { .. } => None,
         }
     }
 
@@ -196,10 +233,12 @@ impl RmiServer {
         sink: &mut dyn FnMut(Bytes),
     ) -> Bytes {
         let mut span = trace::span(&self.clock, "rpc.handle").with_req(request);
+        let now_nanos = self.clock.elapsed().as_nanos() as u64;
+        self.reap_abandoned_slots(now_nanos);
         let cache_key = Some(request).filter(|id| id.origin() == from);
         let mut executor = false;
         if let Some(id) = cache_key {
-            match self.replies.begin(id) {
+            match self.replies.begin(id, now_nanos) {
                 Admit::Execute => executor = true,
                 // Already answered once: count the elided execution, then
                 // stream afresh anyway (see above — the resume needs live
@@ -341,12 +380,14 @@ impl MessageHandler for RmiServer {
                 // or spoofed origin must not let one site poison another's
                 // retry slots.
                 let cache_key = request.filter(|id| id.origin() == from);
+                let now_nanos = self.clock.elapsed().as_nanos() as u64;
+                self.reap_abandoned_slots(now_nanos);
                 // Under worker-pool dispatch two copies of one request can
                 // race; `begin` admits exactly one executor per id and
                 // parks the rest, so mutating requests stay exactly-once.
                 let mut executor = false;
                 if let Some(id) = cache_key {
-                    match self.replies.begin(id) {
+                    match self.replies.begin(id, now_nanos) {
                         Admit::Execute => executor = true,
                         Admit::Cached(cached) => {
                             self.metrics.incr_cached_replies();
@@ -684,6 +725,86 @@ mod tests {
         }
         // 20 rounds x 3 losing duplicates, all served without execution.
         assert_eq!(s.metrics().snapshot().cached_replies, 60);
+    }
+
+    /// Regression for the pending-slot leak: a streaming client that dies
+    /// before its terminal frame (or a handler that panics) leaves a
+    /// `begin`ed slot that LRU pressure can never evict. The age-based reap
+    /// must reclaim it so the id is admitted afresh.
+    #[test]
+    fn abandoned_pending_slot_is_reaped_and_the_id_re_executes() {
+        let svc = Arc::new(CountingService::default());
+        let clock = Clock::new(ClockMode::VirtualOnly);
+        let s = RmiServer::new(svc.clone()).with_clock(clock.clone());
+        // Forge the leak: an executor began but died before `complete`.
+        let id = RequestId::new(SiteId::new(1), 1);
+        assert!(matches!(s.replies().begin(id, 0), Admit::Execute));
+        assert_eq!(s.replies().pending_len(), 1);
+        // Unrelated traffic inside the age window must not reap it.
+        s.handle(SiteId::new(1), invoke_frame(2)).unwrap();
+        assert_eq!(s.replies().pending_len(), 1);
+        // Past the horizon the next arrival reaps the slot, and the retried
+        // id executes instead of parking on a reply that will never come.
+        clock.charge(RmiServer::PENDING_REAP_AGE + Duration::from_secs(1));
+        let reply = s.handle(SiteId::new(1), invoke_frame(1)).unwrap();
+        assert!(matches!(
+            Message::decode(&reply).unwrap(),
+            Message::InvokeReply { result: Ok(_), .. }
+        ));
+        assert_eq!(s.replies().pending_len(), 0);
+        assert_eq!(s.metrics().snapshot().pending_slots_reaped, 1);
+        assert_eq!(svc.calls.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn join_and_handoff_dispatch_to_the_service() {
+        let s = server();
+        // EchoService keeps the trait defaults: joins are refused, handoffs
+        // target no object — but both must answer with the paired ack.
+        let reply = s
+            .handle(SiteId::new(1), Message::JoinRequest { request: rid() }.encode())
+            .unwrap();
+        match Message::decode(&reply).unwrap() {
+            Message::JoinAck { request, result } => {
+                assert_eq!(request, rid());
+                assert!(result.is_err());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // A fresh id: the JoinAck above is already cached under `rid()`.
+        let hid = RequestId::new(SiteId::new(1), 2);
+        let reply = s
+            .handle(
+                SiteId::new(1),
+                Message::HandoffRequest {
+                    request: hid,
+                    root: oid(),
+                    entries: Vec::new(),
+                }
+                .encode(),
+            )
+            .unwrap();
+        match Message::decode(&reply).unwrap() {
+            Message::HandoffAck { request, result } => {
+                assert_eq!(request, hid);
+                assert!(result.is_err());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Leave is one-way, and stray membership acks are dropped.
+        assert!(s
+            .handle(SiteId::new(1), Message::Leave { site: SiteId::new(9) }.encode())
+            .is_none());
+        assert!(s
+            .handle(
+                SiteId::new(1),
+                Message::JoinAck {
+                    request: RequestId::new(SiteId::new(1), 99),
+                    result: Err(obiwan_util::ObiError::Internal("stray".into())),
+                }
+                .encode(),
+            )
+            .is_none());
     }
 
     /// A provider service answering `get_many` with a fixed-size batch and

@@ -1,7 +1,7 @@
 //! The skeleton-side dispatch interface.
 
 use obiwan_util::{ObiError, ObjId, Result, SiteId};
-use obiwan_wire::{NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
+use obiwan_wire::{JoinInfo, NameOp, ObiValue, ReplicaBatch, ReplicaState, WireMode};
 
 /// What a site must implement to receive OBIWAN traffic.
 ///
@@ -72,6 +72,31 @@ pub trait RmiService: Send + Sync {
     fn update_push(&self, from: SiteId, entries: Vec<ReplicaState>) {
         let _ = (from, entries);
     }
+
+    /// Membership join: `from` asks to enter the world. Only admission
+    /// authorities (the name server) override this; ordinary sites refuse.
+    fn join(&self, from: SiteId) -> Result<JoinInfo> {
+        let _ = from;
+        Err(ObiError::BadArguments(
+            "this site does not admit membership joins".into(),
+        ))
+    }
+
+    /// Mastership handoff: `from` (the outgoing master) installs `entries`
+    /// — the closure rooted at `root` — and asks this site to take over as
+    /// master. Returns the root's version as installed. Sites that host no
+    /// object space cannot accept mastership.
+    fn handoff(&self, from: SiteId, root: ObjId, entries: Vec<ReplicaState>) -> Result<u64> {
+        let _ = (from, entries);
+        Err(ObiError::NoSuchObject(root))
+    }
+
+    /// One-way notice that `site` has left the world (gracefully); peers
+    /// use it to retire connectivity state. `from` is the relaying sender,
+    /// which may be `site` itself or the admission authority.
+    fn leave_notice(&self, from: SiteId, site: SiteId) {
+        let _ = (from, site);
+    }
 }
 
 #[cfg(test)]
@@ -104,9 +129,15 @@ mod tests {
             s.subscribe(from, obj, true),
             Err(ObiError::NoSuchObject(_))
         ));
+        assert!(matches!(s.join(from), Err(ObiError::BadArguments(_))));
+        assert!(matches!(
+            s.handoff(from, obj, vec![]),
+            Err(ObiError::NoSuchObject(_))
+        ));
         // One-way defaults are no-ops.
         s.invalidate(from, vec![obj]);
         s.update_push(from, vec![]);
+        s.leave_notice(from, SiteId::new(9));
     }
 
     #[test]

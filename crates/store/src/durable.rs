@@ -124,6 +124,11 @@ pub struct RecoveredState {
     pub next_request_seq: u64,
     /// Restored reply horizon for the client's `HorizonTracker`.
     pub horizon: u64,
+    /// Mastership handoffs in flight or completed at crash time: root →
+    /// (successor, completed). Recovery uses these directionally — a
+    /// recovered replica of a handed-off root points its provider at the
+    /// successor, and this site must never come back up mastering the root.
+    pub handoffs: BTreeMap<ObjId, (SiteId, bool)>,
     /// Bytes dropped from the WAL's torn tail (0 for a clean shutdown).
     pub truncated_bytes: u64,
     /// Intact WAL records replayed (excludes the snapshot).
@@ -147,6 +152,7 @@ struct Mirror {
     dirty: BTreeMap<ObjId, (SiteId, ReplicaState)>,
     ops: Vec<RecoveredOp>,
     pending_puts: BTreeMap<ObjId, PendingPut>,
+    handoffs: BTreeMap<ObjId, (SiteId, bool)>,
     client: Option<(u64, u64)>, // (next_seq, horizon)
     records_since_compact: u64,
     rpcs_since_checkpoint: u64,
@@ -206,6 +212,14 @@ impl Mirror {
                 self.client = Some((*next_seq, *horizon));
                 self.max_seen_seq = self.max_seen_seq.max(next_seq.saturating_sub(1));
             }
+            WalRecord::HandoffIntent { root, successor } => {
+                self.handoffs.insert(*root, (*successor, false));
+            }
+            WalRecord::HandoffComplete { root } => {
+                if let Some(entry) = self.handoffs.get_mut(root) {
+                    entry.1 = true;
+                }
+            }
         }
     }
 
@@ -235,6 +249,15 @@ impl Mirror {
                 args: op.args.clone(),
                 succeeded: op.succeeded,
             });
+        }
+        for (root, (successor, complete)) in &self.handoffs {
+            out.push(WalRecord::HandoffIntent {
+                root: *root,
+                successor: *successor,
+            });
+            if *complete {
+                out.push(WalRecord::HandoffComplete { root: *root });
+            }
         }
         out
     }
@@ -289,6 +312,7 @@ impl Durable {
             pending_puts: mirror.pending_puts.clone(),
             next_request_seq,
             horizon,
+            handoffs: mirror.handoffs.clone(),
             truncated_bytes: truncated,
             wal_records: wal_records.len() as u64,
         };
@@ -367,6 +391,27 @@ impl Durable {
     /// Logs that the replica of `id` was refreshed from its master.
     pub fn log_clean(&self, id: ObjId) -> Result<()> {
         self.log(WalRecord::Clean { id })
+    }
+
+    /// Logs the intent to hand mastership of `root` to `successor`, then
+    /// forces the record durable — it must be on disk before the handoff
+    /// RPC leaves, so a crash mid-handoff recovers pointing at the
+    /// successor rather than resurrecting local mastership.
+    pub fn log_handoff_intent(&self, root: ObjId, successor: SiteId) -> Result<()> {
+        self.log(WalRecord::HandoffIntent { root, successor })?;
+        self.wal.commit()
+    }
+
+    /// Logs that the successor acknowledged the handoff of `root`. Forced
+    /// durable like the intent it settles.
+    pub fn log_handoff_complete(&self, root: ObjId) -> Result<()> {
+        self.log(WalRecord::HandoffComplete { root })?;
+        self.wal.commit()
+    }
+
+    /// Handoffs recorded so far: root → (successor, completed).
+    pub fn handoffs(&self) -> BTreeMap<ObjId, (SiteId, bool)> {
+        self.mirror.lock().handoffs.clone()
     }
 
     /// Logs the RMI client watermark (request counter + reply horizon).
@@ -763,6 +808,34 @@ mod tests {
         assert!(recovered.ops.is_empty());
         assert!(recovered.pending_puts.is_empty());
         assert_eq!(recovered.dirty.len(), 1, "conflicted dirty state survives");
+    }
+
+    #[test]
+    fn handoff_intent_survives_a_crash_and_compaction() {
+        let mem = Arc::new(MemStorage::new());
+        {
+            let (d, _) = open(&mem);
+            // Crash after the intent but before the ack: recovery must
+            // still know the successor, with the handoff marked incomplete.
+            d.log_handoff_intent(oid(1, 7), SiteId::new(4)).unwrap();
+        }
+        let (_d, recovered) = open(&mem);
+        assert_eq!(
+            recovered.handoffs.get(&oid(1, 7)),
+            Some(&(SiteId::new(4), false))
+        );
+        {
+            let (d, _) = open(&mem);
+            d.log_handoff_complete(oid(1, 7)).unwrap();
+            assert_eq!(d.handoffs().get(&oid(1, 7)), Some(&(SiteId::new(4), true)));
+            // Completion must survive snapshot folding too.
+            d.compact().unwrap();
+        }
+        let (_d, recovered) = open(&mem);
+        assert_eq!(
+            recovered.handoffs.get(&oid(1, 7)),
+            Some(&(SiteId::new(4), true))
+        );
     }
 
     #[test]

@@ -77,6 +77,16 @@ pub enum WalRecord {
     Clean { id: ObjId },
     /// RMI client watermark state.
     ClientState { next_seq: u64, horizon: u64 },
+    /// Mastership of `root` is being handed off to `successor`. Written
+    /// and fsynced *before* the handoff RPC leaves. Masters are never
+    /// persisted (recovery always demotes to dirty replicas), so this
+    /// record's job is directional: recovery points the demoted replica's
+    /// provider at `successor` instead of the original master, and a
+    /// half-completed handoff can never resurrect a second master here.
+    HandoffIntent { root: ObjId, successor: SiteId },
+    /// The successor acknowledged the handoff of `root`; the intent is
+    /// settled and this site serves `root` as an ordinary replica.
+    HandoffComplete { root: ObjId },
 }
 
 impl WalRecord {
@@ -131,6 +141,15 @@ impl WalRecord {
             WalRecord::PutAbandoned { id } => {
                 enc.put_u8(6);
                 enc.put_obj_id(*id);
+            }
+            WalRecord::HandoffIntent { root, successor } => {
+                enc.put_u8(7);
+                enc.put_obj_id(*root);
+                enc.put_site(*successor);
+            }
+            WalRecord::HandoffComplete { root } => {
+                enc.put_u8(8);
+                enc.put_obj_id(*root);
             }
         }
         enc.finish().to_vec()
@@ -193,6 +212,13 @@ impl WalRecord {
             6 => WalRecord::PutAbandoned {
                 id: dec.take_obj_id()?,
             },
+            7 => WalRecord::HandoffIntent {
+                root: dec.take_obj_id()?,
+                successor: dec.take_site()?,
+            },
+            8 => WalRecord::HandoffComplete {
+                root: dec.take_obj_id()?,
+            },
             tag => {
                 return Err(ObiError::Decode(format!("unknown WAL record tag {tag}")))
             }
@@ -238,6 +264,11 @@ mod tests {
             WalRecord::Clean { id: oid(2, 9) },
             WalRecord::ClientState { next_seq: 77, horizon: 70 },
             WalRecord::PutAbandoned { id: oid(3, 7) },
+            WalRecord::HandoffIntent {
+                root: oid(3, 7),
+                successor: SiteId::new(4),
+            },
+            WalRecord::HandoffComplete { root: oid(3, 7) },
         ];
         for r in records {
             let bytes = r.encode();
@@ -254,6 +285,14 @@ mod tests {
     #[test]
     fn truncated_payload_is_a_decode_error() {
         let full = WalRecord::PutIntent { id: oid(1, 2), seq: 3, fingerprint: 9 }.encode();
+        for cut in 0..full.len() {
+            assert!(WalRecord::decode(&full[..cut]).is_err(), "cut={cut}");
+        }
+        let full = WalRecord::HandoffIntent {
+            root: oid(1, 2),
+            successor: SiteId::new(3),
+        }
+        .encode();
         for cut in 0..full.len() {
             assert!(WalRecord::decode(&full[..cut]).is_err(), "cut={cut}");
         }

@@ -49,6 +49,11 @@ pub enum ObiError {
     NotReplicated(ObjId),
     /// A replica was created from a master that has since been retracted.
     StaleProvider(ObjId),
+    /// The addressed site no longer masters `object`: mastership was handed
+    /// off to `to`. Definitive for the request as addressed (the old master
+    /// will never apply it), but retryable against the new master — the put
+    /// path re-targets `to` with a fresh request id.
+    MovedMaster { object: ObjId, to: SiteId },
     /// An application-level error raised inside an invoked method.
     Application(String),
     /// The durable storage backend failed (write error, out of space, or a
@@ -92,6 +97,9 @@ impl fmt::Display for ObiError {
             }
             ObiError::NotReplicated(o) => write!(f, "object {o} has no local replica"),
             ObiError::StaleProvider(o) => write!(f, "provider for {o} is stale"),
+            ObiError::MovedMaster { object, to } => {
+                write!(f, "mastership of {object} moved to site {to}")
+            }
             ObiError::Application(m) => write!(f, "application error: {m}"),
             ObiError::Storage(m) => write!(f, "storage error: {m}"),
             ObiError::Internal(m) => write!(f, "internal error: {m}"),
@@ -146,6 +154,13 @@ mod tests {
         assert!(ObiError::Timeout { to: s2 }.is_connectivity());
         assert!(!ObiError::NameNotBound("x".into()).is_connectivity());
         assert!(!ObiError::NoSuchObject(ObjId::new(s1, 0)).is_connectivity());
+        // A moved master is a definitive answer from a live peer, not a
+        // connectivity fault: the caller re-targets instead of backing off.
+        assert!(!ObiError::MovedMaster {
+            object: ObjId::new(s1, 0),
+            to: s2
+        }
+        .is_connectivity());
     }
 
     #[test]

@@ -216,6 +216,22 @@ counters! {
     /// Streamed `get_many` calls resumed mid-batch after a lost chunk,
     /// lost terminal, or timeout (`resume_from` re-sends of one request id).
     incr_stream_resumes, add_stream_resumes, stream_resumes;
+    /// Parked stream chunks dropped because their root was evicted or
+    /// collected before the pump ran (a stale chunk must not resurrect a
+    /// dead replica).
+    incr_stale_chunks_dropped, add_stale_chunks_dropped, stale_chunks_dropped;
+    /// Reply-cache in-flight admission slots reclaimed by the age-based
+    /// reap (an executor died without publishing; its slot would otherwise
+    /// leak forever).
+    incr_pending_slots_reaped, add_pending_slots_reaped, pending_slots_reaped;
+    /// Mastership handoffs completed by this site (intent logged, successor
+    /// acked, local masters demoted).
+    incr_handoffs_completed, add_handoffs_completed, handoffs_completed;
+    /// Puts re-targeted at a root's new master after a `MovedMaster`
+    /// redirect from the old one.
+    incr_moved_master_redirects, add_moved_master_redirects, moved_master_redirects;
+    /// Peers retired from breaker/monitor tracking after a graceful leave.
+    incr_peers_retired, add_peers_retired, peers_retired;
 }
 
 impl Metrics {

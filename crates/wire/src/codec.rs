@@ -263,6 +263,11 @@ impl Encoder {
                 self.put_u8(17);
                 self.put_str(m);
             }
+            ObiError::MovedMaster { object, to } => {
+                self.put_u8(18);
+                self.put_obj_id(*object);
+                self.put_site(*to);
+            }
             other => {
                 // `ObiError` is non_exhaustive; future variants degrade to an
                 // internal error carrying their rendering.
@@ -484,6 +489,10 @@ impl<'a> Decoder<'a> {
                 to: self.take_site()?,
             },
             17 => ObiError::Storage(self.take_str()?),
+            18 => ObiError::MovedMaster {
+                object: self.take_obj_id()?,
+                to: self.take_site()?,
+            },
             tag => return Err(Self::err(format!("unknown error tag {tag}"))),
         })
     }
@@ -597,6 +606,7 @@ mod tests {
             ObiError::Internal("i".into()),
             ObiError::Timeout { to: s2 },
             ObiError::Storage("wal append failed".into()),
+            ObiError::MovedMaster { object: o, to: s2 },
         ];
         for e in errors {
             let mut enc = Encoder::new();

@@ -40,6 +40,6 @@ pub mod value;
 pub use codec::{Decoder, Encoder};
 pub use crc::crc32;
 pub use message::{
-    FrontierEdge, Message, NameOp, ReplicaBatch, ReplicaState, WireMode,
+    FrontierEdge, JoinInfo, Message, NameOp, ReplicaBatch, ReplicaState, WireMode,
 };
 pub use value::ObiValue;

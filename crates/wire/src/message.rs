@@ -12,7 +12,7 @@
 use crate::codec::{Decoder, Encoder};
 use crate::value::ObiValue;
 use bytes::Bytes;
-use obiwan_util::{ClusterId, ObiError, ObjId, RequestId, Result};
+use obiwan_util::{ClusterId, ObiError, ObjId, RequestId, Result, SiteId};
 
 /// The replication mode requested by a `get`, as it crosses the wire.
 ///
@@ -188,6 +188,48 @@ impl ReplicaBatch {
             frontier,
             cluster,
         })
+    }
+}
+
+/// What a joiner learns from the name-server site when it enters a live
+/// world: the current peer roster and every bound name, so it can bootstrap
+/// replicas through the ordinary incremental/cluster demand pipeline while
+/// the masters keep serving.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JoinInfo {
+    /// Sites already in the world (excluding the joiner), sorted.
+    pub peers: Vec<SiteId>,
+    /// Current name bindings (`name -> exported root`), in name order.
+    pub names: Vec<(String, ObjId)>,
+}
+
+impl JoinInfo {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.peers.len() as u64);
+        for p in &self.peers {
+            enc.put_site(*p);
+        }
+        enc.put_varint(self.names.len() as u64);
+        for (name, target) in &self.names {
+            enc.put_str(name);
+            enc.put_obj_id(*target);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let n = dec.take_varint()? as usize;
+        let mut peers = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            peers.push(dec.take_site()?);
+        }
+        let m = dec.take_varint()? as usize;
+        let mut names = Vec::with_capacity(m.min(4096));
+        for _ in 0..m {
+            let name = dec.take_str()?;
+            let target = dec.take_obj_id()?;
+            names.push((name, target));
+        }
+        Ok(JoinInfo { peers, names })
     }
 }
 
@@ -384,6 +426,33 @@ pub enum Message {
     /// discard the corresponding cached replies (the client-driven
     /// acknowledgement horizon of the exactly-once retry protocol).
     AckHorizon { up_to: u64 },
+    /// Membership: the sender asks to join the live world. Served by the
+    /// name-server site, which adds the sender to its roster and answers
+    /// with a [`Message::JoinAck`].
+    JoinRequest { request: RequestId },
+    /// Roster and name bindings (or failure) answering a
+    /// [`Message::JoinRequest`].
+    JoinAck {
+        request: RequestId,
+        result: std::result::Result<JoinInfo, ObiError>,
+    },
+    /// Membership: the sender transfers mastership of `root` (and every
+    /// reachable master listed in `entries`) to the receiver, which
+    /// installs them as masters and becomes the new proxy-in host.
+    HandoffRequest {
+        request: RequestId,
+        root: ObjId,
+        entries: Vec<ReplicaState>,
+    },
+    /// Number of masters installed (or failure) answering a
+    /// [`Message::HandoffRequest`].
+    HandoffAck {
+        request: RequestId,
+        result: std::result::Result<u64, ObiError>,
+    },
+    /// One-way: `site` has left the world gracefully; receivers retire its
+    /// breaker/monitor state and stop expecting it to answer.
+    Leave { site: SiteId },
 }
 
 const MSG_INVOKE_REQ: u8 = 1;
@@ -406,6 +475,11 @@ const MSG_ACK_HORIZON: u8 = 17;
 const MSG_GET_MANY_STREAM_REQ: u8 = 18;
 const MSG_GET_MANY_CHUNK: u8 = 19;
 const MSG_GET_MANY_DONE: u8 = 20;
+const MSG_JOIN_REQ: u8 = 21;
+const MSG_JOIN_ACK: u8 = 22;
+const MSG_HANDOFF_REQ: u8 = 23;
+const MSG_HANDOFF_ACK: u8 = 24;
+const MSG_LEAVE: u8 = 25;
 
 /// Approximate frame size of a batch, used to pre-size encoders so hot
 /// replies do not grow their buffer repeatedly.
@@ -439,6 +513,15 @@ impl Message {
             }
             Message::GetManyRequest { targets, .. }
             | Message::GetManyStreamRequest { targets, .. } => 24 + targets.len() * 12,
+            Message::HandoffRequest { entries, .. } => 24 + entries_size_hint(entries),
+            Message::JoinAck { result: Ok(info), .. } => {
+                32 + info.peers.len() * 8
+                    + info
+                        .names
+                        .iter()
+                        .map(|(n, _)| n.len() + 16)
+                        .sum::<usize>()
+            }
             _ => 64,
         }
     }
@@ -637,6 +720,55 @@ impl Message {
                 enc.put_u8(MSG_ACK_HORIZON);
                 enc.put_varint(*up_to);
             }
+            Message::JoinRequest { request } => {
+                enc.put_u8(MSG_JOIN_REQ);
+                enc.put_request_id(*request);
+            }
+            Message::JoinAck { request, result } => {
+                enc.put_u8(MSG_JOIN_ACK);
+                enc.put_request_id(*request);
+                match result {
+                    Ok(info) => {
+                        enc.put_u8(0);
+                        info.encode(&mut enc);
+                    }
+                    Err(e) => {
+                        enc.put_u8(1);
+                        enc.put_error(e);
+                    }
+                }
+            }
+            Message::HandoffRequest {
+                request,
+                root,
+                entries,
+            } => {
+                enc.put_u8(MSG_HANDOFF_REQ);
+                enc.put_request_id(*request);
+                enc.put_obj_id(*root);
+                enc.put_varint(entries.len() as u64);
+                for e in entries {
+                    e.encode(&mut enc);
+                }
+            }
+            Message::HandoffAck { request, result } => {
+                enc.put_u8(MSG_HANDOFF_ACK);
+                enc.put_request_id(*request);
+                match result {
+                    Ok(installed) => {
+                        enc.put_u8(0);
+                        enc.put_varint(*installed);
+                    }
+                    Err(e) => {
+                        enc.put_u8(1);
+                        enc.put_error(e);
+                    }
+                }
+            }
+            Message::Leave { site } => {
+                enc.put_u8(MSG_LEAVE);
+                enc.put_site(*site);
+            }
         }
         enc.finish()
     }
@@ -815,6 +947,44 @@ impl Message {
             MSG_ACK_HORIZON => Message::AckHorizon {
                 up_to: dec.take_varint()?,
             },
+            MSG_JOIN_REQ => Message::JoinRequest {
+                request: dec.take_request_id()?,
+            },
+            MSG_JOIN_ACK => {
+                let request = dec.take_request_id()?;
+                let result = match dec.take_u8()? {
+                    0 => Ok(JoinInfo::decode(dec)?),
+                    1 => Err(dec.take_error()?),
+                    tag => return Err(ObiError::Decode(format!("bad result flag {tag}"))),
+                };
+                Message::JoinAck { request, result }
+            }
+            MSG_HANDOFF_REQ => {
+                let request = dec.take_request_id()?;
+                let root = dec.take_obj_id()?;
+                let n = dec.take_varint()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push(ReplicaState::decode(dec)?);
+                }
+                Message::HandoffRequest {
+                    request,
+                    root,
+                    entries,
+                }
+            }
+            MSG_HANDOFF_ACK => {
+                let request = dec.take_request_id()?;
+                let result = match dec.take_u8()? {
+                    0 => Ok(dec.take_varint()?),
+                    1 => Err(dec.take_error()?),
+                    tag => return Err(ObiError::Decode(format!("bad result flag {tag}"))),
+                };
+                Message::HandoffAck { request, result }
+            }
+            MSG_LEAVE => Message::Leave {
+                site: dec.take_site()?,
+            },
             tag => return Err(ObiError::Decode(format!("unknown message tag {tag}"))),
         })
     }
@@ -837,11 +1007,16 @@ impl Message {
             | Message::NameReply { request, .. }
             | Message::Subscribe { request, .. }
             | Message::Ack { request, .. }
+            | Message::JoinRequest { request }
+            | Message::JoinAck { request, .. }
+            | Message::HandoffRequest { request, .. }
+            | Message::HandoffAck { request, .. }
             | Message::Ping { request }
             | Message::Pong { request } => Some(*request),
             Message::Invalidate { .. }
             | Message::UpdatePush { .. }
-            | Message::AckHorizon { .. } => None,
+            | Message::AckHorizon { .. }
+            | Message::Leave { .. } => None,
         }
     }
 
@@ -856,6 +1031,8 @@ impl Message {
                 | Message::PutRequest { .. }
                 | Message::NameRequest { .. }
                 | Message::Subscribe { .. }
+                | Message::JoinRequest { .. }
+                | Message::HandoffRequest { .. }
                 | Message::Ping { .. }
         )
     }
@@ -1041,6 +1218,43 @@ mod tests {
             Message::Ping { request: rid(7) },
             Message::Pong { request: rid(7) },
             Message::AckHorizon { up_to: 300 },
+            Message::JoinRequest { request: rid(10) },
+            Message::JoinAck {
+                request: rid(10),
+                result: Ok(JoinInfo {
+                    peers: vec![SiteId::new(1), SiteId::new(2)],
+                    names: vec![("root".into(), oid(1)), ("aux".into(), oid(2))],
+                }),
+            },
+            Message::JoinAck {
+                request: rid(10),
+                result: Ok(JoinInfo::default()),
+            },
+            Message::JoinAck {
+                request: rid(10),
+                result: Err(ObiError::NameNotBound("*".into())),
+            },
+            Message::HandoffRequest {
+                request: rid(11),
+                root: oid(1),
+                entries: vec![sample_state(1), sample_state(2)],
+            },
+            Message::HandoffRequest {
+                request: rid(11),
+                root: oid(1),
+                entries: vec![],
+            },
+            Message::HandoffAck {
+                request: rid(11),
+                result: Ok(2),
+            },
+            Message::HandoffAck {
+                request: rid(11),
+                result: Err(ObiError::NoSuchObject(oid(1))),
+            },
+            Message::Leave {
+                site: SiteId::new(7),
+            },
         ]
     }
 
@@ -1111,6 +1325,33 @@ mod tests {
         };
         assert!(!done.is_request());
         assert_eq!(done.request_id(), Some(rid(9)));
+        // Membership frames: join/handoff are request/reply pairs, Leave is
+        // one-way like Invalidate.
+        let join = Message::JoinRequest { request: rid(10) };
+        assert!(join.is_request());
+        assert_eq!(join.request_id(), Some(rid(10)));
+        let join_ack = Message::JoinAck {
+            request: rid(10),
+            result: Ok(JoinInfo::default()),
+        };
+        assert!(!join_ack.is_request());
+        assert_eq!(join_ack.request_id(), Some(rid(10)));
+        let handoff = Message::HandoffRequest {
+            request: rid(11),
+            root: oid(1),
+            entries: vec![],
+        };
+        assert!(handoff.is_request());
+        assert_eq!(handoff.request_id(), Some(rid(11)));
+        let handoff_ack = Message::HandoffAck {
+            request: rid(11),
+            result: Ok(0),
+        };
+        assert!(!handoff_ack.is_request());
+        assert_eq!(handoff_ack.request_id(), Some(rid(11)));
+        let leave = Message::Leave { site: SiteId::new(3) };
+        assert!(!leave.is_request());
+        assert_eq!(leave.request_id(), None);
     }
 
     #[test]
